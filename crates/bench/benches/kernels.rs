@@ -1,0 +1,68 @@
+//! Criterion microbenchmarks of the compute substrate: dense and quantized
+//! matrix products, KV-cache metadata operations and full tiny-model decode
+//! steps.  These are not paper figures; they document the cost of the
+//! building blocks the real-execution path uses.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pi_model::{Batch, KvCache, Model, ModelConfig};
+use pi_tensor::{ops, QuantKind, QuantizedMatrix, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let x = Tensor::rand_uniform(&mut rng, &[4, 512], 1.0);
+    let w = Tensor::rand_uniform(&mut rng, &[512, 512], 1.0);
+    c.bench_function("matmul_t 4x512x512 f32", |b| {
+        b.iter(|| ops::matmul_t(&x, &w).unwrap())
+    });
+    let q = QuantizedMatrix::quantize(&w, QuantKind::Q4K).unwrap();
+    c.bench_function("matmul_t 4x512x512 q4", |b| b.iter(|| q.matmul_t(&x).unwrap()));
+}
+
+fn bench_quantization(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let w = Tensor::rand_uniform(&mut rng, &[256, 512], 1.0);
+    c.bench_function("quantize q4 256x512", |b| {
+        b.iter(|| QuantizedMatrix::quantize(&w, QuantKind::Q4K).unwrap())
+    });
+}
+
+fn bench_kv_cache_ops(c: &mut Criterion) {
+    c.bench_function("kv seq_cp+seq_rm 4096 cells", |b| {
+        b.iter_batched(
+            || {
+                let mut cache = KvCache::new(1, 64, 4096);
+                for p in 0..4000 {
+                    cache.alloc(p, &[0]).unwrap();
+                }
+                cache
+            },
+            |mut cache| {
+                cache.seq_cp(0, 1, 0, i32::MAX);
+                cache.seq_rm(1, 0, i32::MAX);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_tiny_model_decode(c: &mut Criterion) {
+    let model = Model::random(ModelConfig::tiny_llama(64, 4), 3);
+    c.bench_function("tiny model single-token decode", |b| {
+        b.iter_batched(
+            || model.new_cache_for_layers(&(0..4), 64),
+            |mut cache| model.forward_full(&Batch::single(5, 0, 0), &mut cache).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_quantization,
+    bench_kv_cache_ops,
+    bench_tiny_model_decode
+);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion microbenchmarks of the scheduler itself: how long the
+//! discrete-event simulator takes to simulate one full generation under each
+//! inference strategy.  This measures the *harness*, not the modelled
+//! system — useful for keeping the figure benches fast.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pi_bench::{make_prompt, run_strategy, BenchScale};
+use pi_perf::{ClusterSpec, InferenceStrategy, ModelPair};
+use pi_spec::GenConfig;
+
+fn bench_simulated_strategies(c: &mut Criterion) {
+    let scale = BenchScale {
+        prompt_len: 16,
+        n_generate: 32,
+    };
+    let config = GenConfig {
+        prompt: make_prompt(scale, 9),
+        n_generate: scale.n_generate,
+        max_draft: 4,
+        confidence_cutoff: 0.4,
+        kv_capacity: 4096,
+    };
+    let pair = ModelPair::dolphin_tinyllama();
+    for strategy in InferenceStrategy::all() {
+        c.bench_function(
+            &format!("simulate {} 8 nodes / 32 tokens", strategy.name()),
+            |b| b.iter(|| run_strategy(strategy, &pair, ClusterSpec::cluster_c(8), &config)),
+        );
+    }
+}
+
+criterion_group!(benches, bench_simulated_strategies);
+criterion_main!(benches);

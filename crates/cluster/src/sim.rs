@@ -1,0 +1,619 @@
+//! Deterministic discrete-event cluster simulator.
+//!
+//! The simulator executes a set of [`NodeBehavior`] rank state machines
+//! under a virtual clock:
+//!
+//! * compute time is charged explicitly by behaviors via
+//!   [`NodeCtx::elapse`] (the amounts come from `pi-perf`'s roofline model),
+//! * message transfer time is charged from the [`Topology`]'s per-link
+//!   latency/bandwidth model, with each directed link serialising its
+//!   messages (a later send cannot overtake an earlier one — the
+//!   non-overtaking guarantee PipeInfer's transaction ordering relies on),
+//! * an idle rank is offered [`NodeBehavior::on_idle`] work exactly when the
+//!   real system would find its probe empty: whenever the rank's local clock
+//!   is the globally smallest activation time and no delivered message is
+//!   waiting.
+//!
+//! The event loop is conservative (it always advances the globally earliest
+//! activation), so results are bit-for-bit reproducible across runs and
+//! platforms.
+
+use crate::stats::ClusterStats;
+use crate::topology::Topology;
+use crate::{NodeBehavior, NodeCtx, Rank, SimTime, Tag, WireMessage};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Result of a simulated run.
+pub struct SimOutcome<M: WireMessage> {
+    /// The rank behaviors after the run (extract results by downcasting or
+    /// through shared handles).
+    pub behaviors: Vec<Box<dyn NodeBehavior<M>>>,
+    /// Per-rank and cluster statistics; `stats.total_time` is the virtual
+    /// makespan of the run.
+    pub stats: ClusterStats,
+    /// `true` if every rank reported `is_finished()`, `false` if the run hit
+    /// the time/event limit or deadlocked.
+    pub completed: bool,
+}
+
+/// Discrete-event simulation driver.
+pub struct SimDriver {
+    topology: Topology,
+    max_time: SimTime,
+    max_events: u64,
+}
+
+struct Pending<M> {
+    arrival: SimTime,
+    seq: u64,
+    src: Rank,
+    tag: Tag,
+    msg: M,
+}
+
+impl<M> PartialEq for Pending<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.arrival == other.arrival && self.seq == other.seq
+    }
+}
+impl<M> Eq for Pending<M> {}
+impl<M> PartialOrd for Pending<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Pending<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to get earliest-first.
+        other
+            .arrival
+            .partial_cmp(&self.arrival)
+            .unwrap_or(Ordering::Equal)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// The `NodeCtx` the simulator hands to behaviors: it records sends and
+/// elapsed compute so the driver can apply them after the callback returns.
+struct SimCtx<M> {
+    rank: Rank,
+    world: usize,
+    now: SimTime,
+    elapsed: SimTime,
+    outgoing: Vec<(Rank, Tag, M, SimTime)>,
+}
+
+impl<M: WireMessage> NodeCtx<M> for SimCtx<M> {
+    fn rank(&self) -> Rank {
+        self.rank
+    }
+    fn world_size(&self) -> usize {
+        self.world
+    }
+    fn now(&self) -> SimTime {
+        self.now
+    }
+    fn send(&mut self, dst: Rank, tag: Tag, msg: M) {
+        self.outgoing.push((dst, tag, msg, self.now));
+    }
+    fn elapse(&mut self, seconds: SimTime) {
+        let s = seconds.max(0.0);
+        self.now += s;
+        self.elapsed += s;
+    }
+}
+
+enum ActivationKind {
+    Deliver,
+    Idle,
+}
+
+impl SimDriver {
+    /// Creates a driver over the given topology with generous default limits
+    /// (10⁶ simulated seconds, 50 M events).
+    pub fn new(topology: Topology) -> Self {
+        Self {
+            topology,
+            max_time: 1e6,
+            max_events: 50_000_000,
+        }
+    }
+
+    /// Sets the maximum virtual time before the run is aborted.
+    pub fn with_max_time(mut self, max_time: SimTime) -> Self {
+        self.max_time = max_time;
+        self
+    }
+
+    /// Sets the maximum number of events before the run is aborted.
+    pub fn with_max_events(mut self, max_events: u64) -> Self {
+        self.max_events = max_events;
+        self
+    }
+
+    /// Runs the behaviors to completion (or until a limit is hit).
+    ///
+    /// `behaviors[r]` is rank `r`; the topology must have at least that many
+    /// ranks.
+    pub fn run<M: WireMessage>(&self, mut behaviors: Vec<Box<dyn NodeBehavior<M>>>) -> SimOutcome<M> {
+        let n = behaviors.len();
+        assert!(
+            self.topology.n_ranks() >= n,
+            "topology has {} ranks but {} behaviors were provided",
+            self.topology.n_ranks(),
+            n
+        );
+        let mut stats = ClusterStats::new(n);
+        let mut local_time = vec![0.0f64; n];
+        let mut blocked = vec![false; n];
+        let mut finished = vec![false; n];
+        let mut pending: Vec<BinaryHeap<Pending<M>>> = (0..n).map(|_| BinaryHeap::new()).collect();
+        let mut priority_pending: Vec<BinaryHeap<Pending<M>>> =
+            (0..n).map(|_| BinaryHeap::new()).collect();
+        let mut link_free = vec![vec![0.0f64; n]; n];
+        let mut seq = 0u64;
+        let mut events = 0u64;
+
+        // Helper closure replaced by a macro-free fn: apply a finished ctx.
+        // (Implemented inline below because it needs many locals.)
+
+        // on_start at t = 0 for every rank.
+        for r in 0..n {
+            let mut ctx = SimCtx {
+                rank: r,
+                world: n,
+                now: 0.0,
+                elapsed: 0.0,
+                outgoing: Vec::new(),
+            };
+            behaviors[r].on_start(&mut ctx);
+            local_time[r] = ctx.now;
+            stats.nodes[r].busy_time += ctx.elapsed;
+            Self::dispatch(
+                &self.topology,
+                &mut stats,
+                &mut pending,
+                &mut priority_pending,
+                &mut link_free,
+                &mut blocked,
+                &mut seq,
+                r,
+                ctx.outgoing,
+            );
+            finished[r] = behaviors[r].is_finished();
+        }
+
+        let completed = loop {
+            if finished.iter().all(|&f| f) {
+                break true;
+            }
+            if events >= self.max_events {
+                break false;
+            }
+            // Choose the rank with the earliest activation.
+            let mut best: Option<(SimTime, Rank, ActivationKind)> = None;
+            for r in 0..n {
+                if finished[r] {
+                    continue;
+                }
+                let earliest_arrival = match (pending[r].peek(), priority_pending[r].peek()) {
+                    (Some(a), Some(b)) => Some(a.arrival.min(b.arrival)),
+                    (Some(a), None) => Some(a.arrival),
+                    (None, Some(b)) => Some(b.arrival),
+                    (None, None) => None,
+                };
+                let candidate = if !blocked[r] {
+                    let kind = if earliest_arrival
+                        .map(|a| a <= local_time[r])
+                        .unwrap_or(false)
+                    {
+                        ActivationKind::Deliver
+                    } else {
+                        ActivationKind::Idle
+                    };
+                    Some((local_time[r], r, kind))
+                } else if let Some(a) = earliest_arrival {
+                    Some((local_time[r].max(a), r, ActivationKind::Deliver))
+                } else {
+                    None
+                };
+                if let Some((t, r2, k)) = candidate {
+                    let better = match &best {
+                        None => true,
+                        Some((bt, br, _)) => t < *bt || (t == *bt && r2 < *br),
+                    };
+                    if better {
+                        best = Some((t, r2, k));
+                    }
+                }
+            }
+            let Some((t, r, kind)) = best else {
+                // No rank can make progress: deadlock with unfinished ranks.
+                break false;
+            };
+            if t > self.max_time {
+                break false;
+            }
+            events += 1;
+            local_time[r] = t;
+            let mut ctx = SimCtx {
+                rank: r,
+                world: n,
+                now: t,
+                elapsed: 0.0,
+                outgoing: Vec::new(),
+            };
+            match kind {
+                ActivationKind::Deliver => {
+                    // Out-of-band control messages (e.g. cancellation
+                    // signals) that have already arrived are checked first,
+                    // ahead of the ordinary FIFO traffic.
+                    let p = match priority_pending[r].peek() {
+                        Some(pp) if pp.arrival <= t => priority_pending[r]
+                            .pop()
+                            .expect("peeked priority message must pop"),
+                        _ => match pending[r].peek() {
+                            Some(np) if np.arrival <= t => {
+                                pending[r].pop().expect("peeked message must pop")
+                            }
+                            _ => priority_pending[r]
+                                .pop()
+                                .or_else(|| pending[r].pop())
+                                .expect("deliver requires a pending message"),
+                        },
+                    };
+                    stats.nodes[r].messages_received += 1;
+                    behaviors[r].on_message(p.src, p.tag, p.msg, &mut ctx);
+                    blocked[r] = false;
+                }
+                ActivationKind::Idle => {
+                    let worked = behaviors[r].on_idle(&mut ctx);
+                    if worked {
+                        stats.nodes[r].idle_work += 1;
+                    } else {
+                        blocked[r] = true;
+                    }
+                }
+            }
+            local_time[r] = ctx.now;
+            stats.nodes[r].busy_time += ctx.elapsed;
+            Self::dispatch(
+                &self.topology,
+                &mut stats,
+                &mut pending,
+                &mut priority_pending,
+                &mut link_free,
+                &mut blocked,
+                &mut seq,
+                r,
+                ctx.outgoing,
+            );
+            if behaviors[r].is_finished() {
+                finished[r] = true;
+                pending[r].clear();
+                priority_pending[r].clear();
+            }
+        };
+
+        stats.total_time = local_time.iter().copied().fold(0.0, f64::max);
+        SimOutcome {
+            behaviors,
+            stats,
+            completed,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch<M: WireMessage>(
+        topology: &Topology,
+        stats: &mut ClusterStats,
+        pending: &mut [BinaryHeap<Pending<M>>],
+        priority_pending: &mut [BinaryHeap<Pending<M>>],
+        link_free: &mut [Vec<SimTime>],
+        blocked: &mut [bool],
+        seq: &mut u64,
+        src: Rank,
+        outgoing: Vec<(Rank, Tag, M, SimTime)>,
+    ) {
+        for (dst, tag, msg, send_time) in outgoing {
+            if dst >= pending.len() {
+                continue;
+            }
+            let link = topology.link(src, dst);
+            let bytes = msg.wire_bytes();
+            let priority = msg.priority();
+            // Priority (out-of-band) messages do not contend for the link's
+            // serialised transfer slot — they are tiny control signals.
+            let start = if priority {
+                send_time
+            } else {
+                send_time.max(link_free[src][dst])
+            };
+            let transfer = bytes as f64 / link.bandwidth_bps;
+            let arrival = start + link.latency_s + transfer;
+            if !priority {
+                link_free[src][dst] = start + transfer;
+            }
+            stats.nodes[src].messages_sent += 1;
+            stats.nodes[src].bytes_sent += bytes;
+            *seq += 1;
+            let entry = Pending {
+                arrival,
+                seq: *seq,
+                src,
+                tag,
+                msg,
+            };
+            if priority {
+                priority_pending[dst].push(entry);
+            } else {
+                pending[dst].push(entry);
+            }
+            blocked[dst] = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::LinkSpec;
+    use std::any::Any;
+
+    /// Test message: a counter plus a payload size used for wire accounting.
+    #[derive(Debug, Clone)]
+    struct Msg {
+        hops: u32,
+        bytes: u64,
+    }
+    impl WireMessage for Msg {
+        fn wire_bytes(&self) -> u64 {
+            self.bytes
+        }
+    }
+
+    /// Relay rank: forwards each message to the next rank after charging
+    /// `compute` seconds; the last rank sends back to rank 0.  Rank 0 counts
+    /// round trips and finishes after `rounds`.
+    struct Relay {
+        rank: Rank,
+        n: usize,
+        compute: f64,
+        rounds_left: u32,
+        finished: bool,
+        completion_times: Vec<SimTime>,
+    }
+
+    impl NodeBehavior<Msg> for Relay {
+        fn on_start(&mut self, ctx: &mut dyn NodeCtx<Msg>) {
+            if self.rank == 0 {
+                ctx.send(1, 0, Msg { hops: 0, bytes: 1000 });
+            }
+        }
+        fn on_message(&mut self, _src: Rank, _tag: Tag, msg: Msg, ctx: &mut dyn NodeCtx<Msg>) {
+            if msg.hops == u32::MAX {
+                self.finished = true;
+                return;
+            }
+            ctx.elapse(self.compute);
+            if self.rank == 0 {
+                self.completion_times.push(ctx.now());
+                self.rounds_left -= 1;
+                if self.rounds_left == 0 {
+                    self.finished = true;
+                    // Tell everyone else to finish.
+                    for r in 1..self.n {
+                        ctx.send(r, 99, Msg { hops: u32::MAX, bytes: 8 });
+                    }
+                } else {
+                    ctx.send(1, 0, Msg { hops: 0, bytes: 1000 });
+                }
+            } else {
+                let next = (self.rank + 1) % self.n;
+                ctx.send(next, 0, Msg { hops: msg.hops + 1, bytes: msg.bytes }, );
+            }
+        }
+        fn is_finished(&self) -> bool {
+            self.finished
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    fn relay_ring(n: usize, compute: f64, rounds: u32) -> Vec<Box<dyn NodeBehavior<Msg>>> {
+        (0..n)
+            .map(|r| {
+                Box::new(Relay {
+                    rank: r,
+                    n,
+                    compute,
+                    rounds_left: rounds,
+                    finished: false,
+                    completion_times: Vec::new(),
+                }) as Box<dyn NodeBehavior<Msg>>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ring_completes_and_time_accumulates() {
+        let topo = Topology::uniform(4, LinkSpec::new(1e-3, 1e6));
+        let driver = SimDriver::new(topo);
+        let out = driver.run(relay_ring(4, 0.01, 3));
+        assert!(out.completed);
+        // Each round: 4 hops × (1 ms latency + 1 ms transfer of 1000 B) + 4 × 10 ms compute
+        // ≈ 48 ms; 3 rounds ≈ 144 ms.
+        let expected_round = 4.0 * (0.001 + 0.001) + 4.0 * 0.01;
+        assert!(
+            (out.stats.total_time - 3.0 * expected_round).abs() < 0.01,
+            "total_time = {}",
+            out.stats.total_time
+        );
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let topo = Topology::uniform(5, LinkSpec::gigabit_ethernet());
+        let t1 = SimDriver::new(topo.clone()).run(relay_ring(5, 0.002, 10));
+        let t2 = SimDriver::new(topo).run(relay_ring(5, 0.002, 10));
+        assert_eq!(t1.stats.total_time, t2.stats.total_time);
+        assert_eq!(t1.stats.total_messages(), t2.stats.total_messages());
+    }
+
+    #[test]
+    fn faster_interconnect_reduces_makespan() {
+        let slow = SimDriver::new(Topology::uniform(4, LinkSpec::gigabit_ethernet()))
+            .run(relay_ring(4, 0.0, 20));
+        let fast = SimDriver::new(Topology::uniform(4, LinkSpec::infiniband_edr()))
+            .run(relay_ring(4, 0.0, 20));
+        assert!(slow.stats.total_time > 10.0 * fast.stats.total_time);
+    }
+
+    #[test]
+    fn compute_dominated_is_insensitive_to_interconnect() {
+        let slow = SimDriver::new(Topology::uniform(4, LinkSpec::gigabit_ethernet()))
+            .run(relay_ring(4, 0.5, 2));
+        let fast = SimDriver::new(Topology::uniform(4, LinkSpec::infiniband_edr()))
+            .run(relay_ring(4, 0.5, 2));
+        let ratio = slow.stats.total_time / fast.stats.total_time;
+        assert!(ratio < 1.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn stats_track_messages_and_bytes() {
+        let topo = Topology::uniform(3, LinkSpec::infiniband_edr());
+        let out = SimDriver::new(topo).run(relay_ring(3, 0.001, 2));
+        assert!(out.completed);
+        // Rank 0 sends 2 round-starting messages + 2 shutdown messages.
+        assert_eq!(out.stats.node(0).messages_sent, 4);
+        assert!(out.stats.node(0).bytes_sent >= 2 * 1000);
+        assert!(out.stats.node(1).messages_received >= 2);
+    }
+
+    #[test]
+    fn busy_time_equals_charged_compute() {
+        let topo = Topology::uniform(2, LinkSpec::infiniband_edr());
+        let out = SimDriver::new(topo).run(relay_ring(2, 0.25, 2));
+        // Rank 1 relays 2 messages, charging 0.25 s each.
+        assert!((out.stats.node(1).busy_time - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_time_aborts_incomplete_runs() {
+        let topo = Topology::uniform(4, LinkSpec::new(0.5, 1e3));
+        let out = SimDriver::new(topo)
+            .with_max_time(0.1)
+            .run(relay_ring(4, 0.0, 100));
+        assert!(!out.completed);
+    }
+
+    /// A rank that performs idle work a fixed number of times.
+    struct IdleWorker {
+        remaining: u32,
+        finished: bool,
+    }
+    impl NodeBehavior<Msg> for IdleWorker {
+        fn on_message(&mut self, _: Rank, _: Tag, _: Msg, _: &mut dyn NodeCtx<Msg>) {}
+        fn on_idle(&mut self, ctx: &mut dyn NodeCtx<Msg>) -> bool {
+            if self.remaining == 0 {
+                self.finished = true;
+                return false;
+            }
+            self.remaining -= 1;
+            ctx.elapse(0.01);
+            true
+        }
+        fn is_finished(&self) -> bool {
+            self.finished
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn idle_work_advances_virtual_time() {
+        let topo = Topology::uniform(1, LinkSpec::loopback());
+        let out = SimDriver::new(topo).run(vec![Box::new(IdleWorker {
+            remaining: 7,
+            finished: false,
+        }) as Box<dyn NodeBehavior<Msg>>]);
+        assert!(out.completed);
+        assert!((out.stats.total_time - 0.07).abs() < 1e-9);
+        assert_eq!(out.stats.node(0).idle_work, 7);
+    }
+
+    #[test]
+    fn deadlock_is_detected_as_incomplete() {
+        // A single rank that never finishes and never has work.
+        struct Stuck;
+        impl NodeBehavior<Msg> for Stuck {
+            fn on_message(&mut self, _: Rank, _: Tag, _: Msg, _: &mut dyn NodeCtx<Msg>) {}
+            fn is_finished(&self) -> bool {
+                false
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        let out = SimDriver::new(Topology::uniform(1, LinkSpec::loopback()))
+            .run(vec![Box::new(Stuck) as Box<dyn NodeBehavior<Msg>>]);
+        assert!(!out.completed);
+    }
+
+    #[test]
+    fn link_serialisation_preserves_order() {
+        // Rank 0 sends a large message then a tiny one to rank 1; the tiny
+        // one must not overtake the large one.
+        struct Sender {
+            done: bool,
+        }
+        struct Receiver {
+            order: Vec<u32>,
+            finished: bool,
+        }
+        impl NodeBehavior<Msg> for Sender {
+            fn on_start(&mut self, ctx: &mut dyn NodeCtx<Msg>) {
+                ctx.send(1, 0, Msg { hops: 1, bytes: 10_000_000 });
+                ctx.send(1, 0, Msg { hops: 2, bytes: 1 });
+                self.done = true;
+            }
+            fn on_message(&mut self, _: Rank, _: Tag, _: Msg, _: &mut dyn NodeCtx<Msg>) {}
+            fn is_finished(&self) -> bool {
+                self.done
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        impl NodeBehavior<Msg> for Receiver {
+            fn on_message(&mut self, _: Rank, _: Tag, msg: Msg, _: &mut dyn NodeCtx<Msg>) {
+                self.order.push(msg.hops);
+                if self.order.len() == 2 {
+                    self.finished = true;
+                }
+            }
+            fn is_finished(&self) -> bool {
+                self.finished
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        let out = SimDriver::new(Topology::uniform(2, LinkSpec::gigabit_ethernet())).run(vec![
+            Box::new(Sender { done: false }) as Box<dyn NodeBehavior<Msg>>,
+            Box::new(Receiver {
+                order: Vec::new(),
+                finished: false,
+            }) as Box<dyn NodeBehavior<Msg>>,
+        ]);
+        assert!(out.completed);
+        let recv = out.behaviors[1]
+            .as_any()
+            .downcast_ref::<Receiver>()
+            .unwrap();
+        assert_eq!(recv.order, vec![1, 2]);
+    }
+}

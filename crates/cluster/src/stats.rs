@@ -1,0 +1,120 @@
+//! Per-rank and cluster-wide execution statistics.
+//!
+//! Both drivers populate these; the benches use them for the utilisation and
+//! communication-volume numbers quoted alongside the paper's figures
+//! (e.g. "system utilization doubled" in §I).
+
+use crate::{Rank, SimTime};
+
+/// Statistics for a single rank.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NodeStats {
+    /// Seconds spent in compute (charged via `NodeCtx::elapse`).
+    pub busy_time: SimTime,
+    /// Number of messages sent by this rank.
+    pub messages_sent: u64,
+    /// Number of messages received (delivered) by this rank.
+    pub messages_received: u64,
+    /// Total bytes sent by this rank.
+    pub bytes_sent: u64,
+    /// Number of idle callbacks that performed work.
+    pub idle_work: u64,
+}
+
+impl NodeStats {
+    /// Utilisation of this rank over a run of `total_time` seconds.
+    pub fn utilization(&self, total_time: SimTime) -> f64 {
+        if total_time <= 0.0 {
+            0.0
+        } else {
+            (self.busy_time / total_time).min(1.0)
+        }
+    }
+}
+
+/// Statistics for the whole cluster run.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterStats {
+    /// Total run time in seconds (virtual for the simulator, wall-clock for
+    /// the threaded driver).
+    pub total_time: SimTime,
+    /// Per-rank statistics, indexed by rank.
+    pub nodes: Vec<NodeStats>,
+}
+
+impl ClusterStats {
+    /// Creates empty statistics for `n` ranks.
+    pub fn new(n: usize) -> Self {
+        Self {
+            total_time: 0.0,
+            nodes: vec![NodeStats::default(); n],
+        }
+    }
+
+    /// Statistics of rank `r`.
+    pub fn node(&self, r: Rank) -> &NodeStats {
+        &self.nodes[r]
+    }
+
+    /// Mean utilisation across ranks.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.nodes.is_empty() || self.total_time <= 0.0 {
+            return 0.0;
+        }
+        self.nodes
+            .iter()
+            .map(|n| n.utilization(self.total_time))
+            .sum::<f64>()
+            / self.nodes.len() as f64
+    }
+
+    /// Total messages sent across all ranks.
+    pub fn total_messages(&self) -> u64 {
+        self.nodes.iter().map(|n| n.messages_sent).sum()
+    }
+
+    /// Total bytes sent across all ranks.
+    pub fn total_bytes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.bytes_sent).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_bounds() {
+        let n = NodeStats {
+            busy_time: 5.0,
+            ..Default::default()
+        };
+        assert!((n.utilization(10.0) - 0.5).abs() < 1e-12);
+        assert_eq!(n.utilization(0.0), 0.0);
+        // Clamped at 1 even if accounting slightly overshoots.
+        assert_eq!(n.utilization(4.0), 1.0);
+    }
+
+    #[test]
+    fn cluster_aggregates() {
+        let mut c = ClusterStats::new(2);
+        c.total_time = 10.0;
+        c.nodes[0].busy_time = 10.0;
+        c.nodes[0].messages_sent = 3;
+        c.nodes[0].bytes_sent = 100;
+        c.nodes[1].busy_time = 0.0;
+        c.nodes[1].messages_sent = 1;
+        c.nodes[1].bytes_sent = 50;
+        assert!((c.mean_utilization() - 0.5).abs() < 1e-12);
+        assert_eq!(c.total_messages(), 4);
+        assert_eq!(c.total_bytes(), 150);
+        assert_eq!(c.node(1).messages_sent, 1);
+    }
+
+    #[test]
+    fn empty_cluster_is_safe() {
+        let c = ClusterStats::new(0);
+        assert_eq!(c.mean_utilization(), 0.0);
+        assert_eq!(c.total_messages(), 0);
+    }
+}

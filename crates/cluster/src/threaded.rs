@@ -1,0 +1,384 @@
+//! Threaded in-process cluster driver.
+//!
+//! Each rank runs on its own OS thread and exchanges messages over unbounded
+//! crossbeam channels, which gives the buffered, non-blocking,
+//! order-preserving point-to-point semantics the paper gets from MPI
+//! buffered sends.  Compute inside the behaviors is *real* (tiny models from
+//! `pi-model`), so this driver is used for functional end-to-end tests
+//! (output equivalence across inference strategies) and for the runnable
+//! examples.
+
+use crate::stats::{ClusterStats, NodeStats};
+use crate::{NodeBehavior, NodeCtx, Rank, SimTime, Tag, WireMessage};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use std::time::{Duration, Instant};
+
+/// Result of a threaded run.
+pub struct ThreadedOutcome<M: WireMessage> {
+    /// The rank behaviors after the run, in rank order.
+    pub behaviors: Vec<Box<dyn NodeBehavior<M>>>,
+    /// Wall-clock statistics.
+    pub stats: ClusterStats,
+    /// `true` if every rank finished before the timeout.
+    pub completed: bool,
+}
+
+struct Envelope<M> {
+    src: Rank,
+    tag: Tag,
+    msg: M,
+}
+
+struct ThreadedCtx<M> {
+    rank: Rank,
+    world: usize,
+    start: Instant,
+    senders: Vec<Sender<Envelope<M>>>,
+    stats: NodeStats,
+}
+
+impl<M: WireMessage> NodeCtx<M> for ThreadedCtx<M> {
+    fn rank(&self) -> Rank {
+        self.rank
+    }
+    fn world_size(&self) -> usize {
+        self.world
+    }
+    fn now(&self) -> SimTime {
+        self.start.elapsed().as_secs_f64()
+    }
+    fn send(&mut self, dst: Rank, tag: Tag, msg: M) {
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += msg.wire_bytes();
+        // A send to a rank that already exited is silently dropped, matching
+        // buffered-send semantics after a receiver has finalised.
+        let _ = self.senders[dst].send(Envelope {
+            src: self.rank,
+            tag,
+            msg,
+        });
+    }
+    fn elapse(&mut self, seconds: SimTime) {
+        // Real compute already took real time; only record it.
+        self.stats.busy_time += seconds.max(0.0);
+    }
+}
+
+/// Driver that runs each rank on a dedicated OS thread.
+pub struct ThreadedDriver {
+    timeout: Duration,
+}
+
+impl Default for ThreadedDriver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ThreadedDriver {
+    /// Creates a driver with a 120 s safety timeout.
+    pub fn new() -> Self {
+        Self {
+            timeout: Duration::from_secs(120),
+        }
+    }
+
+    /// Overrides the safety timeout after which unfinished ranks give up.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Runs the behaviors, one thread per rank, until all finish or the
+    /// timeout expires.
+    pub fn run<M: WireMessage>(&self, behaviors: Vec<Box<dyn NodeBehavior<M>>>) -> ThreadedOutcome<M> {
+        let n = behaviors.len();
+        let start = Instant::now();
+        let (senders, receivers): (Vec<Sender<Envelope<M>>>, Vec<Receiver<Envelope<M>>>) =
+            (0..n).map(|_| unbounded()).unzip();
+
+        let timeout = self.timeout;
+        let handles: Vec<_> = behaviors
+            .into_iter()
+            .enumerate()
+            .zip(receivers)
+            .map(|((rank, mut behavior), rx)| {
+                let senders = senders.clone();
+                std::thread::spawn(move || {
+                    let mut ctx = ThreadedCtx {
+                        rank,
+                        world: n,
+                        start,
+                        senders,
+                        stats: NodeStats::default(),
+                    };
+                    behavior.on_start(&mut ctx);
+                    let completed = loop {
+                        if behavior.is_finished() {
+                            break true;
+                        }
+                        if start.elapsed() > timeout {
+                            break false;
+                        }
+                        match rx.try_recv() {
+                            Ok(env) => {
+                                ctx.stats.messages_received += 1;
+                                behavior.on_message(env.src, env.tag, env.msg, &mut ctx);
+                            }
+                            Err(TryRecvError::Empty) => {
+                                if behavior.on_idle(&mut ctx) {
+                                    ctx.stats.idle_work += 1;
+                                    continue;
+                                }
+                                // Block briefly for the next message; wake up
+                                // periodically to re-check finish/timeout.
+                                if let Ok(env) = rx.recv_timeout(Duration::from_millis(1)) {
+                                    ctx.stats.messages_received += 1;
+                                    behavior.on_message(env.src, env.tag, env.msg, &mut ctx);
+                                }
+                            }
+                            Err(TryRecvError::Disconnected) => break behavior.is_finished(),
+                        }
+                    };
+                    (behavior, ctx.stats, completed)
+                })
+            })
+            .collect();
+        // Keep our copies of the senders alive until all threads are done so
+        // no thread observes a spurious disconnect; drop after joining.
+        let mut out_behaviors = Vec::with_capacity(n);
+        let mut stats = ClusterStats::new(n);
+        let mut completed = true;
+        for (r, h) in handles.into_iter().enumerate() {
+            let (behavior, node_stats, node_completed) = h.join().expect("rank thread panicked");
+            out_behaviors.push(behavior);
+            stats.nodes[r] = node_stats;
+            completed &= node_completed;
+        }
+        drop(senders);
+        stats.total_time = start.elapsed().as_secs_f64();
+        ThreadedOutcome {
+            behaviors: out_behaviors,
+            stats,
+            completed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::any::Any;
+
+    #[derive(Debug, Clone)]
+    struct Num(u64);
+    impl WireMessage for Num {
+        fn wire_bytes(&self) -> u64 {
+            8
+        }
+    }
+
+    /// Rank 0 sends numbers 1..=count around a ring; every rank adds 1.
+    /// When the number returns to rank 0 it checks the sum and finishes,
+    /// broadcasting a stop message (u64::MAX).
+    struct RingAdder {
+        rank: Rank,
+        n: usize,
+        count: u64,
+        received: Vec<u64>,
+        finished: bool,
+    }
+
+    impl NodeBehavior<Num> for RingAdder {
+        fn on_start(&mut self, ctx: &mut dyn NodeCtx<Num>) {
+            if self.rank == 0 {
+                ctx.send(1 % self.n, 7, Num(0));
+            }
+        }
+        fn on_message(&mut self, _src: Rank, _tag: Tag, msg: Num, ctx: &mut dyn NodeCtx<Num>) {
+            if msg.0 == u64::MAX {
+                self.finished = true;
+                return;
+            }
+            ctx.elapse(0.0001);
+            if self.rank == 0 {
+                self.received.push(msg.0);
+                if self.received.len() as u64 == self.count {
+                    self.finished = true;
+                    for r in 1..self.n {
+                        ctx.send(r, 7, Num(u64::MAX));
+                    }
+                } else {
+                    ctx.send(1 % self.n, 7, Num(0));
+                }
+            } else {
+                ctx.send((self.rank + 1) % self.n, 7, Num(msg.0 + 1));
+            }
+        }
+        fn is_finished(&self) -> bool {
+            self.finished
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    fn ring(n: usize, count: u64) -> Vec<Box<dyn NodeBehavior<Num>>> {
+        (0..n)
+            .map(|r| {
+                Box::new(RingAdder {
+                    rank: r,
+                    n,
+                    count,
+                    received: Vec::new(),
+                    finished: false,
+                }) as Box<dyn NodeBehavior<Num>>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ring_of_four_completes_with_correct_sums() {
+        let out = ThreadedDriver::new()
+            .with_timeout(Duration::from_secs(20))
+            .run(ring(4, 5));
+        assert!(out.completed);
+        let head = out.behaviors[0].as_any().downcast_ref::<RingAdder>().unwrap();
+        // Each lap adds 1 at ranks 1, 2, 3 → value 3 back at rank 0.
+        assert_eq!(head.received, vec![3, 3, 3, 3, 3]);
+        assert!(out.stats.total_time > 0.0);
+        assert_eq!(out.stats.node(0).messages_sent as usize, 5 + 3);
+    }
+
+    #[test]
+    fn single_rank_world_finishes_immediately() {
+        struct Solo {
+            finished: bool,
+        }
+        impl NodeBehavior<Num> for Solo {
+            fn on_start(&mut self, ctx: &mut dyn NodeCtx<Num>) {
+                ctx.elapse(0.001);
+                self.finished = true;
+            }
+            fn on_message(&mut self, _: Rank, _: Tag, _: Num, _: &mut dyn NodeCtx<Num>) {}
+            fn is_finished(&self) -> bool {
+                self.finished
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        let out = ThreadedDriver::new().run(vec![Box::new(Solo { finished: false })
+            as Box<dyn NodeBehavior<Num>>]);
+        assert!(out.completed);
+        assert!((out.stats.node(0).busy_time - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeout_reports_incomplete() {
+        struct Never;
+        impl NodeBehavior<Num> for Never {
+            fn on_message(&mut self, _: Rank, _: Tag, _: Num, _: &mut dyn NodeCtx<Num>) {}
+            fn is_finished(&self) -> bool {
+                false
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        let out = ThreadedDriver::new()
+            .with_timeout(Duration::from_millis(50))
+            .run(vec![Box::new(Never) as Box<dyn NodeBehavior<Num>>]);
+        assert!(!out.completed);
+    }
+
+    #[test]
+    fn idle_callbacks_run_when_no_messages() {
+        struct IdleCounter {
+            left: u32,
+            finished: bool,
+        }
+        impl NodeBehavior<Num> for IdleCounter {
+            fn on_message(&mut self, _: Rank, _: Tag, _: Num, _: &mut dyn NodeCtx<Num>) {}
+            fn on_idle(&mut self, ctx: &mut dyn NodeCtx<Num>) -> bool {
+                if self.left == 0 {
+                    self.finished = true;
+                    return false;
+                }
+                self.left -= 1;
+                ctx.elapse(0.0);
+                true
+            }
+            fn is_finished(&self) -> bool {
+                self.finished
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        let out = ThreadedDriver::new().run(vec![Box::new(IdleCounter {
+            left: 10,
+            finished: false,
+        }) as Box<dyn NodeBehavior<Num>>]);
+        assert!(out.completed);
+        assert_eq!(out.stats.node(0).idle_work, 10);
+    }
+
+    #[test]
+    fn per_link_fifo_order_is_preserved() {
+        // Rank 0 sends 100 numbered messages to rank 1, which checks order.
+        struct Blast {
+            done: bool,
+        }
+        struct Checker {
+            expected: u64,
+            ok: bool,
+            finished: bool,
+        }
+        impl NodeBehavior<Num> for Blast {
+            fn on_start(&mut self, ctx: &mut dyn NodeCtx<Num>) {
+                for i in 0..100 {
+                    ctx.send(1, 0, Num(i));
+                }
+                self.done = true;
+            }
+            fn on_message(&mut self, _: Rank, _: Tag, _: Num, _: &mut dyn NodeCtx<Num>) {}
+            fn is_finished(&self) -> bool {
+                self.done
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        impl NodeBehavior<Num> for Checker {
+            fn on_message(&mut self, _: Rank, _: Tag, msg: Num, _: &mut dyn NodeCtx<Num>) {
+                if msg.0 != self.expected {
+                    self.ok = false;
+                }
+                self.expected += 1;
+                if self.expected == 100 {
+                    self.finished = true;
+                }
+            }
+            fn is_finished(&self) -> bool {
+                self.finished
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        let out = ThreadedDriver::new()
+            .with_timeout(Duration::from_secs(20))
+            .run(vec![
+                Box::new(Blast { done: false }) as Box<dyn NodeBehavior<Num>>,
+                Box::new(Checker {
+                    expected: 0,
+                    ok: true,
+                    finished: false,
+                }) as Box<dyn NodeBehavior<Num>>,
+            ]);
+        assert!(out.completed);
+        let checker = out.behaviors[1].as_any().downcast_ref::<Checker>().unwrap();
+        assert!(checker.ok, "messages were reordered");
+    }
+}

@@ -1,0 +1,181 @@
+//! Continuous-speculation control (§IV-B).
+//!
+//! The head keeps the dedicated draft rank busy by issuing micro-batch draft
+//! requests whenever verification work would otherwise leave it idle.  The
+//! [`SpeculationController`] decides *whether* another request should be
+//! issued and with *what* confidence cutoff, implementing the paper's
+//! reactive speculation: every successful continuous-speculation iteration
+//! raises the cutoff by the *recovery factor* (so speculation gets harder the
+//! further it runs ahead), a completed accepted run resets it, and a failed
+//! speculation with nothing waiting to be sampled lowers it by the *decay
+//! factor* (so an idle system speculates more aggressively).
+
+use crate::PipeInferConfig;
+
+/// Reactive continuous-speculation controller.
+#[derive(Debug, Clone)]
+pub struct SpeculationController {
+    base_cutoff: f32,
+    cutoff: f32,
+    recovery: f32,
+    decay: f32,
+    micro_batch: usize,
+    max_ahead: usize,
+    continuous: bool,
+    ablation_batch: usize,
+}
+
+impl SpeculationController {
+    /// Creates a controller from the run configuration and the base
+    /// speculation cutoff.
+    pub fn new(config: &PipeInferConfig, base_cutoff: f32) -> Self {
+        Self {
+            base_cutoff,
+            cutoff: base_cutoff,
+            recovery: config.recovery_factor,
+            decay: config.decay_factor,
+            micro_batch: config.micro_batch.max(1),
+            max_ahead: config.max_speculation_ahead.max(1),
+            continuous: config.enable_continuous_speculation,
+            ablation_batch: config.ablation_batch.max(1),
+        }
+    }
+
+    /// The current confidence cutoff to send with the next draft request.
+    pub fn cutoff(&self) -> f32 {
+        self.cutoff
+    }
+
+    /// The number of tokens to request per draft.
+    pub fn batch_size(&self) -> usize {
+        if self.continuous {
+            self.micro_batch
+        } else {
+            self.ablation_batch
+        }
+    }
+
+    /// Whether another draft request should be issued right now.
+    ///
+    /// * `speculated_ahead` — tokens speculated and dispatched but not yet
+    ///   resolved.
+    /// * `active_speculative_runs` — non-cancelled speculative runs in
+    ///   flight.
+    /// * `partitions_available` — free KV sequence partitions.
+    pub fn should_request(
+        &self,
+        speculated_ahead: usize,
+        active_speculative_runs: usize,
+        partitions_available: usize,
+    ) -> bool {
+        if partitions_available == 0 {
+            return false;
+        }
+        if !self.continuous {
+            // Ablation: a single speculation burst at a time.
+            return active_speculative_runs == 0 && speculated_ahead == 0;
+        }
+        if speculated_ahead >= self.max_ahead {
+            return false;
+        }
+        // A cutoff above 1.0 means no token can satisfy it: the gradient has
+        // climbed far enough that further speculation is judged wasteful.
+        self.cutoff <= 1.0
+    }
+
+    /// Called after each dispatched continuous-speculation iteration: raises
+    /// the cutoff by the recovery factor.
+    pub fn on_iteration(&mut self) {
+        if self.continuous {
+            self.cutoff = (self.cutoff + self.recovery).min(1.5);
+        }
+    }
+
+    /// Called when a run completes with at least one accepted token: resets
+    /// the cutoff to its base value.
+    pub fn on_accept(&mut self) {
+        self.cutoff = self.base_cutoff;
+    }
+
+    /// Called when speculation fails (an invalidation) while nothing is
+    /// waiting to be sampled: lowers the cutoff by the decay factor.
+    pub fn on_failure_while_idle(&mut self) {
+        self.cutoff = (self.cutoff - self.decay).max(0.05);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> SpeculationController {
+        SpeculationController::new(&PipeInferConfig::default(), 0.4)
+    }
+
+    #[test]
+    fn cutoff_rises_with_iterations_and_resets_on_accept() {
+        let mut c = controller();
+        let start = c.cutoff();
+        c.on_iteration();
+        c.on_iteration();
+        assert!(c.cutoff() > start);
+        c.on_accept();
+        assert!((c.cutoff() - start).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cutoff_decays_on_idle_failure_with_floor() {
+        let mut c = controller();
+        for _ in 0..100 {
+            c.on_failure_while_idle();
+        }
+        assert!(c.cutoff() >= 0.05);
+        assert!(c.cutoff() < 0.4);
+    }
+
+    #[test]
+    fn requests_stop_when_partitions_exhausted() {
+        let c = controller();
+        assert!(!c.should_request(0, 0, 0));
+        assert!(c.should_request(0, 0, 4));
+    }
+
+    #[test]
+    fn requests_stop_at_max_ahead() {
+        let cfg = PipeInferConfig {
+            max_speculation_ahead: 4,
+            ..PipeInferConfig::default()
+        };
+        let c = SpeculationController::new(&cfg, 0.4);
+        assert!(c.should_request(3, 2, 8));
+        assert!(!c.should_request(4, 2, 8));
+    }
+
+    #[test]
+    fn requests_stop_when_cutoff_exceeds_one() {
+        let cfg = PipeInferConfig {
+            recovery_factor: 0.3,
+            ..PipeInferConfig::default()
+        };
+        let mut c = SpeculationController::new(&cfg, 0.9);
+        assert!(c.should_request(0, 0, 4));
+        c.on_iteration();
+        assert!(!c.should_request(1, 1, 4), "cutoff {}", c.cutoff());
+    }
+
+    #[test]
+    fn ablation_mode_allows_single_burst_with_larger_batch() {
+        let cfg = PipeInferConfig::no_continuous_speculation();
+        let c = SpeculationController::new(&cfg, 0.4);
+        assert_eq!(c.batch_size(), cfg.ablation_batch);
+        assert!(c.should_request(0, 0, 8));
+        assert!(!c.should_request(0, 1, 8));
+        assert!(!c.should_request(3, 0, 8));
+    }
+
+    #[test]
+    fn continuous_mode_uses_micro_batches() {
+        let c = controller();
+        assert_eq!(c.batch_size(), PipeInferConfig::default().micro_batch);
+    }
+}

@@ -1,0 +1,164 @@
+//! The dedicated speculative (draft) rank.
+//!
+//! PipeInfer moves the speculative model onto its own rank so drafting runs
+//! concurrently with target-pipeline inference (Asynchronous Speculation,
+//! §IV-A).  The rank is a simple request/response server: the head sends its
+//! current hypothesis and a micro-batch size, the draft rank runs its model
+//! and returns the proposed tokens with their confidences.
+
+use pi_cluster::{NodeBehavior, NodeCtx, Rank, Tag};
+use pi_spec::message::tags;
+use pi_spec::{Drafter, PipeMsg};
+
+/// The draft rank state machine.
+pub struct DraftNode {
+    head_rank: Rank,
+    drafter: Box<dyn Drafter>,
+    finished: bool,
+    /// Number of draft requests served.
+    pub requests_served: u64,
+    /// Total tokens drafted.
+    pub tokens_drafted: u64,
+}
+
+impl DraftNode {
+    /// Creates the draft rank; responses are sent to `head_rank`.
+    pub fn new(head_rank: Rank, drafter: Box<dyn Drafter>) -> Self {
+        Self {
+            head_rank,
+            drafter,
+            finished: false,
+            requests_served: 0,
+            tokens_drafted: 0,
+        }
+    }
+}
+
+impl NodeBehavior<PipeMsg> for DraftNode {
+    fn on_message(&mut self, _src: Rank, _tag: Tag, msg: PipeMsg, ctx: &mut dyn NodeCtx<PipeMsg>) {
+        match msg {
+            PipeMsg::DraftRequest {
+                context,
+                max_tokens,
+                confidence_cutoff,
+            } => {
+                let (tokens, cost) =
+                    self.drafter
+                        .draft(&context, &[], max_tokens, confidence_cutoff);
+                ctx.elapse(cost);
+                self.requests_served += 1;
+                self.tokens_drafted += tokens.len() as u64;
+                ctx.send(
+                    self.head_rank,
+                    tags::DRAFT,
+                    PipeMsg::DraftResponse {
+                        tokens,
+                        context_len: context.len(),
+                    },
+                );
+            }
+            PipeMsg::Shutdown => {
+                self.finished = true;
+            }
+            // The draft rank is not part of the target pipeline; any other
+            // traffic is a routing mistake and is ignored.
+            _ => {}
+        }
+    }
+
+    fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_model::{ModelConfig, OracleDraft, OracleTarget};
+    use pi_perf::{CostModel, ModelCost, NodeSpec};
+    use pi_spec::drafter::OracleDrafter;
+    use pi_tensor::QuantKind;
+
+    struct TestCtx {
+        sent: Vec<(Rank, PipeMsg)>,
+        elapsed: f64,
+    }
+    impl NodeCtx<PipeMsg> for TestCtx {
+        fn rank(&self) -> Rank {
+            1
+        }
+        fn world_size(&self) -> usize {
+            4
+        }
+        fn now(&self) -> f64 {
+            0.0
+        }
+        fn send(&mut self, dst: Rank, _tag: Tag, msg: PipeMsg) {
+            self.sent.push((dst, msg));
+        }
+        fn elapse(&mut self, seconds: f64) {
+            self.elapsed += seconds;
+        }
+    }
+
+    fn node(alignment: f64) -> DraftNode {
+        let drafter = OracleDrafter::new(
+            OracleTarget::new(1, 32000),
+            OracleDraft::new(2, 32000, alignment),
+            CostModel::new(NodeSpec::xeon_gold_6140_dual()),
+            ModelCost::new(ModelConfig::tinyllama_1_1b(), QuantKind::Q4K),
+        );
+        DraftNode::new(0, Box::new(drafter))
+    }
+
+    #[test]
+    fn serves_draft_requests() {
+        let mut n = node(0.9);
+        let mut ctx = TestCtx { sent: Vec::new(), elapsed: 0.0 };
+        n.on_message(
+            0,
+            tags::DRAFT,
+            PipeMsg::DraftRequest {
+                context: vec![1, 2, 3, 4],
+                max_tokens: 3,
+                confidence_cutoff: 0.0,
+            },
+            &mut ctx,
+        );
+        assert_eq!(n.requests_served, 1);
+        assert!(n.tokens_drafted >= 1 && n.tokens_drafted <= 3);
+        assert!(ctx.elapsed > 0.0, "draft cost must be charged");
+        assert_eq!(ctx.sent.len(), 1);
+        assert_eq!(ctx.sent[0].0, 0);
+        match &ctx.sent[0].1 {
+            PipeMsg::DraftResponse { tokens, context_len } => {
+                assert_eq!(*context_len, 4);
+                assert!(!tokens.is_empty());
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shutdown_finishes_the_rank() {
+        let mut n = node(0.5);
+        let mut ctx = TestCtx { sent: Vec::new(), elapsed: 0.0 };
+        assert!(!n.is_finished());
+        n.on_message(0, tags::SHUTDOWN, PipeMsg::Shutdown, &mut ctx);
+        assert!(n.is_finished());
+        assert!(ctx.sent.is_empty());
+    }
+
+    #[test]
+    fn ignores_pipeline_traffic() {
+        let mut n = node(0.5);
+        let mut ctx = TestCtx { sent: Vec::new(), elapsed: 0.0 };
+        n.on_message(0, tags::CANCEL, PipeMsg::Cancel { run_id: 1 }, &mut ctx);
+        assert!(ctx.sent.is_empty());
+        assert!(!n.is_finished());
+    }
+}

@@ -1,0 +1,130 @@
+//! # pipeinfer-core
+//!
+//! The paper's primary contribution: **PipeInfer**, asynchronous pipelined
+//! speculation for pipeline-parallel LLM inference.
+//!
+//! PipeInfer keeps the target pipeline and a dedicated draft rank busy at the
+//! same time, dispatching small speculative *micro-batches* continuously and
+//! cancelling work the moment it is known to be wasted.  The four components
+//! of §IV of the paper map to this crate as follows:
+//!
+//! | Paper component | Module |
+//! |---|---|
+//! | Asynchronous Speculation (§IV-A) — the dedicated draft rank plus the head's run-tracking FIFO and pipeline transactions | [`draft_node`], [`run_tracker`], [`head`] |
+//! | Continuous Speculation (§IV-B) — micro-batching, opportunistic drafting whenever no logits are waiting, confidence-cutoff recovery/decay | [`continuous`], [`head`] |
+//! | Pipelined KV Cache Multibuffering (§IV-C) — per-run sequence partitions allocated from a FIFO pool, buffer swap to the canonical sequence, pipelined cache-copy commands | [`multibuffer`], [`head`] |
+//! | Early Inference Cancellation (§IV-D) — invalidation detection against accepted tokens, back-propagated cancel signals, empty payloads for skipped runs | [`head`] plus `pi_spec::worker` |
+//!
+//! The pipeline workers, message protocol, compute engines and drafters are
+//! shared with the baselines and live in `pi-spec`; this crate adds the
+//! PipeInfer head rank, the draft rank and the cluster assembly entry point
+//! [`run_pipeinfer`].
+
+pub mod continuous;
+pub mod draft_node;
+pub mod head;
+pub mod multibuffer;
+pub mod run_tracker;
+pub mod runner;
+
+pub use continuous::SpeculationController;
+pub use draft_node::DraftNode;
+pub use head::PipeInferHead;
+pub use multibuffer::SeqPartitionPool;
+pub use run_tracker::{RunInfo, RunTracker};
+pub use runner::run_pipeinfer;
+
+/// PipeInfer-specific tuning knobs, including the ablation switches used by
+/// the paper's Fig. 8.
+#[derive(Debug, Clone)]
+pub struct PipeInferConfig {
+    /// Tokens per speculative micro-batch (the paper uses 1–4).
+    pub micro_batch: usize,
+    /// Maximum number of speculated-but-unverified tokens in flight.  Bounds
+    /// how far continuous speculation runs ahead of verification.
+    pub max_speculation_ahead: usize,
+    /// Confidence-cutoff recovery factor: added to the cutoff after every
+    /// successful continuous-speculation iteration (paper §IV-B2).
+    pub recovery_factor: f32,
+    /// Confidence-cutoff decay factor: subtracted when speculation fails and
+    /// nothing is waiting to be sampled (paper §IV-B2).
+    pub decay_factor: f32,
+    /// Number of KV-cache sequence partitions available for speculative runs
+    /// (sequence 0 is always the canonical sequence).
+    pub n_seq_partitions: usize,
+    /// Enable Early Inference Cancellation.  Disabling it reproduces the
+    /// "no cancellation" ablation of Fig. 8: invalidated runs are still
+    /// ignored at the head but every stage keeps evaluating them.
+    pub enable_cancellation: bool,
+    /// Enable Continuous Speculation.  Disabling it reproduces the "no cont.
+    /// spec." ablation of Fig. 8: only one speculative run is kept in flight,
+    /// with a larger batch as a counter-balance.
+    pub enable_continuous_speculation: bool,
+    /// Speculative batch size used when continuous speculation is disabled
+    /// (the ablation's "increased speculative batch size").
+    pub ablation_batch: usize,
+}
+
+impl Default for PipeInferConfig {
+    fn default() -> Self {
+        Self {
+            micro_batch: 2,
+            max_speculation_ahead: 16,
+            recovery_factor: 0.05,
+            decay_factor: 0.05,
+            n_seq_partitions: 32,
+            enable_cancellation: true,
+            enable_continuous_speculation: true,
+            ablation_batch: 8,
+        }
+    }
+}
+
+impl PipeInferConfig {
+    /// The configuration used by the figure benchmarks (micro-batches of 2,
+    /// all features enabled).
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
+    /// The "no cancellation" ablation of Fig. 8.
+    pub fn no_cancellation() -> Self {
+        Self {
+            enable_cancellation: false,
+            ..Self::default()
+        }
+    }
+
+    /// The "no continuous speculation" ablation of Fig. 8.
+    pub fn no_continuous_speculation() -> Self {
+        Self {
+            enable_continuous_speculation: false,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_enables_all_features() {
+        let c = PipeInferConfig::default();
+        assert!(c.enable_cancellation);
+        assert!(c.enable_continuous_speculation);
+        assert!(c.micro_batch >= 1 && c.micro_batch <= 4);
+        assert!(c.n_seq_partitions > 1);
+    }
+
+    #[test]
+    fn ablation_presets_flip_one_feature_each() {
+        let nc = PipeInferConfig::no_cancellation();
+        assert!(!nc.enable_cancellation);
+        assert!(nc.enable_continuous_speculation);
+        let ns = PipeInferConfig::no_continuous_speculation();
+        assert!(ns.enable_cancellation);
+        assert!(!ns.enable_continuous_speculation);
+        assert!(ns.ablation_batch > ns.micro_batch);
+    }
+}

@@ -1,0 +1,131 @@
+//! Sequence-partition pool for Pipelined KV Cache Multibuffering (§IV-C).
+//!
+//! PipeInfer partitions the KV cache into the *canonical sequence*
+//! (sequence 0, holding only accepted tokens) and a set of per-run sequence
+//! partitions handed out on a FIFO policy.  While a speculative run is in
+//! flight its partition acts as a private "back buffer"; on acceptance the
+//! accepted entries are copied (metadata-only) into the canonical sequence
+//! — the "buffer swap" — and the partition returns to the free queue.
+
+use pi_model::SeqId;
+use std::collections::VecDeque;
+
+/// The canonical sequence id holding accepted tokens.
+pub const CANONICAL_SEQ: SeqId = 0;
+
+/// FIFO pool of speculative sequence partitions.
+#[derive(Debug, Clone)]
+pub struct SeqPartitionPool {
+    free: VecDeque<SeqId>,
+    total: usize,
+}
+
+impl SeqPartitionPool {
+    /// Creates a pool of `n` partitions using sequence ids `1..=n`
+    /// (sequence 0 is reserved for the canonical sequence).
+    pub fn new(n: usize) -> Self {
+        Self {
+            free: (1..=n as SeqId).collect(),
+            total: n,
+        }
+    }
+
+    /// Allocates the next free partition (FIFO), or `None` if every partition
+    /// is currently assigned to an in-flight run.
+    pub fn alloc(&mut self) -> Option<SeqId> {
+        self.free.pop_front()
+    }
+
+    /// Returns a partition to the pool.
+    ///
+    /// Panics on double-free or on freeing the canonical sequence — both
+    /// indicate a bookkeeping bug that would corrupt the KV cache.
+    pub fn free(&mut self, seq: SeqId) {
+        assert_ne!(seq, CANONICAL_SEQ, "the canonical sequence is never pooled");
+        assert!(
+            seq as usize <= self.total,
+            "sequence {seq} does not belong to this pool"
+        );
+        assert!(
+            !self.free.contains(&seq),
+            "double free of sequence partition {seq}"
+        );
+        self.free.push_back(seq);
+    }
+
+    /// Number of partitions currently available.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Number of partitions currently assigned to runs.
+    pub fn in_use(&self) -> usize {
+        self.total - self.free.len()
+    }
+
+    /// Total number of partitions in the pool.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_is_fifo() {
+        let mut p = SeqPartitionPool::new(3);
+        assert_eq!(p.alloc(), Some(1));
+        assert_eq!(p.alloc(), Some(2));
+        p.free(1);
+        assert_eq!(p.alloc(), Some(3));
+        // 1 was freed before 3 was allocated, but FIFO means it re-emerges
+        // only after the ids queued ahead of it.
+        assert_eq!(p.alloc(), Some(1));
+        assert_eq!(p.alloc(), None);
+    }
+
+    #[test]
+    fn accounting() {
+        let mut p = SeqPartitionPool::new(4);
+        assert_eq!(p.available(), 4);
+        assert_eq!(p.in_use(), 0);
+        let a = p.alloc().unwrap();
+        assert_eq!(p.in_use(), 1);
+        p.free(a);
+        assert_eq!(p.in_use(), 0);
+        assert_eq!(p.total(), 4);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut p = SeqPartitionPool::new(1);
+        assert!(p.alloc().is_some());
+        assert!(p.alloc().is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_free_panics() {
+        let mut p = SeqPartitionPool::new(2);
+        let a = p.alloc().unwrap();
+        p.free(a);
+        p.free(a);
+    }
+
+    #[test]
+    #[should_panic]
+    fn freeing_canonical_panics() {
+        let mut p = SeqPartitionPool::new(2);
+        p.free(CANONICAL_SEQ);
+    }
+
+    #[test]
+    fn never_hands_out_canonical() {
+        let mut p = SeqPartitionPool::new(8);
+        while let Some(s) = p.alloc() {
+            assert_ne!(s, CANONICAL_SEQ);
+        }
+    }
+}

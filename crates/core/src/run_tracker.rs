@@ -1,0 +1,208 @@
+//! Run tracking for asynchronous speculation (§IV-A1, §IV-D1).
+//!
+//! Every run dispatched into the target pipeline is tracked in a FIFO data
+//! structure recording the batch it carries, its token positions and its
+//! sequence partition.  Because both drivers preserve per-link ordering, run
+//! results return to the head in dispatch order, so the head only ever
+//! inspects the front of the FIFO.  The same records drive invalidation
+//! detection: a run is invalidated when its starting tokens can no longer
+//! match the accepted sequence.
+
+use pi_model::{Pos, SeqId, Token};
+use pi_spec::{RunId, RunKind};
+use std::collections::VecDeque;
+
+/// Bookkeeping for one in-flight run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunInfo {
+    /// The run identifier carried by its pipeline messages.
+    pub run_id: RunId,
+    /// Speculative or non-speculative.
+    pub kind: RunKind,
+    /// The tokens the run evaluates, in batch order.
+    pub tokens: Vec<Token>,
+    /// Position of the first token.
+    pub base_pos: Pos,
+    /// KV-cache sequence partition the run writes into (the canonical
+    /// sequence for non-speculative runs).
+    pub seq: SeqId,
+    /// Set when the run has been invalidated or made superfluous; its result
+    /// is ignored and, for speculative runs, stages skip its evaluation.
+    pub cancelled: bool,
+}
+
+impl RunInfo {
+    /// Position one past the run's last token.
+    pub fn end_pos(&self) -> Pos {
+        self.base_pos + self.tokens.len() as Pos
+    }
+}
+
+/// FIFO of in-flight runs.
+#[derive(Debug, Clone, Default)]
+pub struct RunTracker {
+    runs: VecDeque<RunInfo>,
+}
+
+impl RunTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of in-flight runs.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Whether no runs are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Registers a newly dispatched run.
+    pub fn push(&mut self, info: RunInfo) {
+        self.runs.push_back(info);
+    }
+
+    /// Pops the front run, asserting it matches the returning `run_id` — a
+    /// mismatch means pipeline ordering was violated.
+    pub fn pop_expect(&mut self, run_id: RunId) -> RunInfo {
+        let info = self
+            .runs
+            .pop_front()
+            .unwrap_or_else(|| panic!("result for run {run_id} but no runs in flight"));
+        assert_eq!(
+            info.run_id, run_id,
+            "pipeline ordering violated: expected run {}, got {}",
+            info.run_id, run_id
+        );
+        info
+    }
+
+    /// Iterates over the in-flight runs, front (oldest) first.
+    pub fn iter(&self) -> impl Iterator<Item = &RunInfo> {
+        self.runs.iter()
+    }
+
+    /// Number of speculative runs currently in flight and not cancelled.
+    pub fn active_speculative(&self) -> usize {
+        self.runs
+            .iter()
+            .filter(|r| r.kind == RunKind::Speculative && !r.cancelled)
+            .count()
+    }
+
+    /// Marks every non-cancelled speculative run whose tokens start at or
+    /// after `from_pos` as cancelled (invalidation), returning their run ids
+    /// so cancellation signals can be back-propagated.
+    ///
+    /// Non-speculative runs are never cancelled here: the paper keeps them
+    /// running to completion so the canonical cache entries they produce stay
+    /// valid (§IV-D3).
+    pub fn invalidate_from(&mut self, from_pos: Pos) -> Vec<RunId> {
+        let mut cancelled = Vec::new();
+        for run in self.runs.iter_mut() {
+            if run.kind == RunKind::Speculative && !run.cancelled && run.base_pos >= from_pos {
+                run.cancelled = true;
+                cancelled.push(run.run_id);
+            }
+        }
+        cancelled
+    }
+
+    /// Whether any non-cancelled in-flight run covers position `pos`.
+    pub fn covers(&self, pos: Pos) -> bool {
+        self.runs
+            .iter()
+            .any(|r| !r.cancelled && r.base_pos <= pos && pos < r.end_pos())
+    }
+
+    /// The sequence partition of the most recently dispatched non-cancelled
+    /// speculative run, if any — new speculative runs copy their shared
+    /// prefix from it (early cache-entry sharing, §IV-C3).
+    pub fn latest_speculative_seq(&self) -> Option<SeqId> {
+        self.runs
+            .iter()
+            .rev()
+            .find(|r| r.kind == RunKind::Speculative && !r.cancelled)
+            .map(|r| r.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(id: RunId, kind: RunKind, base: Pos, n: usize, seq: SeqId) -> RunInfo {
+        RunInfo {
+            run_id: id,
+            kind,
+            tokens: (0..n as u32).collect(),
+            base_pos: base,
+            seq,
+            cancelled: false,
+        }
+    }
+
+    #[test]
+    fn fifo_order_is_enforced() {
+        let mut t = RunTracker::new();
+        t.push(run(1, RunKind::NonSpeculative, 10, 1, 0));
+        t.push(run(2, RunKind::Speculative, 11, 2, 1));
+        assert_eq!(t.len(), 2);
+        let first = t.pop_expect(1);
+        assert_eq!(first.run_id, 1);
+        assert_eq!(t.pop_expect(2).seq, 1);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_order_result_panics() {
+        let mut t = RunTracker::new();
+        t.push(run(1, RunKind::NonSpeculative, 10, 1, 0));
+        t.push(run(2, RunKind::Speculative, 11, 2, 1));
+        let _ = t.pop_expect(2);
+    }
+
+    #[test]
+    fn invalidation_only_hits_speculative_runs_past_the_cutoff() {
+        let mut t = RunTracker::new();
+        t.push(run(1, RunKind::NonSpeculative, 9, 1, 0));
+        t.push(run(2, RunKind::Speculative, 10, 2, 1));
+        t.push(run(3, RunKind::Speculative, 12, 2, 2));
+        let cancelled = t.invalidate_from(12);
+        assert_eq!(cancelled, vec![3]);
+        assert_eq!(t.active_speculative(), 1);
+        // Cancelling again from an earlier point also hits run 2 but not the
+        // already-cancelled run 3 or the non-speculative run 1.
+        let again = t.invalidate_from(0);
+        assert_eq!(again, vec![2]);
+    }
+
+    #[test]
+    fn coverage_and_end_pos() {
+        let mut t = RunTracker::new();
+        t.push(run(5, RunKind::Speculative, 20, 3, 1));
+        assert!(t.covers(20));
+        assert!(t.covers(22));
+        assert!(!t.covers(23));
+        let ids = t.invalidate_from(0);
+        assert_eq!(ids, vec![5]);
+        assert!(!t.covers(20), "cancelled runs provide no coverage");
+    }
+
+    #[test]
+    fn latest_speculative_seq_tracks_dispatch_order() {
+        let mut t = RunTracker::new();
+        assert_eq!(t.latest_speculative_seq(), None);
+        t.push(run(1, RunKind::NonSpeculative, 5, 1, 0));
+        assert_eq!(t.latest_speculative_seq(), None);
+        t.push(run(2, RunKind::Speculative, 6, 2, 3));
+        t.push(run(3, RunKind::Speculative, 8, 2, 7));
+        assert_eq!(t.latest_speculative_seq(), Some(7));
+        t.invalidate_from(8);
+        assert_eq!(t.latest_speculative_seq(), Some(3));
+    }
+}

@@ -1,0 +1,310 @@
+//! Cluster assembly for PipeInfer deployments.
+//!
+//! [`run_pipeinfer`] mirrors `pi_spec::runner::{run_iterative, run_speculative}`:
+//! given an execution mode (real tiny models or simulated paper-scale
+//! hardware), a node count and the generation / PipeInfer configuration, it
+//! builds the head rank, the dedicated draft rank and the pipeline workers,
+//! executes them under the matching driver and returns the head's
+//! [`pi_spec::GenerationRecord`] plus cluster statistics.
+//!
+//! Rank layout (matching `pi_perf::memory::per_node_memory` and the paper's
+//! Fig. 3):
+//!
+//! * rank 0 — head: draft model, embedding/output head, sampling and
+//!   orchestration (no target layers);
+//! * ranks 1‥N-1 — the target pipeline, one node shorter than under the
+//!   iterative baseline.
+
+use crate::head::PipeInferHead;
+use crate::PipeInferConfig;
+use pi_cluster::NodeBehavior;
+use pi_model::Model;
+use pi_spec::runner::{
+    assemble, build_drafter, build_head_engine, build_workers, execute, target_layers,
+    ExecutionMode, RecordHandle, RunOutput,
+};
+use pi_spec::{GenConfig, PipeMsg, PipelineRoute};
+use std::sync::{Arc, Mutex};
+
+/// Runs PipeInfer across `n_nodes` ranks (at least two: the head/draft rank
+/// plus one target-pipeline rank).
+pub fn run_pipeinfer(
+    mode: &ExecutionMode,
+    n_nodes: usize,
+    gen_config: &GenConfig,
+    config: &PipeInferConfig,
+) -> RunOutput {
+    assert!(
+        n_nodes >= 2,
+        "PipeInfer needs at least the head/draft rank plus one pipeline rank"
+    );
+    let route = PipelineRoute::baseline(n_nodes);
+    // The head (rank 0) hosts the draft model and holds no target layers;
+    // the target model is split across ranks 1..N-1.
+    let mut splits = vec![0..0];
+    splits.extend(Model::split_layers(target_layers(mode), n_nodes - 1));
+    let handle: RecordHandle = Arc::new(Mutex::new(None));
+
+    let head: Box<dyn NodeBehavior<PipeMsg>> = Box::new(PipeInferHead::new(
+        route.clone(),
+        build_head_engine(mode, &splits, gen_config),
+        build_drafter(mode, 0, gen_config),
+        gen_config.clone(),
+        config.clone(),
+        handle.clone(),
+    ));
+
+    let others = build_workers(mode, &route, &splits, gen_config);
+    let behaviors = assemble(n_nodes, head, others);
+    execute(mode, behaviors, &handle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_model::{ModelConfig, OracleTarget};
+    use pi_perf::{ClusterSpec, ModelPair};
+    use pi_spec::runner::{run_iterative, run_speculative};
+
+    fn real_mode(seed: u64) -> ExecutionMode {
+        let cfg = ModelConfig::tiny_llama(64, 4);
+        let target = Arc::new(Model::random(cfg.clone(), seed));
+        let draft = Arc::new(Model::new(cfg, target.weights().perturbed(0.02, seed + 1)));
+        ExecutionMode::Real { target, draft }
+    }
+
+    fn sim_mode(pair: ModelPair, n_nodes: usize) -> ExecutionMode {
+        ExecutionMode::Sim {
+            pair,
+            cluster: ClusterSpec::cluster_c(n_nodes),
+            oracle_seed: 42,
+        }
+    }
+
+    #[test]
+    fn real_pipeinfer_matches_iterative_output_exactly() {
+        let mode = real_mode(11);
+        let config = GenConfig::small_test(vec![9, 8, 7, 6, 5], 12);
+        let iter = run_iterative(&mode, 4, &config);
+        let pipe = run_pipeinfer(&mode, 4, &config, &PipeInferConfig::default());
+        assert!(iter.completed && pipe.completed);
+        assert!(pipe.record.tokens.len() >= 12);
+        assert_eq!(
+            iter.record.tokens[..12],
+            pipe.record.tokens[..12],
+            "PipeInfer must not change greedy output"
+        );
+    }
+
+    #[test]
+    fn sim_pipeinfer_output_matches_oracle() {
+        let pair = ModelPair::dolphin_tinyllama();
+        let vocab = pair.target.cfg.vocab_size as u32;
+        let config = GenConfig {
+            prompt: vec![5; 16],
+            n_generate: 32,
+            max_draft: 4,
+            confidence_cutoff: 0.4,
+            kv_capacity: 4096,
+        };
+        let out = run_pipeinfer(
+            &sim_mode(pair, 8),
+            8,
+            &config,
+            &PipeInferConfig::default(),
+        );
+        assert!(out.completed);
+        let truth = OracleTarget::new(42, vocab).generate(&vec![5; 16], 40);
+        assert_eq!(out.record.tokens[..32].to_vec(), truth[1..33].to_vec());
+    }
+
+    #[test]
+    fn sim_pipeinfer_beats_speculative_baseline_on_deep_pipelines() {
+        let config = GenConfig {
+            prompt: vec![1; 16],
+            n_generate: 48,
+            max_draft: 4,
+            confidence_cutoff: 0.4,
+            kv_capacity: 4096,
+        };
+        // Well-aligned pair: PipeInfer must win, modestly.
+        let pair = ModelPair::dolphin_tinyllama();
+        let spec = run_speculative(&sim_mode(pair.clone(), 8), 8, &config);
+        let pipe = run_pipeinfer(&sim_mode(pair, 8), 8, &config, &PipeInferConfig::default());
+        assert!(spec.completed && pipe.completed);
+        let well_aligned = pipe.record.generation_speed() / spec.record.generation_speed();
+        assert!(well_aligned > 1.05, "PipeInfer speedup only {well_aligned:.2}");
+
+        // Poorly-aligned pair (Goliath + XWin-7B, 52 %): the paper's key
+        // observation is that PipeInfer's relative advantage *grows* as
+        // alignment drops.
+        let pair = ModelPair::goliath_xwin7b();
+        let spec = run_speculative(&sim_mode(pair.clone(), 8), 8, &config);
+        let pipe = run_pipeinfer(&sim_mode(pair, 8), 8, &config, &PipeInferConfig::default());
+        let poorly_aligned = pipe.record.generation_speed() / spec.record.generation_speed();
+        assert!(poorly_aligned > 1.15, "PipeInfer speedup only {poorly_aligned:.2}");
+        assert!(
+            poorly_aligned > well_aligned,
+            "advantage must grow as alignment drops ({poorly_aligned:.2} vs {well_aligned:.2})"
+        );
+    }
+
+    #[test]
+    fn sim_pipeinfer_ttft_is_near_iterative() {
+        let config = GenConfig {
+            prompt: vec![1; 16],
+            n_generate: 24,
+            max_draft: 4,
+            confidence_cutoff: 0.4,
+            kv_capacity: 4096,
+        };
+        let pair = ModelPair::goliath_xwin7b();
+        let iter = run_iterative(&sim_mode(pair.clone(), 8), 8, &config);
+        let spec = run_speculative(&sim_mode(pair.clone(), 8), 8, &config);
+        let pipe = run_pipeinfer(
+            &sim_mode(pair, 8),
+            8,
+            &config,
+            &PipeInferConfig::default(),
+        );
+        // The paper's Fig. 5: PipeInfer reaches near-parity with iterative
+        // TTFT while speculative inference is substantially slower to its
+        // first token.
+        assert!(pipe.record.ttft() < 1.5 * iter.record.ttft());
+        assert!(spec.record.ttft() > pipe.record.ttft());
+    }
+
+    #[test]
+    fn sim_pipeinfer_is_deterministic() {
+        let config = GenConfig {
+            prompt: vec![3; 8],
+            n_generate: 16,
+            max_draft: 4,
+            confidence_cutoff: 0.4,
+            kv_capacity: 2048,
+        };
+        let pair = ModelPair::falcon_7b();
+        let a = run_pipeinfer(&sim_mode(pair.clone(), 4), 4, &config, &PipeInferConfig::default());
+        let b = run_pipeinfer(&sim_mode(pair, 4), 4, &config, &PipeInferConfig::default());
+        assert_eq!(a.record.tokens, b.record.tokens);
+        assert_eq!(a.record.finished_at, b.record.finished_at);
+        assert_eq!(a.stats.total_messages(), b.stats.total_messages());
+    }
+
+    #[test]
+    fn ablations_degrade_speed_but_not_correctness() {
+        let config = GenConfig {
+            prompt: vec![2; 16],
+            n_generate: 32,
+            max_draft: 4,
+            confidence_cutoff: 0.4,
+            kv_capacity: 4096,
+        };
+        let pair = ModelPair::goliath_xwin7b();
+        let full = run_pipeinfer(
+            &sim_mode(pair.clone(), 8),
+            8,
+            &config,
+            &PipeInferConfig::default(),
+        );
+        let no_cancel = run_pipeinfer(
+            &sim_mode(pair.clone(), 8),
+            8,
+            &config,
+            &PipeInferConfig::no_cancellation(),
+        );
+        let no_cont = run_pipeinfer(
+            &sim_mode(pair, 8),
+            8,
+            &config,
+            &PipeInferConfig::no_continuous_speculation(),
+        );
+        assert_eq!(full.record.tokens, no_cancel.record.tokens);
+        assert_eq!(full.record.tokens, no_cont.record.tokens);
+        // With a poorly aligned pair, both ablations should cost speed.
+        assert!(full.record.generation_speed() >= 0.95 * no_cancel.record.generation_speed());
+        assert!(full.record.generation_speed() > no_cont.record.generation_speed());
+    }
+
+    #[test]
+    fn two_node_deployment_degenerates_gracefully() {
+        let mode = real_mode(21);
+        let config = GenConfig::small_test(vec![1, 2, 3], 6);
+        let out = run_pipeinfer(&mode, 2, &config, &PipeInferConfig::default());
+        assert!(out.completed);
+        assert_eq!(out.record.tokens.len() >= 6, true);
+    }
+}
+
+#[cfg(test)]
+mod diag_tests {
+    use super::*;
+    use pi_perf::{ClusterSpec, ModelPair};
+    use pi_spec::runner::{run_iterative, run_speculative};
+
+    #[test]
+    #[ignore]
+    fn diag() {
+        let config = GenConfig {
+            prompt: vec![1; 16],
+            n_generate: 48,
+            max_draft: 4,
+            confidence_cutoff: 0.4,
+            kv_capacity: 4096,
+        };
+        let pair = ModelPair::dolphin_tinyllama();
+        let mode = |n: usize| ExecutionMode::Sim {
+            pair: pair.clone(),
+            cluster: ClusterSpec::cluster_c(n),
+            oracle_seed: 42,
+        };
+        for n in [4usize, 8, 16, 32] {
+            let iter = run_iterative(&mode(n), n, &config);
+            let spec = run_speculative(&mode(n), n, &config);
+            let pipe = run_pipeinfer(&mode(n), n, &config, &PipeInferConfig::default());
+            eprintln!(
+                "n={n}: iter={:.2} spec={:.2} pipe={:.2} (pipe/spec={:.2}) pipe_runs={} cancelled={}",
+                iter.record.generation_speed(),
+                spec.record.generation_speed(),
+                pipe.record.generation_speed(),
+                pipe.record.generation_speed() / spec.record.generation_speed(),
+                pipe.record.runs_launched,
+                pipe.record.runs_cancelled
+            );
+        }
+        let pair = ModelPair::goliath_xwin7b();
+        let mode = |n: usize| ExecutionMode::Sim {
+            pair: pair.clone(),
+            cluster: ClusterSpec::cluster_c(n),
+            oracle_seed: 42,
+        };
+        for n in [8usize, 16] {
+            let spec = run_speculative(&mode(n), n, &config);
+            let pipe = run_pipeinfer(&mode(n), n, &config, &PipeInferConfig::default());
+            eprintln!(
+                "goliath n={n}: spec={:.2} pipe={:.2} (ratio {:.2})",
+                spec.record.generation_speed(),
+                pipe.record.generation_speed(),
+                pipe.record.generation_speed() / spec.record.generation_speed()
+            );
+        }
+        let iter = run_iterative(&mode(8), 8, &config);
+        let spec = run_speculative(&mode(8), 8, &config);
+        let pipe = run_pipeinfer(&mode(8), 8, &config, &PipeInferConfig::default());
+        for (name, o) in [("iter", &iter), ("spec", &spec), ("pipe", &pipe)] {
+            eprintln!(
+                "{name}: speed={:.3} ttft={:.3} itl={:.3} tokens={} drafted={} accepted={} runs={} cancelled={} total_time={:.2} util={:.2}",
+                o.record.generation_speed(),
+                o.record.ttft(),
+                o.record.mean_itl(),
+                o.record.tokens.len(),
+                o.record.drafted,
+                o.record.accepted_drafts,
+                o.record.runs_launched,
+                o.record.runs_cancelled,
+                o.stats.total_time,
+                o.stats.mean_utilization(),
+            );
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Inference batches.
+//!
+//! A [`Batch`] is the unit of work submitted to a pipeline: a set of tokens,
+//! each with a position, a set of sequence identifiers it belongs to, and a
+//! flag saying whether logits must be produced for it.  This mirrors
+//! llama.cpp's `llama_batch`, which is what both the speculative-inference
+//! baseline and PipeInfer drive their pipelines with.
+
+use crate::{Pos, SeqId, Token};
+
+/// One token's worth of batch metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchEntry {
+    /// The token id.
+    pub token: Token,
+    /// Position of the token within its sequence(s).
+    pub pos: Pos,
+    /// Sequences this token belongs to.  A token shared by several branches
+    /// of a speculation tree lists every branch's sequence id.
+    pub seq_ids: Vec<SeqId>,
+    /// Whether the model must return logits for this token.
+    pub logits: bool,
+}
+
+/// A batch of tokens submitted to the model as one evaluation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Batch {
+    entries: Vec<BatchEntry>,
+}
+
+impl Batch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a batch holding a single token in a single sequence, with
+    /// logits requested — the shape of every non-speculative decode step.
+    pub fn single(token: Token, pos: Pos, seq: SeqId) -> Self {
+        let mut b = Self::new();
+        b.push(token, pos, vec![seq], true);
+        b
+    }
+
+    /// Creates a prompt-processing batch: all tokens in sequence `seq` at
+    /// consecutive positions starting from `start_pos`, logits only for the
+    /// last token.
+    pub fn prompt(tokens: &[Token], start_pos: Pos, seq: SeqId) -> Self {
+        let mut b = Self::new();
+        for (i, &t) in tokens.iter().enumerate() {
+            let last = i + 1 == tokens.len();
+            b.push(t, start_pos + i as Pos, vec![seq], last);
+        }
+        b
+    }
+
+    /// Appends a token to the batch.
+    pub fn push(&mut self, token: Token, pos: Pos, seq_ids: Vec<SeqId>, logits: bool) {
+        self.entries.push(BatchEntry {
+            token,
+            pos,
+            seq_ids,
+            logits,
+        });
+    }
+
+    /// Number of tokens in the batch.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the batch holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterator over the batch entries.
+    pub fn iter(&self) -> impl Iterator<Item = &BatchEntry> {
+        self.entries.iter()
+    }
+
+    /// The entries as a slice.
+    pub fn entries(&self) -> &[BatchEntry] {
+        &self.entries
+    }
+
+    /// Indices of entries for which logits were requested.
+    pub fn logit_indices(&self) -> Vec<usize> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| if e.logits { Some(i) } else { None })
+            .collect()
+    }
+
+    /// Largest token position in the batch, if any.
+    pub fn max_pos(&self) -> Option<Pos> {
+        self.entries.iter().map(|e| e.pos).max()
+    }
+
+    /// Smallest token position in the batch, if any.
+    pub fn min_pos(&self) -> Option<Pos> {
+        self.entries.iter().map(|e| e.pos).min()
+    }
+
+    /// All tokens in batch order.
+    pub fn tokens(&self) -> Vec<Token> {
+        self.entries.iter().map(|e| e.token).collect()
+    }
+
+    /// Serialized payload size in bytes, used by the interconnect model to
+    /// charge for shipping batch metadata down the pipeline.
+    pub fn wire_bytes(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|e| 4 + 4 + 4 * e.seq_ids.len() as u64 + 1)
+            .sum()
+    }
+}
+
+impl FromIterator<BatchEntry> for Batch {
+    fn from_iter<T: IntoIterator<Item = BatchEntry>>(iter: T) -> Self {
+        Self {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_batch_shape() {
+        let b = Batch::single(42, 7, 3);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.entries()[0].token, 42);
+        assert_eq!(b.entries()[0].pos, 7);
+        assert_eq!(b.entries()[0].seq_ids, vec![3]);
+        assert!(b.entries()[0].logits);
+    }
+
+    #[test]
+    fn prompt_batch_only_last_token_has_logits() {
+        let b = Batch::prompt(&[1, 2, 3, 4], 0, 0);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.logit_indices(), vec![3]);
+        assert_eq!(b.entries()[2].pos, 2);
+    }
+
+    #[test]
+    fn prompt_with_offset_positions() {
+        let b = Batch::prompt(&[9, 8], 10, 1);
+        assert_eq!(b.entries()[0].pos, 10);
+        assert_eq!(b.entries()[1].pos, 11);
+        assert_eq!(b.min_pos(), Some(10));
+        assert_eq!(b.max_pos(), Some(11));
+    }
+
+    #[test]
+    fn empty_batch() {
+        let b = Batch::new();
+        assert!(b.is_empty());
+        assert_eq!(b.max_pos(), None);
+        assert_eq!(b.wire_bytes(), 0);
+    }
+
+    #[test]
+    fn wire_bytes_counts_seq_ids() {
+        let mut b = Batch::new();
+        b.push(1, 0, vec![0], true);
+        b.push(2, 1, vec![0, 1, 2], false);
+        assert_eq!(b.wire_bytes(), (4 + 4 + 4 + 1) + (4 + 4 + 12 + 1));
+    }
+
+    #[test]
+    fn tokens_in_order() {
+        let b = Batch::prompt(&[5, 6, 7], 0, 0);
+        assert_eq!(b.tokens(), vec![5, 6, 7]);
+    }
+}

@@ -1,0 +1,498 @@
+//! Model geometry configuration.
+//!
+//! A [`ModelConfig`] describes the architecture of a decoder-only
+//! transformer: it is enough to (a) build a real, runnable tiny model via
+//! [`crate::weights::ModelWeights::random`], and (b) compute parameter
+//! counts, per-layer weight bytes and FLOP costs for the large models of the
+//! paper's evaluation (used by `pi-perf`'s roofline model without ever
+//! materialising the weights).
+
+/// MLP activation used by the model family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Activation {
+    /// SwiGLU (gate ⊙ SiLU) as used by the Llama family.
+    SwiGlu,
+    /// GELU as used by the Falcon family.
+    Gelu,
+}
+
+/// Architecture description of a decoder-only transformer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelConfig {
+    /// Human-readable model name (e.g. `"Dolphin 2.1 70B"`).
+    pub name: String,
+    /// Vocabulary size.
+    pub vocab_size: usize,
+    /// Hidden (embedding) dimension.
+    pub d_model: usize,
+    /// Number of decoder layers.
+    pub n_layers: usize,
+    /// Number of attention (query) heads.
+    pub n_heads: usize,
+    /// Number of key/value heads (grouped-query attention when smaller than
+    /// `n_heads`).
+    pub n_kv_heads: usize,
+    /// MLP intermediate dimension.
+    pub d_ff: usize,
+    /// Maximum sequence length the KV cache must hold.
+    pub max_seq_len: usize,
+    /// RoPE base frequency.
+    pub rope_theta: f32,
+    /// RMSNorm epsilon.
+    pub norm_eps: f32,
+    /// MLP activation.
+    pub activation: Activation,
+}
+
+impl ModelConfig {
+    /// Dimension of a single attention head.
+    pub fn head_dim(&self) -> usize {
+        self.d_model / self.n_heads
+    }
+
+    /// Total key/value dimension per token (`n_kv_heads * head_dim`).
+    pub fn kv_dim(&self) -> usize {
+        self.n_kv_heads * self.head_dim()
+    }
+
+    /// Parameter count of one decoder layer.
+    ///
+    /// Attention: `wq [d, d]`, `wk [kv, d]`, `wv [kv, d]`, `wo [d, d]`;
+    /// MLP (SwiGLU): `w_gate [ff, d]`, `w_up [ff, d]`, `w_down [d, ff]`
+    /// (GELU models have no gate); plus two norm vectors.
+    pub fn layer_params(&self) -> u64 {
+        let d = self.d_model as u64;
+        let kv = self.kv_dim() as u64;
+        let ff = self.d_ff as u64;
+        let attn = d * d + 2 * kv * d + d * d;
+        let mlp = match self.activation {
+            Activation::SwiGlu => 3 * d * ff,
+            Activation::Gelu => 2 * d * ff,
+        };
+        attn + mlp + 2 * d
+    }
+
+    /// Parameter count of the embedding table plus output head and final
+    /// norm.  Embedding and head are counted separately (not tied), matching
+    /// the models in the paper's tables.
+    pub fn io_params(&self) -> u64 {
+        let d = self.d_model as u64;
+        let v = self.vocab_size as u64;
+        2 * v * d + d
+    }
+
+    /// Total parameter count of the model.
+    pub fn total_params(&self) -> u64 {
+        self.io_params() + self.layer_params() * self.n_layers as u64
+    }
+
+    /// Approximate FLOPs to run one token through one decoder layer
+    /// (2 × parameters touched, the standard estimate for matmul-dominated
+    /// transformer inference).
+    pub fn layer_flops_per_token(&self) -> u64 {
+        2 * self.layer_params()
+    }
+
+    /// Approximate FLOPs to run one token through the embedding/output head.
+    pub fn io_flops_per_token(&self) -> u64 {
+        2 * (self.vocab_size as u64) * (self.d_model as u64)
+    }
+
+    /// Bytes of one activation vector (f32 hidden state) — the payload of an
+    /// inter-stage pipeline message per token.
+    pub fn activation_bytes_per_token(&self) -> u64 {
+        (self.d_model * std::mem::size_of::<f32>()) as u64
+    }
+
+    /// A tiny, fast, runnable Llama-style configuration used by tests and
+    /// examples.  Roughly 200k parameters; a forward pass takes microseconds.
+    pub fn tiny_llama(vocab_size: usize, n_layers: usize) -> Self {
+        Self {
+            name: format!("tiny-llama-{n_layers}l"),
+            vocab_size,
+            d_model: 64,
+            n_layers,
+            n_heads: 4,
+            n_kv_heads: 4,
+            d_ff: 128,
+            max_seq_len: 512,
+            rope_theta: 10000.0,
+            norm_eps: 1e-5,
+            activation: Activation::SwiGlu,
+        }
+    }
+
+    /// A tiny Falcon-style (GELU, GQA) configuration.
+    pub fn tiny_falcon(vocab_size: usize, n_layers: usize) -> Self {
+        Self {
+            name: format!("tiny-falcon-{n_layers}l"),
+            vocab_size,
+            d_model: 64,
+            n_layers,
+            n_heads: 8,
+            n_kv_heads: 2,
+            d_ff: 192,
+            max_seq_len: 512,
+            rope_theta: 10000.0,
+            norm_eps: 1e-5,
+            activation: Activation::Gelu,
+        }
+    }
+
+    /// Geometry of Llama-2-70B (the base architecture of Dolphin 2.1 70B and
+    /// Senku 70B in Tables I/III).  Never materialised as weights; used only
+    /// for cost and memory modelling.
+    pub fn llama2_70b() -> Self {
+        Self {
+            name: "Llama-2-70B".to_string(),
+            vocab_size: 32000,
+            d_model: 8192,
+            n_layers: 80,
+            n_heads: 64,
+            n_kv_heads: 8,
+            d_ff: 28672,
+            max_seq_len: 4096,
+            rope_theta: 10000.0,
+            norm_eps: 1e-5,
+            activation: Activation::SwiGlu,
+        }
+    }
+
+    /// Geometry of the Goliath-120B Llama-2 merge: the paper describes it as
+    /// a "tall and thin" splice of two 70B models — same hidden width as 70B
+    /// but 137 layers.
+    pub fn goliath_120b() -> Self {
+        Self {
+            name: "Goliath-120B".to_string(),
+            n_layers: 137,
+            ..Self::llama2_70b()
+        }
+    }
+
+    /// Geometry of Falcon-180B: wider (14848 hidden) and shallower relative
+    /// to its size than the Llama merges.
+    pub fn falcon_180b() -> Self {
+        Self {
+            name: "Falcon-180B".to_string(),
+            vocab_size: 65024,
+            d_model: 14848,
+            n_layers: 80,
+            n_heads: 232,
+            n_kv_heads: 8,
+            d_ff: 59392,
+            max_seq_len: 2048,
+            rope_theta: 10000.0,
+            norm_eps: 1e-5,
+            activation: Activation::Gelu,
+        }
+    }
+
+    /// Geometry of Llama-2-7B (XWin-7B, Orca-2-7B, LlongOrca-7B drafts).
+    pub fn llama2_7b() -> Self {
+        Self {
+            name: "Llama-2-7B".to_string(),
+            vocab_size: 32000,
+            d_model: 4096,
+            n_layers: 32,
+            n_heads: 32,
+            n_kv_heads: 32,
+            d_ff: 11008,
+            max_seq_len: 4096,
+            rope_theta: 10000.0,
+            norm_eps: 1e-5,
+            activation: Activation::SwiGlu,
+        }
+    }
+
+    /// Geometry of Llama-2-13B (XWin-13B draft).
+    pub fn llama2_13b() -> Self {
+        Self {
+            name: "Llama-2-13B".to_string(),
+            vocab_size: 32000,
+            d_model: 5120,
+            n_layers: 40,
+            n_heads: 40,
+            n_kv_heads: 40,
+            d_ff: 13824,
+            max_seq_len: 4096,
+            rope_theta: 10000.0,
+            norm_eps: 1e-5,
+            activation: Activation::SwiGlu,
+        }
+    }
+
+    /// Geometry of TinyLlama-1.1B (the smallest draft model in Table I).
+    pub fn tinyllama_1_1b() -> Self {
+        Self {
+            name: "TinyLlama-1.1B".to_string(),
+            vocab_size: 32000,
+            d_model: 2048,
+            n_layers: 22,
+            n_heads: 32,
+            n_kv_heads: 4,
+            d_ff: 5632,
+            max_seq_len: 2048,
+            rope_theta: 10000.0,
+            norm_eps: 1e-5,
+            activation: Activation::SwiGlu,
+        }
+    }
+
+    /// Geometry of Falcon-7B (draft for Falcon-180B).
+    pub fn falcon_7b() -> Self {
+        Self {
+            name: "Falcon-7B".to_string(),
+            vocab_size: 65024,
+            d_model: 4544,
+            n_layers: 32,
+            n_heads: 71,
+            n_kv_heads: 1,
+            d_ff: 18176,
+            max_seq_len: 2048,
+            rope_theta: 10000.0,
+            norm_eps: 1e-5,
+            activation: Activation::Gelu,
+        }
+    }
+
+    /// Geometry of Falcon-40B (larger draft for Falcon-180B).
+    pub fn falcon_40b() -> Self {
+        Self {
+            name: "Falcon-40B".to_string(),
+            vocab_size: 65024,
+            d_model: 8192,
+            n_layers: 60,
+            n_heads: 128,
+            n_kv_heads: 8,
+            d_ff: 32768,
+            max_seq_len: 2048,
+            rope_theta: 10000.0,
+            norm_eps: 1e-5,
+            activation: Activation::Gelu,
+        }
+    }
+
+    /// Geometry of a Llama-3-8B class model (Dolphin 2.9 8B draft, Table III).
+    pub fn llama3_8b() -> Self {
+        Self {
+            name: "Llama-3-8B".to_string(),
+            vocab_size: 128256,
+            d_model: 4096,
+            n_layers: 32,
+            n_heads: 32,
+            n_kv_heads: 8,
+            d_ff: 14336,
+            max_seq_len: 8192,
+            rope_theta: 500000.0,
+            norm_eps: 1e-5,
+            activation: Activation::SwiGlu,
+        }
+    }
+
+    /// Geometry of a Llama-3-70B class model (Dolphin 2.9 70B, Table III).
+    pub fn llama3_70b() -> Self {
+        Self {
+            name: "Llama-3-70B".to_string(),
+            vocab_size: 128256,
+            d_model: 8192,
+            n_layers: 80,
+            n_heads: 64,
+            n_kv_heads: 8,
+            d_ff: 28672,
+            max_seq_len: 8192,
+            rope_theta: 500000.0,
+            norm_eps: 1e-5,
+            activation: Activation::SwiGlu,
+        }
+    }
+
+    /// Geometry of a Qwen-33B class model (Table III).
+    pub fn qwen_33b() -> Self {
+        Self {
+            name: "Qwen-33B".to_string(),
+            vocab_size: 151936,
+            d_model: 7168,
+            n_layers: 60,
+            n_heads: 56,
+            n_kv_heads: 8,
+            d_ff: 19456,
+            max_seq_len: 4096,
+            rope_theta: 1000000.0,
+            norm_eps: 1e-5,
+            activation: Activation::SwiGlu,
+        }
+    }
+
+    /// Geometry of a Qwen-7B class model (Table III).
+    pub fn qwen_7b() -> Self {
+        Self {
+            name: "Qwen-7B".to_string(),
+            vocab_size: 151936,
+            d_model: 4096,
+            n_layers: 32,
+            n_heads: 32,
+            n_kv_heads: 32,
+            d_ff: 11008,
+            max_seq_len: 4096,
+            rope_theta: 1000000.0,
+            norm_eps: 1e-5,
+            activation: Activation::SwiGlu,
+        }
+    }
+
+    /// Geometry of a Mistral-7B class model (draft for Mixtral, Table III).
+    pub fn mistral_7b() -> Self {
+        Self {
+            name: "Mistral-7B".to_string(),
+            vocab_size: 32000,
+            d_model: 4096,
+            n_layers: 32,
+            n_heads: 32,
+            n_kv_heads: 8,
+            d_ff: 14336,
+            max_seq_len: 8192,
+            rope_theta: 10000.0,
+            norm_eps: 1e-5,
+            activation: Activation::SwiGlu,
+        }
+    }
+
+    /// Effective dense geometry of Mixtral-8x22B.  Only two of the eight
+    /// experts are active per token, so for per-token compute and
+    /// weight-streaming purposes the model behaves like a dense model with
+    /// `2×` the expert MLP width, while its *memory footprint* uses all
+    /// eight experts.  [`Self::total_params`] of this config approximates
+    /// the *active* parameters; the full footprint is handled by
+    /// `pi-perf`'s model preset which scales the MLP weights by 4 (8/2).
+    pub fn mixtral_8x22b_active() -> Self {
+        Self {
+            name: "Mixtral-8x22B (active)".to_string(),
+            vocab_size: 32000,
+            d_model: 6144,
+            n_layers: 56,
+            n_heads: 48,
+            n_kv_heads: 8,
+            d_ff: 2 * 16384,
+            max_seq_len: 8192,
+            rope_theta: 1000000.0,
+            norm_eps: 1e-5,
+            activation: Activation::SwiGlu,
+        }
+    }
+
+    /// Geometry of a Yi-34B class model (Table III).
+    pub fn yi_34b() -> Self {
+        Self {
+            name: "Yi-34B".to_string(),
+            vocab_size: 64000,
+            d_model: 7168,
+            n_layers: 60,
+            n_heads: 56,
+            n_kv_heads: 8,
+            d_ff: 20480,
+            max_seq_len: 4096,
+            rope_theta: 5000000.0,
+            norm_eps: 1e-5,
+            activation: Activation::SwiGlu,
+        }
+    }
+
+    /// Geometry of a Yi-9B class model (draft, Table III).
+    pub fn yi_9b() -> Self {
+        Self {
+            name: "Yi-9B".to_string(),
+            vocab_size: 64000,
+            d_model: 4096,
+            n_layers: 48,
+            n_heads: 32,
+            n_kv_heads: 4,
+            d_ff: 11008,
+            max_seq_len: 4096,
+            rope_theta: 5000000.0,
+            norm_eps: 1e-5,
+            activation: Activation::SwiGlu,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_and_kv_dims() {
+        let c = ModelConfig::llama2_70b();
+        assert_eq!(c.head_dim(), 128);
+        assert_eq!(c.kv_dim(), 1024);
+    }
+
+    #[test]
+    fn llama2_70b_param_count_is_about_70b() {
+        let p = ModelConfig::llama2_70b().total_params() as f64 / 1e9;
+        assert!(p > 63.0 && p < 75.0, "got {p}B");
+    }
+
+    #[test]
+    fn goliath_is_about_120b_and_taller_than_70b() {
+        let g = ModelConfig::goliath_120b();
+        let p = g.total_params() as f64 / 1e9;
+        assert!(p > 105.0 && p < 125.0, "got {p}B");
+        assert!(g.n_layers > ModelConfig::llama2_70b().n_layers);
+        assert_eq!(g.d_model, ModelConfig::llama2_70b().d_model);
+    }
+
+    #[test]
+    fn falcon_180b_param_count_is_about_180b() {
+        let p = ModelConfig::falcon_180b().total_params() as f64 / 1e9;
+        assert!(p > 160.0 && p < 195.0, "got {p}B");
+    }
+
+    #[test]
+    fn llama2_7b_param_count() {
+        let p = ModelConfig::llama2_7b().total_params() as f64 / 1e9;
+        assert!(p > 6.0 && p < 7.5, "got {p}B");
+    }
+
+    #[test]
+    fn tinyllama_param_count() {
+        let p = ModelConfig::tinyllama_1_1b().total_params() as f64 / 1e9;
+        assert!(p > 0.9 && p < 1.3, "got {p}B");
+    }
+
+    #[test]
+    fn falcon_drafts_param_counts() {
+        let p7 = ModelConfig::falcon_7b().total_params() as f64 / 1e9;
+        assert!(p7 > 6.0 && p7 < 8.5, "falcon-7b got {p7}B");
+        let p40 = ModelConfig::falcon_40b().total_params() as f64 / 1e9;
+        assert!(p40 > 35.0 && p40 < 48.0, "falcon-40b got {p40}B");
+    }
+
+    #[test]
+    fn tiny_models_are_actually_tiny() {
+        let c = ModelConfig::tiny_llama(256, 4);
+        assert!(c.total_params() < 1_000_000);
+        let f = ModelConfig::tiny_falcon(256, 4);
+        assert!(f.total_params() < 1_000_000);
+    }
+
+    #[test]
+    fn flops_and_activation_bytes_positive_and_consistent() {
+        let c = ModelConfig::llama2_70b();
+        assert_eq!(c.activation_bytes_per_token(), 8192 * 4);
+        assert!(c.layer_flops_per_token() > 1_000_000);
+        assert_eq!(c.layer_flops_per_token(), 2 * c.layer_params());
+    }
+
+    #[test]
+    fn gelu_models_have_no_gate_matrix() {
+        let mut swiglu = ModelConfig::tiny_llama(256, 1);
+        swiglu.d_ff = 100;
+        let mut gelu = swiglu.clone();
+        gelu.activation = Activation::Gelu;
+        assert!(swiglu.layer_params() > gelu.layer_params());
+        assert_eq!(
+            swiglu.layer_params() - gelu.layer_params(),
+            (swiglu.d_model * swiglu.d_ff) as u64
+        );
+    }
+}

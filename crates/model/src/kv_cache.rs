@@ -1,0 +1,398 @@
+//! KV cache with llama.cpp-style per-cell sequence metadata.
+//!
+//! The paper's Pipelined KV Cache Multibuffering (§IV-C) is built entirely on
+//! the metadata operations this cache exposes: every cache cell records the
+//! token *position* it holds and the *set of sequences* it belongs to, and
+//! "copying" entries from one sequence to another only edits that metadata —
+//! the attention vectors themselves are shared.  That is what makes the
+//! paper's "buffer swap" (copying accepted entries to the canonical sequence
+//! and to all free partitions) nearly free.
+//!
+//! The operations match their llama.cpp namesakes:
+//!
+//! * [`KvCache::seq_cp`]  — `llama_kv_cache_seq_cp`
+//! * [`KvCache::seq_rm`]  — `llama_kv_cache_seq_rm`
+//! * [`KvCache::seq_keep`] — `llama_kv_cache_seq_keep`
+//!
+//! Each pipeline stage owns one `KvCache` covering only its layer range; the
+//! metadata commands are forwarded down the pipeline as transactions so every
+//! stage applies them in the same order (paper §IV-C3).
+
+use crate::{Pos, SeqId};
+use std::collections::BTreeSet;
+
+/// Metadata of one cache cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvCell {
+    /// Position of the cached token, or -1 if the cell is free.
+    pub pos: Pos,
+    /// Sequences this cell belongs to; empty means free.
+    pub seq_ids: BTreeSet<SeqId>,
+}
+
+impl KvCell {
+    fn free() -> Self {
+        Self {
+            pos: -1,
+            seq_ids: BTreeSet::new(),
+        }
+    }
+
+    /// Whether the cell currently holds no entry.
+    pub fn is_free(&self) -> bool {
+        self.seq_ids.is_empty()
+    }
+
+    /// Whether the cell belongs to sequence `seq`.
+    pub fn has_seq(&self, seq: SeqId) -> bool {
+        self.seq_ids.contains(&seq)
+    }
+}
+
+/// A KV cache for a contiguous range of decoder layers.
+///
+/// Layer indices passed to [`KvCache::store`] / [`KvCache::key`] /
+/// [`KvCache::value`] are *local* to this cache (0-based within the owning
+/// pipeline stage's layer range).
+#[derive(Debug, Clone)]
+pub struct KvCache {
+    n_layers: usize,
+    kv_dim: usize,
+    capacity: usize,
+    cells: Vec<KvCell>,
+    /// Per-layer keys: `capacity * kv_dim` contiguous f32s.
+    k: Vec<Vec<f32>>,
+    /// Per-layer values, same layout.
+    v: Vec<Vec<f32>>,
+}
+
+impl KvCache {
+    /// Creates an empty cache with room for `capacity` cells covering
+    /// `n_layers` layers of key/value dimension `kv_dim`.
+    pub fn new(n_layers: usize, kv_dim: usize, capacity: usize) -> Self {
+        Self {
+            n_layers,
+            kv_dim,
+            capacity,
+            cells: vec![KvCell::free(); capacity],
+            k: vec![vec![0.0; capacity * kv_dim]; n_layers],
+            v: vec![vec![0.0; capacity * kv_dim]; n_layers],
+        }
+    }
+
+    /// Cache capacity in cells.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of layers this cache covers.
+    pub fn n_layers(&self) -> usize {
+        self.n_layers
+    }
+
+    /// Key/value vector dimension.
+    pub fn kv_dim(&self) -> usize {
+        self.kv_dim
+    }
+
+    /// The cell metadata (read-only).
+    pub fn cells(&self) -> &[KvCell] {
+        &self.cells
+    }
+
+    /// Number of occupied cells.
+    pub fn used(&self) -> usize {
+        self.cells.iter().filter(|c| !c.is_free()).count()
+    }
+
+    /// Number of free cells.
+    pub fn free(&self) -> usize {
+        self.capacity - self.used()
+    }
+
+    /// Allocates one cell for a token at `pos` belonging to `seq_ids`.
+    ///
+    /// Returns the cell index, or `None` if the cache is full.  First-fit
+    /// allocation keeps the behaviour deterministic across pipeline stages:
+    /// every stage performs the same allocation calls in the same
+    /// (transaction-ordered) sequence and therefore picks the same cells.
+    pub fn alloc(&mut self, pos: Pos, seq_ids: &[SeqId]) -> Option<usize> {
+        let idx = self.cells.iter().position(|c| c.is_free())?;
+        self.cells[idx].pos = pos;
+        self.cells[idx].seq_ids = seq_ids.iter().copied().collect();
+        Some(idx)
+    }
+
+    /// Stores the key/value vectors of `cell` for local layer `layer`.
+    pub fn store(&mut self, layer: usize, cell: usize, key: &[f32], value: &[f32]) {
+        debug_assert_eq!(key.len(), self.kv_dim);
+        debug_assert_eq!(value.len(), self.kv_dim);
+        let off = cell * self.kv_dim;
+        self.k[layer][off..off + self.kv_dim].copy_from_slice(key);
+        self.v[layer][off..off + self.kv_dim].copy_from_slice(value);
+    }
+
+    /// Key vector of `cell` at local layer `layer`.
+    pub fn key(&self, layer: usize, cell: usize) -> &[f32] {
+        let off = cell * self.kv_dim;
+        &self.k[layer][off..off + self.kv_dim]
+    }
+
+    /// Value vector of `cell` at local layer `layer`.
+    pub fn value(&self, layer: usize, cell: usize) -> &[f32] {
+        let off = cell * self.kv_dim;
+        &self.v[layer][off..off + self.kv_dim]
+    }
+
+    /// Indices of cells visible to a query token belonging to `seq_ids` at
+    /// position `pos`: the cell must share at least one sequence with the
+    /// query and must not be in the query's future.  This implements the
+    /// causal + tree attention mask of speculative verification.
+    pub fn visible_cells(&self, seq_ids: &[SeqId], pos: Pos) -> Vec<usize> {
+        self.cells
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| {
+                !c.is_free() && c.pos <= pos && seq_ids.iter().any(|s| c.has_seq(*s))
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Copies sequence `src`'s entries in position range `[p0, p1)` into
+    /// sequence `dst` (metadata only; the vectors are shared).
+    ///
+    /// Passing `p1 = Pos::MAX` copies everything from `p0` onwards.
+    pub fn seq_cp(&mut self, src: SeqId, dst: SeqId, p0: Pos, p1: Pos) {
+        if src == dst {
+            return;
+        }
+        for cell in &mut self.cells {
+            if !cell.is_free() && cell.has_seq(src) && cell.pos >= p0 && cell.pos < p1 {
+                cell.seq_ids.insert(dst);
+            }
+        }
+    }
+
+    /// Removes sequence `seq` from cells in position range `[p0, p1)`.
+    /// Cells left with no sequence become free.
+    pub fn seq_rm(&mut self, seq: SeqId, p0: Pos, p1: Pos) {
+        for cell in &mut self.cells {
+            if !cell.is_free() && cell.has_seq(seq) && cell.pos >= p0 && cell.pos < p1 {
+                cell.seq_ids.remove(&seq);
+                if cell.seq_ids.is_empty() {
+                    *cell = KvCell::free();
+                }
+            }
+        }
+    }
+
+    /// Keeps only sequence `seq`: every other sequence id is dropped and any
+    /// cell not belonging to `seq` is freed.
+    pub fn seq_keep(&mut self, seq: SeqId) {
+        for cell in &mut self.cells {
+            if cell.is_free() {
+                continue;
+            }
+            if cell.has_seq(seq) {
+                cell.seq_ids.retain(|s| *s == seq);
+            } else {
+                *cell = KvCell::free();
+            }
+        }
+    }
+
+    /// Highest position stored for sequence `seq`, or `None` if the sequence
+    /// has no entries.
+    pub fn seq_max_pos(&self, seq: SeqId) -> Option<Pos> {
+        self.cells
+            .iter()
+            .filter(|c| !c.is_free() && c.has_seq(seq))
+            .map(|c| c.pos)
+            .max()
+    }
+
+    /// Number of cells belonging to sequence `seq`.
+    pub fn seq_len(&self, seq: SeqId) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| !c.is_free() && c.has_seq(seq))
+            .count()
+    }
+
+    /// Frees every cell.
+    pub fn clear(&mut self) {
+        for cell in &mut self.cells {
+            *cell = KvCell::free();
+        }
+    }
+
+    /// Verifies internal invariants; used by tests and by the ablation that
+    /// disables multibuffering (the paper reports that ablation produces
+    /// incoherent output — here it produces a detectable invariant failure).
+    ///
+    /// Invariant checked: for every sequence, positions are unique — a
+    /// sequence must never contain two cells with the same position, which is
+    /// exactly the corruption that unsynchronised cache sharing causes.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        use std::collections::HashMap;
+        let mut seen: HashMap<(SeqId, Pos), usize> = HashMap::new();
+        for (i, cell) in self.cells.iter().enumerate() {
+            if cell.is_free() {
+                continue;
+            }
+            for &s in &cell.seq_ids {
+                if let Some(prev) = seen.insert((s, cell.pos), i) {
+                    return Err(format!(
+                        "sequence {s} has duplicate position {} in cells {prev} and {i}",
+                        cell.pos
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> KvCache {
+        KvCache::new(2, 4, 16)
+    }
+
+    #[test]
+    fn alloc_first_fit_and_capacity() {
+        let mut c = KvCache::new(1, 2, 3);
+        assert_eq!(c.alloc(0, &[0]), Some(0));
+        assert_eq!(c.alloc(1, &[0]), Some(1));
+        assert_eq!(c.alloc(2, &[0]), Some(2));
+        assert_eq!(c.alloc(3, &[0]), None);
+        assert_eq!(c.used(), 3);
+        assert_eq!(c.free(), 0);
+    }
+
+    #[test]
+    fn store_and_read_back() {
+        let mut c = cache();
+        let cell = c.alloc(0, &[0]).unwrap();
+        c.store(1, cell, &[1.0, 2.0, 3.0, 4.0], &[5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(c.key(1, cell), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.value(1, cell), &[5.0, 6.0, 7.0, 8.0]);
+        // Layer 0 untouched.
+        assert_eq!(c.key(0, cell), &[0.0; 4]);
+    }
+
+    #[test]
+    fn visibility_is_causal() {
+        let mut c = cache();
+        let a = c.alloc(0, &[0]).unwrap();
+        let b = c.alloc(1, &[0]).unwrap();
+        let vis = c.visible_cells(&[0], 0);
+        assert!(vis.contains(&a) && !vis.contains(&b));
+        let vis1 = c.visible_cells(&[0], 1);
+        assert!(vis1.contains(&a) && vis1.contains(&b));
+    }
+
+    #[test]
+    fn visibility_respects_sequences() {
+        let mut c = cache();
+        let shared = c.alloc(0, &[1, 2]).unwrap();
+        let only1 = c.alloc(1, &[1]).unwrap();
+        let only2 = c.alloc(1, &[2]).unwrap();
+        let vis_seq1 = c.visible_cells(&[1], 5);
+        assert!(vis_seq1.contains(&shared));
+        assert!(vis_seq1.contains(&only1));
+        assert!(!vis_seq1.contains(&only2));
+        // A query in a different sequence entirely sees nothing.
+        assert!(c.visible_cells(&[7], 5).is_empty());
+    }
+
+    #[test]
+    fn seq_cp_shares_cells_without_duplicating() {
+        let mut c = cache();
+        for p in 0..4 {
+            c.alloc(p, &[0]).unwrap();
+        }
+        c.seq_cp(0, 3, 0, 2);
+        assert_eq!(c.seq_len(3), 2);
+        assert_eq!(c.used(), 4, "copy must not allocate new cells");
+        assert_eq!(c.seq_max_pos(3), Some(1));
+    }
+
+    #[test]
+    fn seq_cp_to_same_sequence_is_noop() {
+        let mut c = cache();
+        c.alloc(0, &[0]).unwrap();
+        c.seq_cp(0, 0, 0, Pos::MAX);
+        assert_eq!(c.seq_len(0), 1);
+    }
+
+    #[test]
+    fn seq_rm_frees_orphan_cells() {
+        let mut c = cache();
+        c.alloc(0, &[1]).unwrap();
+        c.alloc(1, &[1, 2]).unwrap();
+        c.seq_rm(1, 0, Pos::MAX);
+        assert_eq!(c.seq_len(1), 0);
+        // Cell shared with seq 2 survives; the seq-1-only cell is freed.
+        assert_eq!(c.used(), 1);
+        assert_eq!(c.seq_len(2), 1);
+    }
+
+    #[test]
+    fn seq_rm_respects_position_range() {
+        let mut c = cache();
+        for p in 0..5 {
+            c.alloc(p, &[0]).unwrap();
+        }
+        c.seq_rm(0, 2, 4);
+        assert_eq!(c.seq_len(0), 3);
+        assert_eq!(c.seq_max_pos(0), Some(4));
+    }
+
+    #[test]
+    fn seq_keep_drops_everything_else() {
+        let mut c = cache();
+        c.alloc(0, &[0, 5]).unwrap();
+        c.alloc(1, &[5]).unwrap();
+        c.alloc(2, &[7]).unwrap();
+        c.seq_keep(5);
+        assert_eq!(c.seq_len(5), 2);
+        assert_eq!(c.seq_len(0), 0);
+        assert_eq!(c.seq_len(7), 0);
+        assert_eq!(c.used(), 2);
+    }
+
+    #[test]
+    fn max_pos_and_clear() {
+        let mut c = cache();
+        assert_eq!(c.seq_max_pos(0), None);
+        c.alloc(3, &[0]).unwrap();
+        c.alloc(9, &[0]).unwrap();
+        assert_eq!(c.seq_max_pos(0), Some(9));
+        c.clear();
+        assert_eq!(c.used(), 0);
+        assert_eq!(c.seq_max_pos(0), None);
+    }
+
+    #[test]
+    fn consistency_detects_duplicate_positions() {
+        let mut c = cache();
+        c.alloc(0, &[0]).unwrap();
+        assert!(c.check_consistency().is_ok());
+        c.alloc(0, &[0]).unwrap();
+        assert!(c.check_consistency().is_err());
+    }
+
+    #[test]
+    fn freed_cells_are_reused() {
+        let mut c = KvCache::new(1, 2, 2);
+        let a = c.alloc(0, &[1]).unwrap();
+        c.alloc(1, &[1]).unwrap();
+        c.seq_rm(1, 0, 1);
+        let again = c.alloc(5, &[2]).unwrap();
+        assert_eq!(a, again, "first-fit must reuse the freed cell");
+    }
+}

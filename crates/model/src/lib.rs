@@ -1,0 +1,53 @@
+//! # pi-model
+//!
+//! Decoder-only transformer models and the modelling substrate PipeInfer
+//! needs: model geometry, weights, layer-range forward passes (so a model can
+//! be split across pipeline stages), a llama.cpp-style KV cache with
+//! per-cell sequence metadata, batches, samplers, speculation token trees,
+//! a byte-level tokenizer and a synthetic "alignment oracle" model used by
+//! the figure benchmarks.
+//!
+//! ## Relationship to the paper
+//!
+//! The paper's reference implementation is built on llama.cpp.  This crate
+//! re-creates the pieces of llama.cpp that PipeInfer's algorithms depend on:
+//!
+//! * `llama_batch` → [`batch::Batch`] (tokens + positions + sequence-id sets
+//!   + logits flags),
+//! * the unified KV cache with cell metadata (`llama_kv_cache`) →
+//!   [`kv_cache::KvCache`] including `seq_cp`/`seq_rm`/`seq_keep`,
+//! * layer-split evaluation for pipeline parallelism →
+//!   [`transformer::Model::forward_layer_range`],
+//! * greedy / temperature sampling → [`sampler`],
+//! * speculation trees and their attention masks → [`token_tree`].
+
+pub mod batch;
+pub mod config;
+pub mod kv_cache;
+pub mod oracle;
+pub mod sampler;
+pub mod token_tree;
+pub mod tokenizer;
+pub mod transformer;
+pub mod weights;
+
+pub use batch::Batch;
+pub use config::{Activation, ModelConfig};
+pub use kv_cache::KvCache;
+pub use oracle::{OracleDraft, OracleTarget};
+pub use sampler::Sampler;
+pub use token_tree::{TokenTree, TreeNodeId};
+pub use tokenizer::ByteTokenizer;
+pub use transformer::Model;
+pub use weights::ModelWeights;
+
+/// Token identifier type used throughout the workspace.
+pub type Token = u32;
+
+/// Sequence identifier type used by the KV cache, matching llama.cpp's
+/// `llama_seq_id` concept.  Sequence 0 is the *canonical* sequence in
+/// PipeInfer's multibuffering scheme.
+pub type SeqId = u32;
+
+/// Position of a token within a sequence.
+pub type Pos = i32;

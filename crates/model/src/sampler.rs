@@ -1,0 +1,183 @@
+//! Token samplers.
+//!
+//! The paper's evaluation uses greedy sampling throughout so that all four
+//! inference strategies produce bit-identical output (which is how the
+//! authors verify correctness).  [`Sampler::Greedy`] therefore gets the most
+//! use here; temperature/top-k sampling is provided for completeness and for
+//! the confidence values the draft loop uses as its speculation cutoff.
+
+use crate::Token;
+use pi_tensor::ops;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A sampling strategy over a logits vector.
+#[derive(Debug, Clone)]
+pub enum Sampler {
+    /// Deterministic argmax sampling (ties resolve to the lowest token id).
+    Greedy,
+    /// Temperature + top-k sampling with an owned, seeded RNG.
+    TopK {
+        /// Number of candidates kept.
+        k: usize,
+        /// Softmax temperature (1.0 = untempered).
+        temperature: f32,
+        /// Seed for the internal RNG (the RNG is re-derived per call index to
+        /// keep the sampler `Clone` and deterministic).
+        seed: u64,
+    },
+}
+
+impl Sampler {
+    /// Samples a token from a row of logits.
+    pub fn sample(&self, logits: &[f32]) -> Token {
+        match self {
+            Sampler::Greedy => argmax(logits) as Token,
+            Sampler::TopK {
+                k,
+                temperature,
+                seed,
+            } => {
+                let probs = Self::top_k_probs(logits, *k, *temperature);
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(hash_logits(logits)));
+                let r: f32 = rng.gen();
+                let mut acc = 0.0;
+                for (tok, p) in &probs {
+                    acc += p;
+                    if r <= acc {
+                        return *tok;
+                    }
+                }
+                probs.last().map(|(t, _)| *t).unwrap_or(0)
+            }
+        }
+    }
+
+    /// Probability of each token under this sampler's induced distribution.
+    /// Greedy puts mass 1 on the argmax; top-k returns the truncated softmax.
+    pub fn probabilities(&self, logits: &[f32]) -> Vec<(Token, f32)> {
+        match self {
+            Sampler::Greedy => vec![(argmax(logits) as Token, 1.0)],
+            Sampler::TopK { k, temperature, .. } => Self::top_k_probs(logits, *k, *temperature),
+        }
+    }
+
+    /// The sampler's confidence in its most likely token: the max probability
+    /// of the full softmax distribution.  Draft models compare this value
+    /// against the speculation confidence cutoff (paper §II-A1, §IV-B2).
+    pub fn confidence(logits: &[f32]) -> f32 {
+        let probs = ops::softmax(logits);
+        probs.iter().copied().fold(0.0, f32::max)
+    }
+
+    fn top_k_probs(logits: &[f32], k: usize, temperature: f32) -> Vec<(Token, f32)> {
+        let temp = temperature.max(1e-4);
+        let scaled: Vec<f32> = logits.iter().map(|l| l / temp).collect();
+        let mut idx: Vec<usize> = (0..scaled.len()).collect();
+        idx.sort_by(|&a, &b| scaled[b].partial_cmp(&scaled[a]).unwrap_or(std::cmp::Ordering::Equal));
+        idx.truncate(k.max(1));
+        let top: Vec<f32> = idx.iter().map(|&i| scaled[i]).collect();
+        let probs = ops::softmax(&top);
+        idx.into_iter()
+            .map(|i| i as Token)
+            .zip(probs.into_iter())
+            .collect()
+    }
+}
+
+fn argmax(x: &[f32]) -> usize {
+    let mut best = 0;
+    let mut best_v = f32::NEG_INFINITY;
+    for (i, &v) in x.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+fn hash_logits(x: &[f32]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for v in x {
+        h ^= v.to_bits() as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_picks_argmax() {
+        let s = Sampler::Greedy;
+        assert_eq!(s.sample(&[0.1, 5.0, 2.0]), 1);
+    }
+
+    #[test]
+    fn greedy_tie_breaks_to_lowest() {
+        let s = Sampler::Greedy;
+        assert_eq!(s.sample(&[3.0, 3.0, 1.0]), 0);
+    }
+
+    #[test]
+    fn greedy_probabilities_are_one_hot() {
+        let p = Sampler::Greedy.probabilities(&[0.0, 9.0, 1.0]);
+        assert_eq!(p, vec![(1, 1.0)]);
+    }
+
+    #[test]
+    fn confidence_in_unit_interval_and_monotone() {
+        let low = Sampler::confidence(&[1.0, 1.0, 1.0, 1.0]);
+        let high = Sampler::confidence(&[10.0, 0.0, 0.0, 0.0]);
+        assert!(low > 0.2 && low < 0.3);
+        assert!(high > 0.99);
+    }
+
+    #[test]
+    fn top_k_is_deterministic_per_seed_and_input() {
+        let s = Sampler::TopK {
+            k: 3,
+            temperature: 1.0,
+            seed: 5,
+        };
+        let logits = [0.5, 2.0, 1.5, -1.0];
+        assert_eq!(s.sample(&logits), s.sample(&logits));
+    }
+
+    #[test]
+    fn top_k_only_samples_top_candidates() {
+        let s = Sampler::TopK {
+            k: 2,
+            temperature: 1.0,
+            seed: 0,
+        };
+        let logits = [10.0, 9.0, -50.0, -50.0];
+        for trial in 0..20 {
+            let s2 = Sampler::TopK {
+                k: 2,
+                temperature: 1.0,
+                seed: trial,
+            };
+            let t = s2.sample(&logits);
+            assert!(t == 0 || t == 1, "sampled excluded token {t}");
+        }
+        let _ = s;
+    }
+
+    #[test]
+    fn top_k_probabilities_sum_to_one() {
+        let s = Sampler::TopK {
+            k: 3,
+            temperature: 0.7,
+            seed: 1,
+        };
+        let p = s.probabilities(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(p.len(), 3);
+        let sum: f32 = p.iter().map(|(_, v)| v).sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert_eq!(p[0].0, 4, "highest-logit token first");
+    }
+}

@@ -1,0 +1,449 @@
+//! Decoder-only transformer forward pass with layer-range evaluation.
+//!
+//! Pipeline parallelism splits the model's decoder layers across stages; each
+//! stage calls [`Model::forward_layer_range`] with its assigned global layer
+//! range and its own [`KvCache`] covering just those layers.  The first stage
+//! additionally embeds the batch tokens ([`Model::embed`]) and the last stage
+//! (or the head node, after receiving the final hidden states) applies the
+//! output head ([`Model::logits`]).
+//!
+//! Attention uses the KV-cache cell metadata for masking, so causal masking
+//! and speculation-tree masking (mutually exclusive branches) come "for
+//! free" from sequence-id bookkeeping — the same design as llama.cpp, which
+//! the paper relies on for its KV-cache multibuffering.
+
+use crate::batch::Batch;
+use crate::config::{Activation, ModelConfig};
+use crate::kv_cache::KvCache;
+use crate::weights::ModelWeights;
+use pi_tensor::{ops, Tensor};
+use std::ops::Range;
+
+/// Errors produced while evaluating a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// The KV cache ran out of free cells.
+    CacheFull,
+    /// The hidden-state tensor does not match the batch.
+    BadHidden(String),
+    /// A layer range outside the model was requested.
+    BadLayerRange(String),
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::CacheFull => write!(f, "KV cache is full"),
+            ModelError::BadHidden(m) => write!(f, "bad hidden state: {m}"),
+            ModelError::BadLayerRange(m) => write!(f, "bad layer range: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// A runnable decoder-only transformer: configuration plus weights.
+#[derive(Debug, Clone)]
+pub struct Model {
+    cfg: ModelConfig,
+    weights: ModelWeights,
+}
+
+impl Model {
+    /// Wraps a config and matching weights into a runnable model.
+    pub fn new(cfg: ModelConfig, weights: ModelWeights) -> Self {
+        Self { cfg, weights }
+    }
+
+    /// Builds a randomly initialised model (deterministic in `seed`).
+    pub fn random(cfg: ModelConfig, seed: u64) -> Self {
+        let weights = ModelWeights::random(&cfg, seed);
+        Self { cfg, weights }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    /// The model weights.
+    pub fn weights(&self) -> &ModelWeights {
+        &self.weights
+    }
+
+    /// Creates a KV cache sized for `capacity` cells covering the layer range
+    /// `layers` of this model.
+    pub fn new_cache_for_layers(&self, layers: &Range<usize>, capacity: usize) -> KvCache {
+        KvCache::new(layers.len(), self.cfg.kv_dim(), capacity)
+    }
+
+    /// Allocates one KV-cache cell per batch entry.  Every pipeline stage
+    /// performs the same allocations in the same order, so cell indices agree
+    /// across stages.
+    pub fn alloc_cells(batch: &Batch, cache: &mut KvCache) -> Result<Vec<usize>, ModelError> {
+        let mut cells = Vec::with_capacity(batch.len());
+        for e in batch.iter() {
+            let cell = cache.alloc(e.pos, &e.seq_ids).ok_or(ModelError::CacheFull)?;
+            cells.push(cell);
+        }
+        Ok(cells)
+    }
+
+    /// Embeds the batch tokens into hidden states `[n_tokens, d_model]`.
+    pub fn embed(&self, batch: &Batch) -> Tensor {
+        let d = self.cfg.d_model;
+        let mut out = Tensor::zeros(&[batch.len(), d]);
+        for (i, e) in batch.iter().enumerate() {
+            let row = self
+                .weights
+                .tok_embed
+                .row(e.token as usize % self.cfg.vocab_size)
+                .expect("vocab bounds");
+            out.row_mut(i).unwrap().copy_from_slice(row);
+        }
+        out
+    }
+
+    /// Evaluates global decoder layers `layers` over the batch.
+    ///
+    /// * `hidden` — the activations entering the first layer of the range
+    ///   (`[n_tokens, d_model]`), typically the output of the previous stage
+    ///   or of [`Model::embed`].
+    /// * `cache` — this stage's KV cache; it must cover exactly `layers.len()`
+    ///   layers.
+    /// * `cells` — the cache cell allocated for each batch entry (from
+    ///   [`Model::alloc_cells`]).
+    ///
+    /// Returns the activations leaving the last layer of the range.
+    pub fn forward_layer_range(
+        &self,
+        batch: &Batch,
+        hidden: &Tensor,
+        layers: Range<usize>,
+        cache: &mut KvCache,
+        cells: &[usize],
+    ) -> Result<Tensor, ModelError> {
+        if layers.end > self.cfg.n_layers {
+            return Err(ModelError::BadLayerRange(format!(
+                "range {layers:?} exceeds {} layers",
+                self.cfg.n_layers
+            )));
+        }
+        if hidden.rows() != batch.len() || hidden.cols() != self.cfg.d_model {
+            return Err(ModelError::BadHidden(format!(
+                "hidden is [{}, {}], batch has {} tokens, d_model {}",
+                hidden.rows(),
+                hidden.cols(),
+                batch.len(),
+                self.cfg.d_model
+            )));
+        }
+        if cells.len() != batch.len() {
+            return Err(ModelError::BadHidden(format!(
+                "{} cells for {} batch entries",
+                cells.len(),
+                batch.len()
+            )));
+        }
+        let mut x = hidden.clone();
+        for (local, global) in layers.clone().enumerate() {
+            self.forward_one_layer(batch, &mut x, global, local, cache, cells);
+        }
+        Ok(x)
+    }
+
+    fn forward_one_layer(
+        &self,
+        batch: &Batch,
+        x: &mut Tensor,
+        global_layer: usize,
+        local_layer: usize,
+        cache: &mut KvCache,
+        cells: &[usize],
+    ) {
+        let cfg = &self.cfg;
+        let lw = &self.weights.layers[global_layer];
+        let d = cfg.d_model;
+        let hd = cfg.head_dim();
+        let n_heads = cfg.n_heads;
+        let n_kv = cfg.n_kv_heads;
+        let group = n_heads / n_kv;
+        let scale = 1.0 / (hd as f32).sqrt();
+
+        // Tokens are processed in batch order so that later tokens can attend
+        // to the KV entries of earlier tokens in the same batch (prompt
+        // processing and tree verification both rely on this).
+        for (i, entry) in batch.iter().enumerate() {
+            let xi = x.row(i).unwrap().to_vec();
+
+            // --- Attention block ---
+            let h = ops::rmsnorm(&xi, lw.attn_norm.data(), cfg.norm_eps);
+            let ht = Tensor::from_vec(h, &[1, d]).unwrap();
+            let mut q = ops::matmul_t(&ht, &lw.wq).unwrap().into_vec();
+            let mut k = ops::matmul_t(&ht, &lw.wk).unwrap().into_vec();
+            let v = ops::matmul_t(&ht, &lw.wv).unwrap().into_vec();
+            ops::rope_inplace(&mut q, n_heads, hd, entry.pos as usize, cfg.rope_theta);
+            ops::rope_inplace(&mut k, n_kv, hd, entry.pos as usize, cfg.rope_theta);
+            cache.store(local_layer, cells[i], &k, &v);
+
+            let visible = cache.visible_cells(&entry.seq_ids, entry.pos);
+            let mut attn_out = vec![0.0f32; d];
+            for head in 0..n_heads {
+                let kv_head = head / group;
+                let q_h = &q[head * hd..(head + 1) * hd];
+                let mut scores = Vec::with_capacity(visible.len());
+                for &cell in &visible {
+                    let k_c = cache.key(local_layer, cell);
+                    let k_h = &k_c[kv_head * hd..(kv_head + 1) * hd];
+                    scores.push(ops::dot(q_h, k_h) * scale);
+                }
+                ops::softmax_inplace(&mut scores);
+                let out_h = &mut attn_out[head * hd..(head + 1) * hd];
+                for (w, &cell) in scores.iter().zip(visible.iter()) {
+                    let v_c = cache.value(local_layer, cell);
+                    let v_h = &v_c[kv_head * hd..(kv_head + 1) * hd];
+                    ops::axpy(out_h, *w, v_h);
+                }
+            }
+            let attn_t = Tensor::from_vec(attn_out, &[1, d]).unwrap();
+            let o = ops::matmul_t(&attn_t, &lw.wo).unwrap();
+            ops::add_inplace(x.row_mut(i).unwrap(), o.data());
+
+            // --- MLP block ---
+            let xi2 = x.row(i).unwrap().to_vec();
+            let h2 = ops::rmsnorm(&xi2, lw.mlp_norm.data(), cfg.norm_eps);
+            let h2t = Tensor::from_vec(h2, &[1, d]).unwrap();
+            let mlp_out = match cfg.activation {
+                Activation::SwiGlu => {
+                    let mut gate = ops::matmul_t(&h2t, lw.w_gate.as_ref().unwrap())
+                        .unwrap()
+                        .into_vec();
+                    let up = ops::matmul_t(&h2t, &lw.w_up).unwrap().into_vec();
+                    ops::silu_inplace(&mut gate);
+                    ops::mul_inplace(&mut gate, &up);
+                    let gate_t = Tensor::from_vec(gate, &[1, cfg.d_ff]).unwrap();
+                    ops::matmul_t(&gate_t, &lw.w_down).unwrap()
+                }
+                Activation::Gelu => {
+                    let mut up = ops::matmul_t(&h2t, &lw.w_up).unwrap().into_vec();
+                    ops::gelu_inplace(&mut up);
+                    let up_t = Tensor::from_vec(up, &[1, cfg.d_ff]).unwrap();
+                    ops::matmul_t(&up_t, &lw.w_down).unwrap()
+                }
+            };
+            ops::add_inplace(x.row_mut(i).unwrap(), mlp_out.data());
+        }
+    }
+
+    /// Applies the final norm and output head, returning logits
+    /// `[n_tokens, vocab]` for every batch entry (callers select the rows
+    /// they requested logits for via [`Batch::logit_indices`]).
+    pub fn logits(&self, hidden: &Tensor) -> Tensor {
+        let d = self.cfg.d_model;
+        let n = hidden.rows();
+        let mut normed = Tensor::zeros(&[n, d]);
+        for i in 0..n {
+            let row = ops::rmsnorm(
+                hidden.row(i).unwrap(),
+                self.weights.final_norm.data(),
+                self.cfg.norm_eps,
+            );
+            normed.row_mut(i).unwrap().copy_from_slice(&row);
+        }
+        ops::matmul_t(&normed, &self.weights.lm_head).unwrap()
+    }
+
+    /// Convenience single-process forward: embed, run every layer, and return
+    /// logits.  Used by the single-node baseline and by tests that compare
+    /// distributed execution against local execution.
+    pub fn forward_full(
+        &self,
+        batch: &Batch,
+        cache: &mut KvCache,
+    ) -> Result<Tensor, ModelError> {
+        let cells = Self::alloc_cells(batch, cache)?;
+        let hidden = self.embed(batch);
+        let out = self.forward_layer_range(batch, &hidden, 0..self.cfg.n_layers, cache, &cells)?;
+        Ok(self.logits(&out))
+    }
+
+    /// Splits `n_layers` decoder layers over `n_stages` pipeline stages as
+    /// evenly as possible (earlier stages get the remainder), returning the
+    /// global layer range of each stage.  This mirrors llama.cpp's MPI layer
+    /// split used by the paper.
+    pub fn split_layers(n_layers: usize, n_stages: usize) -> Vec<Range<usize>> {
+        assert!(n_stages > 0, "at least one stage required");
+        let base = n_layers / n_stages;
+        let rem = n_layers % n_stages;
+        let mut ranges = Vec::with_capacity(n_stages);
+        let mut start = 0;
+        for s in 0..n_stages {
+            let len = base + usize::from(s < rem);
+            ranges.push(start..start + len);
+            start += len;
+        }
+        ranges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::Sampler;
+
+    fn tiny_model(seed: u64) -> Model {
+        Model::random(ModelConfig::tiny_llama(64, 4), seed)
+    }
+
+    fn greedy_next(model: &Model, cache: &mut KvCache, batch: &Batch) -> u32 {
+        let logits = model.forward_full(batch, cache).unwrap();
+        let idx = *batch.logit_indices().last().unwrap();
+        Sampler::Greedy.sample(logits.row(idx).unwrap())
+    }
+
+    #[test]
+    fn forward_full_shapes() {
+        let m = tiny_model(1);
+        let mut cache = m.new_cache_for_layers(&(0..4), 64);
+        let batch = Batch::prompt(&[1, 2, 3], 0, 0);
+        let logits = m.forward_full(&batch, &mut cache).unwrap();
+        assert_eq!(logits.shape(), &[3, 64]);
+        assert_eq!(cache.used(), 3);
+    }
+
+    #[test]
+    fn layer_range_split_matches_full_forward() {
+        let m = tiny_model(2);
+        let batch = Batch::prompt(&[5, 9, 13, 2], 0, 0);
+
+        // Full pass.
+        let mut full_cache = m.new_cache_for_layers(&(0..4), 64);
+        let full_logits = m.forward_full(&batch, &mut full_cache).unwrap();
+
+        // Two-stage pipeline: layers 0..2 and 2..4 with separate caches.
+        let ranges = Model::split_layers(4, 2);
+        let mut cache0 = m.new_cache_for_layers(&ranges[0], 64);
+        let mut cache1 = m.new_cache_for_layers(&ranges[1], 64);
+        let cells0 = Model::alloc_cells(&batch, &mut cache0).unwrap();
+        let cells1 = Model::alloc_cells(&batch, &mut cache1).unwrap();
+        let hidden = m.embed(&batch);
+        let mid = m
+            .forward_layer_range(&batch, &hidden, ranges[0].clone(), &mut cache0, &cells0)
+            .unwrap();
+        let out = m
+            .forward_layer_range(&batch, &mid, ranges[1].clone(), &mut cache1, &cells1)
+            .unwrap();
+        let split_logits = m.logits(&out);
+
+        for (a, b) in full_logits.data().iter().zip(split_logits.data().iter()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn incremental_decode_matches_batched_prompt() {
+        // Feeding tokens one at a time (using the KV cache) must produce the
+        // same final-token logits as feeding them in a single prompt batch.
+        let m = tiny_model(3);
+        let tokens = [7u32, 11, 23, 31];
+
+        let mut c1 = m.new_cache_for_layers(&(0..4), 64);
+        let batched = m
+            .forward_full(&Batch::prompt(&tokens, 0, 0), &mut c1)
+            .unwrap();
+        let batched_last = batched.row(tokens.len() - 1).unwrap().to_vec();
+
+        let mut c2 = m.new_cache_for_layers(&(0..4), 64);
+        let mut last = Vec::new();
+        for (i, &t) in tokens.iter().enumerate() {
+            let logits = m
+                .forward_full(&Batch::single(t, i as i32, 0), &mut c2)
+                .unwrap();
+            last = logits.row(0).unwrap().to_vec();
+        }
+        for (a, b) in batched_last.iter().zip(last.iter()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sequences_are_isolated() {
+        // The same tokens fed in two different sequences must not interfere:
+        // generating in seq 1 after polluting seq 2 gives the same result as
+        // a fresh cache.
+        let m = tiny_model(4);
+        let mut clean = m.new_cache_for_layers(&(0..4), 64);
+        let expected = greedy_next(&m, &mut clean, &Batch::prompt(&[3, 1, 4], 0, 1));
+
+        let mut shared = m.new_cache_for_layers(&(0..4), 64);
+        // Pollute sequence 2 with different content first.
+        let _ = m
+            .forward_full(&Batch::prompt(&[9, 9, 9, 9, 9], 0, 2), &mut shared)
+            .unwrap();
+        let got = greedy_next(&m, &mut shared, &Batch::prompt(&[3, 1, 4], 0, 1));
+        assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn cache_full_is_reported() {
+        let m = tiny_model(5);
+        let mut cache = KvCache::new(4, m.config().kv_dim(), 2);
+        let batch = Batch::prompt(&[1, 2, 3], 0, 0);
+        assert_eq!(
+            m.forward_full(&batch, &mut cache).unwrap_err(),
+            ModelError::CacheFull
+        );
+    }
+
+    #[test]
+    fn split_layers_even_and_uneven() {
+        assert_eq!(Model::split_layers(8, 4), vec![0..2, 2..4, 4..6, 6..8]);
+        let r = Model::split_layers(10, 4);
+        assert_eq!(r, vec![0..3, 3..6, 6..8, 8..10]);
+        let total: usize = r.iter().map(|x| x.len()).sum();
+        assert_eq!(total, 10);
+        assert_eq!(Model::split_layers(3, 5).len(), 5);
+    }
+
+    #[test]
+    fn bad_layer_range_rejected() {
+        let m = tiny_model(6);
+        let batch = Batch::single(1, 0, 0);
+        let mut cache = m.new_cache_for_layers(&(0..4), 8);
+        let cells = Model::alloc_cells(&batch, &mut cache).unwrap();
+        let hidden = m.embed(&batch);
+        assert!(m
+            .forward_layer_range(&batch, &hidden, 0..9, &mut cache, &cells)
+            .is_err());
+    }
+
+    #[test]
+    fn gelu_model_runs() {
+        let m = Model::random(ModelConfig::tiny_falcon(64, 2), 7);
+        let mut cache = m.new_cache_for_layers(&(0..2), 16);
+        let logits = m
+            .forward_full(&Batch::prompt(&[1, 2, 3], 0, 0), &mut cache)
+            .unwrap();
+        assert_eq!(logits.shape(), &[3, 64]);
+        assert!(logits.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn greedy_generation_is_deterministic() {
+        let m = tiny_model(8);
+        let gen = |m: &Model| {
+            let mut cache = m.new_cache_for_layers(&(0..4), 128);
+            let mut out = Vec::new();
+            let prompt = [1u32, 2, 3, 4];
+            let mut tok = greedy_next(m, &mut cache, &Batch::prompt(&prompt, 0, 0));
+            let mut pos = prompt.len() as i32;
+            for _ in 0..16 {
+                out.push(tok);
+                tok = greedy_next(m, &mut cache, &Batch::single(tok, pos, 0));
+                pos += 1;
+            }
+            out
+        };
+        assert_eq!(gen(&m), gen(&m));
+    }
+}

@@ -1,0 +1,25 @@
+//! # pi-perf
+//!
+//! Hardware presets, model presets and the roofline cost model that let the
+//! discrete-event simulator reproduce the paper's evaluation at 70B–180B
+//! scale without materialising any large model.
+//!
+//! * [`hardware`] — per-node compute/memory-bandwidth specifications and the
+//!   three CPU clusters (A, B, C) plus the GPU testbed from Tables II and IV.
+//! * [`models`] — the target/draft model pairs of Tables I and III, with the
+//!   quantization formats and the acceptance rates the paper reports.
+//! * [`cost`] — the roofline model that converts (model geometry, quant
+//!   format, node spec, batch size, context length) into seconds of compute,
+//!   used by node behaviors via `NodeCtx::elapse` in simulation runs.
+//! * [`memory`] — per-node memory accounting used for the memory-efficiency
+//!   figure (Fig. 7a).
+
+pub mod cost;
+pub mod hardware;
+pub mod memory;
+pub mod models;
+
+pub use cost::{CostModel, ModelCost};
+pub use hardware::{ClusterSpec, NodeSpec};
+pub use memory::InferenceStrategy;
+pub use models::{ModelPair, ModelPreset};

@@ -1,0 +1,203 @@
+//! Per-node memory accounting.
+//!
+//! The paper measures per-node RSS with `pmap` after clearing the file cache,
+//! so only the pages a node actually faults in count: the layers it was
+//! assigned, the embedding/head on the head node, the draft model on the
+//! node that runs it, plus KV-cache buffers.  This module computes the same
+//! quantities analytically for the three inference strategies; Fig. 7a's
+//! "speed per GB" series divides measured generation speed by these numbers.
+
+use crate::cost::ModelCost;
+use crate::models::ModelPair;
+use pi_model::Model;
+
+/// Which inference strategy a deployment uses; determines where the draft
+/// model lives and how many nodes the target pipeline spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InferenceStrategy {
+    /// Pipeline-parallel iterative (non-speculative) inference.
+    Iterative,
+    /// Pipeline-parallel speculative inference (SpecInfer-style, draft on the
+    /// head node).
+    Speculative,
+    /// PipeInfer: asynchronous pipelined speculation with the draft model and
+    /// sampling on the head node (rank 0) and the target pipeline on the
+    /// remaining nodes.
+    PipeInfer,
+}
+
+impl InferenceStrategy {
+    /// Display name used in reports and figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            InferenceStrategy::Iterative => "Iterative",
+            InferenceStrategy::Speculative => "Speculative",
+            InferenceStrategy::PipeInfer => "PipeInfer",
+        }
+    }
+
+    /// Number of pipeline stages the *target* model is split across when the
+    /// cluster has `n_nodes` nodes.  PipeInfer dedicates one node to
+    /// speculation (paper §V-B: "one of the nodes is solely dedicated to
+    /// speculation, making the target pipeline one node shorter").
+    pub fn target_stages(self, n_nodes: usize) -> usize {
+        match self {
+            InferenceStrategy::Iterative | InferenceStrategy::Speculative => n_nodes,
+            InferenceStrategy::PipeInfer => (n_nodes - 1).max(1),
+        }
+    }
+
+    /// All three strategies in the order the paper's figures list them.
+    pub fn all() -> [InferenceStrategy; 3] {
+        [
+            InferenceStrategy::Iterative,
+            InferenceStrategy::Speculative,
+            InferenceStrategy::PipeInfer,
+        ]
+    }
+}
+
+/// Fixed KV-cache capacity (tokens) provisioned per node for accounting.
+const KV_CACHE_TOKENS: usize = 1024;
+
+/// Per-node memory consumption in bytes for running `pair` with `strategy`
+/// across `n_nodes` nodes.  Index 0 is the head node.
+pub fn per_node_memory(pair: &ModelPair, strategy: InferenceStrategy, n_nodes: usize) -> Vec<u64> {
+    assert!(n_nodes >= 2, "pipeline deployments need at least two nodes");
+    let target = ModelCost::new(pair.target.cfg.clone(), pair.target.quant);
+    let layer_bytes =
+        (target.layer_weight_bytes() as f64 * pair.target.resident_multiplier) as u64;
+    let io_bytes = (target.io_weight_bytes() as f64 * pair.target.resident_multiplier) as u64;
+    let kv_per_layer = target.kv_bytes_per_token_per_layer() * KV_CACHE_TOKENS as u64;
+    let draft_bytes = pair.draft.resident_bytes();
+
+    let stages = strategy.target_stages(n_nodes);
+    let split = Model::split_layers(pair.target.cfg.n_layers, stages);
+
+    let mut mem = vec![0u64; n_nodes];
+    // Pipeline ranks: for PipeInfer the head (rank 0) hosts only the draft
+    // model and the sampling logic, so the target pipeline occupies ranks
+    // 1..N-1; for the baselines it occupies every rank.
+    let pipeline_ranks: Vec<usize> = match strategy {
+        InferenceStrategy::PipeInfer => (1..n_nodes).collect(),
+        _ => (0..n_nodes).collect(),
+    };
+    for (stage, &rank) in pipeline_ranks.iter().enumerate() {
+        let n_layers = split[stage].len() as u64;
+        mem[rank] += n_layers * (layer_bytes + kv_per_layer);
+    }
+    // Head node holds the embedding table and output head.
+    mem[0] += io_bytes;
+    // Draft model placement.
+    match strategy {
+        InferenceStrategy::Iterative => {}
+        InferenceStrategy::Speculative | InferenceStrategy::PipeInfer => mem[0] += draft_bytes,
+    }
+    mem
+}
+
+/// Mean per-node memory in gigabytes.
+pub fn mean_per_node_gb(mem: &[u64]) -> f64 {
+    if mem.is_empty() {
+        return 0.0;
+    }
+    mem.iter().map(|&b| b as f64).sum::<f64>() / mem.len() as f64 / 1e9
+}
+
+/// The paper's Fig. 7a metric: generation speed divided by mean per-node
+/// memory consumption.
+pub fn speed_per_gb(speed_tps: f64, mem: &[u64]) -> f64 {
+    let gb = mean_per_node_gb(mem);
+    if gb <= 0.0 {
+        0.0
+    } else {
+        speed_tps / gb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::ModelPair;
+
+    #[test]
+    fn strategy_names_and_stage_counts() {
+        assert_eq!(InferenceStrategy::Iterative.target_stages(8), 8);
+        assert_eq!(InferenceStrategy::Speculative.target_stages(8), 8);
+        assert_eq!(InferenceStrategy::PipeInfer.target_stages(8), 7);
+        assert_eq!(InferenceStrategy::PipeInfer.name(), "PipeInfer");
+        assert_eq!(InferenceStrategy::all().len(), 3);
+    }
+
+    #[test]
+    fn memory_sums_to_roughly_model_plus_draft() {
+        let pair = ModelPair::dolphin_tinyllama();
+        let mem = per_node_memory(&pair, InferenceStrategy::Speculative, 8);
+        let total: u64 = mem.iter().sum();
+        let expected = pair.target.resident_bytes() + pair.draft.resident_bytes();
+        let ratio = total as f64 / expected as f64;
+        assert!(ratio > 0.95 && ratio < 1.25, "ratio {ratio}");
+    }
+
+    #[test]
+    fn iterative_uses_less_memory_than_speculative() {
+        let pair = ModelPair::dolphin_tinyllama();
+        let iter: u64 = per_node_memory(&pair, InferenceStrategy::Iterative, 8).iter().sum();
+        let spec: u64 = per_node_memory(&pair, InferenceStrategy::Speculative, 8)
+            .iter()
+            .sum();
+        assert!(iter < spec);
+    }
+
+    #[test]
+    fn pipeinfer_and_speculative_totals_match() {
+        // The paper observes PipeInfer's memory consumption equals
+        // speculative inference's (same weights, different placement).
+        let pair = ModelPair::goliath_xwin7b();
+        let spec: u64 = per_node_memory(&pair, InferenceStrategy::Speculative, 8)
+            .iter()
+            .sum();
+        let pipe: u64 = per_node_memory(&pair, InferenceStrategy::PipeInfer, 8).iter().sum();
+        let ratio = pipe as f64 / spec as f64;
+        assert!((ratio - 1.0).abs() < 0.05, "ratio {ratio}");
+    }
+
+    #[test]
+    fn pipeinfer_head_holds_draft_but_no_target_layers() {
+        let pair = ModelPair::dolphin_tinyllama();
+        let mem = per_node_memory(&pair, InferenceStrategy::PipeInfer, 4);
+        // Rank 0 holds the draft model and the embedding/output head only.
+        let draft = pair.draft.resident_bytes();
+        assert!(mem[0] >= draft && mem[0] < 3 * draft);
+        // The other ranks hold target layers, which for a 70B model dwarf
+        // TinyLlama plus the I/O matrices.
+        assert!(mem[1] > mem[0]);
+        assert!(mem[2] > mem[0]);
+    }
+
+    #[test]
+    fn per_node_memory_shrinks_as_nodes_increase() {
+        let pair = ModelPair::falcon_7b();
+        let m4 = per_node_memory(&pair, InferenceStrategy::Iterative, 4);
+        let m32 = per_node_memory(&pair, InferenceStrategy::Iterative, 32);
+        assert!(mean_per_node_gb(&m32) < mean_per_node_gb(&m4));
+        // The largest single node also shrinks (this is what makes 180B
+        // feasible on 8 GB nodes in cluster B only at high node counts).
+        assert!(m32.iter().max().unwrap() < m4.iter().max().unwrap());
+    }
+
+    #[test]
+    fn speed_per_gb_is_monotone_in_speed() {
+        let pair = ModelPair::dolphin_tinyllama();
+        let mem = per_node_memory(&pair, InferenceStrategy::PipeInfer, 8);
+        assert!(speed_per_gb(4.0, &mem) > speed_per_gb(2.0, &mem));
+        assert_eq!(speed_per_gb(4.0, &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn single_node_pipeline_is_rejected() {
+        let pair = ModelPair::dolphin_tinyllama();
+        let _ = per_node_memory(&pair, InferenceStrategy::Iterative, 1);
+    }
+}

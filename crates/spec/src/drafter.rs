@@ -1,0 +1,264 @@
+//! Draft-model front-ends.
+//!
+//! A [`Drafter`] proposes a chain of speculative tokens continuing a given
+//! context, stopping when the draft model's confidence falls below the
+//! speculation cutoff (paper §II-A1) or when the requested maximum is
+//! reached.  Two implementations:
+//!
+//! * [`RealDrafter`] — runs a real tiny `pi-model` transformer greedily.
+//! * [`OracleDrafter`] — uses the alignment oracle (configurable agreement
+//!   with the target) and charges the roofline cost of running the paper's
+//!   actual draft model (TinyLlama, Orca-2, XWin, Falcon-7B/40B, …).
+
+use pi_model::{Batch, KvCache, Model, OracleDraft, OracleTarget, Sampler, Token};
+use pi_perf::{CostModel, ModelCost};
+use std::time::Instant;
+
+/// A speculative (draft) model front-end.
+pub trait Drafter: Send {
+    /// Proposes up to `max_tokens` tokens continuing `context ++ extra`,
+    /// where `context` is the accepted sequence and `extra` holds the pending
+    /// token plus any tokens speculated earlier in the same burst.
+    ///
+    /// Returns the proposed `(token, confidence)` pairs — drafting stops as
+    /// soon as the draft model's confidence drops below `cutoff`, so the
+    /// chain may be shorter than `max_tokens` or even empty — and the
+    /// drafting cost in seconds.
+    fn draft(
+        &mut self,
+        context: &[Token],
+        extra: &[Token],
+        max_tokens: usize,
+        cutoff: f32,
+    ) -> (Vec<(Token, f32)>, f64);
+}
+
+/// Drafter running a real tiny model with greedy sampling.
+///
+/// For robustness the drafter re-processes its context on every call (the
+/// models involved are tiny, so this costs microseconds); this keeps it
+/// correct under the arbitrary rollbacks continuous speculation performs.
+pub struct RealDrafter {
+    model: Model,
+    kv_capacity: usize,
+}
+
+impl RealDrafter {
+    /// Creates a drafter around a draft model.
+    pub fn new(model: Model, kv_capacity: usize) -> Self {
+        Self { model, kv_capacity }
+    }
+}
+
+impl Drafter for RealDrafter {
+    fn draft(
+        &mut self,
+        context: &[Token],
+        extra: &[Token],
+        max_tokens: usize,
+        cutoff: f32,
+    ) -> (Vec<(Token, f32)>, f64) {
+        let start = Instant::now();
+        if max_tokens == 0 {
+            return (Vec::new(), start.elapsed().as_secs_f64());
+        }
+        let mut cache = KvCache::new(
+            self.model.config().n_layers,
+            self.model.config().kv_dim(),
+            self.kv_capacity,
+        );
+        let mut full: Vec<Token> = context.iter().chain(extra.iter()).copied().collect();
+        if full.is_empty() {
+            full.push(0);
+        }
+        let prompt = Batch::prompt(&full, 0, 0);
+        let logits = self
+            .model
+            .forward_full(&prompt, &mut cache)
+            .expect("draft prompt evaluation failed");
+        let mut last_row = logits.row(full.len() - 1).unwrap().to_vec();
+        let mut out = Vec::with_capacity(max_tokens);
+        let mut pos = full.len() as i32;
+        for _ in 0..max_tokens {
+            let conf = Sampler::confidence(&last_row);
+            if conf < cutoff {
+                break;
+            }
+            let token = Sampler::Greedy.sample(&last_row);
+            out.push((token, conf));
+            if out.len() == max_tokens {
+                break;
+            }
+            let step = Batch::single(token, pos, 0);
+            let logits = self
+                .model
+                .forward_full(&step, &mut cache)
+                .expect("draft step evaluation failed");
+            last_row = logits.row(0).unwrap().to_vec();
+            pos += 1;
+        }
+        (out, start.elapsed().as_secs_f64())
+    }
+}
+
+/// Drafter backed by the alignment oracle plus a roofline cost model for the
+/// draft model it stands in for.
+pub struct OracleDrafter {
+    target: OracleTarget,
+    draft: OracleDraft,
+    cost_model: CostModel,
+    draft_cost: ModelCost,
+}
+
+impl OracleDrafter {
+    /// Creates an oracle drafter.
+    ///
+    /// * `target` — ground-truth oracle shared with the head's verification.
+    /// * `draft` — alignment oracle configured with the pair's acceptance
+    ///   rate.
+    /// * `cost_model` — the node hosting the draft model.
+    /// * `draft_cost` — the draft model's geometry and quantization.
+    pub fn new(
+        target: OracleTarget,
+        draft: OracleDraft,
+        cost_model: CostModel,
+        draft_cost: ModelCost,
+    ) -> Self {
+        Self {
+            target,
+            draft,
+            cost_model,
+            draft_cost,
+        }
+    }
+}
+
+impl Drafter for OracleDrafter {
+    fn draft(
+        &mut self,
+        context: &[Token],
+        extra: &[Token],
+        max_tokens: usize,
+        cutoff: f32,
+    ) -> (Vec<(Token, f32)>, f64) {
+        if max_tokens == 0 {
+            return (Vec::new(), 0.0);
+        }
+        let full: Vec<Token> = context.iter().chain(extra.iter()).copied().collect();
+        let chain = self.draft.draft_chain(&self.target, &full, max_tokens);
+        // Honour the confidence cutoff: stop at the first token whose
+        // confidence falls below the cutoff (possibly producing no tokens at
+        // all — the reactive-speculation gradient relies on this).
+        let mut out = Vec::with_capacity(chain.len());
+        for (tok, conf) in chain.into_iter() {
+            if conf < cutoff {
+                break;
+            }
+            out.push((tok, conf));
+        }
+        // Each drafted token is one single-token pass of the draft model.
+        let context_len = full.len();
+        let per_token = self.cost_model.full_model_time(&self.draft_cost, 1, context_len);
+        let cost = per_token * out.len().max(1) as f64;
+        (out, cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_model::ModelConfig;
+    use pi_perf::NodeSpec;
+    use pi_tensor::QuantKind;
+
+    #[test]
+    fn real_drafter_is_deterministic_and_respects_max() {
+        let model = Model::random(ModelConfig::tiny_llama(64, 2), 5);
+        let mut d = RealDrafter::new(model, 256);
+        let (a, _) = d.draft(&[1, 2, 3], &[4], 4, 0.0);
+        let (b, _) = d.draft(&[1, 2, 3], &[4], 4, 0.0);
+        assert_eq!(a, b);
+        assert!(!a.is_empty() && a.len() <= 4, "cutoff 0 must always draft");
+    }
+
+    #[test]
+    fn real_drafter_matches_greedy_continuation_of_itself() {
+        // With cutoff 0 and the same model as "target", the draft chain is
+        // the model's own greedy continuation.
+        let model = Model::random(ModelConfig::tiny_llama(64, 2), 9);
+        let mut cache = model.new_cache_for_layers(&(0..2), 256);
+        let prompt = [3u32, 1, 4, 1, 5];
+        let logits = model
+            .forward_full(&Batch::prompt(&prompt, 0, 0), &mut cache)
+            .unwrap();
+        let first = Sampler::Greedy.sample(logits.row(prompt.len() - 1).unwrap());
+
+        let mut d = RealDrafter::new(model.clone(), 256);
+        let (chain, _) = d.draft(&prompt[..4], &[prompt[4]], 3, 0.0);
+        assert_eq!(chain[0].0, first);
+    }
+
+    #[test]
+    fn real_drafter_zero_max_tokens() {
+        let model = Model::random(ModelConfig::tiny_llama(64, 2), 5);
+        let mut d = RealDrafter::new(model, 128);
+        let (out, _) = d.draft(&[1], &[], 0, 0.5);
+        assert!(out.is_empty());
+    }
+
+    fn oracle_drafter(alignment: f64) -> OracleDrafter {
+        OracleDrafter::new(
+            OracleTarget::new(1, 32000),
+            OracleDraft::new(2, 32000, alignment),
+            CostModel::new(NodeSpec::xeon_gold_6140_dual()),
+            ModelCost::new(ModelConfig::tinyllama_1_1b(), QuantKind::Q4K),
+        )
+    }
+
+    #[test]
+    fn oracle_drafter_produces_tokens_and_positive_cost() {
+        let mut d = oracle_drafter(0.8);
+        let (tokens, cost) = d.draft(&[1, 2, 3], &[4], 4, 0.0);
+        assert!(!tokens.is_empty() && tokens.len() <= 4);
+        assert!(cost > 0.0);
+    }
+
+    #[test]
+    fn oracle_drafter_cost_scales_with_tokens() {
+        let mut d = oracle_drafter(1.0);
+        let (t1, c1) = d.draft(&[1, 2, 3], &[4], 1, 0.0);
+        let (t4, c4) = d.draft(&[1, 2, 3], &[4], 4, 0.0);
+        assert_eq!(t1.len(), 1);
+        assert_eq!(t4.len(), 4);
+        assert!(c4 > 3.0 * c1);
+    }
+
+    #[test]
+    fn oracle_drafter_aligned_chain_matches_target() {
+        let mut d = oracle_drafter(1.0);
+        let context = vec![7, 8, 9];
+        let extra = vec![10];
+        let (chain, _) = d.draft(&context, &extra, 4, 0.0);
+        // With alignment 1.0 the chain must be the target oracle's greedy
+        // continuation of context ++ extra.
+        let target = OracleTarget::new(1, 32000);
+        let mut ctx = vec![7, 8, 9, 10];
+        for (tok, _) in chain {
+            let truth = target.next_token(&ctx);
+            assert_eq!(tok, truth);
+            ctx.push(truth);
+        }
+    }
+
+    #[test]
+    fn high_cutoff_shortens_chains_possibly_to_zero() {
+        let mut d = oracle_drafter(0.5);
+        let (strict, _) = d.draft(&[1, 2, 3, 4, 5], &[6], 8, 0.99);
+        let (loose, _) = d.draft(&[1, 2, 3, 4, 5], &[6], 8, 0.0);
+        assert!(strict.len() <= loose.len());
+        assert_eq!(loose.len(), 8, "cutoff 0 never stops early");
+        // An impossible cutoff drafts nothing at all.
+        let (none, _) = d.draft(&[1, 2, 3, 4, 5], &[6], 8, 1.1);
+        assert!(none.is_empty());
+    }
+}

@@ -1,0 +1,416 @@
+//! Compute engines: how a rank evaluates its share of the model.
+//!
+//! Two families, sharing traits so the rank state machines are oblivious to
+//! which one they run on:
+//!
+//! * **Real** engines ([`RealStageEngine`], [`RealHeadEngine`]) execute a
+//!   tiny `pi-model` transformer.  They are used by the threaded driver for
+//!   end-to-end functional tests (output equivalence between strategies) and
+//!   by the examples.  Their returned cost is the measured wall time of the
+//!   evaluation.
+//! * **Simulated** engines ([`SimStageEngine`], [`SimHeadEngine`]) never
+//!   touch weights: they return `pi-perf` roofline costs and synthesise
+//!   ground-truth tokens from the alignment oracle.  They are used by the
+//!   discrete-event simulator to reproduce the paper's figures at
+//!   70B–180B scale.
+
+use crate::message::{ActivationPayload, CacheOp};
+use pi_model::{Batch, KvCache, Model, OracleTarget, Sampler, Token};
+use pi_perf::{CostModel, ModelCost};
+use std::ops::Range;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Evaluation engine of a (non-head) pipeline stage.
+pub trait StageEngine: Send {
+    /// Evaluates this stage's layers over `batch`, given the activations
+    /// produced by the previous stage.  Returns the output activations and
+    /// the compute cost in seconds.
+    fn eval(&mut self, batch: &Batch, input: &ActivationPayload) -> (ActivationPayload, f64);
+
+    /// Applies a pipelined KV-cache operation, returning its cost in seconds.
+    fn apply_cache_op(&mut self, op: &CacheOp) -> f64;
+}
+
+/// Evaluation engine of the head rank (stage 0 plus embedding, output head,
+/// sampling support).
+pub trait HeadEngine: Send {
+    /// Embeds `batch` and evaluates the head's layer range.  Returns the
+    /// activations to forward and the cost in seconds.
+    fn eval_first_stage(&mut self, batch: &Batch) -> (ActivationPayload, f64);
+
+    /// Converts the final stage's activations into the target model's greedy
+    /// token after each batch entry.
+    ///
+    /// `context` is the accepted token sequence *preceding* the batch; real
+    /// engines ignore it (they have the logits), simulated engines use it to
+    /// query the ground-truth oracle.  Returns the per-entry greedy tokens
+    /// and the cost (output head + sampling) in seconds.
+    fn finalize(
+        &mut self,
+        batch: &Batch,
+        payload: &ActivationPayload,
+        context: &[Token],
+    ) -> (Vec<Token>, f64);
+
+    /// Applies a KV-cache operation on the head's own cache.
+    fn apply_cache_op(&mut self, op: &CacheOp) -> f64;
+}
+
+fn apply_op(cache: &mut KvCache, op: &CacheOp) {
+    match *op {
+        CacheOp::SeqCp { src, dst, p0, p1 } => cache.seq_cp(src, dst, p0, p1),
+        CacheOp::SeqRm { seq, p0, p1 } => cache.seq_rm(seq, p0, p1),
+        CacheOp::SeqKeep { seq } => cache.seq_keep(seq),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Real engines
+// ---------------------------------------------------------------------------
+
+/// Stage engine that runs a real (tiny) model's layer range.
+pub struct RealStageEngine {
+    model: Arc<Model>,
+    layers: Range<usize>,
+    cache: KvCache,
+}
+
+impl RealStageEngine {
+    /// Creates a stage engine for global layers `layers` of `model` with a
+    /// KV cache of `kv_capacity` cells.
+    pub fn new(model: Arc<Model>, layers: Range<usize>, kv_capacity: usize) -> Self {
+        let cache = model.new_cache_for_layers(&layers, kv_capacity);
+        Self {
+            model,
+            layers,
+            cache,
+        }
+    }
+
+    /// Read-only access to the stage's KV cache (used by consistency tests).
+    pub fn cache(&self) -> &KvCache {
+        &self.cache
+    }
+}
+
+impl StageEngine for RealStageEngine {
+    fn eval(&mut self, batch: &Batch, input: &ActivationPayload) -> (ActivationPayload, f64) {
+        let start = Instant::now();
+        let hidden = match input {
+            ActivationPayload::Real(t) => t,
+            _ => return (ActivationPayload::Empty, 0.0),
+        };
+        let cells = Model::alloc_cells(batch, &mut self.cache).expect("stage KV cache exhausted");
+        let out = self
+            .model
+            .forward_layer_range(batch, hidden, self.layers.clone(), &mut self.cache, &cells)
+            .expect("layer-range evaluation failed");
+        (ActivationPayload::Real(out), start.elapsed().as_secs_f64())
+    }
+
+    fn apply_cache_op(&mut self, op: &CacheOp) -> f64 {
+        let start = Instant::now();
+        apply_op(&mut self.cache, op);
+        start.elapsed().as_secs_f64()
+    }
+}
+
+/// Head engine that runs a real (tiny) model.
+pub struct RealHeadEngine {
+    model: Arc<Model>,
+    layers: Range<usize>,
+    cache: KvCache,
+}
+
+impl RealHeadEngine {
+    /// Creates the head engine for global layers `layers` of `model`.
+    pub fn new(model: Arc<Model>, layers: Range<usize>, kv_capacity: usize) -> Self {
+        let cache = model.new_cache_for_layers(&layers, kv_capacity);
+        Self {
+            model,
+            layers,
+            cache,
+        }
+    }
+
+    /// Read-only access to the head's KV cache.
+    pub fn cache(&self) -> &KvCache {
+        &self.cache
+    }
+}
+
+impl HeadEngine for RealHeadEngine {
+    fn eval_first_stage(&mut self, batch: &Batch) -> (ActivationPayload, f64) {
+        let start = Instant::now();
+        let cells = Model::alloc_cells(batch, &mut self.cache).expect("head KV cache exhausted");
+        let hidden = self.model.embed(batch);
+        let out = self
+            .model
+            .forward_layer_range(batch, &hidden, self.layers.clone(), &mut self.cache, &cells)
+            .expect("head layer-range evaluation failed");
+        (ActivationPayload::Real(out), start.elapsed().as_secs_f64())
+    }
+
+    fn finalize(
+        &mut self,
+        batch: &Batch,
+        payload: &ActivationPayload,
+        _context: &[Token],
+    ) -> (Vec<Token>, f64) {
+        let start = Instant::now();
+        let hidden = match payload {
+            ActivationPayload::Real(t) => t,
+            _ => return (Vec::new(), 0.0),
+        };
+        let logits = self.model.logits(hidden);
+        let sampler = Sampler::Greedy;
+        let tokens = (0..batch.len())
+            .map(|i| sampler.sample(logits.row(i).expect("logits row")))
+            .collect();
+        (tokens, start.elapsed().as_secs_f64())
+    }
+
+    fn apply_cache_op(&mut self, op: &CacheOp) -> f64 {
+        let start = Instant::now();
+        apply_op(&mut self.cache, op);
+        start.elapsed().as_secs_f64()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simulated engines
+// ---------------------------------------------------------------------------
+
+/// Stage engine that charges roofline costs instead of computing.
+pub struct SimStageEngine {
+    cost_model: CostModel,
+    model_cost: ModelCost,
+    n_layers: usize,
+}
+
+impl SimStageEngine {
+    /// Creates a simulated stage engine evaluating `n_layers` layers of the
+    /// target model on the node described by `cost_model`.
+    pub fn new(cost_model: CostModel, model_cost: ModelCost, n_layers: usize) -> Self {
+        Self {
+            cost_model,
+            model_cost,
+            n_layers,
+        }
+    }
+}
+
+impl StageEngine for SimStageEngine {
+    fn eval(&mut self, batch: &Batch, _input: &ActivationPayload) -> (ActivationPayload, f64) {
+        let context_len = batch.min_pos().unwrap_or(0).max(0) as usize;
+        let cost = self
+            .cost_model
+            .layers_time(&self.model_cost, self.n_layers, batch.len(), context_len);
+        let payload = ActivationPayload::Simulated {
+            tokens: batch.len(),
+            bytes: self.model_cost.activation_bytes(batch.len()),
+        };
+        (payload, cost)
+    }
+
+    fn apply_cache_op(&mut self, _op: &CacheOp) -> f64 {
+        // Metadata-only operation: effectively free relative to layer
+        // evaluation (the paper's "near-zero slowdown" observation).
+        1e-7
+    }
+}
+
+/// Head engine that charges roofline costs and answers verification queries
+/// from the ground-truth oracle.
+pub struct SimHeadEngine {
+    cost_model: CostModel,
+    model_cost: ModelCost,
+    n_layers: usize,
+    oracle: OracleTarget,
+}
+
+impl SimHeadEngine {
+    /// Creates a simulated head engine.  `n_layers` is the head's own layer
+    /// range; `oracle` supplies the target model's deterministic token
+    /// dynamics.
+    pub fn new(
+        cost_model: CostModel,
+        model_cost: ModelCost,
+        n_layers: usize,
+        oracle: OracleTarget,
+    ) -> Self {
+        Self {
+            cost_model,
+            model_cost,
+            n_layers,
+            oracle,
+        }
+    }
+
+    /// The ground-truth oracle (used by tests).
+    pub fn oracle(&self) -> &OracleTarget {
+        &self.oracle
+    }
+}
+
+impl HeadEngine for SimHeadEngine {
+    fn eval_first_stage(&mut self, batch: &Batch) -> (ActivationPayload, f64) {
+        let context_len = batch.min_pos().unwrap_or(0).max(0) as usize;
+        let cost = self
+            .cost_model
+            .layers_time(&self.model_cost, self.n_layers, batch.len(), context_len);
+        let payload = ActivationPayload::Simulated {
+            tokens: batch.len(),
+            bytes: self.model_cost.activation_bytes(batch.len()),
+        };
+        (payload, cost)
+    }
+
+    fn finalize(
+        &mut self,
+        batch: &Batch,
+        _payload: &ActivationPayload,
+        context: &[Token],
+    ) -> (Vec<Token>, f64) {
+        // Ground truth after consuming each batch prefix.  Batches are token
+        // chains (the pending token followed by drafted tokens), so the
+        // prefix of batch entries is exactly the consumed continuation.
+        let mut ctx: Vec<Token> = context.to_vec();
+        let mut out = Vec::with_capacity(batch.len());
+        for entry in batch.iter() {
+            ctx.push(entry.token);
+            out.push(self.oracle.next_token(&ctx));
+        }
+        let cost = self.cost_model.io_time(&self.model_cost, batch.len())
+            + self.cost_model.sampling_time(&self.model_cost, batch.len());
+        (out, cost)
+    }
+
+    fn apply_cache_op(&mut self, _op: &CacheOp) -> f64 {
+        1e-7
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_model::ModelConfig;
+    use pi_perf::NodeSpec;
+    use pi_tensor::QuantKind;
+
+    fn tiny() -> Arc<Model> {
+        Arc::new(Model::random(ModelConfig::tiny_llama(64, 4), 11))
+    }
+
+    #[test]
+    fn real_stage_engine_matches_direct_evaluation() {
+        let model = tiny();
+        let batch = Batch::prompt(&[1, 2, 3], 0, 0);
+
+        // Direct full forward.
+        let mut full_cache = model.new_cache_for_layers(&(0..4), 64);
+        let expected = model.forward_full(&batch, &mut full_cache).unwrap();
+
+        // Head engine (layers 0..2) + stage engine (layers 2..4) + logits.
+        let mut head = RealHeadEngine::new(model.clone(), 0..2, 64);
+        let mut stage = RealStageEngine::new(model.clone(), 2..4, 64);
+        let (mid, _) = head.eval_first_stage(&batch);
+        let (out, cost) = stage.eval(&batch, &mid);
+        assert!(cost >= 0.0);
+        let hidden = match out {
+            ActivationPayload::Real(t) => t,
+            _ => panic!("expected real payload"),
+        };
+        let logits = model.logits(&hidden);
+        for (a, b) in expected.data().iter().zip(logits.data().iter()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn real_head_finalize_returns_greedy_tokens() {
+        let model = tiny();
+        let batch = Batch::prompt(&[5, 6], 0, 0);
+        let mut head = RealHeadEngine::new(model.clone(), 0..4, 64);
+        let (hidden, _) = head.eval_first_stage(&batch);
+        let (tokens, _) = head.finalize(&batch, &hidden, &[]);
+        assert_eq!(tokens.len(), 2);
+
+        // Cross-check against a direct forward pass.
+        let mut cache = model.new_cache_for_layers(&(0..4), 64);
+        let logits = model.forward_full(&batch, &mut cache).unwrap();
+        assert_eq!(tokens[1], Sampler::Greedy.sample(logits.row(1).unwrap()));
+    }
+
+    #[test]
+    fn real_engines_honour_cache_ops() {
+        let model = tiny();
+        let mut stage = RealStageEngine::new(model.clone(), 0..4, 64);
+        let batch = Batch::prompt(&[1, 2, 3, 4], 0, 0);
+        let hidden = ActivationPayload::Real(model.embed(&batch));
+        let _ = stage.eval(&batch, &hidden);
+        assert_eq!(stage.cache().seq_len(0), 4);
+        stage.apply_cache_op(&CacheOp::SeqRm {
+            seq: 0,
+            p0: 2,
+            p1: i32::MAX,
+        });
+        assert_eq!(stage.cache().seq_len(0), 2);
+    }
+
+    #[test]
+    fn real_stage_engine_passes_empty_payload_through() {
+        let model = tiny();
+        let mut stage = RealStageEngine::new(model, 0..4, 64);
+        let batch = Batch::single(1, 0, 0);
+        let (out, cost) = stage.eval(&batch, &ActivationPayload::Empty);
+        assert!(matches!(out, ActivationPayload::Empty));
+        assert_eq!(cost, 0.0);
+    }
+
+    fn sim_pair() -> (CostModel, ModelCost) {
+        (
+            CostModel::new(NodeSpec::xeon_gold_6140_dual()),
+            ModelCost::new(ModelConfig::llama2_70b(), QuantKind::Q3K),
+        )
+    }
+
+    #[test]
+    fn sim_stage_engine_costs_scale_with_layers_and_batch() {
+        let (cm, mc) = sim_pair();
+        let mut e10 = SimStageEngine::new(cm.clone(), mc.clone(), 10);
+        let mut e20 = SimStageEngine::new(cm, mc, 20);
+        let single = Batch::single(1, 100, 0);
+        let (_, c10) = e10.eval(&single, &ActivationPayload::Empty);
+        let (_, c20) = e20.eval(&single, &ActivationPayload::Empty);
+        assert!((c20 / c10 - 2.0).abs() < 0.01);
+        let (p, _) = e10.eval(&Batch::prompt(&[1, 2, 3, 4], 0, 0), &ActivationPayload::Empty);
+        assert_eq!(p.tokens(), 4);
+        assert_eq!(p.nbytes(), 4 * 8192 * 4);
+    }
+
+    #[test]
+    fn sim_head_finalize_uses_oracle_ground_truth() {
+        let (cm, mc) = sim_pair();
+        let oracle = OracleTarget::new(3, 32000);
+        let mut head = SimHeadEngine::new(cm, mc, 10, oracle);
+        let context = vec![10, 20, 30];
+        let batch = Batch::prompt(&[40, 50], 3, 0);
+        let (tokens, cost) = head.finalize(&batch, &ActivationPayload::Empty, &context);
+        assert_eq!(tokens.len(), 2);
+        assert!(cost > 0.0);
+        assert_eq!(tokens[0], oracle.next_token(&[10, 20, 30, 40]));
+        assert_eq!(tokens[1], oracle.next_token(&[10, 20, 30, 40, 50]));
+    }
+
+    #[test]
+    fn sim_cache_ops_are_cheap() {
+        let (cm, mc) = sim_pair();
+        let mut e = SimStageEngine::new(cm, mc, 10);
+        let single = Batch::single(1, 100, 0);
+        let (_, eval_cost) = e.eval(&single, &ActivationPayload::Empty);
+        let op_cost = e.apply_cache_op(&CacheOp::SeqKeep { seq: 0 });
+        assert!(op_cost < eval_cost / 100.0);
+    }
+}

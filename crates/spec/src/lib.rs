@@ -1,0 +1,211 @@
+//! # pi-spec
+//!
+//! Speculative-decoding building blocks and the two baseline inference
+//! strategies the paper compares PipeInfer against:
+//!
+//! * **pipeline-parallel iterative inference** — the target model split
+//!   across all ranks, one token evaluated at a time
+//!   ([`iterative::IterativeHead`]);
+//! * **pipeline-parallel speculative inference** — a SpecInfer-style
+//!   synchronous speculate-then-verify loop with a single draft model hosted
+//!   on the head node ([`speculative::SpeculativeHead`]).
+//!
+//! The crate also provides everything PipeInfer itself (in `pipeinfer-core`)
+//! reuses:
+//!
+//! * the pipeline message protocol ([`message::PipeMsg`]),
+//! * the generic pipeline worker rank ([`worker::PipelineWorker`]) that
+//!   evaluates its layer range, applies pipelined cache operations and
+//!   honours cancellation,
+//! * compute engines that either run a real tiny model or charge roofline
+//!   costs ([`engine`]),
+//! * draft-model front-ends ([`drafter`]),
+//! * the greedy token-verification algorithm ([`verify`]),
+//! * run configuration and per-run records ([`GenConfig`],
+//!   [`GenerationRecord`]).
+
+pub mod drafter;
+pub mod engine;
+pub mod iterative;
+pub mod message;
+pub mod route;
+pub mod runner;
+pub mod speculative;
+pub mod verify;
+pub mod worker;
+
+pub use drafter::{Drafter, OracleDrafter, RealDrafter};
+pub use engine::{HeadEngine, RealHeadEngine, RealStageEngine, SimHeadEngine, SimStageEngine, StageEngine};
+pub use message::{ActivationPayload, CacheOp, PipeMsg, RunId, RunKind};
+pub use route::PipelineRoute;
+pub use runner::{ExecutionMode, RunOutput};
+pub use verify::verify_greedy;
+pub use worker::PipelineWorker;
+
+use pi_model::Token;
+
+/// Generation-run configuration shared by every inference strategy.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Prompt tokens (the paper uses 128-token prompts).
+    pub prompt: Vec<Token>,
+    /// Number of tokens to generate (the paper uses 512).
+    pub n_generate: usize,
+    /// Maximum number of draft tokens per speculation round / micro-batch.
+    pub max_draft: usize,
+    /// Confidence cutoff below which the draft model stops speculating.
+    pub confidence_cutoff: f32,
+    /// KV-cache capacity in cells provisioned on every stage.
+    pub kv_capacity: usize,
+}
+
+impl GenConfig {
+    /// A small configuration suitable for tests with tiny real models.
+    pub fn small_test(prompt: Vec<Token>, n_generate: usize) -> Self {
+        Self {
+            prompt,
+            n_generate,
+            max_draft: 4,
+            confidence_cutoff: 0.3,
+            kv_capacity: 1024,
+        }
+    }
+
+    /// The paper's evaluation configuration: 128-token prompt, 512 generated
+    /// tokens, speculation capped at four tokens.
+    pub fn paper_eval(prompt: Vec<Token>) -> Self {
+        Self {
+            prompt,
+            n_generate: 512,
+            max_draft: 4,
+            confidence_cutoff: 0.4,
+            kv_capacity: 4096,
+        }
+    }
+}
+
+/// Timeline and outcome of one generation run, recorded by the head rank.
+///
+/// All times are in seconds on the driver's clock (wall-clock under the
+/// threaded driver, virtual time under the simulator).
+#[derive(Debug, Clone, Default)]
+pub struct GenerationRecord {
+    /// The generated tokens, in order (prompt not included).
+    pub tokens: Vec<Token>,
+    /// Time at which prompt processing finished.
+    pub prompt_done_at: f64,
+    /// Acceptance time of each generated token (same length as `tokens`).
+    pub accept_times: Vec<f64>,
+    /// Time at which the run finished.
+    pub finished_at: f64,
+    /// Number of draft tokens proposed.
+    pub drafted: usize,
+    /// Number of draft tokens accepted by verification.
+    pub accepted_drafts: usize,
+    /// Number of target-pipeline runs launched.
+    pub runs_launched: usize,
+    /// Number of runs cancelled by early inference cancellation.
+    pub runs_cancelled: usize,
+}
+
+impl GenerationRecord {
+    /// Average generation speed in tokens per second, excluding prompt
+    /// processing (paper metric 1).
+    pub fn generation_speed(&self) -> f64 {
+        let dur = self.finished_at - self.prompt_done_at;
+        if dur <= 0.0 {
+            0.0
+        } else {
+            self.tokens.len() as f64 / dur
+        }
+    }
+
+    /// Time-to-first-token: from the completion of prompt processing to the
+    /// first token acceptance (paper metric 2).
+    pub fn ttft(&self) -> f64 {
+        self.accept_times
+            .first()
+            .map(|t| t - self.prompt_done_at)
+            .unwrap_or(0.0)
+    }
+
+    /// Mean inter-token latency: average time between consecutive token
+    /// acceptances (paper metric 3).
+    pub fn mean_itl(&self) -> f64 {
+        if self.accept_times.len() < 2 {
+            return 0.0;
+        }
+        let mut gaps = Vec::with_capacity(self.accept_times.len() - 1);
+        for w in self.accept_times.windows(2) {
+            gaps.push(w[1] - w[0]);
+        }
+        gaps.iter().sum::<f64>() / gaps.len() as f64
+    }
+
+    /// Fraction of drafted tokens that were accepted.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.drafted == 0 {
+            0.0
+        } else {
+            self.accepted_drafts as f64 / self.drafted as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> GenerationRecord {
+        GenerationRecord {
+            tokens: vec![1, 2, 3, 4],
+            prompt_done_at: 1.0,
+            accept_times: vec![1.5, 2.0, 2.5, 3.0],
+            finished_at: 3.0,
+            drafted: 10,
+            accepted_drafts: 7,
+            runs_launched: 5,
+            runs_cancelled: 1,
+        }
+    }
+
+    #[test]
+    fn generation_speed_excludes_prompt() {
+        let r = record();
+        assert!((r.generation_speed() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ttft_is_relative_to_prompt_completion() {
+        assert!((record().ttft() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_itl_averages_gaps() {
+        assert!((record().mean_itl() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acceptance_rate() {
+        assert!((record().acceptance_rate() - 0.7).abs() < 1e-12);
+        assert_eq!(GenerationRecord::default().acceptance_rate(), 0.0);
+    }
+
+    #[test]
+    fn degenerate_records_are_safe() {
+        let r = GenerationRecord::default();
+        assert_eq!(r.generation_speed(), 0.0);
+        assert_eq!(r.ttft(), 0.0);
+        assert_eq!(r.mean_itl(), 0.0);
+    }
+
+    #[test]
+    fn config_presets() {
+        let c = GenConfig::paper_eval(vec![0; 128]);
+        assert_eq!(c.prompt.len(), 128);
+        assert_eq!(c.n_generate, 512);
+        assert_eq!(c.max_draft, 4);
+        let s = GenConfig::small_test(vec![1, 2], 8);
+        assert_eq!(s.n_generate, 8);
+    }
+}

@@ -1,0 +1,260 @@
+//! The pipeline message protocol.
+//!
+//! Every inference strategy in this reproduction — the iterative and
+//! speculative baselines and PipeInfer itself — drives its target pipeline
+//! with the same message enum.  One logical pipeline *transaction* of the
+//! paper (a typed sequence of MPI sends issued under a single tag, §IV-A2)
+//! is represented as one [`PipeMsg`] value: atomicity within a transaction
+//! is then automatic, and the per-link FIFO ordering that both drivers
+//! guarantee supplies the cross-transaction ordering the paper obtains from
+//! MPI's non-overtaking rule.
+
+use pi_cluster::WireMessage;
+use pi_model::{Batch, Pos, SeqId, Token};
+use pi_tensor::Tensor;
+
+/// Identifier of an inference run travelling through the target pipeline.
+pub type RunId = u64;
+
+/// Whether a run carries speculative tokens or the single non-speculated
+/// ("canonical") token.  Early inference cancellation treats the two
+/// differently: non-speculative runs are always evaluated in full so that the
+/// KV cache stays authoritative (paper §IV-D3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RunKind {
+    /// Single-token inference of the pending (already accepted) token.
+    NonSpeculative,
+    /// Verification of speculated tokens.
+    Speculative,
+}
+
+/// Activation tensors flowing between pipeline stages.
+///
+/// Real execution ships actual hidden states; simulated execution ships only
+/// the size so the interconnect model can charge transfer time.  Cancelled
+/// runs ship `Empty` payloads to preserve message ordering, exactly as the
+/// paper keeps empty activation transfers for cancelled runs (§IV-D2).
+#[derive(Debug, Clone)]
+pub enum ActivationPayload {
+    /// Real hidden states `[n_tokens, d_model]`.
+    Real(Tensor),
+    /// Simulated payload of the given size.
+    Simulated {
+        /// Number of tokens represented.
+        tokens: usize,
+        /// Size in bytes charged to the interconnect.
+        bytes: u64,
+    },
+    /// Empty payload used by cancelled runs.
+    Empty,
+}
+
+impl ActivationPayload {
+    /// Number of tokens the payload represents.
+    pub fn tokens(&self) -> usize {
+        match self {
+            ActivationPayload::Real(t) => t.rows(),
+            ActivationPayload::Simulated { tokens, .. } => *tokens,
+            ActivationPayload::Empty => 0,
+        }
+    }
+
+    /// Size in bytes for interconnect accounting.
+    pub fn nbytes(&self) -> u64 {
+        match self {
+            ActivationPayload::Real(t) => t.nbytes() as u64,
+            ActivationPayload::Simulated { bytes, .. } => *bytes,
+            ActivationPayload::Empty => 0,
+        }
+    }
+}
+
+/// A KV-cache metadata operation, pipelined through the stages in the same
+/// order as the activation traffic (paper §IV-C3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOp {
+    /// Copy entries of `src` in `[p0, p1)` into `dst` (metadata only).
+    SeqCp {
+        /// Source sequence.
+        src: SeqId,
+        /// Destination sequence.
+        dst: SeqId,
+        /// First position (inclusive).
+        p0: Pos,
+        /// Last position (exclusive).
+        p1: Pos,
+    },
+    /// Remove entries of `seq` in `[p0, p1)`.
+    SeqRm {
+        /// Sequence to remove from.
+        seq: SeqId,
+        /// First position (inclusive).
+        p0: Pos,
+        /// Last position (exclusive).
+        p1: Pos,
+    },
+    /// Keep only `seq`, freeing every other sequence.
+    SeqKeep {
+        /// Sequence to keep.
+        seq: SeqId,
+    },
+}
+
+/// Messages exchanged between ranks.
+#[derive(Debug, Clone)]
+pub enum PipeMsg {
+    /// A decode transaction entering a pipeline stage: evaluate `batch` with
+    /// the given input activations and forward the result.
+    Decode {
+        /// Run identifier.
+        run_id: RunId,
+        /// Run kind (speculative or not).
+        kind: RunKind,
+        /// Token batch (positions + sequence ids).
+        batch: Batch,
+        /// Input activations for this stage.
+        payload: ActivationPayload,
+    },
+    /// Final-stage output returning to the head for sampling/verification.
+    RunResult {
+        /// Run identifier.
+        run_id: RunId,
+        /// Output activations of the last stage.
+        payload: ActivationPayload,
+    },
+    /// A pipelined KV-cache operation.
+    Cache(CacheOp),
+    /// Back-propagated early-cancellation signal for a run.
+    Cancel {
+        /// Run to cancel.
+        run_id: RunId,
+    },
+    /// Request for the dedicated draft rank: speculate a micro-batch.
+    DraftRequest {
+        /// The head's current hypothesis: every accepted token followed by
+        /// every token already speculated and dispatched for verification.
+        /// The draft continues from the end of this sequence.
+        context: Vec<Token>,
+        /// Maximum number of tokens to draft (the micro-batch size).
+        max_tokens: usize,
+        /// Confidence cutoff for this request (continuous speculation adjusts
+        /// it with the recovery/decay factors).
+        confidence_cutoff: f32,
+    },
+    /// The draft rank's reply to a [`PipeMsg::DraftRequest`].
+    DraftResponse {
+        /// Drafted tokens with the draft model's confidence for each.
+        tokens: Vec<(Token, f32)>,
+        /// Context length the draft rank drafted from (echo for validation).
+        context_len: usize,
+    },
+    /// Orderly end of the run; forwarded along the pipeline.
+    Shutdown,
+}
+
+impl WireMessage for PipeMsg {
+    fn priority(&self) -> bool {
+        matches!(self, PipeMsg::Cancel { .. })
+    }
+
+    fn wire_bytes(&self) -> u64 {
+        match self {
+            PipeMsg::Decode { batch, payload, .. } => 16 + batch.wire_bytes() + payload.nbytes(),
+            PipeMsg::RunResult { payload, .. } => 12 + payload.nbytes(),
+            PipeMsg::Cache(_) => 20,
+            PipeMsg::Cancel { .. } => 12,
+            PipeMsg::DraftRequest { context, .. } => 16 + 4 * context.len() as u64,
+            PipeMsg::DraftResponse { tokens, .. } => 8 + 8 * tokens.len() as u64,
+            PipeMsg::Shutdown => 4,
+        }
+    }
+}
+
+/// Message tags (informational; ordering is per-link regardless of tag).
+pub mod tags {
+    /// Decode transactions.
+    pub const DECODE: u32 = 1;
+    /// Run results returning to the head.
+    pub const RESULT: u32 = 2;
+    /// Cache operations.
+    pub const CACHE: u32 = 3;
+    /// Cancellation signals.
+    pub const CANCEL: u32 = 4;
+    /// Draft requests/responses.
+    pub const DRAFT: u32 = 5;
+    /// Shutdown.
+    pub const SHUTDOWN: u32 = 6;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_token_counts_and_sizes() {
+        let real = ActivationPayload::Real(Tensor::zeros(&[3, 8]));
+        assert_eq!(real.tokens(), 3);
+        assert_eq!(real.nbytes(), 3 * 8 * 4);
+        let sim = ActivationPayload::Simulated { tokens: 5, bytes: 999 };
+        assert_eq!(sim.tokens(), 5);
+        assert_eq!(sim.nbytes(), 999);
+        assert_eq!(ActivationPayload::Empty.tokens(), 0);
+        assert_eq!(ActivationPayload::Empty.nbytes(), 0);
+    }
+
+    #[test]
+    fn decode_wire_bytes_include_batch_and_payload() {
+        let batch = Batch::prompt(&[1, 2, 3], 0, 0);
+        let msg = PipeMsg::Decode {
+            run_id: 1,
+            kind: RunKind::Speculative,
+            batch: batch.clone(),
+            payload: ActivationPayload::Simulated { tokens: 3, bytes: 1000 },
+        };
+        assert_eq!(msg.wire_bytes(), 16 + batch.wire_bytes() + 1000);
+    }
+
+    #[test]
+    fn cancelled_run_payload_is_cheap() {
+        let msg = PipeMsg::RunResult {
+            run_id: 9,
+            payload: ActivationPayload::Empty,
+        };
+        assert!(msg.wire_bytes() < 20);
+    }
+
+    #[test]
+    fn control_messages_are_small() {
+        assert!(PipeMsg::Cancel { run_id: 3 }.wire_bytes() < 16);
+        assert!(PipeMsg::Shutdown.wire_bytes() < 8);
+        assert!(PipeMsg::Cache(CacheOp::SeqKeep { seq: 0 }).wire_bytes() < 32);
+    }
+
+    #[test]
+    fn only_cancellation_is_out_of_band() {
+        assert!(PipeMsg::Cancel { run_id: 3 }.priority());
+        assert!(!PipeMsg::Shutdown.priority());
+        assert!(!PipeMsg::Cache(CacheOp::SeqKeep { seq: 0 }).priority());
+        assert!(!PipeMsg::RunResult { run_id: 1, payload: ActivationPayload::Empty }.priority());
+    }
+
+    #[test]
+    fn draft_messages_scale_with_token_count() {
+        let req = PipeMsg::DraftRequest {
+            context: vec![1, 2, 3, 4, 5],
+            max_tokens: 4,
+            confidence_cutoff: 0.4,
+        };
+        assert_eq!(req.wire_bytes(), 16 + 4 * 5);
+        let resp = PipeMsg::DraftResponse {
+            tokens: vec![(1, 0.9), (2, 0.8)],
+            context_len: 10,
+        };
+        assert_eq!(resp.wire_bytes(), 8 + 16);
+    }
+
+    #[test]
+    fn run_kind_equality() {
+        assert_ne!(RunKind::Speculative, RunKind::NonSpeculative);
+    }
+}

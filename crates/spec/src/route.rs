@@ -1,0 +1,128 @@
+//! Pipeline routing: which ranks form the target pipeline and in what order.
+//!
+//! * Baselines (iterative, speculative): every rank is a pipeline stage —
+//!   `[0, 1, 2, …, N-1]`, results return from the last rank to rank 0.
+//! * PipeInfer: rank 1 is the dedicated draft rank, so the target pipeline is
+//!   `[0, 2, 3, …, N-1]` (one stage shorter, as the paper notes when
+//!   explaining its TTFT advantage on constrained clusters).
+
+use pi_cluster::Rank;
+
+/// Ordered list of ranks forming the target pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineRoute {
+    ranks: Vec<Rank>,
+}
+
+impl PipelineRoute {
+    /// Builds a route from an explicit rank order.  The first rank is the
+    /// head (stage 0).
+    pub fn new(ranks: Vec<Rank>) -> Self {
+        assert!(!ranks.is_empty(), "a pipeline needs at least one stage");
+        Self { ranks }
+    }
+
+    /// Baseline route: all `n` ranks in order.
+    pub fn baseline(n: usize) -> Self {
+        Self::new((0..n).collect())
+    }
+
+    /// PipeInfer route over `n` ranks: rank 1 is excluded (dedicated draft
+    /// rank); for `n == 2` the head is the only target stage.
+    pub fn pipeinfer(n: usize) -> Self {
+        assert!(n >= 2, "PipeInfer needs at least a head rank and a draft rank");
+        let mut ranks = vec![0];
+        ranks.extend(2..n);
+        Self::new(ranks)
+    }
+
+    /// The head rank (stage 0).
+    pub fn head(&self) -> Rank {
+        self.ranks[0]
+    }
+
+    /// The last pipeline stage's rank.
+    pub fn last(&self) -> Rank {
+        *self.ranks.last().unwrap()
+    }
+
+    /// Number of pipeline stages.
+    pub fn n_stages(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// All ranks in stage order.
+    pub fn ranks(&self) -> &[Rank] {
+        &self.ranks
+    }
+
+    /// The stage index of `rank`, if it is part of the pipeline.
+    pub fn stage_of(&self, rank: Rank) -> Option<usize> {
+        self.ranks.iter().position(|&r| r == rank)
+    }
+
+    /// The rank evaluating the stage after `rank`, or `None` if `rank` is the
+    /// last stage (whose output returns to the head).
+    pub fn next_after(&self, rank: Rank) -> Option<Rank> {
+        let i = self.stage_of(rank)?;
+        self.ranks.get(i + 1).copied()
+    }
+
+    /// The rank evaluating the stage before `rank`, or `None` for the head.
+    pub fn prev_before(&self, rank: Rank) -> Option<Rank> {
+        let i = self.stage_of(rank)?;
+        if i == 0 {
+            None
+        } else {
+            Some(self.ranks[i - 1])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_route_covers_all_ranks() {
+        let r = PipelineRoute::baseline(4);
+        assert_eq!(r.ranks(), &[0, 1, 2, 3]);
+        assert_eq!(r.head(), 0);
+        assert_eq!(r.last(), 3);
+        assert_eq!(r.n_stages(), 4);
+    }
+
+    #[test]
+    fn pipeinfer_route_skips_rank_one() {
+        let r = PipelineRoute::pipeinfer(5);
+        assert_eq!(r.ranks(), &[0, 2, 3, 4]);
+        assert_eq!(r.n_stages(), 4);
+        assert_eq!(r.stage_of(1), None);
+        assert_eq!(r.stage_of(2), Some(1));
+    }
+
+    #[test]
+    fn pipeinfer_two_ranks_has_single_stage() {
+        let r = PipelineRoute::pipeinfer(2);
+        assert_eq!(r.ranks(), &[0]);
+        assert_eq!(r.head(), 0);
+        assert_eq!(r.last(), 0);
+    }
+
+    #[test]
+    fn next_and_prev_navigation() {
+        let r = PipelineRoute::pipeinfer(5);
+        assert_eq!(r.next_after(0), Some(2));
+        assert_eq!(r.next_after(3), Some(4));
+        assert_eq!(r.next_after(4), None);
+        assert_eq!(r.prev_before(0), None);
+        assert_eq!(r.prev_before(2), Some(0));
+        assert_eq!(r.next_after(1), None, "draft rank is not on the route");
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_route_is_rejected() {
+        let _ = PipelineRoute::new(vec![]);
+    }
+}

@@ -1,0 +1,186 @@
+//! Greedy token-tree verification.
+//!
+//! The paper adopts SpecInfer's verification algorithm; under greedy sampling
+//! (which the whole evaluation uses, so that all strategies produce identical
+//! output) it reduces to longest-prefix matching of the drafted chain against
+//! the target model's greedy continuation, followed by one "free" token —
+//! either the correction at the first mismatch or the bonus token after a
+//! fully accepted chain.
+
+use pi_model::Token;
+
+/// Outcome of verifying one drafted chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyOutcome {
+    /// Draft tokens accepted (a prefix of the drafted chain).
+    pub accepted: Vec<Token>,
+    /// The new pending token: the target's correction at the first mismatch,
+    /// or the bonus continuation if every draft token was accepted.  It is
+    /// guaranteed correct (it is the target's own greedy choice) but has not
+    /// been evaluated by the target pipeline yet.
+    pub pending: Token,
+}
+
+impl VerifyOutcome {
+    /// Number of accepted draft tokens.
+    pub fn n_accepted(&self) -> usize {
+        self.accepted.len()
+    }
+
+    /// Total new tokens produced by the verification (accepted drafts plus
+    /// the pending token).
+    pub fn n_generated(&self) -> usize {
+        self.accepted.len() + 1
+    }
+}
+
+/// Verifies a drafted chain against the target's greedy continuations.
+///
+/// * `draft` — the drafted tokens `d₁ … d_k`.
+/// * `truth` — the target's greedy token *after* each evaluated batch entry:
+///   `truth[0]` is the target's choice for the position of `d₁` (i.e. the
+///   token following the pending token), `truth[i]` the choice following
+///   `d_i`.  Must therefore have length `draft.len() + 1`.
+///
+/// Panics if `truth` is shorter than `draft.len() + 1`.
+pub fn verify_greedy(draft: &[Token], truth: &[Token]) -> VerifyOutcome {
+    assert!(
+        truth.len() >= draft.len() + 1,
+        "need {} truth tokens, got {}",
+        draft.len() + 1,
+        truth.len()
+    );
+    let mut accepted = Vec::with_capacity(draft.len());
+    let mut expected = truth[0];
+    for (i, &d) in draft.iter().enumerate() {
+        if d == expected {
+            accepted.push(d);
+            expected = truth[i + 1];
+        } else {
+            break;
+        }
+    }
+    VerifyOutcome {
+        accepted,
+        pending: expected,
+    }
+}
+
+/// Running acceptance-rate tracker used by head ranks for reporting and by
+/// the reactive-speculation heuristics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AcceptanceTracker {
+    drafted: u64,
+    accepted: u64,
+}
+
+impl AcceptanceTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the outcome of one verification round.
+    pub fn record(&mut self, drafted: usize, accepted: usize) {
+        self.drafted += drafted as u64;
+        self.accepted += accepted as u64;
+    }
+
+    /// Total drafted tokens.
+    pub fn drafted(&self) -> u64 {
+        self.drafted
+    }
+
+    /// Total accepted tokens.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Observed acceptance rate, or `None` before any tokens were drafted.
+    pub fn rate(&self) -> Option<f64> {
+        if self.drafted == 0 {
+            None
+        } else {
+            Some(self.accepted as f64 / self.drafted as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn all_accepted_returns_bonus_token() {
+        let out = verify_greedy(&[5, 6, 7], &[5, 6, 7, 8]);
+        assert_eq!(out.accepted, vec![5, 6, 7]);
+        assert_eq!(out.pending, 8);
+        assert_eq!(out.n_generated(), 4);
+    }
+
+    #[test]
+    fn first_token_mismatch_yields_correction_only() {
+        let out = verify_greedy(&[5, 6, 7], &[9, 1, 2, 3]);
+        assert!(out.accepted.is_empty());
+        assert_eq!(out.pending, 9);
+        assert_eq!(out.n_generated(), 1);
+    }
+
+    #[test]
+    fn partial_acceptance_stops_at_first_mismatch() {
+        let out = verify_greedy(&[5, 6, 7, 8], &[5, 6, 99, 100, 101]);
+        assert_eq!(out.accepted, vec![5, 6]);
+        assert_eq!(out.pending, 99);
+    }
+
+    #[test]
+    fn empty_draft_only_produces_pending() {
+        let out = verify_greedy(&[], &[42]);
+        assert!(out.accepted.is_empty());
+        assert_eq!(out.pending, 42);
+    }
+
+    #[test]
+    #[should_panic]
+    fn short_truth_is_rejected() {
+        let _ = verify_greedy(&[1, 2], &[1, 2]);
+    }
+
+    #[test]
+    fn acceptance_tracker_rates() {
+        let mut t = AcceptanceTracker::new();
+        assert_eq!(t.rate(), None);
+        t.record(4, 3);
+        t.record(4, 1);
+        assert_eq!(t.drafted(), 8);
+        assert_eq!(t.accepted(), 4);
+        assert!((t.rate().unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    proptest! {
+        /// The verified output (accepted ++ pending) must always equal the
+        /// target's own greedy continuation prefix — i.e. speculative
+        /// verification never changes the generated text.
+        #[test]
+        fn prop_output_matches_target_continuation(
+            truth in proptest::collection::vec(0u32..50, 1..10),
+            draft_noise in proptest::collection::vec(0u32..50, 0..9),
+        ) {
+            let k = draft_noise.len().min(truth.len().saturating_sub(1));
+            let draft: Vec<u32> = (0..k).map(|i| {
+                // Half the time the draft matches the truth, half the time not.
+                if draft_noise[i] % 2 == 0 { truth[i] } else { truth[i].wrapping_add(1) }
+            }).collect();
+            let out = verify_greedy(&draft, &truth);
+            // accepted ++ [pending] must be a prefix of the target's own
+            // continuation (truth shifted appropriately).
+            let mut produced = out.accepted.clone();
+            produced.push(out.pending);
+            for (i, tok) in produced.iter().enumerate() {
+                prop_assert_eq!(*tok, truth[i]);
+            }
+            prop_assert!(produced.len() <= truth.len());
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! # pi-tensor
+//!
+//! Minimal dense-tensor and transformer-kernel library used by the PipeInfer
+//! reproduction.
+//!
+//! The crate provides exactly what a decoder-only transformer needs:
+//!
+//! * [`Tensor`] — a row-major, owned, `f32` tensor with 1-D/2-D/3-D views.
+//! * [`ops`] — matrix multiplication, softmax, RMSNorm, SiLU/SwiGLU, rotary
+//!   position embeddings (RoPE) and element-wise helpers. Matrix products are
+//!   parallelised with rayon over output rows.
+//! * [`quant`] — block quantization formats modelled after the GGML `Q8_0`,
+//!   `Q4_K`, `Q3_K` and `Q2_K` families.  They are used both functionally
+//!   (quantize → dequantize → matmul round trips in tests) and analytically
+//!   (bytes-per-weight accounting for the memory-footprint model in
+//!   `pi-perf`).
+//!
+//! The library is deliberately small and dependency-free (rand is only used
+//! for initialisation helpers); it is not meant to compete with full tensor
+//! frameworks, only to provide a faithful, testable substrate for the
+//! scheduling algorithms under study.
+
+pub mod ops;
+pub mod quant;
+pub mod tensor;
+
+pub use quant::{QuantKind, QuantizedMatrix};
+pub use tensor::Tensor;
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+/// Errors produced by tensor construction and kernel invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The requested shape does not match the provided data length.
+    ShapeMismatch {
+        /// Expected number of elements implied by the shape.
+        expected: usize,
+        /// Actual number of elements provided.
+        actual: usize,
+    },
+    /// Two operands have incompatible shapes for the requested kernel.
+    IncompatibleShapes(String),
+    /// An index was out of bounds for the tensor shape.
+    OutOfBounds(String),
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected} elements, got {actual}")
+            }
+            TensorError::IncompatibleShapes(msg) => write!(f, "incompatible shapes: {msg}"),
+            TensorError::OutOfBounds(msg) => write!(f, "index out of bounds: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

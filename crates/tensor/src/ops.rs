@@ -1,0 +1,321 @@
+//! Transformer kernels: matmul, softmax, RMSNorm, SiLU, RoPE.
+//!
+//! Kernels operate on [`Tensor`]s or raw `f32` slices.  The only
+//! parallelised kernel is [`matmul_t`] (weights-transposed matrix product),
+//! which dominates runtime for real tiny-model execution; it splits work over
+//! output rows with rayon.  All other kernels are O(tokens × hidden) and not
+//! worth parallelising at the model sizes this reproduction executes for
+//! real.
+
+use crate::{Result, Tensor, TensorError};
+use rayon::prelude::*;
+
+/// Computes `out = x · wᵀ` where `x` is `[m, k]` and `w` is `[n, k]`.
+///
+/// This is the natural layout for transformer weight matrices (each output
+/// feature is a row of `w`), and lets the inner loop be a contiguous dot
+/// product.  Rows of the output are computed in parallel.
+pub fn matmul_t(x: &Tensor, w: &Tensor) -> Result<Tensor> {
+    let m = x.rows();
+    let k = x.cols();
+    let n = w.rows();
+    if w.cols() != k {
+        return Err(TensorError::IncompatibleShapes(format!(
+            "matmul_t: x is [{m}, {k}], w is [{}, {}]",
+            n,
+            w.cols()
+        )));
+    }
+    let xd = x.data();
+    let wd = w.data();
+    let mut out = vec![0.0f32; m * n];
+    out.par_chunks_mut(n).enumerate().for_each(|(i, out_row)| {
+        let xrow = &xd[i * k..(i + 1) * k];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let wrow = &wd[j * k..(j + 1) * k];
+            *o = dot(xrow, wrow);
+        }
+    });
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    for i in 0..a.len() {
+        acc += a[i] * b[i];
+    }
+    acc
+}
+
+/// In-place element-wise addition: `a += b`.
+pub fn add_inplace(a: &mut [f32], b: &[f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter_mut().zip(b.iter()) {
+        *x += y;
+    }
+}
+
+/// In-place element-wise multiplication: `a *= b`.
+pub fn mul_inplace(a: &mut [f32], b: &[f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter_mut().zip(b.iter()) {
+        *x *= y;
+    }
+}
+
+/// Numerically stable in-place softmax over a slice.
+pub fn softmax_inplace(x: &mut [f32]) {
+    if x.is_empty() {
+        return;
+    }
+    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in x.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in x.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// Returns the softmax of a slice as a new vector.
+pub fn softmax(x: &[f32]) -> Vec<f32> {
+    let mut out = x.to_vec();
+    softmax_inplace(&mut out);
+    out
+}
+
+/// RMS normalisation: `out[i] = x[i] / rms(x) * weight[i]`.
+///
+/// `eps` guards against division by zero exactly as in Llama-family models.
+pub fn rmsnorm(x: &[f32], weight: &[f32], eps: f32) -> Vec<f32> {
+    debug_assert_eq!(x.len(), weight.len());
+    let ss: f32 = x.iter().map(|v| v * v).sum::<f32>() / x.len() as f32;
+    let scale = 1.0 / (ss + eps).sqrt();
+    x.iter()
+        .zip(weight.iter())
+        .map(|(v, w)| v * scale * w)
+        .collect()
+}
+
+/// SiLU activation (`x * sigmoid(x)`), applied element-wise in place.
+pub fn silu_inplace(x: &mut [f32]) {
+    for v in x.iter_mut() {
+        *v = *v * (1.0 / (1.0 + (-*v).exp()));
+    }
+}
+
+/// GELU activation (tanh approximation), applied element-wise in place.
+///
+/// Falcon-family models use GELU in their MLP blocks; including it lets the
+/// Falcon-style model preset differ structurally from the Llama-style one.
+pub fn gelu_inplace(x: &mut [f32]) {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    for v in x.iter_mut() {
+        let x3 = *v * *v * *v;
+        *v = 0.5 * *v * (1.0 + (SQRT_2_OVER_PI * (*v + 0.044715 * x3)).tanh());
+    }
+}
+
+/// Applies rotary position embeddings in place to a query or key vector.
+///
+/// The vector is interpreted as `n_heads` heads of dimension `head_dim`
+/// (which must be even); each consecutive pair of elements within a head is
+/// rotated by an angle that depends on the token `position` and the pair
+/// index, using the standard `theta = 10000` base.
+pub fn rope_inplace(x: &mut [f32], n_heads: usize, head_dim: usize, position: usize, theta: f32) {
+    debug_assert_eq!(x.len(), n_heads * head_dim);
+    debug_assert_eq!(head_dim % 2, 0);
+    for h in 0..n_heads {
+        let base = h * head_dim;
+        for i in 0..head_dim / 2 {
+            let freq = 1.0 / theta.powf(2.0 * i as f32 / head_dim as f32);
+            let angle = position as f32 * freq;
+            let (sin, cos) = angle.sin_cos();
+            let a = x[base + 2 * i];
+            let b = x[base + 2 * i + 1];
+            x[base + 2 * i] = a * cos - b * sin;
+            x[base + 2 * i + 1] = a * sin + b * cos;
+        }
+    }
+}
+
+/// Scales a slice in place by a scalar.
+pub fn scale_inplace(x: &mut [f32], s: f32) {
+    for v in x.iter_mut() {
+        *v *= s;
+    }
+}
+
+/// Weighted accumulation: `acc += w * x`.
+pub fn axpy(acc: &mut [f32], w: f32, x: &[f32]) {
+    debug_assert_eq!(acc.len(), x.len());
+    for (a, b) in acc.iter_mut().zip(x.iter()) {
+        *a += w * b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t(data: Vec<f32>, shape: &[usize]) -> Tensor {
+        Tensor::from_vec(data, shape).unwrap()
+    }
+
+    #[test]
+    fn matmul_t_identity() {
+        // x: [2,3], w = identity-like [3,3]
+        let x = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let w = t(
+            vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0],
+            &[3, 3],
+        );
+        let y = matmul_t(&x, &w).unwrap();
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn matmul_t_known_values() {
+        let x = t(vec![1.0, 2.0], &[1, 2]);
+        let w = t(vec![3.0, 4.0, 5.0, 6.0, 7.0, 8.0], &[3, 2]);
+        let y = matmul_t(&x, &w).unwrap();
+        assert_eq!(y.shape(), &[1, 3]);
+        assert_eq!(y.data(), &[11.0, 17.0, 23.0]);
+    }
+
+    #[test]
+    fn matmul_t_shape_mismatch_errors() {
+        let x = t(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let w = t(vec![1.0, 2.0], &[1, 2]);
+        assert!(matmul_t(&x, &w).is_err());
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_monotonic() {
+        let mut x = vec![1.0, 2.0, 3.0, 4.0];
+        softmax_inplace(&mut x);
+        let sum: f32 = x.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(x[0] < x[1] && x[1] < x[2] && x[2] < x[3]);
+    }
+
+    #[test]
+    fn softmax_handles_large_values() {
+        let mut x = vec![1000.0, 1000.0];
+        softmax_inplace(&mut x);
+        assert!((x[0] - 0.5).abs() < 1e-6);
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn rmsnorm_unit_weight_normalises() {
+        let x = vec![3.0, 4.0];
+        let w = vec![1.0, 1.0];
+        let y = rmsnorm(&x, &w, 1e-6);
+        // rms = sqrt((9+16)/2) = sqrt(12.5)
+        let rms = 12.5f32.sqrt();
+        assert!((y[0] - 3.0 / rms).abs() < 1e-5);
+        assert!((y[1] - 4.0 / rms).abs() < 1e-5);
+    }
+
+    #[test]
+    fn silu_matches_definition() {
+        let mut x = vec![0.0, 1.0, -1.0];
+        silu_inplace(&mut x);
+        assert!((x[0] - 0.0).abs() < 1e-6);
+        assert!((x[1] - 1.0 / (1.0 + (-1.0f32).exp())).abs() < 1e-6);
+        assert!(x[2] < 0.0 && x[2] > -0.5);
+    }
+
+    #[test]
+    fn gelu_fixed_points() {
+        let mut x = vec![0.0, 10.0];
+        gelu_inplace(&mut x);
+        assert!((x[0]).abs() < 1e-6);
+        assert!((x[1] - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rope_position_zero_is_identity() {
+        let mut x = vec![1.0, 2.0, 3.0, 4.0];
+        let orig = x.clone();
+        rope_inplace(&mut x, 1, 4, 0, 10000.0);
+        for (a, b) in x.iter().zip(orig.iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rope_preserves_norm() {
+        let mut x = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let norm_before: f32 = x.iter().map(|v| v * v).sum();
+        rope_inplace(&mut x, 2, 4, 17, 10000.0);
+        let norm_after: f32 = x.iter().map(|v| v * v).sum();
+        assert!((norm_before - norm_after).abs() < 1e-3);
+    }
+
+    #[test]
+    fn axpy_and_add_mul() {
+        let mut acc = vec![1.0, 1.0];
+        axpy(&mut acc, 2.0, &[3.0, 4.0]);
+        assert_eq!(acc, vec![7.0, 9.0]);
+        let mut a = vec![1.0, 2.0];
+        add_inplace(&mut a, &[10.0, 20.0]);
+        assert_eq!(a, vec![11.0, 22.0]);
+        mul_inplace(&mut a, &[2.0, 0.5]);
+        assert_eq!(a, vec![22.0, 11.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_softmax_is_distribution(v in proptest::collection::vec(-50.0f32..50.0, 1..64)) {
+            let s = softmax(&v);
+            let sum: f32 = s.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.iter().all(|p| *p >= 0.0 && *p <= 1.0));
+        }
+
+        #[test]
+        fn prop_matmul_t_distributes_over_addition(
+            m in 1usize..4, k in 1usize..6, n in 1usize..4,
+            seed in 0u64..1000
+        ) {
+            use rand::{rngs::StdRng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let x1 = Tensor::rand_uniform(&mut rng, &[m, k], 1.0);
+            let x2 = Tensor::rand_uniform(&mut rng, &[m, k], 1.0);
+            let w = Tensor::rand_uniform(&mut rng, &[n, k], 1.0);
+            let mut xsum = x1.clone();
+            add_inplace(xsum.data_mut(), x2.data());
+            let lhs = matmul_t(&xsum, &w).unwrap();
+            let y1 = matmul_t(&x1, &w).unwrap();
+            let y2 = matmul_t(&x2, &w).unwrap();
+            for i in 0..lhs.len() {
+                prop_assert!((lhs.data()[i] - (y1.data()[i] + y2.data()[i])).abs() < 1e-3);
+            }
+        }
+
+        #[test]
+        fn prop_rope_is_norm_preserving(
+            pos in 0usize..2048,
+            seed in 0u64..1000
+        ) {
+            use rand::{rngs::StdRng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let t = Tensor::rand_uniform(&mut rng, &[32], 1.0);
+            let mut x = t.into_vec();
+            let before: f32 = x.iter().map(|v| v * v).sum();
+            rope_inplace(&mut x, 4, 8, pos, 10000.0);
+            let after: f32 = x.iter().map(|v| v * v).sum();
+            prop_assert!((before - after).abs() < 1e-2 * before.max(1.0));
+        }
+    }
+}

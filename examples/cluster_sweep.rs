@@ -1,0 +1,46 @@
+//! Reproduce a slice of the paper's Figure 4: generation speed of the three
+//! inference strategies for the Dolphin-70B + TinyLlama pair, swept over the
+//! node counts of cluster C, using the discrete-event simulator.
+//!
+//! ```text
+//! cargo run --release --example cluster_sweep
+//! ```
+
+use pipeinfer::metrics::Figure;
+use pipeinfer::prelude::*;
+
+fn main() {
+    let pair = ModelPair::dolphin_tinyllama();
+    let gen = GenConfig {
+        prompt: vec![7; 64],
+        n_generate: 96,
+        max_draft: 4,
+        confidence_cutoff: 0.4,
+        kv_capacity: 8192,
+    };
+
+    let mut fig = Figure::new(
+        "Fig. 4a (excerpt)",
+        "Dolphin-70B + TinyLlama on cluster C",
+        "tokens/s",
+    );
+    for n in [4usize, 8, 15, 32] {
+        let mode = ExecutionMode::Sim {
+            pair: pair.clone(),
+            cluster: ClusterSpec::cluster_c(n),
+            oracle_seed: 7,
+        };
+        let x = format!("{n} Node");
+        let iter = run_iterative(&mode, n, &gen);
+        let spec = run_speculative(&mode, n, &gen);
+        let pipe = run_pipeinfer(&mode, n, &gen, &PipeInferConfig::default());
+        fig.push("Iterative", &x, iter.record.generation_speed());
+        fig.push("Speculative", &x, spec.record.generation_speed());
+        fig.push("PipeInfer", &x, pipe.record.generation_speed());
+    }
+    println!("{}", fig.render());
+    let speedup = fig
+        .ratio("PipeInfer", "Speculative", "8 Node")
+        .unwrap_or(f64::NAN);
+    println!("PipeInfer speedup over speculative inference at 8 nodes: {speedup:.2}x");
+}

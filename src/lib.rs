@@ -1,0 +1,53 @@
+//! # pipeinfer
+//!
+//! Facade crate for the PipeInfer reproduction workspace.  It re-exports the
+//! public API of every workspace crate under one roof so examples,
+//! integration tests and downstream users can depend on a single crate:
+//!
+//! * [`tensor`] — dense tensors, transformer kernels, block quantization.
+//! * [`model`] — decoder-only transformers, KV cache with sequence metadata,
+//!   token trees, samplers and the synthetic alignment oracles.
+//! * [`cluster`] — MPI-like messaging, the threaded cluster driver and the
+//!   discrete-event simulator.
+//! * [`perf`] — hardware presets, model-pair presets and the roofline cost
+//!   model reproducing the paper's testbeds.
+//! * [`spec`] — speculative-decoding building blocks and the iterative /
+//!   speculative pipeline-parallel baselines.
+//! * [`core`] — PipeInfer itself: asynchronous pipelined speculation with
+//!   continuous speculation, KV-cache multibuffering and early inference
+//!   cancellation.
+//! * [`metrics`] — measurement summaries and report rendering.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` / `EXPERIMENTS.md` for
+//! the reproduction methodology.
+
+/// Dense tensors, transformer kernels and block quantization (`pi-tensor`).
+pub use pi_tensor as tensor;
+
+/// Transformer models, KV cache, token trees and samplers (`pi-model`).
+pub use pi_model as model;
+
+/// Message passing, threaded driver and discrete-event simulator
+/// (`pi-cluster`).
+pub use pi_cluster as cluster;
+
+/// Hardware/model presets and the roofline cost model (`pi-perf`).
+pub use pi_perf as perf;
+
+/// Speculative decoding building blocks and baselines (`pi-spec`).
+pub use pi_spec as spec;
+
+/// PipeInfer itself (`pipeinfer-core`).
+pub use pipeinfer_core as core;
+
+/// Metrics and report rendering (`pi-metrics`).
+pub use pi_metrics as metrics;
+
+/// Convenience prelude with the types most programs need.
+pub mod prelude {
+    pub use pi_model::{Batch, ByteTokenizer, Model, ModelConfig, Token};
+    pub use pi_perf::{ClusterSpec, InferenceStrategy, ModelPair};
+    pub use pi_spec::runner::{run_iterative, run_speculative, ExecutionMode, RunOutput};
+    pub use pi_spec::{GenConfig, GenerationRecord};
+    pub use pipeinfer_core::{run_pipeinfer, PipeInferConfig};
+}

@@ -1,0 +1,108 @@
+//! Workspace-level integration tests of the simulated evaluation path:
+//! determinism, cross-strategy orderings and property-based checks on the
+//! paper's qualitative claims.
+
+use pipeinfer::prelude::*;
+use proptest::prelude::*;
+
+fn sim(pair: ModelPair, n: usize, seed: u64) -> ExecutionMode {
+    ExecutionMode::Sim {
+        pair,
+        cluster: ClusterSpec::cluster_c(n),
+        oracle_seed: seed,
+    }
+}
+
+fn gen(n_generate: usize) -> GenConfig {
+    GenConfig {
+        prompt: vec![4; 24],
+        n_generate,
+        max_draft: 4,
+        confidence_cutoff: 0.4,
+        kv_capacity: 8192,
+    }
+}
+
+#[test]
+fn simulated_runs_are_bit_reproducible() {
+    let cfg = gen(40);
+    for _ in 0..2 {
+        let a = run_pipeinfer(&sim(ModelPair::falcon_7b(), 8, 3), 8, &cfg, &PipeInferConfig::default());
+        let b = run_pipeinfer(&sim(ModelPair::falcon_7b(), 8, 3), 8, &cfg, &PipeInferConfig::default());
+        assert_eq!(a.record.tokens, b.record.tokens);
+        assert_eq!(a.record.finished_at, b.record.finished_at);
+        assert_eq!(a.record.accept_times, b.record.accept_times);
+        assert_eq!(a.stats.total_bytes(), b.stats.total_bytes());
+    }
+}
+
+#[test]
+fn paper_orderings_hold_on_cluster_c() {
+    // PipeInfer ≥ speculative ≥ iterative in generation speed at 8 nodes;
+    // TTFT: PipeInfer ≈ iterative < speculative (paper Figs. 4 and 5).
+    let cfg = gen(64);
+    for pair in [ModelPair::dolphin_tinyllama(), ModelPair::goliath_xwin7b()] {
+        let iter = run_iterative(&sim(pair.clone(), 8, 5), 8, &cfg);
+        let spec = run_speculative(&sim(pair.clone(), 8, 5), 8, &cfg);
+        let pipe = run_pipeinfer(&sim(pair.clone(), 8, 5), 8, &cfg, &PipeInferConfig::default());
+        assert!(
+            pipe.record.generation_speed() > spec.record.generation_speed(),
+            "{}: pipe {:.2} <= spec {:.2}",
+            pair.name,
+            pipe.record.generation_speed(),
+            spec.record.generation_speed()
+        );
+        assert!(spec.record.generation_speed() > iter.record.generation_speed());
+        // TTFT: PipeInfer stays at iterative levels.  Speculative inference
+        // pays the draft latency up front, which is only pronounced when the
+        // draft model is not tiny (the Goliath pair uses a 7B draft).
+        assert!(pipe.record.ttft() <= 1.05 * spec.record.ttft());
+        assert!(pipe.record.ttft() < 1.5 * iter.record.ttft());
+        if pair.name.contains("Goliath") {
+            assert!(spec.record.ttft() > pipe.record.ttft());
+        }
+    }
+}
+
+#[test]
+fn cancellation_ablation_never_improves_speed_under_poor_alignment() {
+    let cfg = gen(64);
+    let pair = ModelPair::goliath_xwin7b();
+    let full = run_pipeinfer(&sim(pair.clone(), 8, 9), 8, &cfg, &PipeInferConfig::default());
+    let no_cancel = run_pipeinfer(&sim(pair, 8, 9), 8, &cfg, &PipeInferConfig::no_cancellation());
+    assert!(full.record.generation_speed() >= 0.95 * no_cancel.record.generation_speed());
+    assert_eq!(full.record.tokens, no_cancel.record.tokens);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Whatever the acceptance rate and node count, PipeInfer must (a) finish,
+    /// (b) reproduce the oracle's greedy continuation exactly, and (c) never
+    /// be slower than the iterative baseline by more than a small tolerance.
+    #[test]
+    fn prop_pipeinfer_correct_and_competitive(
+        acceptance in 0.05f64..0.95,
+        n_nodes in 4usize..12,
+        seed in 0u64..50,
+    ) {
+        let mut pair = ModelPair::dolphin_tinyllama();
+        pair.acceptance_rate = acceptance;
+        let cfg = gen(32);
+        let mode = sim(pair.clone(), n_nodes, seed);
+        let pipe = run_pipeinfer(&mode, n_nodes, &cfg, &PipeInferConfig::default());
+        prop_assert!(pipe.completed);
+        prop_assert!(pipe.record.tokens.len() >= 32);
+        let truth = pipeinfer::model::OracleTarget::new(seed, pair.target.cfg.vocab_size as u32)
+            .generate(&cfg.prompt, 40);
+        prop_assert_eq!(&pipe.record.tokens[..32], &truth[1..33]);
+
+        let iter = run_iterative(&mode, n_nodes, &cfg);
+        prop_assert!(
+            pipe.record.generation_speed() > 0.8 * iter.record.generation_speed(),
+            "pipe {} vs iter {}",
+            pipe.record.generation_speed(),
+            iter.record.generation_speed()
+        );
+    }
+}
