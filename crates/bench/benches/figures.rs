@@ -18,8 +18,14 @@ fn main() {
         scale.prompt_len, scale.n_generate
     );
 
-    println!("{}", table_model_pairs(&ModelPair::table1(), "Table I: CPU model pairs"));
-    println!("{}", table_model_pairs(&ModelPair::table3(), "Table III: GPU model pairs"));
+    println!(
+        "{}",
+        table_model_pairs(&ModelPair::table1(), "Table I: CPU model pairs")
+    );
+    println!(
+        "{}",
+        table_model_pairs(&ModelPair::table3(), "Table III: GPU model pairs")
+    );
     println!("{}", table_testbeds());
 
     let mut report = Report::new();
@@ -41,7 +47,10 @@ fn main() {
     report.insert(fig7a_memory_efficiency(scale));
     report.insert(fig7b_constrained_ttft(scale));
     report.insert(fig7c_constrained_speed(scale));
-    eprintln!("[{:6.1?}] constrained-cluster figures done", start.elapsed());
+    eprintln!(
+        "[{:6.1?}] constrained-cluster figures done",
+        start.elapsed()
+    );
     report.insert(fig8_ablations(scale));
     report.insert(fig9_gpu_speed(scale));
     report.insert(fig10_prompt_variance(scale));

@@ -17,7 +17,9 @@ fn bench_matmul(c: &mut Criterion) {
         b.iter(|| ops::matmul_t(&x, &w).unwrap())
     });
     let q = QuantizedMatrix::quantize(&w, QuantKind::Q4K).unwrap();
-    c.bench_function("matmul_t 4x512x512 q4", |b| b.iter(|| q.matmul_t(&x).unwrap()));
+    c.bench_function("matmul_t 4x512x512 q4", |b| {
+        b.iter(|| q.matmul_t(&x).unwrap())
+    });
 }
 
 fn bench_quantization(c: &mut Criterion) {
@@ -52,7 +54,11 @@ fn bench_tiny_model_decode(c: &mut Criterion) {
     c.bench_function("tiny model single-token decode", |b| {
         b.iter_batched(
             || model.new_cache_for_layers(&(0..4), 64),
-            |mut cache| model.forward_full(&Batch::single(5, 0, 0), &mut cache).unwrap(),
+            |mut cache| {
+                model
+                    .forward_full(&Batch::single(5, 0, 0), &mut cache)
+                    .unwrap()
+            },
             BatchSize::SmallInput,
         )
     });

@@ -16,9 +16,11 @@
 use pi_metrics::Figure;
 use pi_perf::memory::{per_node_memory, speed_per_gb};
 use pi_perf::{ClusterSpec, InferenceStrategy, ModelPair};
-use pi_spec::runner::{run_iterative, run_speculative, ExecutionMode, RunOutput};
+use pi_spec::deploy::{
+    Deployment, ExecutionMode, IterativeStrategy, RunOutput, SpeculativeStrategy,
+};
 use pi_spec::{GenConfig, GenerationRecord};
-use pipeinfer_core::{run_pipeinfer, PipeInferConfig};
+use pipeinfer_core::{run_pipeinfer, PipeInferConfig, PipeInferStrategy};
 
 /// How much work each experiment run performs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +88,18 @@ fn sim_mode(pair: &ModelPair, cluster: ClusterSpec) -> ExecutionMode {
     }
 }
 
+/// The [`Deployment`] executing `strategy` with the harness defaults
+/// (PipeInfer uses the paper's configuration).
+pub fn deployment_for(strategy: InferenceStrategy) -> Deployment {
+    match strategy {
+        InferenceStrategy::Iterative => Deployment::new(IterativeStrategy),
+        InferenceStrategy::Speculative => Deployment::new(SpeculativeStrategy),
+        InferenceStrategy::PipeInfer => {
+            Deployment::new(PipeInferStrategy::new(PipeInferConfig::paper_default()))
+        }
+    }
+}
+
 /// Runs one experiment point and returns the head's record.
 pub fn run_strategy(
     strategy: InferenceStrategy,
@@ -95,13 +109,7 @@ pub fn run_strategy(
 ) -> RunOutput {
     let n = cluster.n_nodes();
     let mode = sim_mode(pair, cluster);
-    match strategy {
-        InferenceStrategy::Iterative => run_iterative(&mode, n, config),
-        InferenceStrategy::Speculative => run_speculative(&mode, n, config),
-        InferenceStrategy::PipeInfer => {
-            run_pipeinfer(&mode, n, config, &PipeInferConfig::paper_default())
-        }
-    }
+    deployment_for(strategy).run(&mode, n, config)
 }
 
 /// Which metric of a [`GenerationRecord`] a figure plots.
@@ -146,9 +154,17 @@ fn cluster_c_sweep(
     pairs: &[(&str, ModelPair)],
     scale: BenchScale,
 ) -> [Figure; 3] {
-    let mut fig_speed = Figure::new(id_speed, &format!("{title} generation speed"), Metric::Speed.unit());
+    let mut fig_speed = Figure::new(
+        id_speed,
+        &format!("{title} generation speed"),
+        Metric::Speed.unit(),
+    );
     let mut fig_ttft = Figure::new(id_ttft, &format!("{title} TTFT"), Metric::Ttft.unit());
-    let mut fig_itl = Figure::new(id_itl, &format!("{title} inter-token latency"), Metric::Itl.unit());
+    let mut fig_itl = Figure::new(
+        id_itl,
+        &format!("{title} inter-token latency"),
+        Metric::Itl.unit(),
+    );
     let config_tag = 1;
     for &n in &CLUSTER_C_NODES {
         let x = format!("{n} Node");
@@ -176,12 +192,36 @@ fn cluster_c_sweep(
                 ClusterSpec::cluster_c(n),
                 &config,
             );
-            fig_speed.push(&format!("Spec. ({draft_name})"), &x, Metric::Speed.of(&spec.record));
-            fig_speed.push(&format!("Pipe. ({draft_name})"), &x, Metric::Speed.of(&pipe.record));
-            fig_ttft.push(&format!("Spec. ({draft_name})"), &x, Metric::Ttft.of(&spec.record));
-            fig_ttft.push(&format!("Pipe. ({draft_name})"), &x, Metric::Ttft.of(&pipe.record));
-            fig_itl.push(&format!("Spec. ({draft_name})"), &x, Metric::Itl.of(&spec.record));
-            fig_itl.push(&format!("Pipe. ({draft_name})"), &x, Metric::Itl.of(&pipe.record));
+            fig_speed.push(
+                &format!("Spec. ({draft_name})"),
+                &x,
+                Metric::Speed.of(&spec.record),
+            );
+            fig_speed.push(
+                &format!("Pipe. ({draft_name})"),
+                &x,
+                Metric::Speed.of(&pipe.record),
+            );
+            fig_ttft.push(
+                &format!("Spec. ({draft_name})"),
+                &x,
+                Metric::Ttft.of(&spec.record),
+            );
+            fig_ttft.push(
+                &format!("Pipe. ({draft_name})"),
+                &x,
+                Metric::Ttft.of(&pipe.record),
+            );
+            fig_itl.push(
+                &format!("Spec. ({draft_name})"),
+                &x,
+                Metric::Itl.of(&spec.record),
+            );
+            fig_itl.push(
+                &format!("Pipe. ({draft_name})"),
+                &x,
+                Metric::Itl.of(&pipe.record),
+            );
         }
     }
     [fig_speed, fig_ttft, fig_itl]
@@ -280,7 +320,11 @@ pub fn fig7b_constrained_ttft(scale: BenchScale) -> Figure {
 /// Figure 7c: generation speed on the constrained clusters (4 and 8 nodes of
 /// cluster A, 13 heterogeneous nodes of cluster B), small draft models.
 pub fn fig7c_constrained_speed(scale: BenchScale) -> Figure {
-    let mut fig = Figure::new("Fig. 7c", "Generation speed on constrained clusters", "tokens/s");
+    let mut fig = Figure::new(
+        "Fig. 7c",
+        "Generation speed on constrained clusters",
+        "tokens/s",
+    );
     let pairs = [
         ("Dolphin", ModelPair::dolphin_tinyllama()),
         ("Goliath", ModelPair::goliath_xwin7b()),
@@ -320,7 +364,10 @@ pub fn fig8_ablations(scale: BenchScale) -> Figure {
     let variants: [(&str, PipeInferConfig); 3] = [
         ("PipeInfer", PipeInferConfig::paper_default()),
         ("No cancellation", PipeInferConfig::no_cancellation()),
-        ("No cont. spec.", PipeInferConfig::no_continuous_speculation()),
+        (
+            "No cont. spec.",
+            PipeInferConfig::no_continuous_speculation(),
+        ),
     ];
     let config = gen_config(scale, 4);
     for (pair_name, pair) in &pairs {
@@ -353,7 +400,11 @@ pub fn fig9_gpu_speed(scale: BenchScale) -> Figure {
 /// Figure 10: prompt-to-prompt variance on the 4-GPU cluster
 /// (Senku-70B + TinyLlama), PipeInfer vs speculative inference.
 pub fn fig10_prompt_variance(scale: BenchScale) -> Figure {
-    let mut fig = Figure::new("Fig. 10", "Prompt-to-prompt variance (Senku-70B)", "tokens/s");
+    let mut fig = Figure::new(
+        "Fig. 10",
+        "Prompt-to-prompt variance (Senku-70B)",
+        "tokens/s",
+    );
     let pair = ModelPair::senku_tinyllama();
     let prompts = [
         ("Prompt 1 (explain)", 11u64),
@@ -391,7 +442,11 @@ pub fn table_model_pairs(pairs: &[ModelPair], title: &str) -> String {
             p.draft.describe(),
             p.draft.resident_bytes() as f64 / 1e9,
             p.acceptance_rate * 100.0,
-            if p.acceptance_from_paper { "" } else { " (est.)" },
+            if p.acceptance_from_paper {
+                ""
+            } else {
+                " (est.)"
+            },
         );
     }
     out
@@ -490,7 +545,9 @@ mod tests {
         let fig = fig8_ablations(tiny_scale());
         assert_eq!(fig.series_labels().len(), 9);
         let full = fig.value("Goliath: PipeInfer", "Speed (tokens/s)").unwrap();
-        let no_cont = fig.value("Goliath: No cont. spec.", "Speed (tokens/s)").unwrap();
+        let no_cont = fig
+            .value("Goliath: No cont. spec.", "Speed (tokens/s)")
+            .unwrap();
         assert!(full >= no_cont, "continuous speculation must not hurt");
     }
 
@@ -504,8 +561,12 @@ mod tests {
         // the aggregate bandwidth); both must at least be in the same
         // ballpark and positive.  See EXPERIMENTS.md for the comparison with
         // the paper's Fig. 9.
-        let pipe = fig.value("PipeInfer", "Senku-70B + TinyLlama-1.1B").unwrap();
-        let spec = fig.value("Speculative", "Senku-70B + TinyLlama-1.1B").unwrap();
+        let pipe = fig
+            .value("PipeInfer", "Senku-70B + TinyLlama-1.1B")
+            .unwrap();
+        let spec = fig
+            .value("Speculative", "Senku-70B + TinyLlama-1.1B")
+            .unwrap();
         assert!(pipe > 0.0 && spec > 0.0);
         assert!(pipe > 0.6 * spec && spec > 0.6 * pipe);
     }

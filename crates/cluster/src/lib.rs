@@ -29,8 +29,8 @@
 //! exact same scheduling code runs threaded (real time) and simulated
 //! (virtual time).
 
-pub mod stats;
 pub mod sim;
+pub mod stats;
 pub mod threaded;
 pub mod topology;
 

@@ -136,7 +136,10 @@ impl SimDriver {
     ///
     /// `behaviors[r]` is rank `r`; the topology must have at least that many
     /// ranks.
-    pub fn run<M: WireMessage>(&self, mut behaviors: Vec<Box<dyn NodeBehavior<M>>>) -> SimOutcome<M> {
+    pub fn run<M: WireMessage>(
+        &self,
+        mut behaviors: Vec<Box<dyn NodeBehavior<M>>>,
+    ) -> SimOutcome<M> {
         let n = behaviors.len();
         assert!(
             self.topology.n_ranks() >= n,
@@ -213,10 +216,8 @@ impl SimDriver {
                         ActivationKind::Idle
                     };
                     Some((local_time[r], r, kind))
-                } else if let Some(a) = earliest_arrival {
-                    Some((local_time[r].max(a), r, ActivationKind::Deliver))
                 } else {
-                    None
+                    earliest_arrival.map(|a| (local_time[r].max(a), r, ActivationKind::Deliver))
                 };
                 if let Some((t, r2, k)) = candidate {
                     let better = match &best {
@@ -388,7 +389,14 @@ mod tests {
     impl NodeBehavior<Msg> for Relay {
         fn on_start(&mut self, ctx: &mut dyn NodeCtx<Msg>) {
             if self.rank == 0 {
-                ctx.send(1, 0, Msg { hops: 0, bytes: 1000 });
+                ctx.send(
+                    1,
+                    0,
+                    Msg {
+                        hops: 0,
+                        bytes: 1000,
+                    },
+                );
             }
         }
         fn on_message(&mut self, _src: Rank, _tag: Tag, msg: Msg, ctx: &mut dyn NodeCtx<Msg>) {
@@ -404,14 +412,35 @@ mod tests {
                     self.finished = true;
                     // Tell everyone else to finish.
                     for r in 1..self.n {
-                        ctx.send(r, 99, Msg { hops: u32::MAX, bytes: 8 });
+                        ctx.send(
+                            r,
+                            99,
+                            Msg {
+                                hops: u32::MAX,
+                                bytes: 8,
+                            },
+                        );
                     }
                 } else {
-                    ctx.send(1, 0, Msg { hops: 0, bytes: 1000 });
+                    ctx.send(
+                        1,
+                        0,
+                        Msg {
+                            hops: 0,
+                            bytes: 1000,
+                        },
+                    );
                 }
             } else {
                 let next = (self.rank + 1) % self.n;
-                ctx.send(next, 0, Msg { hops: msg.hops + 1, bytes: msg.bytes }, );
+                ctx.send(
+                    next,
+                    0,
+                    Msg {
+                        hops: msg.hops + 1,
+                        bytes: msg.bytes,
+                    },
+                );
             }
         }
         fn is_finished(&self) -> bool {
@@ -576,7 +605,14 @@ mod tests {
         }
         impl NodeBehavior<Msg> for Sender {
             fn on_start(&mut self, ctx: &mut dyn NodeCtx<Msg>) {
-                ctx.send(1, 0, Msg { hops: 1, bytes: 10_000_000 });
+                ctx.send(
+                    1,
+                    0,
+                    Msg {
+                        hops: 1,
+                        bytes: 10_000_000,
+                    },
+                );
                 ctx.send(1, 0, Msg { hops: 2, bytes: 1 });
                 self.done = true;
             }

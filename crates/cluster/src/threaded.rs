@@ -29,6 +29,9 @@ struct Envelope<M> {
     msg: M,
 }
 
+/// Per-rank mailboxes: one sender handle per destination, one receiver each.
+type Channels<M> = (Vec<Sender<Envelope<M>>>, Vec<Receiver<Envelope<M>>>);
+
 struct ThreadedCtx<M> {
     rank: Rank,
     world: usize,
@@ -91,11 +94,13 @@ impl ThreadedDriver {
 
     /// Runs the behaviors, one thread per rank, until all finish or the
     /// timeout expires.
-    pub fn run<M: WireMessage>(&self, behaviors: Vec<Box<dyn NodeBehavior<M>>>) -> ThreadedOutcome<M> {
+    pub fn run<M: WireMessage>(
+        &self,
+        behaviors: Vec<Box<dyn NodeBehavior<M>>>,
+    ) -> ThreadedOutcome<M> {
         let n = behaviors.len();
         let start = Instant::now();
-        let (senders, receivers): (Vec<Sender<Envelope<M>>>, Vec<Receiver<Envelope<M>>>) =
-            (0..n).map(|_| unbounded()).unzip();
+        let (senders, receivers): Channels<M> = (0..n).map(|_| unbounded()).unzip();
 
         let timeout = self.timeout;
         let handles: Vec<_> = behaviors
@@ -243,7 +248,10 @@ mod tests {
             .with_timeout(Duration::from_secs(20))
             .run(ring(4, 5));
         assert!(out.completed);
-        let head = out.behaviors[0].as_any().downcast_ref::<RingAdder>().unwrap();
+        let head = out.behaviors[0]
+            .as_any()
+            .downcast_ref::<RingAdder>()
+            .unwrap();
         // Each lap adds 1 at ranks 1, 2, 3 → value 3 back at rank 0.
         assert_eq!(head.received, vec![3, 3, 3, 3, 3]);
         assert!(out.stats.total_time > 0.0);
@@ -268,8 +276,9 @@ mod tests {
                 self
             }
         }
-        let out = ThreadedDriver::new().run(vec![Box::new(Solo { finished: false })
-            as Box<dyn NodeBehavior<Num>>]);
+        let out = ThreadedDriver::new().run(vec![
+            Box::new(Solo { finished: false }) as Box<dyn NodeBehavior<Num>>
+        ]);
         assert!(out.completed);
         assert!((out.stats.node(0).busy_time - 0.001).abs() < 1e-9);
     }

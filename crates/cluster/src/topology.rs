@@ -7,10 +7,9 @@
 //! InfiniBand QDR 40 Gb/s for the GPU cluster.
 
 use crate::{Rank, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Latency/bandwidth description of a directed link.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkSpec {
     /// One-way message latency in seconds.
     pub latency_s: f64,

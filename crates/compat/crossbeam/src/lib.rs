@@ -1,0 +1,62 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The threaded cluster driver only needs unbounded MPSC channels with
+//! `try_recv` / `recv_timeout` and clonable senders — exactly what
+//! `std::sync::mpsc` provides, so this crate is a thin re-export.  The error
+//! enums are the std ones; their variants (`Empty` / `Disconnected`,
+//! `Timeout` / `Disconnected`) are named identically to crossbeam's.
+
+pub mod channel {
+    //! Multi-producer single-consumer channels (crossbeam API subset).
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Sending side of an unbounded channel.  Clonable; sends never block.
+    pub type Sender<T> = std::sync::mpsc::Sender<T>;
+
+    /// Receiving side of an unbounded channel.
+    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+    /// Creates an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, TryRecvError};
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(rx.try_recv().unwrap(), i);
+        }
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+    }
+
+    #[test]
+    fn cloned_senders_feed_one_receiver() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        let h = std::thread::spawn(move || tx2.send(42).unwrap());
+        h.join().unwrap();
+        tx.send(7).unwrap();
+        let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![7, 42]);
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_disconnects() {
+        let (tx, rx) = unbounded::<u8>();
+        assert!(rx.recv_timeout(Duration::from_millis(5)).is_err());
+        drop(tx);
+        assert!(matches!(rx.try_recv(), Err(TryRecvError::Disconnected)));
+    }
+}

@@ -1,0 +1,237 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`proptest!`] macro over range and `collection::vec` strategies,
+//! [`prelude::ProptestConfig`] with a case count, and the `prop_assert*`
+//! macros.  Unlike real proptest there is no shrinking and no persisted
+//! failure corpus: cases are drawn from a fixed-seed deterministic RNG, so a
+//! failing case reproduces identically on every run — which is exactly the
+//! determinism the repository's test policy asks for.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub use rand::RngCore;
+
+/// Deterministic case RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Creates the fixed-seed RNG used for a named test.
+pub fn test_rng(test_name: &str) -> TestRng {
+    // FNV-1a over the test name so different tests draw different streams,
+    // but every run of the same test draws the same cases.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::TestRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_strategy {
+        ($t:ty) => {
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        };
+    }
+    int_strategy!(u32);
+    int_strategy!(u64);
+    int_strategy!(usize);
+    int_strategy!(i32);
+    int_strategy!(i64);
+    int_strategy!(f32);
+    int_strategy!(f64);
+
+    /// Strategy wrapper produced by [`crate::collection::vec`].
+    pub struct VecStrategy<S> {
+        pub(crate) elem: S,
+        pub(crate) size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::{Strategy, VecStrategy};
+
+    /// Generates vectors whose length is drawn from `size` and whose elements
+    /// are drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+}
+
+pub mod prelude {
+    //! Drop-in replacement for `proptest::prelude::*`.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Configuration of a property-test block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases generated per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 32 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that evaluates `body` for every generated case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::prelude::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::prelude::ProptestConfig = $cfg;
+                let mut rng = $crate::test_rng(stringify!($name));
+                for case in 0..config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    let case_info = format!(
+                        concat!("case {} of {}: ", $(stringify!($arg), " = {:?} "),+),
+                        case + 1, config.cases, $(&$arg),+
+                    );
+                    let run = || -> () { $body };
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run));
+                    if let Err(payload) = outcome {
+                        eprintln!("proptest failure in {} ({case_info})", stringify!($name));
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = crate::test_rng("ranges_generate_in_bounds");
+        for _ in 0..200 {
+            let v = (3u32..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let f = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size_range() {
+        let mut rng = crate::test_rng("vec_strategy_respects_size_range");
+        for _ in 0..100 {
+            let v = crate::collection::vec(0u32..50, 1..10).generate(&mut rng);
+            assert!((1..10).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 50));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_test_name() {
+        let mut a = crate::test_rng("same");
+        let mut b = crate::test_rng("same");
+        let va = crate::collection::vec(0u64..1000, 2..8).generate(&mut a);
+        let vb = crate::collection::vec(0u64..1000, 2..8).generate(&mut b);
+        assert_eq!(va, vb);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn prop_macro_generates_and_asserts(
+            x in 0u32..100,
+            scale in 1usize..4,
+        ) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(scale.min(3), scale.min(3));
+            prop_assert_ne!(scale, 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_macro_without_config_uses_default(v in crate::collection::vec(0u32..10, 0..5)) {
+            prop_assert!(v.len() < 5);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Provides the one parallel-iterator shape the workspace uses —
+//! `slice.par_chunks_mut(n).enumerate().for_each(f)` — implemented with
+//! `std::thread::scope` over the machine's available parallelism instead of
+//! rayon's work-stealing pool.  Work items are split into contiguous batches,
+//! one batch per thread, which matches the matmul row-partitioning use case
+//! (uniform cost per item, few large items).
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    //! Drop-in replacement for `rayon::prelude::*`.
+    pub use crate::slice::ParallelSliceMut;
+}
+
+/// Number of worker threads to use for a workload of `n_items` items.
+fn n_threads(n_items: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n_items)
+}
+
+/// Runs `f` over every item, batching items contiguously across threads.
+fn parallel_for_each<I, F>(items: Vec<I>, f: F)
+where
+    I: Send,
+    F: Fn(I) + Sync,
+{
+    let threads = n_threads(items.len());
+    if threads <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let batch_size = items.len().div_ceil(threads);
+    let mut items = items;
+    std::thread::scope(|scope| {
+        let f = &f;
+        while !items.is_empty() {
+            let take = batch_size.min(items.len());
+            let batch: Vec<I> = items.drain(..take).collect();
+            scope.spawn(move || {
+                for item in batch {
+                    f(item);
+                }
+            });
+        }
+    });
+}
+
+pub mod slice {
+    //! Parallel operations on slices.
+
+    use super::parallel_for_each;
+
+    /// Extension trait adding `par_chunks_mut` to mutable slices.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Splits the slice into non-overlapping mutable chunks of
+        /// `chunk_size` elements (the last chunk may be shorter) that can be
+        /// processed in parallel.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+            assert!(chunk_size > 0, "chunk size must be positive");
+            ParChunksMut {
+                chunks: self.chunks_mut(chunk_size).collect(),
+            }
+        }
+    }
+
+    /// Parallel iterator over mutable chunks of a slice.
+    pub struct ParChunksMut<'a, T: Send> {
+        chunks: Vec<&'a mut [T]>,
+    }
+
+    impl<'a, T: Send> ParChunksMut<'a, T> {
+        /// Pairs every chunk with its index.
+        pub fn enumerate(self) -> ParEnumerate<'a, T> {
+            ParEnumerate {
+                chunks: self.chunks.into_iter().enumerate().collect(),
+            }
+        }
+
+        /// Applies `f` to every chunk, in parallel.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&'a mut [T]) + Sync,
+        {
+            parallel_for_each(self.chunks, f);
+        }
+    }
+
+    /// Enumerated parallel iterator over mutable chunks.
+    pub struct ParEnumerate<'a, T: Send> {
+        chunks: Vec<(usize, &'a mut [T])>,
+    }
+
+    impl<'a, T: Send> ParEnumerate<'a, T> {
+        /// Applies `f` to every `(index, chunk)` pair, in parallel.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn((usize, &'a mut [T])) + Sync,
+        {
+            parallel_for_each(self.chunks, f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn enumerate_for_each_touches_every_chunk_once() {
+        let mut data = vec![0usize; 103];
+        data.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = i + 1;
+            }
+        });
+        for (pos, v) in data.iter().enumerate() {
+            assert_eq!(*v, pos / 10 + 1);
+        }
+    }
+
+    #[test]
+    fn single_chunk_runs_inline() {
+        let mut data = [1.0f32; 8];
+        data.par_chunks_mut(100).for_each(|chunk| {
+            for v in chunk.iter_mut() {
+                *v *= 2.0;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn closures_can_capture_shared_state() {
+        let src: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        let mut dst = vec![0.0f32; 64];
+        let bias = 1.5f32;
+        dst.par_chunks_mut(7).enumerate().for_each(|(i, chunk)| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = src[i * 7 + j] + bias;
+            }
+        });
+        for (i, v) in dst.iter().enumerate() {
+            assert_eq!(*v, i as f32 + 1.5);
+        }
+    }
+}

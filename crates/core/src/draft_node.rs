@@ -118,7 +118,10 @@ mod tests {
     #[test]
     fn serves_draft_requests() {
         let mut n = node(0.9);
-        let mut ctx = TestCtx { sent: Vec::new(), elapsed: 0.0 };
+        let mut ctx = TestCtx {
+            sent: Vec::new(),
+            elapsed: 0.0,
+        };
         n.on_message(
             0,
             tags::DRAFT,
@@ -135,7 +138,10 @@ mod tests {
         assert_eq!(ctx.sent.len(), 1);
         assert_eq!(ctx.sent[0].0, 0);
         match &ctx.sent[0].1 {
-            PipeMsg::DraftResponse { tokens, context_len } => {
+            PipeMsg::DraftResponse {
+                tokens,
+                context_len,
+            } => {
                 assert_eq!(*context_len, 4);
                 assert!(!tokens.is_empty());
             }
@@ -146,7 +152,10 @@ mod tests {
     #[test]
     fn shutdown_finishes_the_rank() {
         let mut n = node(0.5);
-        let mut ctx = TestCtx { sent: Vec::new(), elapsed: 0.0 };
+        let mut ctx = TestCtx {
+            sent: Vec::new(),
+            elapsed: 0.0,
+        };
         assert!(!n.is_finished());
         n.on_message(0, tags::SHUTDOWN, PipeMsg::Shutdown, &mut ctx);
         assert!(n.is_finished());
@@ -156,7 +165,10 @@ mod tests {
     #[test]
     fn ignores_pipeline_traffic() {
         let mut n = node(0.5);
-        let mut ctx = TestCtx { sent: Vec::new(), elapsed: 0.0 };
+        let mut ctx = TestCtx {
+            sent: Vec::new(),
+            elapsed: 0.0,
+        };
         n.on_message(0, tags::CANCEL, PipeMsg::Cancel { run_id: 1 }, &mut ctx);
         assert!(ctx.sent.is_empty());
         assert!(!n.is_finished());

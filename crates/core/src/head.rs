@@ -37,8 +37,8 @@ use crate::run_tracker::{RunInfo, RunTracker};
 use crate::PipeInferConfig;
 use pi_cluster::{NodeBehavior, NodeCtx, Rank, Tag};
 use pi_model::{Batch, Pos, SeqId, Token};
+use pi_spec::deploy::RecordHandle;
 use pi_spec::message::tags;
-use pi_spec::runner::RecordHandle;
 use pi_spec::{
     ActivationPayload, CacheOp, Drafter, GenConfig, GenerationRecord, HeadEngine, PipeMsg,
     PipelineRoute, RunId, RunKind,
@@ -262,7 +262,13 @@ impl PipeInferHead {
         }
         self.expected = None;
         let base = (self.accepted.len() - 1) as Pos;
-        self.dispatch_run(vec![token], base, RunKind::NonSpeculative, CANONICAL_SEQ, ctx);
+        self.dispatch_run(
+            vec![token],
+            base,
+            RunKind::NonSpeculative,
+            CANONICAL_SEQ,
+            ctx,
+        );
     }
 
     /// Invalidates every in-flight speculative run covering positions at or
@@ -549,7 +555,11 @@ mod tests {
         cancel_messages: usize,
     }
 
-    fn build_head(alignment: f64, n_generate: usize, config: PipeInferConfig) -> (TestWorld, RecordHandle) {
+    fn build_head(
+        alignment: f64,
+        n_generate: usize,
+        config: PipeInferConfig,
+    ) -> (TestWorld, RecordHandle) {
         let output: RecordHandle = Arc::new(Mutex::new(None));
         let oracle = OracleTarget::new(ORACLE_SEED, VOCAB);
         let route = PipelineRoute::baseline(2);
@@ -592,8 +602,16 @@ mod tests {
     /// Runs the world to completion by shuttling messages round by round,
     /// letting the head perform idle speculation between rounds.
     fn drive(world: &mut TestWorld) -> GenerationRecord {
-        let mut head_ctx = TestCtx { rank: 0, sent: Vec::new(), now: 0.0 };
-        let mut worker_ctx = TestCtx { rank: 1, sent: Vec::new(), now: 0.0 };
+        let mut head_ctx = TestCtx {
+            rank: 0,
+            sent: Vec::new(),
+            now: 0.0,
+        };
+        let mut worker_ctx = TestCtx {
+            rank: 1,
+            sent: Vec::new(),
+            now: 0.0,
+        };
         world.head.on_start(&mut head_ctx);
         let mut safety = 0;
         while !world.head.is_finished() {
@@ -654,7 +672,10 @@ mod tests {
     fn low_alignment_triggers_cancellations() {
         let (mut world, _) = build_head(0.1, 24, PipeInferConfig::default());
         let record = drive(&mut world);
-        assert!(record.runs_cancelled > 0, "poor speculation must cancel runs");
+        assert!(
+            record.runs_cancelled > 0,
+            "poor speculation must cancel runs"
+        );
         assert!(record.acceptance_rate() < 0.5);
     }
 
@@ -662,7 +683,11 @@ mod tests {
     fn high_alignment_accepts_most_drafts() {
         let (mut world, _) = build_head(1.0, 24, PipeInferConfig::default());
         let record = drive(&mut world);
-        assert!(record.acceptance_rate() > 0.9, "rate {}", record.acceptance_rate());
+        assert!(
+            record.acceptance_rate() > 0.9,
+            "rate {}",
+            record.acceptance_rate()
+        );
         assert_eq!(record.runs_cancelled, 0);
     }
 
@@ -734,7 +759,7 @@ mod tests {
         // Speculative batching must amortise runs: far fewer runs than the
         // iterative baseline's one-per-token.
         assert!(
-            (record.runs_launched as usize) < 32,
+            record.runs_launched < 32,
             "runs {} for 32 tokens",
             record.runs_launched
         );

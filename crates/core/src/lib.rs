@@ -26,6 +26,7 @@ pub mod head;
 pub mod multibuffer;
 pub mod run_tracker;
 pub mod runner;
+pub mod strategy;
 
 pub use continuous::SpeculationController;
 pub use draft_node::DraftNode;
@@ -33,6 +34,7 @@ pub use head::PipeInferHead;
 pub use multibuffer::SeqPartitionPool;
 pub use run_tracker::{RunInfo, RunTracker};
 pub use runner::run_pipeinfer;
+pub use strategy::PipeInferStrategy;
 
 /// PipeInfer-specific tuning knobs, including the ablation switches used by
 /// the paper's Fig. 8.

@@ -1,30 +1,15 @@
-//! Cluster assembly for PipeInfer deployments.
+//! Thin PipeInfer entry point over the shared [`pi_spec::deploy`] layer.
 //!
-//! [`run_pipeinfer`] mirrors `pi_spec::runner::{run_iterative, run_speculative}`:
-//! given an execution mode (real tiny models or simulated paper-scale
-//! hardware), a node count and the generation / PipeInfer configuration, it
-//! builds the head rank, the dedicated draft rank and the pipeline workers,
-//! executes them under the matching driver and returns the head's
-//! [`pi_spec::GenerationRecord`] plus cluster statistics.
-//!
-//! Rank layout (matching `pi_perf::memory::per_node_memory` and the paper's
-//! Fig. 3):
-//!
-//! * rank 0 — head: draft model, embedding/output head, sampling and
-//!   orchestration (no target layers);
-//! * ranks 1‥N-1 — the target pipeline, one node shorter than under the
-//!   iterative baseline.
+//! [`run_pipeinfer`] mirrors `pi_spec::runner::{run_iterative,
+//! run_speculative}`: it wraps [`PipeInferStrategy`] in a
+//! [`Deployment`](pi_spec::deploy::Deployment) and runs it.  All assembly
+//! (route construction, engine/drafter building, worker assembly, driver
+//! selection) lives in `pi_spec::deploy` — none of it is duplicated here.
 
-use crate::head::PipeInferHead;
+use crate::strategy::PipeInferStrategy;
 use crate::PipeInferConfig;
-use pi_cluster::NodeBehavior;
-use pi_model::Model;
-use pi_spec::runner::{
-    assemble, build_drafter, build_head_engine, build_workers, execute, target_layers,
-    ExecutionMode, RecordHandle, RunOutput,
-};
-use pi_spec::{GenConfig, PipeMsg, PipelineRoute};
-use std::sync::{Arc, Mutex};
+use pi_spec::deploy::{Deployment, ExecutionMode, RunOutput};
+use pi_spec::GenConfig;
 
 /// Runs PipeInfer across `n_nodes` ranks (at least two: the head/draft rank
 /// plus one target-pipeline rank).
@@ -34,37 +19,16 @@ pub fn run_pipeinfer(
     gen_config: &GenConfig,
     config: &PipeInferConfig,
 ) -> RunOutput {
-    assert!(
-        n_nodes >= 2,
-        "PipeInfer needs at least the head/draft rank plus one pipeline rank"
-    );
-    let route = PipelineRoute::baseline(n_nodes);
-    // The head (rank 0) hosts the draft model and holds no target layers;
-    // the target model is split across ranks 1..N-1.
-    let mut splits = vec![0..0];
-    splits.extend(Model::split_layers(target_layers(mode), n_nodes - 1));
-    let handle: RecordHandle = Arc::new(Mutex::new(None));
-
-    let head: Box<dyn NodeBehavior<PipeMsg>> = Box::new(PipeInferHead::new(
-        route.clone(),
-        build_head_engine(mode, &splits, gen_config),
-        build_drafter(mode, 0, gen_config),
-        gen_config.clone(),
-        config.clone(),
-        handle.clone(),
-    ));
-
-    let others = build_workers(mode, &route, &splits, gen_config);
-    let behaviors = assemble(n_nodes, head, others);
-    execute(mode, behaviors, &handle)
+    Deployment::new(PipeInferStrategy::new(config.clone())).run(mode, n_nodes, gen_config)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pi_model::{ModelConfig, OracleTarget};
+    use pi_model::{Model, ModelConfig, OracleTarget};
     use pi_perf::{ClusterSpec, ModelPair};
     use pi_spec::runner::{run_iterative, run_speculative};
+    use std::sync::Arc;
 
     fn real_mode(seed: u64) -> ExecutionMode {
         let cfg = ModelConfig::tiny_llama(64, 4);
@@ -107,14 +71,9 @@ mod tests {
             confidence_cutoff: 0.4,
             kv_capacity: 4096,
         };
-        let out = run_pipeinfer(
-            &sim_mode(pair, 8),
-            8,
-            &config,
-            &PipeInferConfig::default(),
-        );
+        let out = run_pipeinfer(&sim_mode(pair, 8), 8, &config, &PipeInferConfig::default());
         assert!(out.completed);
-        let truth = OracleTarget::new(42, vocab).generate(&vec![5; 16], 40);
+        let truth = OracleTarget::new(42, vocab).generate(&[5; 16], 40);
         assert_eq!(out.record.tokens[..32].to_vec(), truth[1..33].to_vec());
     }
 
@@ -133,7 +92,10 @@ mod tests {
         let pipe = run_pipeinfer(&sim_mode(pair, 8), 8, &config, &PipeInferConfig::default());
         assert!(spec.completed && pipe.completed);
         let well_aligned = pipe.record.generation_speed() / spec.record.generation_speed();
-        assert!(well_aligned > 1.05, "PipeInfer speedup only {well_aligned:.2}");
+        assert!(
+            well_aligned > 1.05,
+            "PipeInfer speedup only {well_aligned:.2}"
+        );
 
         // Poorly-aligned pair (Goliath + XWin-7B, 52 %): the paper's key
         // observation is that PipeInfer's relative advantage *grows* as
@@ -142,7 +104,10 @@ mod tests {
         let spec = run_speculative(&sim_mode(pair.clone(), 8), 8, &config);
         let pipe = run_pipeinfer(&sim_mode(pair, 8), 8, &config, &PipeInferConfig::default());
         let poorly_aligned = pipe.record.generation_speed() / spec.record.generation_speed();
-        assert!(poorly_aligned > 1.15, "PipeInfer speedup only {poorly_aligned:.2}");
+        assert!(
+            poorly_aligned > 1.15,
+            "PipeInfer speedup only {poorly_aligned:.2}"
+        );
         assert!(
             poorly_aligned > well_aligned,
             "advantage must grow as alignment drops ({poorly_aligned:.2} vs {well_aligned:.2})"
@@ -161,12 +126,7 @@ mod tests {
         let pair = ModelPair::goliath_xwin7b();
         let iter = run_iterative(&sim_mode(pair.clone(), 8), 8, &config);
         let spec = run_speculative(&sim_mode(pair.clone(), 8), 8, &config);
-        let pipe = run_pipeinfer(
-            &sim_mode(pair, 8),
-            8,
-            &config,
-            &PipeInferConfig::default(),
-        );
+        let pipe = run_pipeinfer(&sim_mode(pair, 8), 8, &config, &PipeInferConfig::default());
         // The paper's Fig. 5: PipeInfer reaches near-parity with iterative
         // TTFT while speculative inference is substantially slower to its
         // first token.
@@ -184,7 +144,12 @@ mod tests {
             kv_capacity: 2048,
         };
         let pair = ModelPair::falcon_7b();
-        let a = run_pipeinfer(&sim_mode(pair.clone(), 4), 4, &config, &PipeInferConfig::default());
+        let a = run_pipeinfer(
+            &sim_mode(pair.clone(), 4),
+            4,
+            &config,
+            &PipeInferConfig::default(),
+        );
         let b = run_pipeinfer(&sim_mode(pair, 4), 4, &config, &PipeInferConfig::default());
         assert_eq!(a.record.tokens, b.record.tokens);
         assert_eq!(a.record.finished_at, b.record.finished_at);
@@ -232,7 +197,7 @@ mod tests {
         let config = GenConfig::small_test(vec![1, 2, 3], 6);
         let out = run_pipeinfer(&mode, 2, &config, &PipeInferConfig::default());
         assert!(out.completed);
-        assert_eq!(out.record.tokens.len() >= 6, true);
+        assert!(out.record.tokens.len() >= 6);
     }
 }
 

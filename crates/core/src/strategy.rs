@@ -1,0 +1,163 @@
+//! PipeInfer as a [`Strategy`] for the shared [`Deployment`] layer.
+//!
+//! Rank layout (matching `pi_perf::memory::per_node_memory` and the paper's
+//! Fig. 3):
+//!
+//! * rank 0 — head: draft model, embedding/output head, sampling and
+//!   orchestration (no target layers);
+//! * ranks 1‥N-1 — the target pipeline, one node shorter than under the
+//!   iterative baseline.
+
+use crate::head::PipeInferHead;
+use crate::PipeInferConfig;
+use pi_cluster::NodeBehavior;
+use pi_model::Model;
+use pi_spec::deploy::{HeadParts, Strategy};
+use pi_spec::{PipeMsg, PipelineRoute};
+use std::ops::Range;
+
+/// PipeInfer: asynchronous pipelined speculation with a draft-hosting head
+/// rank that holds no target layers.
+#[derive(Debug, Clone)]
+pub struct PipeInferStrategy {
+    config: PipeInferConfig,
+}
+
+impl PipeInferStrategy {
+    /// Creates the strategy with the given PipeInfer tuning knobs.
+    pub fn new(config: PipeInferConfig) -> Self {
+        Self { config }
+    }
+
+    /// The PipeInfer configuration this strategy deploys with.
+    pub fn config(&self) -> &PipeInferConfig {
+        &self.config
+    }
+}
+
+impl Default for PipeInferStrategy {
+    fn default() -> Self {
+        Self::new(PipeInferConfig::default())
+    }
+}
+
+impl Strategy for PipeInferStrategy {
+    fn name(&self) -> &'static str {
+        "PipeInfer"
+    }
+
+    fn min_nodes(&self) -> usize {
+        // The head/draft rank plus at least one target-pipeline rank.
+        2
+    }
+
+    fn needs_drafter(&self) -> bool {
+        true
+    }
+
+    fn route(&self, n_nodes: usize) -> PipelineRoute {
+        // Every rank is on the route, but the head contributes no target
+        // layers (see `split_layers`): stage 0 only embeds, samples and
+        // orchestrates while hosting the draft model.
+        PipelineRoute::baseline(n_nodes)
+    }
+
+    fn split_layers(&self, n_layers: usize, route: &PipelineRoute) -> Vec<Range<usize>> {
+        let mut splits = Vec::with_capacity(route.n_stages());
+        splits.push(0..0);
+        splits.extend(Model::split_layers(n_layers, route.n_stages() - 1));
+        splits
+    }
+
+    fn build_head(&self, mut parts: HeadParts) -> Box<dyn NodeBehavior<PipeMsg>> {
+        let drafter = parts.take_drafter();
+        Box::new(PipeInferHead::new(
+            parts.route,
+            parts.engine,
+            drafter,
+            parts.gen_config,
+            self.config.clone(),
+            parts.record,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_perf::{ClusterSpec, ModelPair};
+    use pi_spec::deploy::{Deployment, ExecutionMode, IterativeStrategy, SpeculativeStrategy};
+    use pi_spec::GenConfig;
+
+    fn sim_mode(n_nodes: usize) -> ExecutionMode {
+        ExecutionMode::Sim {
+            pair: ModelPair::dolphin_tinyllama(),
+            cluster: ClusterSpec::cluster_c(n_nodes),
+            oracle_seed: 42,
+        }
+    }
+
+    #[test]
+    fn head_rank_holds_no_target_layers() {
+        let deployment = Deployment::new(PipeInferStrategy::default());
+        for n in [2usize, 4, 8] {
+            let (route, splits) = deployment.layout(&sim_mode(n.max(4)), n);
+            assert_eq!(route.head(), 0);
+            assert_eq!(route.n_stages(), n);
+            assert!(splits[0].is_empty(), "PipeInfer's head must hold no layers");
+            // Ranks 1..N cover every layer contiguously.
+            let n_layers = sim_mode(4).target_layers();
+            let mut next = 0;
+            for r in &splits[1..] {
+                assert_eq!(r.start, next);
+                next = r.end;
+            }
+            assert_eq!(next, n_layers);
+        }
+    }
+
+    #[test]
+    fn strategy_declares_draft_hosting_head() {
+        let s = PipeInferStrategy::default();
+        assert!(s.needs_drafter());
+        assert_eq!(s.min_nodes(), 2);
+        assert_eq!(s.name(), "PipeInfer");
+    }
+
+    #[test]
+    fn all_three_strategies_emit_identical_token_streams_in_sim() {
+        // One oracle seed fixes the target model's greedy continuation; every
+        // strategy must reproduce it bit-for-bit (the paper's §V-B claim).
+        let config = GenConfig {
+            prompt: vec![5; 16],
+            n_generate: 32,
+            max_draft: 4,
+            confidence_cutoff: 0.4,
+            kv_capacity: 4096,
+        };
+        let n = 8;
+        let iter = Deployment::new(IterativeStrategy).run(&sim_mode(n), n, &config);
+        let spec = Deployment::new(SpeculativeStrategy).run(&sim_mode(n), n, &config);
+        let pipe = Deployment::new(PipeInferStrategy::default()).run(&sim_mode(n), n, &config);
+        assert!(iter.completed && spec.completed && pipe.completed);
+        let want = &iter.record.tokens[..config.n_generate];
+        assert_eq!(&spec.record.tokens[..config.n_generate], want);
+        assert_eq!(&pipe.record.tokens[..config.n_generate], want);
+    }
+
+    #[test]
+    fn ablation_configs_flow_through_the_strategy() {
+        let s = PipeInferStrategy::new(PipeInferConfig::no_cancellation());
+        assert!(!s.config().enable_cancellation);
+        let config = GenConfig {
+            prompt: vec![2; 8],
+            n_generate: 12,
+            max_draft: 4,
+            confidence_cutoff: 0.4,
+            kv_capacity: 2048,
+        };
+        let full = Deployment::new(PipeInferStrategy::default()).run(&sim_mode(4), 4, &config);
+        let ablated = Deployment::new(s).run(&sim_mode(4), 4, &config);
+        assert_eq!(full.record.tokens, ablated.record.tokens);
+    }
+}

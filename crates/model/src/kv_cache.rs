@@ -152,9 +152,7 @@ impl KvCache {
         self.cells
             .iter()
             .enumerate()
-            .filter(|(_, c)| {
-                !c.is_free() && c.pos <= pos && seq_ids.iter().any(|s| c.has_seq(*s))
-            })
+            .filter(|(_, c)| !c.is_free() && c.pos <= pos && seq_ids.iter().any(|s| c.has_seq(*s)))
             .map(|(i, _)| i)
             .collect()
     }

@@ -307,7 +307,9 @@ mod tests {
         let b = d.draft_chain(&t, &[9, 8, 7], 6);
         assert_eq!(a, b);
         assert_eq!(a.len(), 6);
-        assert!(a.iter().all(|(tok, conf)| *tok < 500 && *conf > 0.0 && *conf <= 1.0));
+        assert!(a
+            .iter()
+            .all(|(tok, conf)| *tok < 500 && *conf > 0.0 && *conf <= 1.0));
     }
 
     #[test]

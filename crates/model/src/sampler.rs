@@ -74,14 +74,15 @@ impl Sampler {
         let temp = temperature.max(1e-4);
         let scaled: Vec<f32> = logits.iter().map(|l| l / temp).collect();
         let mut idx: Vec<usize> = (0..scaled.len()).collect();
-        idx.sort_by(|&a, &b| scaled[b].partial_cmp(&scaled[a]).unwrap_or(std::cmp::Ordering::Equal));
+        idx.sort_by(|&a, &b| {
+            scaled[b]
+                .partial_cmp(&scaled[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         idx.truncate(k.max(1));
         let top: Vec<f32> = idx.iter().map(|&i| scaled[i]).collect();
         let probs = ops::softmax(&top);
-        idx.into_iter()
-            .map(|i| i as Token)
-            .zip(probs.into_iter())
-            .collect()
+        idx.into_iter().map(|i| i as Token).zip(probs).collect()
     }
 }
 

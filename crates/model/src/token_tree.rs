@@ -115,7 +115,10 @@ impl TokenTree {
 
     /// The token sequence along the path to `leaf`.
     pub fn sequence_to(&self, leaf: TreeNodeId) -> Vec<Token> {
-        self.path_to(leaf).iter().map(|&i| self.nodes[i].token).collect()
+        self.path_to(leaf)
+            .iter()
+            .map(|&i| self.nodes[i].token)
+            .collect()
     }
 
     /// Assigns one sequence id per leaf, starting from `first_seq`, and

@@ -83,7 +83,9 @@ impl Model {
     pub fn alloc_cells(batch: &Batch, cache: &mut KvCache) -> Result<Vec<usize>, ModelError> {
         let mut cells = Vec::with_capacity(batch.len());
         for e in batch.iter() {
-            let cell = cache.alloc(e.pos, &e.seq_ids).ok_or(ModelError::CacheFull)?;
+            let cell = cache
+                .alloc(e.pos, &e.seq_ids)
+                .ok_or(ModelError::CacheFull)?;
             cells.push(cell);
         }
         Ok(cells)
@@ -256,11 +258,7 @@ impl Model {
     /// Convenience single-process forward: embed, run every layer, and return
     /// logits.  Used by the single-node baseline and by tests that compare
     /// distributed execution against local execution.
-    pub fn forward_full(
-        &self,
-        batch: &Batch,
-        cache: &mut KvCache,
-    ) -> Result<Tensor, ModelError> {
+    pub fn forward_full(&self, batch: &Batch, cache: &mut KvCache) -> Result<Tensor, ModelError> {
         let cells = Self::alloc_cells(batch, cache)?;
         let hidden = self.embed(batch);
         let out = self.forward_layer_range(batch, &hidden, 0..self.cfg.n_layers, cache, &cells)?;
@@ -436,11 +434,10 @@ mod tests {
             let mut out = Vec::new();
             let prompt = [1u32, 2, 3, 4];
             let mut tok = greedy_next(m, &mut cache, &Batch::prompt(&prompt, 0, 0));
-            let mut pos = prompt.len() as i32;
-            for _ in 0..16 {
+            let first_pos = prompt.len() as i32;
+            for pos in first_pos..first_pos + 16 {
                 out.push(tok);
                 tok = greedy_next(m, &mut cache, &Batch::single(tok, pos, 0));
-                pos += 1;
             }
             out
         };

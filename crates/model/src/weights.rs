@@ -140,7 +140,11 @@ impl ModelWeights {
             tok_embed: self.tok_embed.clone(),
             final_norm: self.final_norm.clone(),
             lm_head: self.lm_head.clone(),
-            layers: self.layers.iter().map(|l| l.perturb(noise, &mut rng)).collect(),
+            layers: self
+                .layers
+                .iter()
+                .map(|l| l.perturb(noise, &mut rng))
+                .collect(),
         }
     }
 

@@ -113,10 +113,9 @@ impl CostModel {
             * context_len as f64
             * model.kv_bytes_per_token_per_layer as f64)
             / bw;
-        let compute = (n_layers as f64
-            * batch_tokens as f64
-            * model.cfg.layer_flops_per_token() as f64)
-            / flops;
+        let compute =
+            (n_layers as f64 * batch_tokens as f64 * model.cfg.layer_flops_per_token() as f64)
+                / flops;
         (weight_stream + kv_stream).max(compute)
     }
 
@@ -129,8 +128,7 @@ impl CostModel {
         let bw = self.node.mem_bandwidth_bps;
         let flops = self.node.compute_flops;
         let stream = model.io_weight_bytes as f64 / bw;
-        let compute =
-            batch_tokens as f64 * model.cfg.io_flops_per_token() as f64 / flops;
+        let compute = batch_tokens as f64 * model.cfg.io_flops_per_token() as f64 / flops;
         stream.max(compute)
     }
 
@@ -213,9 +211,7 @@ mod tests {
         let m = dolphin();
         let fast = xeon_gold();
         let slow = CostModel::new(NodeSpec::optiplex_i5_gen2());
-        assert!(
-            slow.layers_time(&m, 4, 1, 128) > 3.0 * fast.layers_time(&m, 4, 1, 128)
-        );
+        assert!(slow.layers_time(&m, 4, 1, 128) > 3.0 * fast.layers_time(&m, 4, 1, 128));
     }
 
     #[test]
@@ -225,7 +221,10 @@ mod tests {
         let c = xeon_gold();
         let t_target = c.layers_time(&target, target.cfg.n_layers, 1, 128);
         let t_draft = c.full_model_time(&draft, 1, 128);
-        assert!(t_target > 10.0 * t_draft, "target {t_target}, draft {t_draft}");
+        assert!(
+            t_target > 10.0 * t_draft,
+            "target {t_target}, draft {t_draft}"
+        );
     }
 
     #[test]

@@ -21,10 +21,9 @@
 //! preserve.
 
 use pi_cluster::{LinkSpec, Topology};
-use serde::{Deserialize, Serialize};
 
 /// Compute/memory description of one node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeSpec {
     /// Human-readable name.
     pub name: String,
@@ -142,7 +141,7 @@ pub struct ClusterSpec {
 impl ClusterSpec {
     /// Cluster A: up to 8 dual-Xeon E5-2650 nodes on Gigabit Ethernet.
     pub fn cluster_a(n_nodes: usize) -> Self {
-        assert!(n_nodes >= 1 && n_nodes <= 8, "cluster A has at most 8 nodes");
+        assert!((1..=8).contains(&n_nodes), "cluster A has at most 8 nodes");
         Self {
             name: "A".into(),
             nodes: vec![NodeSpec::xeon_e5_2650_dual(); n_nodes],
@@ -156,7 +155,10 @@ impl ClusterSpec {
     /// paper's "adding additional nodes beyond the 8 Xeon E5 nodes"
     /// narrative.
     pub fn cluster_b(n_nodes: usize) -> Self {
-        assert!(n_nodes >= 1 && n_nodes <= 13, "cluster B has at most 13 nodes");
+        assert!(
+            (1..=13).contains(&n_nodes),
+            "cluster B has at most 13 nodes"
+        );
         let mut nodes = vec![NodeSpec::xeon_e5_2650_dual(); 8];
         nodes.push(NodeSpec::optiplex_i7_gen4());
         nodes.push(NodeSpec::optiplex_i7_gen4());
@@ -173,7 +175,10 @@ impl ClusterSpec {
 
     /// Cluster C: up to 32 dual-Xeon Gold 6140 nodes on InfiniBand EDR.
     pub fn cluster_c(n_nodes: usize) -> Self {
-        assert!(n_nodes >= 1 && n_nodes <= 32, "cluster C has at most 32 nodes");
+        assert!(
+            (1..=32).contains(&n_nodes),
+            "cluster C has at most 32 nodes"
+        );
         Self {
             name: "C".into(),
             nodes: vec![NodeSpec::xeon_gold_6140_dual(); n_nodes],
@@ -248,7 +253,10 @@ mod tests {
         let b = ClusterSpec::cluster_b(13);
         let first = b.node(0).mem_bandwidth_bps;
         let last = b.node(12).mem_bandwidth_bps;
-        assert!(first > 2.0 * last, "Optiplexes must be much slower than Xeons");
+        assert!(
+            first > 2.0 * last,
+            "Optiplexes must be much slower than Xeons"
+        );
         // First 8 are homogeneous Xeons.
         assert!(b.nodes[..8].iter().all(|n| n.name.contains("E5-2650")));
     }
@@ -261,10 +269,22 @@ mod tests {
 
     #[test]
     fn interconnects_match_table2() {
-        assert_eq!(ClusterSpec::cluster_a(2).interconnect, LinkSpec::gigabit_ethernet());
-        assert_eq!(ClusterSpec::cluster_b(2).interconnect, LinkSpec::gigabit_ethernet());
-        assert_eq!(ClusterSpec::cluster_c(2).interconnect, LinkSpec::infiniband_edr());
-        assert_eq!(ClusterSpec::gpu_cluster().interconnect, LinkSpec::infiniband_qdr());
+        assert_eq!(
+            ClusterSpec::cluster_a(2).interconnect,
+            LinkSpec::gigabit_ethernet()
+        );
+        assert_eq!(
+            ClusterSpec::cluster_b(2).interconnect,
+            LinkSpec::gigabit_ethernet()
+        );
+        assert_eq!(
+            ClusterSpec::cluster_c(2).interconnect,
+            LinkSpec::infiniband_edr()
+        );
+        assert_eq!(
+            ClusterSpec::gpu_cluster().interconnect,
+            LinkSpec::infiniband_qdr()
+        );
     }
 
     #[test]

@@ -65,8 +65,7 @@ const KV_CACHE_TOKENS: usize = 1024;
 pub fn per_node_memory(pair: &ModelPair, strategy: InferenceStrategy, n_nodes: usize) -> Vec<u64> {
     assert!(n_nodes >= 2, "pipeline deployments need at least two nodes");
     let target = ModelCost::new(pair.target.cfg.clone(), pair.target.quant);
-    let layer_bytes =
-        (target.layer_weight_bytes() as f64 * pair.target.resident_multiplier) as u64;
+    let layer_bytes = (target.layer_weight_bytes() as f64 * pair.target.resident_multiplier) as u64;
     let io_bytes = (target.io_weight_bytes() as f64 * pair.target.resident_multiplier) as u64;
     let kv_per_layer = target.kv_bytes_per_token_per_layer() * KV_CACHE_TOKENS as u64;
     let draft_bytes = pair.draft.resident_bytes();
@@ -142,7 +141,9 @@ mod tests {
     #[test]
     fn iterative_uses_less_memory_than_speculative() {
         let pair = ModelPair::dolphin_tinyllama();
-        let iter: u64 = per_node_memory(&pair, InferenceStrategy::Iterative, 8).iter().sum();
+        let iter: u64 = per_node_memory(&pair, InferenceStrategy::Iterative, 8)
+            .iter()
+            .sum();
         let spec: u64 = per_node_memory(&pair, InferenceStrategy::Speculative, 8)
             .iter()
             .sum();
@@ -157,7 +158,9 @@ mod tests {
         let spec: u64 = per_node_memory(&pair, InferenceStrategy::Speculative, 8)
             .iter()
             .sum();
-        let pipe: u64 = per_node_memory(&pair, InferenceStrategy::PipeInfer, 8).iter().sum();
+        let pipe: u64 = per_node_memory(&pair, InferenceStrategy::PipeInfer, 8)
+            .iter()
+            .sum();
         let ratio = pipe as f64 / spec as f64;
         assert!((ratio - 1.0).abs() < 0.05, "ratio {ratio}");
     }

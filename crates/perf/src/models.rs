@@ -97,7 +97,10 @@ impl ModelPair {
     pub fn dolphin_tinyllama() -> Self {
         Self::new(
             "Dolphin-70B + TinyLlama-1.1B",
-            ModelPreset::dense(named(ModelConfig::llama2_70b(), "Dolphin 2.1 70B"), QuantKind::Q3K),
+            ModelPreset::dense(
+                named(ModelConfig::llama2_70b(), "Dolphin 2.1 70B"),
+                QuantKind::Q3K,
+            ),
             ModelPreset::dense(ModelConfig::tinyllama_1_1b(), QuantKind::Q4K),
             0.79,
             true,
@@ -108,7 +111,10 @@ impl ModelPair {
     pub fn dolphin_orca2() -> Self {
         Self::new(
             "Dolphin-70B + Orca2-7B",
-            ModelPreset::dense(named(ModelConfig::llama2_70b(), "Dolphin 2.1 70B"), QuantKind::Q3K),
+            ModelPreset::dense(
+                named(ModelConfig::llama2_70b(), "Dolphin 2.1 70B"),
+                QuantKind::Q3K,
+            ),
             ModelPreset::dense(named(ModelConfig::llama2_7b(), "Orca 2 7B"), QuantKind::Q4K),
             0.66,
             true,
@@ -120,7 +126,10 @@ impl ModelPair {
         Self::new(
             "Goliath-120B + XWin-7B",
             ModelPreset::dense(ModelConfig::goliath_120b(), QuantKind::Q2K),
-            ModelPreset::dense(named(ModelConfig::llama2_7b(), "XWinLM 0.2 7B"), QuantKind::Q4K),
+            ModelPreset::dense(
+                named(ModelConfig::llama2_7b(), "XWinLM 0.2 7B"),
+                QuantKind::Q4K,
+            ),
             0.52,
             true,
         )
@@ -131,7 +140,10 @@ impl ModelPair {
         Self::new(
             "Goliath-120B + XWin-13B",
             ModelPreset::dense(ModelConfig::goliath_120b(), QuantKind::Q2K),
-            ModelPreset::dense(named(ModelConfig::llama2_13b(), "XWinLM 0.1 13B"), QuantKind::Q4K),
+            ModelPreset::dense(
+                named(ModelConfig::llama2_13b(), "XWinLM 0.1 13B"),
+                QuantKind::Q4K,
+            ),
             0.61,
             true,
         )
@@ -177,7 +189,10 @@ impl ModelPair {
     pub fn senku_tinyllama() -> Self {
         Self::new(
             "Senku-70B + TinyLlama-1.1B",
-            ModelPreset::dense(named(ModelConfig::llama2_70b(), "Senku 70B"), QuantKind::Q3K),
+            ModelPreset::dense(
+                named(ModelConfig::llama2_70b(), "Senku 70B"),
+                QuantKind::Q3K,
+            ),
             ModelPreset::dense(ModelConfig::tinyllama_1_1b(), QuantKind::Q4K),
             0.76,
             false,
@@ -188,8 +203,14 @@ impl ModelPair {
     pub fn senku_llongorca() -> Self {
         Self::new(
             "Senku-70B + LlongOrca-7B",
-            ModelPreset::dense(named(ModelConfig::llama2_70b(), "Senku 70B"), QuantKind::Q3K),
-            ModelPreset::dense(named(ModelConfig::llama2_7b(), "LlongOrca 7B"), QuantKind::Q4K),
+            ModelPreset::dense(
+                named(ModelConfig::llama2_70b(), "Senku 70B"),
+                QuantKind::Q3K,
+            ),
+            ModelPreset::dense(
+                named(ModelConfig::llama2_7b(), "LlongOrca 7B"),
+                QuantKind::Q4K,
+            ),
             0.70,
             false,
         )
@@ -201,8 +222,14 @@ impl ModelPair {
     pub fn dolphin29_llama3() -> Self {
         Self::new(
             "Dolphin2.9-70B + Dolphin2.9-8B",
-            ModelPreset::dense(named(ModelConfig::llama3_70b(), "Dolphin 2.9 70B"), QuantKind::Q3K),
-            ModelPreset::dense(named(ModelConfig::llama3_8b(), "Dolphin 2.9 8B"), QuantKind::Q4K),
+            ModelPreset::dense(
+                named(ModelConfig::llama3_70b(), "Dolphin 2.9 70B"),
+                QuantKind::Q3K,
+            ),
+            ModelPreset::dense(
+                named(ModelConfig::llama3_8b(), "Dolphin 2.9 8B"),
+                QuantKind::Q4K,
+            ),
             0.40,
             false,
         )

@@ -1,0 +1,729 @@
+//! Strategy-agnostic cluster assembly: the [`Deployment`] layer.
+//!
+//! Every inference strategy in the workspace — iterative, SpecInfer-style
+//! speculative, PipeInfer, and whatever future PRs add — executes the same
+//! way: pick a pipeline route over the ranks, split the target model's
+//! layers across the route's stages, build a head behavior plus one
+//! [`PipelineWorker`](crate::worker::PipelineWorker) per non-head stage,
+//! then run all behaviors under the driver matching the
+//! [`ExecutionMode`].  Historically that plumbing was copy-pasted into
+//! `run_iterative`, `run_speculative` and `pipeinfer_core::run_pipeinfer`;
+//! it now lives here exactly once.
+//!
+//! A strategy only describes what makes it *different*:
+//!
+//! * its **rank-layout policy** ([`Strategy::route`]) — e.g. PipeInfer keeps
+//!   rank 0 as a draft-hosting head with no target layers;
+//! * its **layer-split policy** ([`Strategy::split_layers`]);
+//! * its **head behavior factory** ([`Strategy::build_head`]), fed with the
+//!   pre-built engine/drafter for the execution mode.
+//!
+//! [`Deployment::run`] owns everything else: route construction, engine and
+//! drafter building, worker assembly, driver selection (threaded vs
+//! simulated) and [`RunOutput`] collection.
+
+use crate::drafter::{Drafter, OracleDrafter, RealDrafter};
+use crate::engine::{HeadEngine, RealHeadEngine, RealStageEngine, SimHeadEngine, SimStageEngine};
+use crate::iterative::IterativeHead;
+use crate::message::PipeMsg;
+use crate::route::PipelineRoute;
+use crate::speculative::SpeculativeHead;
+use crate::worker::PipelineWorker;
+use crate::{GenConfig, GenerationRecord};
+use pi_cluster::sim::SimDriver;
+use pi_cluster::threaded::ThreadedDriver;
+use pi_cluster::{ClusterStats, NodeBehavior, Topology};
+use pi_model::{Model, OracleDraft, OracleTarget};
+use pi_perf::{ClusterSpec, CostModel, ModelCost, ModelPair};
+use std::ops::Range;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// How model compute is realised during a run.
+///
+/// The `Sim` variant inlines its (large) presets on purpose: one value is
+/// constructed per run and moved, never stored in bulk, so boxing would only
+/// complicate every construction site.
+#[derive(Clone)]
+#[allow(clippy::large_enum_variant)]
+pub enum ExecutionMode {
+    /// Real tiny models, threaded driver, wall-clock time.
+    Real {
+        /// The target model.
+        target: Arc<Model>,
+        /// The draft model (ignored by the iterative baseline).
+        draft: Arc<Model>,
+    },
+    /// Cost-model simulation of a paper-scale deployment.
+    Sim {
+        /// Target/draft pair with its acceptance rate.
+        pair: ModelPair,
+        /// Hardware the deployment runs on (node count = pipeline size).
+        cluster: ClusterSpec,
+        /// Seed for the token oracles (fixed seed ⇒ bit-reproducible runs).
+        oracle_seed: u64,
+    },
+}
+
+impl ExecutionMode {
+    /// Number of ranks this mode naturally runs with (`Sim` deployments are
+    /// sized by their cluster spec; `Real` runs accept any count).
+    pub fn preferred_nodes(&self) -> Option<usize> {
+        match self {
+            ExecutionMode::Real { .. } => None,
+            ExecutionMode::Sim { cluster, .. } => Some(cluster.n_nodes()),
+        }
+    }
+
+    /// Number of decoder layers in the target model of this mode.
+    pub fn target_layers(&self) -> usize {
+        match self {
+            ExecutionMode::Real { target, .. } => target.config().n_layers,
+            ExecutionMode::Sim { pair, .. } => pair.target.cfg.n_layers,
+        }
+    }
+}
+
+/// Result of executing one generation run on a cluster.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// The head rank's record of the generation.
+    pub record: GenerationRecord,
+    /// Driver statistics (per-rank utilisation, messages, bytes).
+    pub stats: ClusterStats,
+    /// Whether every rank finished cleanly.
+    pub completed: bool,
+}
+
+/// Shared handle type used to pull the record out of the head behavior.
+pub type RecordHandle = Arc<Mutex<Option<GenerationRecord>>>;
+
+fn take_record(handle: &RecordHandle) -> GenerationRecord {
+    handle
+        .lock()
+        .unwrap()
+        .clone()
+        .expect("head rank did not produce a generation record (run incomplete?)")
+}
+
+/// Everything a [`Strategy`] receives to construct its head behavior.
+///
+/// The deployment builds the pieces that depend only on the execution mode
+/// (engine, drafter) so strategy implementations stay mode-oblivious.
+pub struct HeadParts {
+    /// The target-pipeline route; the head is stage 0.
+    pub route: PipelineRoute,
+    /// Embedding / output-head / stage-0 evaluation engine.
+    pub engine: Box<dyn HeadEngine>,
+    /// Draft-model front-end, present iff [`Strategy::needs_drafter`].
+    pub drafter: Option<Box<dyn Drafter>>,
+    /// Generation parameters for this run.
+    pub gen_config: GenConfig,
+    /// Handle the final [`GenerationRecord`] must be written to.
+    pub record: RecordHandle,
+}
+
+impl HeadParts {
+    /// Takes the drafter out of the parts, panicking with a clear message if
+    /// the strategy forgot to declare [`Strategy::needs_drafter`].
+    pub fn take_drafter(&mut self) -> Box<dyn Drafter> {
+        self.drafter
+            .take()
+            .expect("strategy requested a drafter but needs_drafter() returned false")
+    }
+}
+
+/// What makes an inference strategy different from the others: rank layout,
+/// layer split and the head rank's behavior.
+///
+/// Implementations: [`IterativeStrategy`], [`SpeculativeStrategy`] (both
+/// here) and `pipeinfer_core::PipeInferStrategy`.
+pub trait Strategy: Send + Sync {
+    /// Human-readable strategy name (used in diagnostics and reports).
+    fn name(&self) -> &'static str;
+
+    /// Smallest cluster this strategy can run on.
+    fn min_nodes(&self) -> usize {
+        1
+    }
+
+    /// Whether the head rank hosts a draft model.  When `true` the
+    /// deployment builds a mode-appropriate drafter into [`HeadParts`].
+    fn needs_drafter(&self) -> bool {
+        false
+    }
+
+    /// Rank-layout policy: which ranks form the target pipeline, in stage
+    /// order.  The head must be rank 0 (both drivers deliver the record from
+    /// rank 0).  Defaults to all ranks in order.
+    ///
+    /// Every rank not on the route must receive a behavior from
+    /// [`Strategy::build_auxiliary`] — [`Deployment::run`] needs one
+    /// behavior per rank and fails with a descriptive panic otherwise.
+    fn route(&self, n_nodes: usize) -> PipelineRoute {
+        PipelineRoute::baseline(n_nodes)
+    }
+
+    /// Layer-split policy: the half-open layer range evaluated by each stage
+    /// of `route`, in stage order.  Must return exactly
+    /// `route.n_stages()` ranges that jointly cover `0..n_layers`.
+    fn split_layers(&self, n_layers: usize, route: &PipelineRoute) -> Vec<Range<usize>> {
+        Model::split_layers(n_layers, route.n_stages())
+    }
+
+    /// Head behavior factory.
+    fn build_head(&self, parts: HeadParts) -> Box<dyn NodeBehavior<PipeMsg>>;
+
+    /// Behaviors for ranks that are *not* pipeline stages — e.g. a dedicated
+    /// draft rank in the paper's Fig. 3 layout (`PipelineRoute::pipeinfer`
+    /// skips rank 1).  Returns `(rank, behavior)` pairs; the default is none,
+    /// which is correct for every strategy whose route covers all ranks.
+    /// [`build_drafter`] is available for hosting a draft model here.
+    fn build_auxiliary(
+        &self,
+        _mode: &ExecutionMode,
+        _n_nodes: usize,
+        _route: &PipelineRoute,
+        _gen_config: &GenConfig,
+    ) -> Vec<(usize, Box<dyn NodeBehavior<PipeMsg>>)> {
+        Vec::new()
+    }
+}
+
+/// Pipeline-parallel iterative inference (baseline 1): every rank is a
+/// pipeline stage, one token evaluated at a time, no draft model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IterativeStrategy;
+
+impl Strategy for IterativeStrategy {
+    fn name(&self) -> &'static str {
+        "Iterative"
+    }
+
+    fn build_head(&self, parts: HeadParts) -> Box<dyn NodeBehavior<PipeMsg>> {
+        Box::new(IterativeHead::new(
+            parts.route,
+            parts.engine,
+            parts.gen_config,
+            parts.record,
+        ))
+    }
+}
+
+/// Pipeline-parallel speculative inference (baseline 2, SpecInfer-style):
+/// every rank is a pipeline stage and the head also hosts the draft model
+/// for a synchronous speculate-then-verify loop.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpeculativeStrategy;
+
+impl Strategy for SpeculativeStrategy {
+    fn name(&self) -> &'static str {
+        "Speculative"
+    }
+
+    fn needs_drafter(&self) -> bool {
+        true
+    }
+
+    fn build_head(&self, mut parts: HeadParts) -> Box<dyn NodeBehavior<PipeMsg>> {
+        let drafter = parts.take_drafter();
+        Box::new(SpeculativeHead::new(
+            parts.route,
+            parts.engine,
+            drafter,
+            parts.gen_config,
+            parts.record,
+        ))
+    }
+}
+
+/// A strategy bound to the shared assembly/execution plumbing.
+///
+/// `Deployment::new(strategy).run(&mode, n_nodes, &gen_config)` is the single
+/// entry point every runner, bench, example and test goes through.
+pub struct Deployment {
+    strategy: Box<dyn Strategy>,
+}
+
+impl Deployment {
+    /// Wraps a strategy.
+    pub fn new<S: Strategy + 'static>(strategy: S) -> Self {
+        Self {
+            strategy: Box::new(strategy),
+        }
+    }
+
+    /// Wraps an already-boxed strategy.
+    pub fn from_boxed(strategy: Box<dyn Strategy>) -> Self {
+        Self { strategy }
+    }
+
+    /// The wrapped strategy.
+    pub fn strategy(&self) -> &dyn Strategy {
+        self.strategy.as_ref()
+    }
+
+    /// The validated rank layout this deployment would use over `n_nodes`
+    /// ranks, exposed for tests and capacity planning.  Panics with the same
+    /// descriptive diagnostics as [`Deployment::run`] when the strategy's
+    /// policies are inconsistent (too few ranks, head not rank 0, layer
+    /// splits that do not tile the model).
+    pub fn layout(
+        &self,
+        mode: &ExecutionMode,
+        n_nodes: usize,
+    ) -> (PipelineRoute, Vec<Range<usize>>) {
+        let strategy = self.strategy.as_ref();
+        assert!(
+            n_nodes >= strategy.min_nodes(),
+            "{} needs at least {} rank(s), got {n_nodes}",
+            strategy.name(),
+            strategy.min_nodes()
+        );
+        let route = strategy.route(n_nodes);
+        assert_eq!(
+            route.head(),
+            0,
+            "{}: the head must be rank 0",
+            strategy.name()
+        );
+        let n_layers = mode.target_layers();
+        let splits = strategy.split_layers(n_layers, &route);
+        assert_eq!(
+            splits.len(),
+            route.n_stages(),
+            "{}: one layer range per pipeline stage",
+            strategy.name()
+        );
+        let mut next_layer = 0;
+        for (stage, split) in splits.iter().enumerate() {
+            assert!(
+                split.start == next_layer && split.end >= split.start,
+                "{}: stage {stage} covers {split:?} but layer {next_layer} is next — \
+                 split_layers must tile 0..{n_layers} contiguously",
+                strategy.name()
+            );
+            next_layer = split.end;
+        }
+        assert_eq!(
+            next_layer,
+            n_layers,
+            "{}: split_layers covered only 0..{next_layer} of 0..{n_layers}",
+            strategy.name()
+        );
+        (route, splits)
+    }
+
+    /// Assembles and executes one generation run across `n_nodes` ranks.
+    pub fn run(&self, mode: &ExecutionMode, n_nodes: usize, gen_config: &GenConfig) -> RunOutput {
+        let strategy = self.strategy.as_ref();
+        let (route, splits) = self.layout(mode, n_nodes);
+
+        let handle: RecordHandle = Arc::new(Mutex::new(None));
+        let engine = build_head_engine(mode, &splits, gen_config);
+        let drafter = strategy
+            .needs_drafter()
+            .then(|| build_drafter(mode, route.head(), gen_config));
+        let head = strategy.build_head(HeadParts {
+            route: route.clone(),
+            engine,
+            drafter,
+            gen_config: gen_config.clone(),
+            record: handle.clone(),
+        });
+        let mut others = build_workers(mode, &route, &splits, gen_config);
+        others.extend(strategy.build_auxiliary(mode, n_nodes, &route, gen_config));
+        let behaviors = assemble_for(strategy.name(), n_nodes, head, others);
+        execute(mode, behaviors, &handle)
+    }
+}
+
+/// Executes behaviors under the driver matching the execution mode.
+pub fn execute(
+    mode: &ExecutionMode,
+    behaviors: Vec<Box<dyn NodeBehavior<PipeMsg>>>,
+    handle: &RecordHandle,
+) -> RunOutput {
+    match mode {
+        ExecutionMode::Real { .. } => {
+            let out = ThreadedDriver::new()
+                .with_timeout(Duration::from_secs(120))
+                .run(behaviors);
+            RunOutput {
+                record: take_record(handle),
+                stats: out.stats,
+                completed: out.completed,
+            }
+        }
+        ExecutionMode::Sim { cluster, .. } => {
+            let topology: Topology = cluster.topology();
+            let out = SimDriver::new(topology).run(behaviors);
+            RunOutput {
+                record: take_record(handle),
+                stats: out.stats,
+                completed: out.completed,
+            }
+        }
+    }
+}
+
+/// Builds the worker behaviors for stages `1..n_stages` of `route`.
+pub fn build_workers(
+    mode: &ExecutionMode,
+    route: &PipelineRoute,
+    splits: &[Range<usize>],
+    config: &GenConfig,
+) -> Vec<(usize, Box<dyn NodeBehavior<PipeMsg>>)> {
+    let mut out: Vec<(usize, Box<dyn NodeBehavior<PipeMsg>>)> = Vec::new();
+    for (stage, &rank) in route.ranks().iter().enumerate().skip(1) {
+        let worker: Box<dyn NodeBehavior<PipeMsg>> = match mode {
+            ExecutionMode::Real { target, .. } => Box::new(PipelineWorker::new(
+                rank,
+                route.clone(),
+                Box::new(RealStageEngine::new(
+                    target.clone(),
+                    splits[stage].clone(),
+                    config.kv_capacity,
+                )),
+            )),
+            ExecutionMode::Sim { pair, cluster, .. } => Box::new(PipelineWorker::new(
+                rank,
+                route.clone(),
+                Box::new(SimStageEngine::new(
+                    CostModel::new(cluster.node(rank).clone()),
+                    ModelCost::new(pair.target.cfg.clone(), pair.target.quant),
+                    splits[stage].len(),
+                )),
+            )),
+        };
+        out.push((rank, worker));
+    }
+    out
+}
+
+/// Builds a head engine for stage 0 of the route.
+pub fn build_head_engine(
+    mode: &ExecutionMode,
+    splits: &[Range<usize>],
+    config: &GenConfig,
+) -> Box<dyn HeadEngine> {
+    match mode {
+        ExecutionMode::Real { target, .. } => Box::new(RealHeadEngine::new(
+            target.clone(),
+            splits[0].clone(),
+            config.kv_capacity,
+        )),
+        ExecutionMode::Sim {
+            pair,
+            cluster,
+            oracle_seed,
+        } => Box::new(SimHeadEngine::new(
+            CostModel::new(cluster.node(0).clone()),
+            ModelCost::new(pair.target.cfg.clone(), pair.target.quant),
+            splits[0].len(),
+            OracleTarget::new(*oracle_seed, pair.target.cfg.vocab_size as u32),
+        )),
+    }
+}
+
+/// Builds a drafter hosted on rank `host_rank`.
+pub fn build_drafter(
+    mode: &ExecutionMode,
+    host_rank: usize,
+    config: &GenConfig,
+) -> Box<dyn Drafter> {
+    match mode {
+        ExecutionMode::Real { draft, .. } => {
+            Box::new(RealDrafter::new(draft.as_ref().clone(), config.kv_capacity))
+        }
+        ExecutionMode::Sim {
+            pair,
+            cluster,
+            oracle_seed,
+        } => Box::new(OracleDrafter::new(
+            OracleTarget::new(*oracle_seed, pair.target.cfg.vocab_size as u32),
+            OracleDraft::new(
+                oracle_seed.wrapping_add(0x5eed_cafe),
+                pair.target.cfg.vocab_size as u32,
+                pair.acceptance_rate,
+            ),
+            CostModel::new(cluster.node(host_rank).clone()),
+            ModelCost::new(pair.draft.cfg.clone(), pair.draft.quant),
+        )),
+    }
+}
+
+/// Orders behaviors by rank into a dense vector for the drivers, verifying
+/// that the strategy assigned exactly one behavior to every rank.
+fn assemble_for(
+    strategy: &str,
+    n_nodes: usize,
+    head: Box<dyn NodeBehavior<PipeMsg>>,
+    mut others: Vec<(usize, Box<dyn NodeBehavior<PipeMsg>>)>,
+) -> Vec<Box<dyn NodeBehavior<PipeMsg>>> {
+    let mut slots: Vec<Option<Box<dyn NodeBehavior<PipeMsg>>>> =
+        (0..n_nodes).map(|_| None).collect();
+    slots[0] = Some(head);
+    for (rank, b) in others.drain(..) {
+        assert!(
+            rank < n_nodes,
+            "{strategy}: behavior assigned to rank {rank} outside the {n_nodes}-rank cluster"
+        );
+        assert!(
+            slots[rank].is_none(),
+            "{strategy}: rank {rank} was assigned two behaviors \
+             (route worker and auxiliary overlap?)"
+        );
+        slots[rank] = Some(b);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(rank, slot)| {
+            slot.unwrap_or_else(|| {
+                panic!(
+                    "{strategy}: rank {rank} has no behavior — the route skipped it \
+                     without Strategy::build_auxiliary providing one"
+                )
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_model::ModelConfig;
+
+    fn sim_mode(n_nodes: usize) -> ExecutionMode {
+        ExecutionMode::Sim {
+            pair: ModelPair::dolphin_tinyllama(),
+            cluster: ClusterSpec::cluster_c(n_nodes),
+            oracle_seed: 42,
+        }
+    }
+
+    fn real_mode(seed: u64) -> ExecutionMode {
+        let cfg = ModelConfig::tiny_llama(64, 4);
+        let target = Arc::new(Model::random(cfg.clone(), seed));
+        let draft = Arc::new(Model::new(cfg, target.weights().perturbed(0.02, seed + 1)));
+        ExecutionMode::Real { target, draft }
+    }
+
+    fn assert_covers(splits: &[Range<usize>], n_layers: usize) {
+        let mut next = 0;
+        for r in splits {
+            assert_eq!(r.start, next, "splits must be contiguous");
+            assert!(r.end >= r.start);
+            next = r.end;
+        }
+        assert_eq!(next, n_layers, "splits must cover every layer");
+    }
+
+    #[test]
+    fn baseline_strategies_route_all_ranks_with_head_zero() {
+        for strategy in [
+            Deployment::new(IterativeStrategy),
+            Deployment::new(SpeculativeStrategy),
+        ] {
+            for n in [1usize, 2, 4, 9] {
+                let (route, splits) = strategy.layout(&sim_mode(n.max(4)), n);
+                assert_eq!(route.head(), 0);
+                assert_eq!(route.n_stages(), n);
+                assert_eq!(route.ranks(), (0..n).collect::<Vec<_>>().as_slice());
+                assert_covers(&splits, sim_mode(4).target_layers());
+            }
+        }
+    }
+
+    #[test]
+    fn split_layers_matches_model_split() {
+        let strategy = IterativeStrategy;
+        let route = strategy.route(5);
+        let splits = strategy.split_layers(80, &route);
+        assert_eq!(splits, Model::split_layers(80, 5));
+        assert_covers(&splits, 80);
+    }
+
+    #[test]
+    fn drafter_policy_matches_strategy() {
+        assert!(!IterativeStrategy.needs_drafter());
+        assert!(SpeculativeStrategy.needs_drafter());
+    }
+
+    #[test]
+    fn iterative_and_speculative_agree_in_sim_mode() {
+        let config = GenConfig {
+            prompt: vec![9; 12],
+            n_generate: 24,
+            max_draft: 4,
+            confidence_cutoff: 0.4,
+            kv_capacity: 4096,
+        };
+        let iter = Deployment::new(IterativeStrategy).run(&sim_mode(4), 4, &config);
+        let spec = Deployment::new(SpeculativeStrategy).run(&sim_mode(4), 4, &config);
+        assert!(iter.completed && spec.completed);
+        assert_eq!(
+            iter.record.tokens[..24],
+            spec.record.tokens[..24],
+            "strategies must produce the same greedy stream for one oracle seed"
+        );
+    }
+
+    #[test]
+    fn deployment_runs_real_mode_end_to_end() {
+        let config = GenConfig::small_test(vec![3, 1, 4, 1, 5], 8);
+        let out = Deployment::new(IterativeStrategy).run(&real_mode(17), 2, &config);
+        assert!(out.completed);
+        assert_eq!(out.record.tokens.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs at least")]
+    fn min_nodes_is_enforced() {
+        struct Needy;
+        impl Strategy for Needy {
+            fn name(&self) -> &'static str {
+                "Needy"
+            }
+            fn min_nodes(&self) -> usize {
+                3
+            }
+            fn build_head(&self, _parts: HeadParts) -> Box<dyn NodeBehavior<PipeMsg>> {
+                unreachable!()
+            }
+        }
+        let config = GenConfig::small_test(vec![1], 1);
+        let _ = Deployment::new(Needy).run(&sim_mode(4), 2, &config);
+    }
+
+    /// Iterative head over the Fig. 3-style route that skips rank 1.
+    struct SkipRankOne {
+        with_auxiliary: bool,
+    }
+
+    impl Strategy for SkipRankOne {
+        fn name(&self) -> &'static str {
+            "SkipRankOne"
+        }
+        fn min_nodes(&self) -> usize {
+            3
+        }
+        fn route(&self, n_nodes: usize) -> PipelineRoute {
+            PipelineRoute::pipeinfer(n_nodes)
+        }
+        fn build_head(&self, parts: HeadParts) -> Box<dyn NodeBehavior<PipeMsg>> {
+            IterativeStrategy.build_head(parts)
+        }
+        fn build_auxiliary(
+            &self,
+            _mode: &ExecutionMode,
+            n_nodes: usize,
+            route: &PipelineRoute,
+            _gen_config: &GenConfig,
+        ) -> Vec<(usize, Box<dyn NodeBehavior<PipeMsg>>)> {
+            if !self.with_auxiliary {
+                return Vec::new();
+            }
+            struct Idle;
+            impl NodeBehavior<PipeMsg> for Idle {
+                fn on_message(
+                    &mut self,
+                    _: usize,
+                    _: u32,
+                    _: PipeMsg,
+                    _: &mut dyn pi_cluster::NodeCtx<PipeMsg>,
+                ) {
+                }
+                fn is_finished(&self) -> bool {
+                    true
+                }
+                fn as_any(&self) -> &dyn std::any::Any {
+                    self
+                }
+            }
+            // Every rank the route skipped gets an idle placeholder (a
+            // dedicated draft rank in a real strategy).
+            (0..n_nodes)
+                .filter(|r| route.stage_of(*r).is_none())
+                .map(|r| (r, Box::new(Idle) as Box<dyn NodeBehavior<PipeMsg>>))
+                .collect()
+        }
+    }
+
+    #[test]
+    fn off_route_ranks_are_served_by_auxiliary_behaviors() {
+        let config = GenConfig {
+            prompt: vec![9; 8],
+            n_generate: 12,
+            max_draft: 4,
+            confidence_cutoff: 0.4,
+            kv_capacity: 2048,
+        };
+        let skip = Deployment::new(SkipRankOne {
+            with_auxiliary: true,
+        })
+        .run(&sim_mode(4), 4, &config);
+        assert!(skip.completed);
+        // Rank 1 is off the pipeline, so the skipping layout must match a
+        // 3-stage baseline token-for-token.
+        let base = Deployment::new(IterativeStrategy).run(&sim_mode(3), 3, &config);
+        assert_eq!(skip.record.tokens, base.record.tokens);
+    }
+
+    #[test]
+    #[should_panic(expected = "must tile")]
+    fn gapped_layer_split_is_rejected() {
+        struct Gapped;
+        impl Strategy for Gapped {
+            fn name(&self) -> &'static str {
+                "Gapped"
+            }
+            fn split_layers(&self, n_layers: usize, _route: &PipelineRoute) -> Vec<Range<usize>> {
+                // Skips layer 0 and overlaps nothing: stage 0 starts at 1.
+                vec![1..n_layers / 2, n_layers / 2..n_layers]
+            }
+            fn build_head(&self, _parts: HeadParts) -> Box<dyn NodeBehavior<PipeMsg>> {
+                unreachable!("split validation fires first")
+            }
+        }
+        let config = GenConfig::small_test(vec![1], 1);
+        let _ = Deployment::new(Gapped).run(&sim_mode(4), 2, &config);
+    }
+
+    #[test]
+    fn uncovered_off_route_rank_panics_descriptively() {
+        let config = GenConfig::small_test(vec![1, 2], 2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = Deployment::new(SkipRankOne {
+                with_auxiliary: false,
+            })
+            .run(&sim_mode(4), 4, &config);
+        }));
+        let payload = caught.expect_err("must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("SkipRankOne") && msg.contains("build_auxiliary"),
+            "panic should name the strategy and the fix, got: {msg}"
+        );
+    }
+
+    #[test]
+    fn take_drafter_panics_without_drafter_declaration() {
+        let splits = vec![0..1; 1];
+        let mut parts = HeadParts {
+            route: PipelineRoute::baseline(1),
+            engine: build_head_engine(&sim_mode(4), &splits, &GenConfig::small_test(vec![1], 1)),
+            drafter: None,
+            gen_config: GenConfig::small_test(vec![1], 1),
+            record: Arc::new(Mutex::new(None)),
+        };
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = parts.take_drafter();
+        }));
+        assert!(caught.is_err());
+    }
+}

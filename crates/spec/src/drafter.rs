@@ -78,8 +78,8 @@ impl Drafter for RealDrafter {
             .expect("draft prompt evaluation failed");
         let mut last_row = logits.row(full.len() - 1).unwrap().to_vec();
         let mut out = Vec::with_capacity(max_tokens);
-        let mut pos = full.len() as i32;
-        for _ in 0..max_tokens {
+        let first_pos = full.len() as i32;
+        for pos in first_pos..first_pos + max_tokens as i32 {
             let conf = Sampler::confidence(&last_row);
             if conf < cutoff {
                 break;
@@ -95,7 +95,6 @@ impl Drafter for RealDrafter {
                 .forward_full(&step, &mut cache)
                 .expect("draft step evaluation failed");
             last_row = logits.row(0).unwrap().to_vec();
-            pos += 1;
         }
         (out, start.elapsed().as_secs_f64())
     }
@@ -158,7 +157,9 @@ impl Drafter for OracleDrafter {
         }
         // Each drafted token is one single-token pass of the draft model.
         let context_len = full.len();
-        let per_token = self.cost_model.full_model_time(&self.draft_cost, 1, context_len);
+        let per_token = self
+            .cost_model
+            .full_model_time(&self.draft_cost, 1, context_len);
         let cost = per_token * out.len().max(1) as f64;
         (out, cost)
     }

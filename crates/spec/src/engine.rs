@@ -204,9 +204,9 @@ impl SimStageEngine {
 impl StageEngine for SimStageEngine {
     fn eval(&mut self, batch: &Batch, _input: &ActivationPayload) -> (ActivationPayload, f64) {
         let context_len = batch.min_pos().unwrap_or(0).max(0) as usize;
-        let cost = self
-            .cost_model
-            .layers_time(&self.model_cost, self.n_layers, batch.len(), context_len);
+        let cost =
+            self.cost_model
+                .layers_time(&self.model_cost, self.n_layers, batch.len(), context_len);
         let payload = ActivationPayload::Simulated {
             tokens: batch.len(),
             bytes: self.model_cost.activation_bytes(batch.len()),
@@ -257,9 +257,9 @@ impl SimHeadEngine {
 impl HeadEngine for SimHeadEngine {
     fn eval_first_stage(&mut self, batch: &Batch) -> (ActivationPayload, f64) {
         let context_len = batch.min_pos().unwrap_or(0).max(0) as usize;
-        let cost = self
-            .cost_model
-            .layers_time(&self.model_cost, self.n_layers, batch.len(), context_len);
+        let cost =
+            self.cost_model
+                .layers_time(&self.model_cost, self.n_layers, batch.len(), context_len);
         let payload = ActivationPayload::Simulated {
             tokens: batch.len(),
             bytes: self.model_cost.activation_bytes(batch.len()),
@@ -385,7 +385,10 @@ mod tests {
         let (_, c10) = e10.eval(&single, &ActivationPayload::Empty);
         let (_, c20) = e20.eval(&single, &ActivationPayload::Empty);
         assert!((c20 / c10 - 2.0).abs() < 0.01);
-        let (p, _) = e10.eval(&Batch::prompt(&[1, 2, 3, 4], 0, 0), &ActivationPayload::Empty);
+        let (p, _) = e10.eval(
+            &Batch::prompt(&[1, 2, 3, 4], 0, 0),
+            &ActivationPayload::Empty,
+        );
         assert_eq!(p.tokens(), 4);
         assert_eq!(p.nbytes(), 4 * 8192 * 4);
     }

@@ -218,7 +218,10 @@ mod tests {
     #[test]
     fn prompt_is_launched_on_start() {
         let (mut h, _) = head(4);
-        let mut ctx = TestCtx { sent: Vec::new(), now: 0.0 };
+        let mut ctx = TestCtx {
+            sent: Vec::new(),
+            now: 0.0,
+        };
         h.on_start(&mut ctx);
         assert_eq!(ctx.sent.len(), 1);
         match &ctx.sent[0].1 {
@@ -234,7 +237,10 @@ mod tests {
     #[test]
     fn full_generation_against_oracle_matches_ground_truth() {
         let (mut h, out) = head(6);
-        let mut ctx = TestCtx { sent: Vec::new(), now: 0.0 };
+        let mut ctx = TestCtx {
+            sent: Vec::new(),
+            now: 0.0,
+        };
         h.on_start(&mut ctx);
         // Drive the protocol manually: every Decode the head sends is
         // answered with a RunResult (the worker is a pass-through here).

@@ -22,8 +22,13 @@
 //! * draft-model front-ends ([`drafter`]),
 //! * the greedy token-verification algorithm ([`verify`]),
 //! * run configuration and per-run records ([`GenConfig`],
-//!   [`GenerationRecord`]).
+//!   [`GenerationRecord`]),
+//! * the strategy-agnostic assembly layer ([`deploy`]): the [`Strategy`]
+//!   trait plus [`Deployment`], the single entry point that builds routes,
+//!   engines, drafters and workers and executes them under the driver
+//!   matching the [`ExecutionMode`].
 
+pub mod deploy;
 pub mod drafter;
 pub mod engine;
 pub mod iterative;
@@ -34,11 +39,16 @@ pub mod speculative;
 pub mod verify;
 pub mod worker;
 
+pub use deploy::{
+    Deployment, ExecutionMode, HeadParts, IterativeStrategy, RecordHandle, RunOutput,
+    SpeculativeStrategy, Strategy,
+};
 pub use drafter::{Drafter, OracleDrafter, RealDrafter};
-pub use engine::{HeadEngine, RealHeadEngine, RealStageEngine, SimHeadEngine, SimStageEngine, StageEngine};
+pub use engine::{
+    HeadEngine, RealHeadEngine, RealStageEngine, SimHeadEngine, SimStageEngine, StageEngine,
+};
 pub use message::{ActivationPayload, CacheOp, PipeMsg, RunId, RunKind};
 pub use route::PipelineRoute;
-pub use runner::{ExecutionMode, RunOutput};
 pub use verify::verify_greedy;
 pub use worker::PipelineWorker;
 

@@ -195,7 +195,10 @@ mod tests {
         let real = ActivationPayload::Real(Tensor::zeros(&[3, 8]));
         assert_eq!(real.tokens(), 3);
         assert_eq!(real.nbytes(), 3 * 8 * 4);
-        let sim = ActivationPayload::Simulated { tokens: 5, bytes: 999 };
+        let sim = ActivationPayload::Simulated {
+            tokens: 5,
+            bytes: 999,
+        };
         assert_eq!(sim.tokens(), 5);
         assert_eq!(sim.nbytes(), 999);
         assert_eq!(ActivationPayload::Empty.tokens(), 0);
@@ -209,7 +212,10 @@ mod tests {
             run_id: 1,
             kind: RunKind::Speculative,
             batch: batch.clone(),
-            payload: ActivationPayload::Simulated { tokens: 3, bytes: 1000 },
+            payload: ActivationPayload::Simulated {
+                tokens: 3,
+                bytes: 1000,
+            },
         };
         assert_eq!(msg.wire_bytes(), 16 + batch.wire_bytes() + 1000);
     }
@@ -235,7 +241,11 @@ mod tests {
         assert!(PipeMsg::Cancel { run_id: 3 }.priority());
         assert!(!PipeMsg::Shutdown.priority());
         assert!(!PipeMsg::Cache(CacheOp::SeqKeep { seq: 0 }).priority());
-        assert!(!PipeMsg::RunResult { run_id: 1, payload: ActivationPayload::Empty }.priority());
+        assert!(!PipeMsg::RunResult {
+            run_id: 1,
+            payload: ActivationPayload::Empty
+        }
+        .priority());
     }
 
     #[test]

@@ -30,7 +30,10 @@ impl PipelineRoute {
     /// PipeInfer route over `n` ranks: rank 1 is excluded (dedicated draft
     /// rank); for `n == 2` the head is the only target stage.
     pub fn pipeinfer(n: usize) -> Self {
-        assert!(n >= 2, "PipeInfer needs at least a head rank and a draft rank");
+        assert!(
+            n >= 2,
+            "PipeInfer needs at least a head rank and a draft rank"
+        );
         let mut ranks = vec![0];
         ranks.extend(2..n);
         Self::new(ranks)

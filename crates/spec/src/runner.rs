@@ -1,271 +1,32 @@
-//! Cluster assembly and execution helpers for the baseline strategies.
+//! Thin strategy-specific entry points over the [`crate::deploy`] layer.
 //!
-//! A [`ExecutionMode`] describes *how* compute happens:
-//!
-//! * [`ExecutionMode::Real`] — tiny real models under the threaded driver
-//!   (wall-clock time, actual tensors).  Used by tests and examples.
-//! * [`ExecutionMode::Sim`] — paper-scale model pairs and hardware presets
-//!   under the discrete-event simulator (virtual time, oracle tokens).
-//!   Used by the figure benchmarks.
-//!
-//! `run_iterative` / `run_speculative` build the head and worker behaviors
-//! for a given node count and execute them, returning the head's
-//! [`GenerationRecord`] plus cluster statistics.  `pipeinfer-core` provides
-//! the same entry point for PipeInfer itself.
+//! `run_iterative` / `run_speculative` execute the two baseline strategies
+//! for a given execution mode and node count; `pipeinfer_core::run_pipeinfer`
+//! is the analogous wrapper for PipeInfer itself.  All three delegate every
+//! piece of assembly (routes, engines, drafters, workers, driver selection)
+//! to [`Deployment::run`] — new strategies should implement
+//! [`crate::deploy::Strategy`] instead of adding a runner here.
 
-use crate::drafter::{OracleDrafter, RealDrafter};
-use crate::engine::{RealHeadEngine, RealStageEngine, SimHeadEngine, SimStageEngine};
-use crate::iterative::IterativeHead;
-use crate::message::PipeMsg;
-use crate::route::PipelineRoute;
-use crate::speculative::SpeculativeHead;
-use crate::worker::PipelineWorker;
-use crate::{GenConfig, GenerationRecord};
-use pi_cluster::sim::SimDriver;
-use pi_cluster::threaded::ThreadedDriver;
-use pi_cluster::{ClusterStats, NodeBehavior, Topology};
-use pi_model::{Model, OracleDraft, OracleTarget};
-use pi_perf::{ClusterSpec, CostModel, ModelCost, ModelPair};
-use std::sync::{Arc, Mutex};
-use std::time::Duration;
-
-/// How model compute is realised during a run.
-#[derive(Clone)]
-pub enum ExecutionMode {
-    /// Real tiny models, threaded driver, wall-clock time.
-    Real {
-        /// The target model.
-        target: Arc<Model>,
-        /// The draft model (ignored by the iterative baseline).
-        draft: Arc<Model>,
-    },
-    /// Cost-model simulation of a paper-scale deployment.
-    Sim {
-        /// Target/draft pair with its acceptance rate.
-        pair: ModelPair,
-        /// Hardware the deployment runs on (node count = pipeline size).
-        cluster: ClusterSpec,
-        /// Seed for the token oracles (fixed seed ⇒ bit-reproducible runs).
-        oracle_seed: u64,
-    },
-}
-
-impl ExecutionMode {
-    /// Number of ranks this mode naturally runs with (`Sim` deployments are
-    /// sized by their cluster spec; `Real` runs accept any count).
-    pub fn preferred_nodes(&self) -> Option<usize> {
-        match self {
-            ExecutionMode::Real { .. } => None,
-            ExecutionMode::Sim { cluster, .. } => Some(cluster.n_nodes()),
-        }
-    }
-}
-
-/// Result of executing one generation run on a cluster.
-#[derive(Debug, Clone)]
-pub struct RunOutput {
-    /// The head rank's record of the generation.
-    pub record: GenerationRecord,
-    /// Driver statistics (per-rank utilisation, messages, bytes).
-    pub stats: ClusterStats,
-    /// Whether every rank finished cleanly.
-    pub completed: bool,
-}
-
-/// Shared handle type used to pull the record out of the head behavior.
-pub type RecordHandle = Arc<Mutex<Option<GenerationRecord>>>;
-
-fn take_record(handle: &RecordHandle) -> GenerationRecord {
-    handle
-        .lock()
-        .unwrap()
-        .clone()
-        .expect("head rank did not produce a generation record (run incomplete?)")
-}
-
-/// Executes behaviors under the driver matching the execution mode.
-pub fn execute(
-    mode: &ExecutionMode,
-    behaviors: Vec<Box<dyn NodeBehavior<PipeMsg>>>,
-    handle: &RecordHandle,
-) -> RunOutput {
-    match mode {
-        ExecutionMode::Real { .. } => {
-            let out = ThreadedDriver::new()
-                .with_timeout(Duration::from_secs(120))
-                .run(behaviors);
-            RunOutput {
-                record: take_record(handle),
-                stats: out.stats,
-                completed: out.completed,
-            }
-        }
-        ExecutionMode::Sim { cluster, .. } => {
-            let topology: Topology = cluster.topology();
-            let out = SimDriver::new(topology).run(behaviors);
-            RunOutput {
-                record: take_record(handle),
-                stats: out.stats,
-                completed: out.completed,
-            }
-        }
-    }
-}
-
-/// Builds the worker behaviors for stages `1..n_stages` of `route`.
-pub fn build_workers(
-    mode: &ExecutionMode,
-    route: &PipelineRoute,
-    splits: &[std::ops::Range<usize>],
-    config: &GenConfig,
-) -> Vec<(usize, Box<dyn NodeBehavior<PipeMsg>>)> {
-    let mut out: Vec<(usize, Box<dyn NodeBehavior<PipeMsg>>)> = Vec::new();
-    for (stage, &rank) in route.ranks().iter().enumerate().skip(1) {
-        let worker: Box<dyn NodeBehavior<PipeMsg>> = match mode {
-            ExecutionMode::Real { target, .. } => Box::new(PipelineWorker::new(
-                rank,
-                route.clone(),
-                Box::new(RealStageEngine::new(
-                    target.clone(),
-                    splits[stage].clone(),
-                    config.kv_capacity,
-                )),
-            )),
-            ExecutionMode::Sim { pair, cluster, .. } => Box::new(PipelineWorker::new(
-                rank,
-                route.clone(),
-                Box::new(SimStageEngine::new(
-                    CostModel::new(cluster.node(rank).clone()),
-                    ModelCost::new(pair.target.cfg.clone(), pair.target.quant),
-                    splits[stage].len(),
-                )),
-            )),
-        };
-        out.push((rank, worker));
-    }
-    out
-}
-
-/// Builds a head engine for stage 0 of `route`.
-pub fn build_head_engine(
-    mode: &ExecutionMode,
-    splits: &[std::ops::Range<usize>],
-    config: &GenConfig,
-) -> Box<dyn crate::engine::HeadEngine> {
-    match mode {
-        ExecutionMode::Real { target, .. } => Box::new(RealHeadEngine::new(
-            target.clone(),
-            splits[0].clone(),
-            config.kv_capacity,
-        )),
-        ExecutionMode::Sim {
-            pair,
-            cluster,
-            oracle_seed,
-        } => Box::new(SimHeadEngine::new(
-            CostModel::new(cluster.node(0).clone()),
-            ModelCost::new(pair.target.cfg.clone(), pair.target.quant),
-            splits[0].len(),
-            OracleTarget::new(*oracle_seed, pair.target.cfg.vocab_size as u32),
-        )),
-    }
-}
-
-/// Builds a drafter hosted on rank `host_rank`.
-pub fn build_drafter(
-    mode: &ExecutionMode,
-    host_rank: usize,
-    config: &GenConfig,
-) -> Box<dyn crate::drafter::Drafter> {
-    match mode {
-        ExecutionMode::Real { draft, .. } => Box::new(RealDrafter::new(
-            draft.as_ref().clone(),
-            config.kv_capacity,
-        )),
-        ExecutionMode::Sim {
-            pair,
-            cluster,
-            oracle_seed,
-        } => Box::new(OracleDrafter::new(
-            OracleTarget::new(*oracle_seed, pair.target.cfg.vocab_size as u32),
-            OracleDraft::new(
-                oracle_seed.wrapping_add(0x5eed_cafe),
-                pair.target.cfg.vocab_size as u32,
-                pair.acceptance_rate,
-            ),
-            CostModel::new(cluster.node(host_rank).clone()),
-            ModelCost::new(pair.draft.cfg.clone(), pair.draft.quant),
-        )),
-    }
-}
-
-/// Number of decoder layers in the target model of `mode`.
-pub fn target_layers(mode: &ExecutionMode) -> usize {
-    match mode {
-        ExecutionMode::Real { target, .. } => target.config().n_layers,
-        ExecutionMode::Sim { pair, .. } => pair.target.cfg.n_layers,
-    }
-}
-
-/// Orders behaviors by rank into a dense vector for the drivers.
-pub fn assemble(
-    n_nodes: usize,
-    head: Box<dyn NodeBehavior<PipeMsg>>,
-    mut others: Vec<(usize, Box<dyn NodeBehavior<PipeMsg>>)>,
-) -> Vec<Box<dyn NodeBehavior<PipeMsg>>> {
-    let mut slots: Vec<Option<Box<dyn NodeBehavior<PipeMsg>>>> =
-        (0..n_nodes).map(|_| None).collect();
-    slots[0] = Some(head);
-    for (rank, b) in others.drain(..) {
-        slots[rank] = Some(b);
-    }
-    slots
-        .into_iter()
-        .enumerate()
-        .map(|(rank, slot)| slot.unwrap_or_else(|| panic!("rank {rank} has no behavior")))
-        .collect()
-}
+use crate::deploy::{Deployment, ExecutionMode, IterativeStrategy, RunOutput, SpeculativeStrategy};
+use crate::GenConfig;
 
 /// Runs pipeline-parallel iterative inference across `n_nodes` ranks.
 pub fn run_iterative(mode: &ExecutionMode, n_nodes: usize, config: &GenConfig) -> RunOutput {
-    assert!(n_nodes >= 1);
-    let route = PipelineRoute::baseline(n_nodes);
-    let splits = Model::split_layers(target_layers(mode), n_nodes);
-    let handle: RecordHandle = Arc::new(Mutex::new(None));
-    let head = Box::new(IterativeHead::new(
-        route.clone(),
-        build_head_engine(mode, &splits, config),
-        config.clone(),
-        handle.clone(),
-    ));
-    let workers = build_workers(mode, &route, &splits, config);
-    let behaviors = assemble(n_nodes, head, workers);
-    execute(mode, behaviors, &handle)
+    Deployment::new(IterativeStrategy).run(mode, n_nodes, config)
 }
 
 /// Runs pipeline-parallel speculative inference (the SpecInfer-style
 /// baseline) across `n_nodes` ranks with the draft model on the head.
 pub fn run_speculative(mode: &ExecutionMode, n_nodes: usize, config: &GenConfig) -> RunOutput {
-    assert!(n_nodes >= 1);
-    let route = PipelineRoute::baseline(n_nodes);
-    let splits = Model::split_layers(target_layers(mode), n_nodes);
-    let handle: RecordHandle = Arc::new(Mutex::new(None));
-    let head = Box::new(SpeculativeHead::new(
-        route.clone(),
-        build_head_engine(mode, &splits, config),
-        build_drafter(mode, 0, config),
-        config.clone(),
-        handle.clone(),
-    ));
-    let workers = build_workers(mode, &route, &splits, config);
-    let behaviors = assemble(n_nodes, head, workers);
-    execute(mode, behaviors, &handle)
+    Deployment::new(SpeculativeStrategy).run(mode, n_nodes, config)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pi_model::ModelConfig;
+    use pi_model::{Model, ModelConfig};
+    use pi_perf::{ClusterSpec, ModelPair};
+    use std::sync::Arc;
 
     fn real_mode(seed: u64) -> ExecutionMode {
         let cfg = ModelConfig::tiny_llama(64, 4);
@@ -308,8 +69,12 @@ mod tests {
             confidence_cutoff: 0.4,
             kv_capacity: 4096,
         };
-        let s4 = run_iterative(&sim_mode(4), 4, &config).record.generation_speed();
-        let s16 = run_iterative(&sim_mode(16), 16, &config).record.generation_speed();
+        let s4 = run_iterative(&sim_mode(4), 4, &config)
+            .record
+            .generation_speed();
+        let s16 = run_iterative(&sim_mode(16), 16, &config)
+            .record
+            .generation_speed();
         let ratio = s16 / s4;
         assert!(ratio > 0.7 && ratio < 1.3, "ratio {ratio}");
     }

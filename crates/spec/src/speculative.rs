@@ -251,7 +251,10 @@ mod tests {
         }
     }
 
-    fn build(alignment: f64, n_generate: usize) -> (SpeculativeHead, Arc<Mutex<Option<GenerationRecord>>>) {
+    fn build(
+        alignment: f64,
+        n_generate: usize,
+    ) -> (SpeculativeHead, Arc<Mutex<Option<GenerationRecord>>>) {
         let out = Arc::new(Mutex::new(None));
         let oracle = OracleTarget::new(7, 32000);
         let engine = SimHeadEngine::new(
@@ -311,7 +314,10 @@ mod tests {
         let truth = oracle.generate(&[1, 2, 3, 4], 20);
         for alignment in [0.0, 0.5, 1.0] {
             let (mut head, _) = build(alignment, 12);
-            let mut ctx = TestCtx { sent: Vec::new(), now: 0.0 };
+            let mut ctx = TestCtx {
+                sent: Vec::new(),
+                now: 0.0,
+            };
             let record = drive(&mut head, &mut ctx);
             assert!(record.tokens.len() >= 12);
             // Speculative inference must produce exactly the target's greedy
@@ -327,11 +333,17 @@ mod tests {
     #[test]
     fn high_alignment_accepts_more_drafts_and_needs_fewer_runs() {
         let (mut good, _) = build(0.95, 16);
-        let mut ctx_good = TestCtx { sent: Vec::new(), now: 0.0 };
+        let mut ctx_good = TestCtx {
+            sent: Vec::new(),
+            now: 0.0,
+        };
         let r_good = drive(&mut good, &mut ctx_good);
 
         let (mut bad, _) = build(0.05, 16);
-        let mut ctx_bad = TestCtx { sent: Vec::new(), now: 0.0 };
+        let mut ctx_bad = TestCtx {
+            sent: Vec::new(),
+            now: 0.0,
+        };
         let r_bad = drive(&mut bad, &mut ctx_bad);
 
         assert!(r_good.acceptance_rate() > r_bad.acceptance_rate());
@@ -341,7 +353,10 @@ mod tests {
     #[test]
     fn cache_cleanup_is_sent_when_drafts_are_rejected() {
         let (mut head, _) = build(0.0, 4);
-        let mut ctx = TestCtx { sent: Vec::new(), now: 0.0 };
+        let mut ctx = TestCtx {
+            sent: Vec::new(),
+            now: 0.0,
+        };
         head.on_start(&mut ctx);
         // Answer the prompt run.
         let run_id = match ctx.sent.pop().unwrap().1 {
@@ -351,7 +366,10 @@ mod tests {
         head.on_message(
             1,
             tags::RESULT,
-            PipeMsg::RunResult { run_id, payload: ActivationPayload::Empty },
+            PipeMsg::RunResult {
+                run_id,
+                payload: ActivationPayload::Empty,
+            },
             &mut ctx,
         );
         // Answer the first verification run (every draft rejected).
@@ -362,7 +380,10 @@ mod tests {
         head.on_message(
             1,
             tags::RESULT,
-            PipeMsg::RunResult { run_id, payload: ActivationPayload::Empty },
+            PipeMsg::RunResult {
+                run_id,
+                payload: ActivationPayload::Empty,
+            },
             &mut ctx,
         );
         assert!(

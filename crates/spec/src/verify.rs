@@ -45,7 +45,7 @@ impl VerifyOutcome {
 /// Panics if `truth` is shorter than `draft.len() + 1`.
 pub fn verify_greedy(draft: &[Token], truth: &[Token]) -> VerifyOutcome {
     assert!(
-        truth.len() >= draft.len() + 1,
+        truth.len() > draft.len(),
         "need {} truth tokens, got {}",
         draft.len() + 1,
         truth.len()

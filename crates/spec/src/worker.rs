@@ -45,7 +45,14 @@ impl PipelineWorker {
         }
     }
 
-    fn forward_result(&self, ctx: &mut dyn NodeCtx<PipeMsg>, run_id: RunId, kind: RunKind, batch: pi_model::Batch, payload: ActivationPayload) {
+    fn forward_result(
+        &self,
+        ctx: &mut dyn NodeCtx<PipeMsg>,
+        run_id: RunId,
+        kind: RunKind,
+        batch: pi_model::Batch,
+        payload: ActivationPayload,
+    ) {
         match self.route.next_after(self.rank) {
             Some(next) => ctx.send(
                 next,
@@ -93,7 +100,11 @@ impl NodeBehavior<PipeMsg> for PipelineWorker {
             PipeMsg::RunResult { run_id, payload } => {
                 // Only the head consumes results; a worker receiving one is a
                 // routing bug — forward it toward the head to stay robust.
-                ctx.send(self.route.head(), tags::RESULT, PipeMsg::RunResult { run_id, payload });
+                ctx.send(
+                    self.route.head(),
+                    tags::RESULT,
+                    PipeMsg::RunResult { run_id, payload },
+                );
             }
             PipeMsg::Cache(op) => {
                 let cost = self.engine.apply_cache_op(&op);
@@ -185,7 +196,10 @@ mod tests {
             run_id,
             kind,
             batch: Batch::single(5, 10, 0),
-            payload: ActivationPayload::Simulated { tokens: 1, bytes: 100 },
+            payload: ActivationPayload::Simulated {
+                tokens: 1,
+                bytes: 100,
+            },
         }
     }
 
@@ -193,7 +207,12 @@ mod tests {
     fn middle_worker_forwards_to_next_stage() {
         let mut w = PipelineWorker::new(1, PipelineRoute::baseline(4), sim_engine());
         let mut ctx = TestCtx::new();
-        w.on_message(0, tags::DECODE, decode(7, RunKind::NonSpeculative), &mut ctx);
+        w.on_message(
+            0,
+            tags::DECODE,
+            decode(7, RunKind::NonSpeculative),
+            &mut ctx,
+        );
         assert_eq!(w.evaluated_runs, 1);
         assert!(ctx.elapsed > 0.0);
         assert_eq!(ctx.sent.len(), 1);
@@ -208,7 +227,10 @@ mod tests {
         w.on_message(2, tags::DECODE, decode(9, RunKind::Speculative), &mut ctx);
         assert_eq!(ctx.sent.len(), 1);
         assert_eq!(ctx.sent[0].0, 0);
-        assert!(matches!(ctx.sent[0].1, PipeMsg::RunResult { run_id: 9, .. }));
+        assert!(matches!(
+            ctx.sent[0].1,
+            PipeMsg::RunResult { run_id: 9, .. }
+        ));
     }
 
     #[test]
@@ -235,7 +257,12 @@ mod tests {
         let mut w = PipelineWorker::new(1, PipelineRoute::baseline(3), sim_engine());
         let mut ctx = TestCtx::new();
         w.on_message(2, tags::CANCEL, PipeMsg::Cancel { run_id: 4 }, &mut ctx);
-        w.on_message(0, tags::DECODE, decode(4, RunKind::NonSpeculative), &mut ctx);
+        w.on_message(
+            0,
+            tags::DECODE,
+            decode(4, RunKind::NonSpeculative),
+            &mut ctx,
+        );
         assert_eq!(w.evaluated_runs, 1);
         assert_eq!(w.skipped_runs, 0);
     }
@@ -271,13 +298,23 @@ mod tests {
         use crate::message::CacheOp;
         let mut w = PipelineWorker::new(1, PipelineRoute::baseline(3), sim_engine());
         let mut ctx = TestCtx::new();
-        w.on_message(0, tags::CACHE, PipeMsg::Cache(CacheOp::SeqKeep { seq: 0 }), &mut ctx);
+        w.on_message(
+            0,
+            tags::CACHE,
+            PipeMsg::Cache(CacheOp::SeqKeep { seq: 0 }),
+            &mut ctx,
+        );
         assert_eq!(ctx.sent.len(), 1);
         assert_eq!(ctx.sent[0].0, 2);
         // Last stage does not forward further.
         let mut last = PipelineWorker::new(2, PipelineRoute::baseline(3), sim_engine());
         let mut ctx2 = TestCtx::new();
-        last.on_message(1, tags::CACHE, PipeMsg::Cache(CacheOp::SeqKeep { seq: 0 }), &mut ctx2);
+        last.on_message(
+            1,
+            tags::CACHE,
+            PipeMsg::Cache(CacheOp::SeqKeep { seq: 0 }),
+            &mut ctx2,
+        );
         assert!(ctx2.sent.is_empty());
     }
 

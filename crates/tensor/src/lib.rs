@@ -50,7 +50,10 @@ impl std::fmt::Display for TensorError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TensorError::ShapeMismatch { expected, actual } => {
-                write!(f, "shape mismatch: expected {expected} elements, got {actual}")
+                write!(
+                    f,
+                    "shape mismatch: expected {expected} elements, got {actual}"
+                )
             }
             TensorError::IncompatibleShapes(msg) => write!(f, "incompatible shapes: {msg}"),
             TensorError::OutOfBounds(msg) => write!(f, "index out of bounds: {msg}"),

@@ -174,10 +174,7 @@ mod tests {
     fn matmul_t_identity() {
         // x: [2,3], w = identity-like [3,3]
         let x = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
-        let w = t(
-            vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0],
-            &[3, 3],
-        );
+        let w = t(vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0], &[3, 3]);
         let y = matmul_t(&x, &w).unwrap();
         assert_eq!(y.data(), x.data());
     }

@@ -146,7 +146,11 @@ impl QuantizedMatrix {
         let rows = t.rows();
         let cols = t.cols();
         let blocks_per_row = cols.div_ceil(BLOCK_SIZE);
-        let levels = if kind.levels() == 0 { 127 } else { kind.levels() } as f32;
+        let levels = if kind.levels() == 0 {
+            127
+        } else {
+            kind.levels()
+        } as f32;
         let mut blocks = Vec::with_capacity(rows * blocks_per_row);
         for r in 0..rows {
             let row = t.row(r)?;
@@ -232,8 +236,8 @@ impl QuantizedMatrix {
                     let start = b * BLOCK_SIZE;
                     let end = (start + BLOCK_SIZE).min(self.cols);
                     let mut block_acc = 0.0f32;
-                    for k in start..end {
-                        block_acc += xrow[k] * block.q[k - start] as f32;
+                    for (xv, qv) in xrow[start..end].iter().zip(&block.q) {
+                        block_acc += xv * *qv as f32;
                     }
                     acc += block_acc * block.scale;
                 }
@@ -324,7 +328,10 @@ mod tests {
         let q = QuantizedMatrix::quantize(&w, QuantKind::Q2K).unwrap();
         let err = q.max_abs_error(&w);
         assert!(err > 0.05, "Q2 should be visibly lossy, err={err}");
-        assert!(err <= 1.0, "error bounded by block max magnitude, err={err}");
+        assert!(
+            err <= 1.0,
+            "error bounded by block max magnitude, err={err}"
+        );
     }
 
     #[test]

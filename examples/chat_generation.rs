@@ -11,12 +11,17 @@
 use pipeinfer::prelude::*;
 use std::sync::Arc;
 
+#[path = "util/mod.rs"]
+mod util;
+use util::n_generate;
+
 fn main() {
     let config = ModelConfig::tiny_llama(pi_model::tokenizer::BYTE_VOCAB_SIZE, 4);
     let target = Arc::new(Model::random(config.clone(), 2024));
     let draft = Arc::new(Model::new(config, target.weights().perturbed(0.03, 2025)));
     let mode = ExecutionMode::Real { target, draft };
     let tokenizer = ByteTokenizer::new();
+    let pipeinfer_deployment = Deployment::new(PipeInferStrategy::default());
 
     let user_turns = [
         "Explain speculative decoding in one sentence.",
@@ -32,12 +37,12 @@ fn main() {
         let prompt = tokenizer.encode(&transcript, true);
         let gen = GenConfig {
             prompt,
-            n_generate: 32,
+            n_generate: n_generate(32),
             max_draft: 4,
             confidence_cutoff: 0.3,
             kv_capacity: 2048,
         };
-        let out = run_pipeinfer(&mode, 3, &gen, &PipeInferConfig::default());
+        let out = pipeinfer_deployment.run(&mode, 3, &gen);
         let reply = tokenizer.decode(&out.record.tokens);
         println!(
             "turn {}: {:4.1} tok/s, acceptance {:4.1} %, {} runs ({} cancelled)",

@@ -9,11 +9,15 @@
 use pipeinfer::metrics::Figure;
 use pipeinfer::prelude::*;
 
+#[path = "util/mod.rs"]
+mod util;
+use util::n_generate;
+
 fn main() {
     let pair = ModelPair::dolphin_tinyllama();
     let gen = GenConfig {
         prompt: vec![7; 64],
-        n_generate: 96,
+        n_generate: n_generate(96),
         max_draft: 4,
         confidence_cutoff: 0.4,
         kv_capacity: 8192,
@@ -31,12 +35,15 @@ fn main() {
             oracle_seed: 7,
         };
         let x = format!("{n} Node");
-        let iter = run_iterative(&mode, n, &gen);
-        let spec = run_speculative(&mode, n, &gen);
-        let pipe = run_pipeinfer(&mode, n, &gen, &PipeInferConfig::default());
-        fig.push("Iterative", &x, iter.record.generation_speed());
-        fig.push("Speculative", &x, spec.record.generation_speed());
-        fig.push("PipeInfer", &x, pipe.record.generation_speed());
+        let strategies: [(&str, Deployment); 3] = [
+            ("Iterative", Deployment::new(IterativeStrategy)),
+            ("Speculative", Deployment::new(SpeculativeStrategy)),
+            ("PipeInfer", Deployment::new(PipeInferStrategy::default())),
+        ];
+        for (name, deployment) in strategies {
+            let out = deployment.run(&mode, n, &gen);
+            fig.push(name, &x, out.record.generation_speed());
+        }
     }
     println!("{}", fig.render());
     let speedup = fig

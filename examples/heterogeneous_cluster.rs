@@ -11,6 +11,10 @@
 use pipeinfer::metrics::Figure;
 use pipeinfer::prelude::*;
 
+#[path = "util/mod.rs"]
+mod util;
+use util::n_generate;
+
 fn run_all(pair: &ModelPair, cluster: ClusterSpec, gen: &GenConfig) -> [RunOutput; 3] {
     let n = cluster.n_nodes();
     let mode = ExecutionMode::Sim {
@@ -19,9 +23,9 @@ fn run_all(pair: &ModelPair, cluster: ClusterSpec, gen: &GenConfig) -> [RunOutpu
         oracle_seed: 11,
     };
     [
-        run_iterative(&mode, n, gen),
-        run_speculative(&mode, n, gen),
-        run_pipeinfer(&mode, n, gen, &PipeInferConfig::default()),
+        Deployment::new(IterativeStrategy).run(&mode, n, gen),
+        Deployment::new(SpeculativeStrategy).run(&mode, n, gen),
+        Deployment::new(PipeInferStrategy::default()).run(&mode, n, gen),
     ]
 }
 
@@ -29,20 +33,28 @@ fn main() {
     let pair = ModelPair::goliath_xwin7b();
     let gen = GenConfig {
         prompt: vec![3; 64],
-        n_generate: 96,
+        n_generate: n_generate(96),
         max_draft: 4,
         confidence_cutoff: 0.4,
         kv_capacity: 8192,
     };
 
     let mut speed = Figure::new("Constrained clusters", "Goliath-120B + XWin-7B", "tokens/s");
-    let mut ttft = Figure::new("Constrained clusters", "Goliath-120B + XWin-7B", "TTFT seconds");
+    let mut ttft = Figure::new(
+        "Constrained clusters",
+        "Goliath-120B + XWin-7B",
+        "TTFT seconds",
+    );
     for (label, cluster) in [
         ("Cluster A, 8 GigE nodes", ClusterSpec::cluster_a(8)),
         ("Cluster B, 13 heterogeneous", ClusterSpec::cluster_b(13)),
     ] {
         let [iter, spec, pipe] = run_all(&pair, cluster, &gen);
-        for (name, out) in [("Iterative", &iter), ("Speculative", &spec), ("PipeInfer", &pipe)] {
+        for (name, out) in [
+            ("Iterative", &iter),
+            ("Speculative", &spec),
+            ("PipeInfer", &pipe),
+        ] {
             speed.push(name, label, out.record.generation_speed());
             ttft.push(name, label, out.record.ttft());
         }

@@ -10,36 +10,39 @@
 use pipeinfer::prelude::*;
 use std::sync::Arc;
 
+#[path = "util/mod.rs"]
+mod util;
+use util::n_generate;
+
 fn main() {
     // 1. Build a tiny target model and derive a well-aligned draft model from
     //    it by perturbing the weights slightly.
     let config = ModelConfig::tiny_llama(pi_model::tokenizer::BYTE_VOCAB_SIZE, 4);
     let target = Arc::new(Model::random(config.clone(), 42));
-    let draft = Arc::new(Model::new(
-        config,
-        target.weights().perturbed(0.02, 43),
-    ));
-    let mode = ExecutionMode::Real {
-        target,
-        draft,
-    };
+    let draft = Arc::new(Model::new(config, target.weights().perturbed(0.02, 43)));
+    let mode = ExecutionMode::Real { target, draft };
 
     // 2. Encode a prompt with the byte-level tokenizer.
     let tokenizer = ByteTokenizer::new();
     let prompt = tokenizer.encode("Write a short story about a warrior named Goliath.", true);
     let gen = GenConfig {
         prompt,
-        n_generate: 48,
+        n_generate: n_generate(48),
         max_draft: 4,
         confidence_cutoff: 0.3,
         kv_capacity: 1024,
     };
 
-    // 3. Run the iterative baseline and PipeInfer over 4 in-process ranks.
-    let iterative = run_iterative(&mode, 4, &gen);
-    let pipeinfer = run_pipeinfer(&mode, 4, &gen, &PipeInferConfig::default());
+    // 3. Run the iterative baseline and PipeInfer over 4 in-process ranks,
+    //    each assembled by the shared `Deployment` layer.
+    let iterative = Deployment::new(IterativeStrategy).run(&mode, 4, &gen);
+    let pipeinfer = Deployment::new(PipeInferStrategy::default()).run(&mode, 4, &gen);
 
-    println!("iterative : {:5.1} tok/s, TTFT {:6.2} ms", iterative.record.generation_speed(), iterative.record.ttft() * 1e3);
+    println!(
+        "iterative : {:5.1} tok/s, TTFT {:6.2} ms",
+        iterative.record.generation_speed(),
+        iterative.record.ttft() * 1e3
+    );
     println!(
         "PipeInfer : {:5.1} tok/s, TTFT {:6.2} ms, acceptance {:4.1} %, runs {} (cancelled {})",
         pipeinfer.record.generation_speed(),

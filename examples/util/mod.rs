@@ -1,0 +1,13 @@
+//! Helpers shared by the examples via `#[path]` inclusion (this directory is
+//! not itself an example target).
+
+/// Number of tokens an example should generate: tiny when `PIPEINFER_SMOKE`
+/// is set (the examples smoke test sets it — presence counts, even empty),
+/// the example's showcase default otherwise.
+pub fn n_generate(default: usize) -> usize {
+    if std::env::var_os("PIPEINFER_SMOKE").is_some() {
+        8
+    } else {
+        default
+    }
+}

@@ -18,8 +18,11 @@
 //!   cancellation.
 //! * [`metrics`] — measurement summaries and report rendering.
 //!
-//! See `README.md` for a quickstart and `DESIGN.md` / `EXPERIMENTS.md` for
-//! the reproduction methodology.
+//! Every strategy executes through the strategy-agnostic
+//! [`spec::deploy::Deployment`] layer: implement
+//! [`spec::deploy::Strategy`] (rank layout + layer split + head factory)
+//! and `Deployment::run` does the rest.  See `README.md` for a quickstart
+//! and the workspace map.
 
 /// Dense tensors, transformer kernels and block quantization (`pi-tensor`).
 pub use pi_tensor as tensor;
@@ -47,7 +50,11 @@ pub use pi_metrics as metrics;
 pub mod prelude {
     pub use pi_model::{Batch, ByteTokenizer, Model, ModelConfig, Token};
     pub use pi_perf::{ClusterSpec, InferenceStrategy, ModelPair};
-    pub use pi_spec::runner::{run_iterative, run_speculative, ExecutionMode, RunOutput};
+    pub use pi_spec::deploy::{
+        Deployment, ExecutionMode, HeadParts, IterativeStrategy, RunOutput, SpeculativeStrategy,
+        Strategy,
+    };
+    pub use pi_spec::runner::{run_iterative, run_speculative};
     pub use pi_spec::{GenConfig, GenerationRecord};
-    pub use pipeinfer_core::{run_pipeinfer, PipeInferConfig};
+    pub use pipeinfer_core::{run_pipeinfer, PipeInferConfig, PipeInferStrategy};
 }

@@ -5,7 +5,8 @@
 //! inference, and single-node inference … zero deviation" (§V-B).  Here the
 //! same property is asserted with real tiny models executed across real
 //! OS-thread pipelines, for well- and poorly-aligned draft models and for
-//! both ablation variants.
+//! both ablation variants — every strategy assembled and executed through
+//! the shared [`Deployment`] layer.
 
 use pipeinfer::model::{Batch, KvCache, Sampler};
 use pipeinfer::prelude::*;
@@ -22,6 +23,15 @@ fn tiny_pair(noise: f32, seed: u64) -> (Arc<Model>, ExecutionMode) {
     (target, mode)
 }
 
+/// One deployment per strategy, PipeInfer with its default configuration.
+fn all_deployments() -> Vec<(&'static str, Deployment)> {
+    vec![
+        ("iterative", Deployment::new(IterativeStrategy)),
+        ("speculative", Deployment::new(SpeculativeStrategy)),
+        ("pipeinfer", Deployment::new(PipeInferStrategy::default())),
+    ]
+}
+
 /// Greedy generation on a single process (no pipeline at all) — the ground
 /// truth every distributed strategy must match.
 fn single_process_greedy(model: &Model, prompt: &[u32], n: usize) -> Vec<u32> {
@@ -30,14 +40,13 @@ fn single_process_greedy(model: &Model, prompt: &[u32], n: usize) -> Vec<u32> {
         .forward_full(&Batch::prompt(prompt, 0, 0), &mut cache)
         .unwrap();
     let mut tok = Sampler::Greedy.sample(logits.row(prompt.len() - 1).unwrap());
-    let mut pos = prompt.len() as i32;
+    let first_pos = prompt.len() as i32;
     let mut out = Vec::new();
-    for i in 0..n + 1 {
+    for (i, pos) in (first_pos..first_pos + n as i32 + 1).enumerate() {
         let logits = model
             .forward_full(&Batch::single(tok, pos, 0), &mut cache)
             .unwrap();
         tok = Sampler::Greedy.sample(logits.row(0).unwrap());
-        pos += 1;
         // The first sampled token (from prompt processing) is not counted, so
         // collect from the first decode step onwards.
         if i < n {
@@ -56,14 +65,15 @@ fn all_strategies_match_single_process_greedy_output() {
     let truth = single_process_greedy(&target, &prompt, n);
 
     let gen = GenConfig::small_test(prompt, n);
-    let iter = run_iterative(&mode, 3, &gen);
-    let spec = run_speculative(&mode, 3, &gen);
-    let pipe = run_pipeinfer(&mode, 3, &gen, &PipeInferConfig::default());
-
-    assert!(iter.completed && spec.completed && pipe.completed);
-    assert_eq!(iter.record.tokens[..n], truth[..]);
-    assert_eq!(spec.record.tokens[..n], truth[..]);
-    assert_eq!(pipe.record.tokens[..n], truth[..]);
+    for (name, deployment) in all_deployments() {
+        let out = deployment.run(&mode, 3, &gen);
+        assert!(out.completed, "{name} did not complete");
+        assert_eq!(
+            out.record.tokens[..n],
+            truth[..],
+            "{name} diverged from single-process greedy output"
+        );
+    }
 }
 
 #[test]
@@ -75,8 +85,8 @@ fn poorly_aligned_draft_does_not_change_output() {
     let n = 12;
     let truth = single_process_greedy(&target, &prompt, n);
     let gen = GenConfig::small_test(prompt, n);
-    let spec = run_speculative(&mode, 2, &gen);
-    let pipe = run_pipeinfer(&mode, 2, &gen, &PipeInferConfig::default());
+    let spec = Deployment::new(SpeculativeStrategy).run(&mode, 2, &gen);
+    let pipe = Deployment::new(PipeInferStrategy::default()).run(&mode, 2, &gen);
     assert_eq!(spec.record.tokens[..n], truth[..]);
     assert_eq!(pipe.record.tokens[..n], truth[..]);
     // The poorly aligned draft must show a visibly lower acceptance rate.
@@ -95,7 +105,7 @@ fn ablations_preserve_output_on_real_models() {
         PipeInferConfig::no_cancellation(),
         PipeInferConfig::no_continuous_speculation(),
     ] {
-        let out = run_pipeinfer(&mode, 4, &gen, &config);
+        let out = Deployment::new(PipeInferStrategy::new(config.clone())).run(&mode, 4, &gen);
         assert!(out.completed);
         assert_eq!(out.record.tokens[..n], truth[..], "config {config:?}");
     }
@@ -108,12 +118,30 @@ fn pipeline_depth_does_not_change_output() {
     let n = 10;
     let truth = single_process_greedy(&target, &prompt, n);
     let gen = GenConfig::small_test(prompt, n);
+    let deployment = Deployment::new(PipeInferStrategy::default());
     for n_nodes in [2usize, 3, 4, 5] {
-        let out = run_pipeinfer(&mode, n_nodes, &gen, &PipeInferConfig::default());
+        let out = deployment.run(&mode, n_nodes, &gen);
         assert_eq!(
             out.record.tokens[..n],
             truth[..],
             "output changed at {n_nodes} nodes"
         );
     }
+}
+
+#[test]
+fn legacy_runner_wrappers_match_deployment_output() {
+    // `run_iterative` / `run_speculative` / `run_pipeinfer` are kept as thin
+    // wrappers; they must behave exactly like explicit deployments.
+    let (_, mode) = tiny_pair(0.02, 77);
+    let gen = GenConfig::small_test(vec![6, 5, 4, 3], 8);
+    let a = run_iterative(&mode, 3, &gen);
+    let b = Deployment::new(IterativeStrategy).run(&mode, 3, &gen);
+    assert_eq!(a.record.tokens, b.record.tokens);
+    let a = run_speculative(&mode, 3, &gen);
+    let b = Deployment::new(SpeculativeStrategy).run(&mode, 3, &gen);
+    assert_eq!(a.record.tokens, b.record.tokens);
+    let a = run_pipeinfer(&mode, 3, &gen, &PipeInferConfig::default());
+    let b = Deployment::new(PipeInferStrategy::default()).run(&mode, 3, &gen);
+    assert_eq!(a.record.tokens, b.record.tokens);
 }

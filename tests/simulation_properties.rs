@@ -1,6 +1,8 @@
 //! Workspace-level integration tests of the simulated evaluation path:
 //! determinism, cross-strategy orderings and property-based checks on the
-//! paper's qualitative claims.
+//! paper's qualitative claims.  All strategies execute through the shared
+//! [`Deployment`] layer; property cases are drawn deterministically (fixed
+//! seeds), so a failure always reproduces identically.
 
 use pipeinfer::prelude::*;
 use proptest::prelude::*;
@@ -23,12 +25,16 @@ fn gen(n_generate: usize) -> GenConfig {
     }
 }
 
+fn pipeinfer() -> Deployment {
+    Deployment::new(PipeInferStrategy::default())
+}
+
 #[test]
 fn simulated_runs_are_bit_reproducible() {
     let cfg = gen(40);
     for _ in 0..2 {
-        let a = run_pipeinfer(&sim(ModelPair::falcon_7b(), 8, 3), 8, &cfg, &PipeInferConfig::default());
-        let b = run_pipeinfer(&sim(ModelPair::falcon_7b(), 8, 3), 8, &cfg, &PipeInferConfig::default());
+        let a = pipeinfer().run(&sim(ModelPair::falcon_7b(), 8, 3), 8, &cfg);
+        let b = pipeinfer().run(&sim(ModelPair::falcon_7b(), 8, 3), 8, &cfg);
         assert_eq!(a.record.tokens, b.record.tokens);
         assert_eq!(a.record.finished_at, b.record.finished_at);
         assert_eq!(a.record.accept_times, b.record.accept_times);
@@ -42,9 +48,9 @@ fn paper_orderings_hold_on_cluster_c() {
     // TTFT: PipeInfer ≈ iterative < speculative (paper Figs. 4 and 5).
     let cfg = gen(64);
     for pair in [ModelPair::dolphin_tinyllama(), ModelPair::goliath_xwin7b()] {
-        let iter = run_iterative(&sim(pair.clone(), 8, 5), 8, &cfg);
-        let spec = run_speculative(&sim(pair.clone(), 8, 5), 8, &cfg);
-        let pipe = run_pipeinfer(&sim(pair.clone(), 8, 5), 8, &cfg, &PipeInferConfig::default());
+        let iter = Deployment::new(IterativeStrategy).run(&sim(pair.clone(), 8, 5), 8, &cfg);
+        let spec = Deployment::new(SpeculativeStrategy).run(&sim(pair.clone(), 8, 5), 8, &cfg);
+        let pipe = pipeinfer().run(&sim(pair.clone(), 8, 5), 8, &cfg);
         assert!(
             pipe.record.generation_speed() > spec.record.generation_speed(),
             "{}: pipe {:.2} <= spec {:.2}",
@@ -68,8 +74,9 @@ fn paper_orderings_hold_on_cluster_c() {
 fn cancellation_ablation_never_improves_speed_under_poor_alignment() {
     let cfg = gen(64);
     let pair = ModelPair::goliath_xwin7b();
-    let full = run_pipeinfer(&sim(pair.clone(), 8, 9), 8, &cfg, &PipeInferConfig::default());
-    let no_cancel = run_pipeinfer(&sim(pair, 8, 9), 8, &cfg, &PipeInferConfig::no_cancellation());
+    let full = pipeinfer().run(&sim(pair.clone(), 8, 9), 8, &cfg);
+    let no_cancel = Deployment::new(PipeInferStrategy::new(PipeInferConfig::no_cancellation()))
+        .run(&sim(pair, 8, 9), 8, &cfg);
     assert!(full.record.generation_speed() >= 0.95 * no_cancel.record.generation_speed());
     assert_eq!(full.record.tokens, no_cancel.record.tokens);
 }
@@ -90,14 +97,14 @@ proptest! {
         pair.acceptance_rate = acceptance;
         let cfg = gen(32);
         let mode = sim(pair.clone(), n_nodes, seed);
-        let pipe = run_pipeinfer(&mode, n_nodes, &cfg, &PipeInferConfig::default());
+        let pipe = pipeinfer().run(&mode, n_nodes, &cfg);
         prop_assert!(pipe.completed);
         prop_assert!(pipe.record.tokens.len() >= 32);
         let truth = pipeinfer::model::OracleTarget::new(seed, pair.target.cfg.vocab_size as u32)
             .generate(&cfg.prompt, 40);
         prop_assert_eq!(&pipe.record.tokens[..32], &truth[1..33]);
 
-        let iter = run_iterative(&mode, n_nodes, &cfg);
+        let iter = Deployment::new(IterativeStrategy).run(&mode, n_nodes, &cfg);
         prop_assert!(
             pipe.record.generation_speed() > 0.8 * iter.record.generation_speed(),
             "pipe {} vs iter {}",
