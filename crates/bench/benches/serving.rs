@@ -1,0 +1,25 @@
+//! Serving-layer benchmark: goodput and latency percentiles per strategy
+//! under identical steady / bursty / mixed traffic.
+//!
+//! Run with `cargo bench -p pi-bench --bench serving`.  By default the quick
+//! profile is used; set `PIPEINFER_BENCH_SCALE=paper` for a longer stream
+//! with the paper's token budgets.  Each strategy owns one prepared
+//! deployment and serves the same request streams through the
+//! continuous-batching `pi-serve` scheduler on the discrete-event simulator.
+
+use pi_bench::{fig_serving, BenchScale, ServingScale};
+use std::time::Instant;
+
+fn main() {
+    let scale = BenchScale::from_env();
+    let serving = ServingScale::from(scale);
+    println!(
+        "PipeInfer serving harness — {} requests/workload, {} tokens/request, window {}, {} nodes\n",
+        serving.n_requests, serving.n_generate, serving.max_in_flight, serving.n_nodes
+    );
+    let start = Instant::now();
+    for fig in fig_serving(scale) {
+        println!("{}", fig.render());
+    }
+    eprintln!("[{:6.1?}] serving figures done", start.elapsed());
+}

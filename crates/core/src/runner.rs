@@ -2,7 +2,7 @@
 //!
 //! [`run_pipeinfer`] mirrors `pi_spec::runner::{run_iterative,
 //! run_speculative}`: it wraps [`PipeInferStrategy`] in a
-//! [`Deployment`](pi_spec::deploy::Deployment) and runs it.  All assembly
+//! [`Deployment`] and runs it.  All assembly
 //! (route construction, engine/drafter building, worker assembly, driver
 //! selection) lives in `pi_spec::deploy` — none of it is duplicated here.
 

@@ -1,4 +1,5 @@
-//! PipeInfer as a [`Strategy`] for the shared [`Deployment`] layer.
+//! PipeInfer as a [`Strategy`] for the shared
+//! [`Deployment`](pi_spec::deploy::Deployment) layer.
 //!
 //! Rank layout (matching `pi_perf::memory::per_node_memory` and the paper's
 //! Fig. 3):
@@ -143,6 +144,47 @@ mod tests {
         let want = &iter.record.tokens[..config.n_generate];
         assert_eq!(&spec.record.tokens[..config.n_generate], want);
         assert_eq!(&pipe.record.tokens[..config.n_generate], want);
+    }
+
+    #[test]
+    fn prepared_deployment_isolates_requests() {
+        // A serving layer reuses one prepared PipeInfer deployment across a
+        // request stream.  All run-tracking state (RunTracker FIFO, sequence-
+        // partition pool, cancellation bookkeeping) lives in the head built
+        // per run, so every request is an isolated session: repeated and
+        // differing requests must match their solo one-shot runs exactly.
+        let prepared = Deployment::new(PipeInferStrategy::default()).prepare(&sim_mode(4), 4);
+        let requests = [
+            GenConfig {
+                prompt: vec![5; 16],
+                n_generate: 24,
+                max_draft: 4,
+                confidence_cutoff: 0.4,
+                kv_capacity: 4096,
+            },
+            GenConfig {
+                prompt: vec![11; 8],
+                n_generate: 12,
+                max_draft: 4,
+                confidence_cutoff: 0.4,
+                kv_capacity: 4096,
+            },
+        ];
+        let mut solo_tokens = Vec::new();
+        for config in &requests {
+            let served = prepared.run(config);
+            let solo = Deployment::new(PipeInferStrategy::default()).run(&sim_mode(4), 4, config);
+            assert!(served.completed && solo.completed);
+            assert_eq!(served.record.tokens, solo.record.tokens);
+            assert_eq!(served.record.runs_launched, solo.record.runs_launched);
+            assert_eq!(served.record.runs_cancelled, solo.record.runs_cancelled);
+            assert_eq!(served.record.finished_at, solo.record.finished_at);
+            solo_tokens.push(solo.record.tokens);
+        }
+        // Interleaving order must not matter either: serving the first
+        // request again after the second must still match its solo output.
+        let again = prepared.run(&requests[0]);
+        assert_eq!(again.record.tokens, solo_tokens[0]);
     }
 
     #[test]

@@ -8,7 +8,39 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+/// Exact percentile of a sample set with linear interpolation between order
+/// statistics (the "linear" / type-7 estimator most tools default to).
+///
+/// `q` is the quantile in `[0, 1]` (`0.5` = median).  Returns `0.0` for an
+/// empty slice so degenerate series render as zeros rather than panicking.
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    percentile_sorted(&sorted, q)
+}
+
+fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    let q = q.clamp(0.0, 1.0);
+    let rank = q * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
 /// Summary statistics over repeated measurements.
+///
+/// Besides the classic moments this carries the latency percentiles the
+/// serving harness reports per request stream (`p50`/`p95`/`p99`); for fewer
+/// samples than a percentile can resolve the estimator degrades gracefully
+/// toward the maximum.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Number of samples.
@@ -21,6 +53,12 @@ pub struct Summary {
     pub min: f64,
     /// Maximum sample.
     pub max: f64,
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
 }
 
 impl Summary {
@@ -34,6 +72,9 @@ impl Summary {
                 std_dev: 0.0,
                 min: 0.0,
                 max: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                p99: 0.0,
             };
         }
         let n = samples.len();
@@ -43,13 +84,138 @@ impl Summary {
         } else {
             0.0
         };
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         Self {
             n,
             mean,
             std_dev: var.sqrt(),
-            min: samples.iter().copied().fold(f64::INFINITY, f64::min),
-            max: samples.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            min: sorted[0],
+            max: sorted[n - 1],
+            p50: percentile_sorted(&sorted, 0.50),
+            p95: percentile_sorted(&sorted, 0.95),
+            p99: percentile_sorted(&sorted, 0.99),
         }
+    }
+}
+
+/// A fixed-bucket histogram over a closed value range.
+///
+/// The serving harness records one sample per request (TTFT, inter-token
+/// latency, end-to-end latency), so a small fixed-bucket histogram is enough:
+/// out-of-range samples are clamped into the edge buckets, and percentile
+/// queries interpolate linearly inside the winning bucket.  For exact
+/// percentiles over retained samples use [`percentile`] instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram of `n_buckets` equal-width buckets over
+    /// `[lo, hi]`.  Panics if the range is empty or `n_buckets` is zero.
+    pub fn new(lo: f64, hi: f64, n_buckets: usize) -> Self {
+        assert!(lo < hi, "histogram range [{lo}, {hi}] is empty");
+        assert!(n_buckets > 0, "histogram needs at least one bucket");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; n_buckets],
+            total: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Records one sample.  Values outside `[lo, hi]` land in the first or
+    /// last bucket.
+    pub fn record(&mut self, value: f64) {
+        let n = self.counts.len();
+        let width = (self.hi - self.lo) / n as f64;
+        let idx = (((value - self.lo) / width).floor() as i64).clamp(0, n as i64 - 1) as usize;
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += value;
+    }
+
+    /// Records every sample of a slice.
+    pub fn record_all(&mut self, values: &[f64]) {
+        for &v in values {
+            self.record(v);
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of the recorded samples (exact, not bucketed), 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Per-bucket counts, lowest bucket first.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The value range `[start, end)` covered by bucket `idx` (the last
+    /// bucket is closed at `hi`).
+    pub fn bucket_range(&self, idx: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        (
+            self.lo + idx as f64 * width,
+            self.lo + (idx + 1) as f64 * width,
+        )
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) by walking the cumulative
+    /// bucket counts and interpolating linearly inside the winning bucket.
+    /// Returns 0 when the histogram is empty.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.total as f64;
+        let mut cumulative = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cumulative + c;
+            if next as f64 >= target {
+                let (start, end) = self.bucket_range(idx);
+                let within = ((target - cumulative as f64) / c as f64).clamp(0.0, 1.0);
+                return start + within * (end - start);
+            }
+            cumulative = next;
+        }
+        self.hi
+    }
+
+    /// Renders the histogram as an ASCII bar chart, one line per non-empty
+    /// bucket.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let (start, end) = self.bucket_range(idx);
+            let bar = "#".repeat((c * 40).div_ceil(max) as usize);
+            let _ = writeln!(out, "[{start:>9.4}, {end:>9.4}) {c:>6} {bar}");
+        }
+        out
     }
 }
 
@@ -252,9 +418,78 @@ mod tests {
         let empty = Summary::of(&[]);
         assert_eq!(empty.n, 0);
         assert_eq!(empty.mean, 0.0);
+        assert_eq!(empty.p99, 0.0);
         let single = Summary::of(&[7.0]);
         assert_eq!(single.std_dev, 0.0);
         assert_eq!(single.mean, 7.0);
+        assert_eq!(single.p50, 7.0);
+        assert_eq!(single.p99, 7.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate_linearly() {
+        // 1..=100: p50 sits between the 50th and 51st order statistics.
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert!((percentile(&samples, 0.50) - 50.5).abs() < 1e-12);
+        assert!((percentile(&samples, 0.95) - 95.05).abs() < 1e-9);
+        assert!((percentile(&samples, 0.99) - 99.01).abs() < 1e-9);
+        assert_eq!(percentile(&samples, 0.0), 1.0);
+        assert_eq!(percentile(&samples, 1.0), 100.0);
+        // Order must not matter.
+        let mut reversed = samples.clone();
+        reversed.reverse();
+        assert_eq!(percentile(&reversed, 0.95), percentile(&samples, 0.95));
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn summary_percentiles_match_free_function() {
+        let samples: Vec<f64> = (0..37).map(|i| (i as f64 * 1.7).sin() * 10.0).collect();
+        let s = Summary::of(&samples);
+        assert_eq!(s.p50, percentile(&samples, 0.50));
+        assert_eq!(s.p95, percentile(&samples, 0.95));
+        assert_eq!(s.p99, percentile(&samples, 0.99));
+        assert!(s.min <= s.p50 && s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn histogram_counts_and_clamps() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record_all(&[0.5, 1.5, 1.6, 9.99]);
+        h.record(-3.0); // clamped into bucket 0
+        h.record(42.0); // clamped into bucket 9
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.bucket_counts()[0], 2);
+        assert_eq!(h.bucket_counts()[1], 2);
+        assert_eq!(h.bucket_counts()[9], 2);
+        assert_eq!(h.bucket_range(1), (1.0, 2.0));
+    }
+
+    #[test]
+    fn histogram_percentile_tracks_exact_percentile() {
+        let samples: Vec<f64> = (0..1000).map(|i| (i % 97) as f64 / 10.0).collect();
+        let mut h = Histogram::new(0.0, 10.0, 200);
+        h.record_all(&samples);
+        for q in [0.5, 0.95, 0.99] {
+            let exact = percentile(&samples, q);
+            let approx = h.percentile(q);
+            assert!(
+                (exact - approx).abs() < 0.1,
+                "q={q}: exact {exact} vs histogram {approx}"
+            );
+        }
+        assert_eq!(Histogram::new(0.0, 1.0, 4).percentile(0.5), 0.0);
+    }
+
+    #[test]
+    fn histogram_mean_is_exact_and_render_shows_buckets() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        h.record_all(&[0.5, 1.5, 2.5, 3.5]);
+        assert!((h.mean() - 2.0).abs() < 1e-12);
+        let text = h.render();
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains('#'));
+        assert_eq!(Histogram::new(0.0, 1.0, 2).mean(), 0.0);
     }
 
     fn sample_figure() -> Figure {

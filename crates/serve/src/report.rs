@@ -1,0 +1,275 @@
+//! Aggregate per-request latency metrics over one served stream.
+//!
+//! A [`ServeReport`] is the metrics pipeline's output: per-request
+//! completions in finish order plus the aggregates the serving literature
+//! reports — goodput (generated tokens per second of stream makespan),
+//! client-observed TTFT, mean inter-token latency and end-to-end latency
+//! with p50/p95/p99 — rendered into the existing `pi_metrics`
+//! [`Figure`]/[`Summary`]/[`Histogram`] machinery.
+
+use crate::request::{Completion, RequestId};
+use pi_metrics::{Figure, Histogram, Summary};
+use std::fmt::Write as _;
+
+/// Per-request completions plus aggregate metrics for one served stream.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    strategy: String,
+    window: usize,
+    completions: Vec<Completion>,
+}
+
+impl ServeReport {
+    /// Builds a report; `completions` must already be in finish order.
+    pub(crate) fn new(strategy: &str, window: usize, completions: Vec<Completion>) -> Self {
+        Self {
+            strategy: strategy.to_string(),
+            window,
+            completions,
+        }
+    }
+
+    /// Strategy name the stream was served with.
+    pub fn strategy(&self) -> &str {
+        &self.strategy
+    }
+
+    /// In-flight window the stream was served under.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Completions in service-clock finish order.
+    pub fn completions(&self) -> &[Completion] {
+        &self.completions
+    }
+
+    /// Looks up one request's completion by id.
+    pub fn completion(&self, id: RequestId) -> Option<&Completion> {
+        self.completions.iter().find(|c| c.id == id)
+    }
+
+    /// Number of completed requests.
+    pub fn len(&self) -> usize {
+        self.completions.len()
+    }
+
+    /// Whether the stream was empty.
+    pub fn is_empty(&self) -> bool {
+        self.completions.is_empty()
+    }
+
+    /// Total tokens generated across the stream.
+    pub fn total_tokens(&self) -> usize {
+        self.completions.iter().map(Completion::n_tokens).sum()
+    }
+
+    /// Stream makespan: last finish minus earliest arrival, seconds.
+    pub fn makespan(&self) -> f64 {
+        let first = self
+            .completions
+            .iter()
+            .map(|c| c.timing.arrival)
+            .fold(f64::INFINITY, f64::min);
+        let last = self
+            .completions
+            .iter()
+            .map(|c| c.timing.finished)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if last > first {
+            last - first
+        } else {
+            0.0
+        }
+    }
+
+    /// Goodput: generated tokens per second of stream makespan.
+    pub fn goodput(&self) -> f64 {
+        let span = self.makespan();
+        if span <= 0.0 {
+            0.0
+        } else {
+            self.total_tokens() as f64 / span
+        }
+    }
+
+    fn summary_of(&self, f: impl Fn(&Completion) -> f64) -> Summary {
+        let samples: Vec<f64> = self.completions.iter().map(f).collect();
+        Summary::of(&samples)
+    }
+
+    /// Client-observed time-to-first-token (queueing included).
+    pub fn ttft_summary(&self) -> Summary {
+        self.summary_of(|c| c.timing.ttft())
+    }
+
+    /// End-to-end latency (arrival to completion).
+    pub fn e2e_summary(&self) -> Summary {
+        self.summary_of(|c| c.timing.e2e())
+    }
+
+    /// Queueing delay (arrival to admission).
+    pub fn wait_summary(&self) -> Summary {
+        self.summary_of(|c| c.timing.wait())
+    }
+
+    /// Per-request mean inter-token latency.
+    pub fn itl_summary(&self) -> Summary {
+        self.summary_of(Completion::mean_itl)
+    }
+
+    /// End-to-end latency histogram over `[0, max e2e]`.
+    pub fn e2e_histogram(&self, n_buckets: usize) -> Histogram {
+        let hi = self.e2e_summary().max.max(1e-9);
+        let mut h = Histogram::new(0.0, hi, n_buckets);
+        for c in &self.completions {
+            h.record(c.timing.e2e());
+        }
+        h
+    }
+
+    /// Pushes this report's aggregates into `figure` as one series: goodput
+    /// plus latency percentiles, one x-label per metric.
+    pub fn to_figure(&self, figure: &mut Figure, series: &str) {
+        let e2e = self.e2e_summary();
+        let ttft = self.ttft_summary();
+        figure.push(series, "goodput tok/s", self.goodput());
+        figure.push(series, "p50 e2e s", e2e.p50);
+        figure.push(series, "p99 e2e s", e2e.p99);
+        figure.push(series, "p50 TTFT s", ttft.p50);
+        figure.push(series, "p99 TTFT s", ttft.p99);
+        figure.push(series, "mean ITL s", self.itl_summary().mean);
+    }
+
+    /// Renders a per-request table plus the aggregate line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "=== {} serving report — {} request(s), window {} ===",
+            self.strategy,
+            self.len(),
+            self.window
+        );
+        let _ = writeln!(
+            out,
+            "{:>4} {:>4} {:>10} {:>10} {:>10} {:>10} {:>7}",
+            "id", "prio", "arrival", "wait", "TTFT", "e2e", "tokens"
+        );
+        for c in &self.completions {
+            let _ = writeln!(
+                out,
+                "{:>4} {:>4} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>7}",
+                c.id,
+                c.priority,
+                c.timing.arrival,
+                c.timing.wait(),
+                c.timing.ttft(),
+                c.timing.e2e(),
+                c.n_tokens()
+            );
+        }
+        let e2e = self.e2e_summary();
+        let _ = writeln!(
+            out,
+            "goodput {:.3} tok/s | e2e p50 {:.4} s p95 {:.4} s p99 {:.4} s | ttft p50 {:.4} s",
+            self.goodput(),
+            e2e.p50,
+            e2e.p95,
+            e2e.p99,
+            self.ttft_summary().p50,
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestTiming;
+    use pi_spec::deploy::RunOutput;
+    use pi_spec::GenerationRecord;
+
+    fn completion(
+        id: u64,
+        arrival: f64,
+        started: f64,
+        finished: f64,
+        n_tokens: usize,
+    ) -> Completion {
+        let record = GenerationRecord {
+            tokens: vec![1; n_tokens],
+            prompt_done_at: 0.0,
+            accept_times: (0..n_tokens).map(|i| 0.1 * (i + 1) as f64).collect(),
+            finished_at: finished - started,
+            ..GenerationRecord::default()
+        };
+        Completion {
+            id,
+            priority: 0,
+            timing: RequestTiming {
+                arrival,
+                started,
+                first_token: started + 0.1,
+                finished,
+            },
+            output: RunOutput {
+                record,
+                stats: pi_cluster::ClusterStats::new(1),
+                completed: true,
+            },
+        }
+    }
+
+    #[test]
+    fn aggregates_over_known_timings() {
+        let report = ServeReport::new(
+            "Test",
+            2,
+            vec![
+                completion(0, 0.0, 0.0, 2.0, 10),
+                completion(1, 0.5, 1.0, 3.0, 10),
+            ],
+        );
+        assert_eq!(report.total_tokens(), 20);
+        assert!((report.makespan() - 3.0).abs() < 1e-12);
+        assert!((report.goodput() - 20.0 / 3.0).abs() < 1e-12);
+        let e2e = report.e2e_summary();
+        assert!((e2e.p50 - 2.25).abs() < 1e-12); // median of {2.0, 2.5}
+        let wait = report.wait_summary();
+        assert!((wait.max - 0.5).abs() < 1e-12);
+        assert_eq!(report.completion(1).unwrap().id, 1);
+        assert!(report.completion(7).is_none());
+    }
+
+    #[test]
+    fn figure_and_render_carry_all_metrics() {
+        let report = ServeReport::new(
+            "Test",
+            1,
+            vec![
+                completion(0, 0.0, 0.0, 1.0, 4),
+                completion(1, 0.1, 1.0, 2.0, 4),
+            ],
+        );
+        let mut fig = Figure::new("Serving", "serving metrics", "mixed");
+        report.to_figure(&mut fig, "Test");
+        assert_eq!(fig.x_labels().len(), 6);
+        assert!(fig.value("Test", "goodput tok/s").unwrap() > 0.0);
+        assert!(fig.value("Test", "p99 e2e s").unwrap() >= fig.value("Test", "p50 e2e s").unwrap());
+        let text = report.render();
+        assert!(text.contains("goodput"));
+        assert!(text.contains("window 1"));
+        let hist = report.e2e_histogram(8);
+        assert_eq!(hist.count(), 2);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let report = ServeReport::new("Test", 4, Vec::new());
+        assert!(report.is_empty());
+        assert_eq!(report.goodput(), 0.0);
+        assert_eq!(report.makespan(), 0.0);
+        assert_eq!(report.e2e_summary().n, 0);
+    }
+}

@@ -1,0 +1,248 @@
+//! Deterministic continuous-batching admission schedule.
+//!
+//! The scheduler interleaves a request stream over a bounded in-flight
+//! window: at most `max_in_flight` requests run concurrently, and the moment
+//! one finishes its slot is refilled from the waiting queue (continuous
+//! batching at request granularity — no gang-scheduled batch barriers).
+//! Admission is FIFO: among waiting requests the highest priority goes
+//! first, ties broken by arrival time and then request id, so equal-priority
+//! traffic can never overtake and the wait of any request is bounded by the
+//! service demand ahead of it.
+//!
+//! [`plan`] is a pure function from (arrivals, priorities, service
+//! durations) to per-request start/finish times — the same deterministic
+//! event loop whether service durations came from the discrete-event
+//! simulator or from wall-clock measurement.
+
+use crate::request::Request;
+
+/// Admission-policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Maximum number of requests running concurrently (window size).
+    pub max_in_flight: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self { max_in_flight: 8 }
+    }
+}
+
+/// Admission decision for one request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Slot {
+    /// When the request entered the in-flight window.
+    pub started: f64,
+    /// When its service completed.
+    pub finished: f64,
+}
+
+/// Indices of `requests` in admission-stream order: arrival time, then id.
+///
+/// This is the one ordering both halves of the serving pipeline must agree
+/// on — [`plan`] walks it as the arrival stream, and the server's execution
+/// pool pulls requests in it — so it lives here exactly once.
+pub fn admission_order(requests: &[Request]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..requests.len()).collect();
+    order.sort_by(|&a, &b| {
+        requests[a]
+            .arrival
+            .partial_cmp(&requests[b].arrival)
+            .expect("arrival times must be comparable")
+            .then(requests[a].id.cmp(&requests[b].id))
+    });
+    order
+}
+
+/// Index of the next request to admit from `ready`: highest priority first,
+/// then earliest arrival, then lowest id.
+fn best_ready(ready: &[usize], requests: &[Request]) -> usize {
+    let mut best = 0;
+    for (pos, &idx) in ready.iter().enumerate().skip(1) {
+        let (b, c) = (&requests[ready[best]], &requests[idx]);
+        let better = c.priority > b.priority
+            || (c.priority == b.priority
+                && (c.arrival < b.arrival || (c.arrival == b.arrival && c.id < b.id)));
+        if better {
+            best = pos;
+        }
+    }
+    best
+}
+
+/// Computes the admission timeline.
+///
+/// `services[i]` is the service duration of `requests[i]` on the service
+/// clock; the returned slots are parallel to `requests`.  The event loop is
+/// conservative (it always advances to the earliest finish or arrival), so
+/// the timeline is bit-reproducible for identical inputs.
+pub fn plan(requests: &[Request], services: &[f64], config: SchedulerConfig) -> Vec<Slot> {
+    assert_eq!(
+        requests.len(),
+        services.len(),
+        "one service duration per request"
+    );
+    assert!(config.max_in_flight >= 1, "window must admit at least one");
+    let n = requests.len();
+    let order = admission_order(requests);
+
+    let mut slots = vec![
+        Slot {
+            started: 0.0,
+            finished: 0.0,
+        };
+        n
+    ];
+    let mut ready: Vec<usize> = Vec::new();
+    let mut in_flight: Vec<f64> = Vec::new(); // finish times of running requests
+    let mut next_arrival = 0usize; // cursor into `order`
+    let mut started = 0usize;
+    let mut t = 0.0f64;
+
+    while started < n {
+        // Retire finished runs, freeing window slots.
+        in_flight.retain(|&f| f > t);
+        // Move arrived requests into the waiting queue.
+        while next_arrival < n && requests[order[next_arrival]].arrival <= t {
+            ready.push(order[next_arrival]);
+            next_arrival += 1;
+        }
+        // Fill every free slot from the queue.
+        while in_flight.len() < config.max_in_flight && !ready.is_empty() {
+            let idx = ready.remove(best_ready(&ready, requests));
+            let finished = t + services[idx].max(0.0);
+            slots[idx] = Slot {
+                started: t,
+                finished,
+            };
+            in_flight.push(finished);
+            started += 1;
+        }
+        if started == n {
+            break;
+        }
+        // Advance to the next event: the earliest finish or the next arrival.
+        let next_finish = in_flight.iter().copied().fold(f64::INFINITY, f64::min);
+        let next_arr = if next_arrival < n {
+            requests[order[next_arrival]].arrival
+        } else {
+            f64::INFINITY
+        };
+        let next = next_finish.min(next_arr).max(t);
+        assert!(
+            next.is_finite(),
+            "scheduler stalled with {} of {n} requests started",
+            started
+        );
+        t = next;
+    }
+    slots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi_spec::GenConfig;
+
+    fn req(id: u64, arrival: f64, priority: u8) -> Request {
+        Request::new(id, GenConfig::small_test(vec![1], 1), arrival).with_priority(priority)
+    }
+
+    #[test]
+    fn window_of_one_serialises_fifo() {
+        let requests = vec![req(0, 0.0, 0), req(1, 0.1, 0), req(2, 0.2, 0)];
+        let slots = plan(
+            &requests,
+            &[1.0, 1.0, 1.0],
+            SchedulerConfig { max_in_flight: 1 },
+        );
+        assert_eq!(slots[0].started, 0.0);
+        assert_eq!(slots[0].finished, 1.0);
+        assert_eq!(slots[1].started, 1.0);
+        assert_eq!(slots[2].started, 2.0);
+    }
+
+    #[test]
+    fn wide_window_starts_everything_at_arrival() {
+        let requests = vec![req(0, 0.0, 0), req(1, 0.25, 0), req(2, 0.5, 0)];
+        let slots = plan(
+            &requests,
+            &[2.0, 2.0, 2.0],
+            SchedulerConfig { max_in_flight: 8 },
+        );
+        for (slot, r) in slots.iter().zip(&requests) {
+            assert_eq!(slot.started, r.arrival);
+            assert_eq!(slot.finished, r.arrival + 2.0);
+        }
+    }
+
+    #[test]
+    fn concurrency_never_exceeds_window() {
+        let requests: Vec<Request> = (0..10).map(|i| req(i, i as f64 * 0.01, 0)).collect();
+        let services: Vec<f64> = (0..10).map(|i| 0.5 + 0.1 * i as f64).collect();
+        let window = 3;
+        let slots = plan(
+            &requests,
+            &services,
+            SchedulerConfig {
+                max_in_flight: window,
+            },
+        );
+        // At every start instant, count overlapping [started, finished) spans.
+        for probe in &slots {
+            let overlapping = slots
+                .iter()
+                .filter(|s| s.started <= probe.started && probe.started < s.finished)
+                .count();
+            assert!(overlapping <= window, "{overlapping} > window {window}");
+        }
+    }
+
+    #[test]
+    fn higher_priority_jumps_the_waiting_queue_only() {
+        // Window 1: r0 occupies the server; r1 (low) and r2 (high) wait.
+        let requests = vec![req(0, 0.0, 0), req(1, 0.1, 0), req(2, 0.2, 5)];
+        let slots = plan(
+            &requests,
+            &[1.0, 1.0, 1.0],
+            SchedulerConfig { max_in_flight: 1 },
+        );
+        // The high-priority request is admitted before the earlier low one…
+        assert_eq!(slots[2].started, 1.0);
+        assert_eq!(slots[1].started, 2.0);
+        // …but never preempts the one already running.
+        assert_eq!(slots[0].finished, 1.0);
+    }
+
+    #[test]
+    fn equal_priority_is_non_overtaking() {
+        let requests: Vec<Request> = (0..8).map(|i| req(i, i as f64 * 0.05, 0)).collect();
+        let services = [0.9, 0.1, 0.8, 0.2, 0.7, 0.3, 0.6, 0.4];
+        let slots = plan(&requests, &services, SchedulerConfig { max_in_flight: 2 });
+        for w in slots.windows(2) {
+            assert!(w[0].started <= w[1].started, "FIFO overtaken: {slots:?}");
+        }
+    }
+
+    #[test]
+    fn zero_service_requests_terminate() {
+        let requests = vec![req(0, 0.0, 0), req(1, 0.0, 0), req(2, 0.0, 0)];
+        let slots = plan(
+            &requests,
+            &[0.0, 0.0, 0.0],
+            SchedulerConfig { max_in_flight: 1 },
+        );
+        assert!(slots.iter().all(|s| s.started == 0.0 && s.finished == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "window must admit")]
+    fn zero_window_is_rejected() {
+        let _ = plan(
+            &[req(0, 0.0, 0)],
+            &[1.0],
+            SchedulerConfig { max_in_flight: 0 },
+        );
+    }
+}

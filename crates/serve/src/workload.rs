@@ -1,0 +1,225 @@
+//! Pluggable workload generators.
+//!
+//! A [`WorkloadGen`] turns a base [`GenConfig`] into a deterministic request
+//! stream: arrival times plus (optionally) per-request prompt/output length
+//! variation.  Everything is driven by the seeded deterministic RNG of the
+//! `rand` compat crate, so a workload is a pure function of its parameters —
+//! the serving bench replays *identical traffic* against every strategy.
+
+use crate::request::{Request, RequestId};
+use pi_spec::GenConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic generator of request streams.
+pub trait WorkloadGen {
+    /// Short label used as a series name in figures.
+    fn name(&self) -> &'static str;
+
+    /// Generates the request stream, sorted by arrival time, with ids
+    /// numbered from 0 in arrival order.
+    fn generate(&self) -> Vec<Request>;
+}
+
+/// Repeats (and truncates) `base` tokens to exactly `len` tokens, so derived
+/// prompts stay within whatever vocabulary the base prompt was encoded for.
+fn resize_prompt(base: &[u32], len: usize) -> Vec<u32> {
+    assert!(!base.is_empty(), "base prompt must not be empty");
+    (0..len).map(|i| base[i % base.len()]).collect()
+}
+
+/// Inverse-CDF exponential inter-arrival gap: `-ln(1 - U) * mean`, `U` in
+/// `[0, 1)` — shared by every Poisson-like arrival process here.
+fn exp_gap(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.gen();
+    -(1.0 - u).ln() * mean.max(0.0)
+}
+
+/// Constant-interval arrivals of one fixed request shape — the "offline
+/// batch" end of the workload spectrum.
+#[derive(Debug, Clone)]
+pub struct SteadyWorkload {
+    /// Request shape shared by every arrival.
+    pub base: GenConfig,
+    /// Number of requests.
+    pub n_requests: usize,
+    /// Gap between consecutive arrivals, seconds.
+    pub interarrival: f64,
+}
+
+impl WorkloadGen for SteadyWorkload {
+    fn name(&self) -> &'static str {
+        "steady"
+    }
+
+    fn generate(&self) -> Vec<Request> {
+        (0..self.n_requests)
+            .map(|i| {
+                Request::new(
+                    i as RequestId,
+                    self.base.clone(),
+                    i as f64 * self.interarrival.max(0.0),
+                )
+            })
+            .collect()
+    }
+}
+
+/// Poisson-like arrivals: inter-arrival gaps drawn from an exponential
+/// distribution with the given mean, via the seeded deterministic RNG.
+/// Produces the bursty traffic interactive serving actually sees.
+#[derive(Debug, Clone)]
+pub struct BurstyWorkload {
+    /// Request shape shared by every arrival.
+    pub base: GenConfig,
+    /// Number of requests.
+    pub n_requests: usize,
+    /// Mean inter-arrival gap, seconds (arrival rate = 1 / mean).
+    pub mean_interarrival: f64,
+    /// RNG seed; the stream is a pure function of it.
+    pub seed: u64,
+}
+
+impl WorkloadGen for BurstyWorkload {
+    fn name(&self) -> &'static str {
+        "bursty"
+    }
+
+    fn generate(&self) -> Vec<Request> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut t = 0.0;
+        (0..self.n_requests)
+            .map(|i| {
+                if i > 0 {
+                    t += exp_gap(&mut rng, self.mean_interarrival);
+                }
+                Request::new(i as RequestId, self.base.clone(), t)
+            })
+            .collect()
+    }
+}
+
+/// Bursty arrivals with per-request prompt and output lengths drawn
+/// uniformly from inclusive ranges — the mixed-length traffic that stresses
+/// scheduling fairness (short requests queued behind long ones).
+#[derive(Debug, Clone)]
+pub struct MixedWorkload {
+    /// Request template; its prompt supplies the token alphabet that derived
+    /// prompts cycle through.
+    pub base: GenConfig,
+    /// Number of requests.
+    pub n_requests: usize,
+    /// Mean inter-arrival gap, seconds.
+    pub mean_interarrival: f64,
+    /// Inclusive range of prompt lengths.
+    pub prompt_len: (usize, usize),
+    /// Inclusive range of generated-token budgets.
+    pub n_generate: (usize, usize),
+    /// RNG seed; the stream is a pure function of it.
+    pub seed: u64,
+}
+
+impl WorkloadGen for MixedWorkload {
+    fn name(&self) -> &'static str {
+        "mixed"
+    }
+
+    fn generate(&self) -> Vec<Request> {
+        assert!(self.prompt_len.0 >= 1 && self.prompt_len.0 <= self.prompt_len.1);
+        assert!(self.n_generate.0 >= 1 && self.n_generate.0 <= self.n_generate.1);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut t = 0.0;
+        (0..self.n_requests)
+            .map(|i| {
+                if i > 0 {
+                    t += exp_gap(&mut rng, self.mean_interarrival);
+                }
+                let prompt_len = rng.gen_range(self.prompt_len.0..=self.prompt_len.1);
+                let n_generate = rng.gen_range(self.n_generate.0..=self.n_generate.1);
+                let gen = GenConfig {
+                    prompt: resize_prompt(&self.base.prompt, prompt_len),
+                    n_generate,
+                    ..self.base.clone()
+                };
+                Request::new(i as RequestId, gen, t)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> GenConfig {
+        GenConfig::small_test(vec![1, 2, 3, 4], 8)
+    }
+
+    fn arrivals(reqs: &[Request]) -> Vec<f64> {
+        reqs.iter().map(|r| r.arrival).collect()
+    }
+
+    #[test]
+    fn steady_spaces_arrivals_evenly() {
+        let w = SteadyWorkload {
+            base: base(),
+            n_requests: 4,
+            interarrival: 0.5,
+        };
+        let reqs = w.generate();
+        assert_eq!(arrivals(&reqs), vec![0.0, 0.5, 1.0, 1.5]);
+        assert_eq!(reqs.iter().map(|r| r.id).collect::<Vec<_>>(), [0, 1, 2, 3]);
+        assert!(reqs.iter().all(|r| r.gen.prompt == base().prompt));
+    }
+
+    #[test]
+    fn bursty_is_deterministic_per_seed_and_monotone() {
+        let w = |seed| BurstyWorkload {
+            base: base(),
+            n_requests: 16,
+            mean_interarrival: 0.25,
+            seed,
+        };
+        let a = w(7).generate();
+        let b = w(7).generate();
+        assert_eq!(arrivals(&a), arrivals(&b));
+        assert_ne!(arrivals(&a), arrivals(&w(8).generate()));
+        assert!(a.windows(2).all(|p| p[0].arrival <= p[1].arrival));
+        assert_eq!(a[0].arrival, 0.0);
+        // Mean gap should be in the ballpark of the configured mean.
+        let mean_gap = a.last().unwrap().arrival / (a.len() - 1) as f64;
+        assert!(mean_gap > 0.05 && mean_gap < 1.0, "mean gap {mean_gap}");
+    }
+
+    #[test]
+    fn mixed_draws_lengths_within_ranges() {
+        let w = MixedWorkload {
+            base: base(),
+            n_requests: 24,
+            mean_interarrival: 0.1,
+            prompt_len: (2, 9),
+            n_generate: (4, 12),
+            seed: 3,
+        };
+        let reqs = w.generate();
+        assert!(
+            reqs.iter()
+                .all(|r| (2..=9).contains(&r.gen.prompt.len())
+                    && (4..=12).contains(&r.gen.n_generate))
+        );
+        // Lengths genuinely vary.
+        assert!(reqs
+            .iter()
+            .any(|r| r.gen.prompt.len() != reqs[0].gen.prompt.len()));
+        // Derived prompts only use tokens from the base alphabet.
+        assert!(reqs
+            .iter()
+            .all(|r| r.gen.prompt.iter().all(|t| base().prompt.contains(t))));
+    }
+
+    #[test]
+    fn resize_prompt_cycles_base_tokens() {
+        assert_eq!(resize_prompt(&[5, 6], 5), vec![5, 6, 5, 6, 5]);
+        assert_eq!(resize_prompt(&[5, 6, 7], 2), vec![5, 6]);
+    }
+}

@@ -4,7 +4,7 @@
 //! speculative, PipeInfer, and whatever future PRs add — executes the same
 //! way: pick a pipeline route over the ranks, split the target model's
 //! layers across the route's stages, build a head behavior plus one
-//! [`PipelineWorker`](crate::worker::PipelineWorker) per non-head stage,
+//! [`PipelineWorker`] per non-head stage,
 //! then run all behaviors under the driver matching the
 //! [`ExecutionMode`].  Historically that plumbing was copy-pasted into
 //! `run_iterative`, `run_speculative` and `pipeinfer_core::run_pipeinfer`;
@@ -18,9 +18,13 @@
 //! * its **head behavior factory** ([`Strategy::build_head`]), fed with the
 //!   pre-built engine/drafter for the execution mode.
 //!
-//! [`Deployment::run`] owns everything else: route construction, engine and
-//! drafter building, worker assembly, driver selection (threaded vs
-//! simulated) and [`RunOutput`] collection.
+//! The deployment owns everything else, split into two phases:
+//! [`Deployment::prepare`] validates the rank layout once and captures the
+//! execution mode in a reusable [`PreparedDeployment`];
+//! [`PreparedDeployment::run`] then builds per-request engines, drafters and
+//! workers (fresh KV caches — an isolated session per call) and executes them
+//! under the driver matching the mode, collecting a [`RunOutput`].
+//! [`Deployment::run`] is the one-shot convenience wrapper over both.
 
 use crate::drafter::{Drafter, OracleDrafter, RealDrafter};
 use crate::engine::{HeadEngine, RealHeadEngine, RealStageEngine, SimHeadEngine, SimStageEngine};
@@ -240,22 +244,27 @@ impl Strategy for SpeculativeStrategy {
 /// A strategy bound to the shared assembly/execution plumbing.
 ///
 /// `Deployment::new(strategy).run(&mode, n_nodes, &gen_config)` is the single
-/// entry point every runner, bench, example and test goes through.
+/// entry point every runner, bench, example and test goes through.  Long-
+/// lived callers (the `pi-serve` server) instead call
+/// [`Deployment::prepare`] once and reuse the resulting
+/// [`PreparedDeployment`] across a whole request stream.
 pub struct Deployment {
-    strategy: Box<dyn Strategy>,
+    strategy: Arc<dyn Strategy>,
 }
 
 impl Deployment {
     /// Wraps a strategy.
     pub fn new<S: Strategy + 'static>(strategy: S) -> Self {
         Self {
-            strategy: Box::new(strategy),
+            strategy: Arc::new(strategy),
         }
     }
 
     /// Wraps an already-boxed strategy.
     pub fn from_boxed(strategy: Box<dyn Strategy>) -> Self {
-        Self { strategy }
+        Self {
+            strategy: Arc::from(strategy),
+        }
     }
 
     /// The wrapped strategy.
@@ -314,13 +323,84 @@ impl Deployment {
         (route, splits)
     }
 
-    /// Assembles and executes one generation run across `n_nodes` ranks.
-    pub fn run(&self, mode: &ExecutionMode, n_nodes: usize, gen_config: &GenConfig) -> RunOutput {
-        let strategy = self.strategy.as_ref();
+    /// Validates the strategy's policies against `mode`/`n_nodes` once and
+    /// returns a reusable [`PreparedDeployment`].
+    ///
+    /// Preparation is the per-deployment work: route construction, layer
+    /// splitting and their consistency checks, plus capturing the execution
+    /// mode (whose model weights are `Arc`-shared, so the expensive state is
+    /// genuinely built once).  What remains per request — engines, drafter
+    /// and worker behaviors — *must* be rebuilt for every generation because
+    /// they own the KV caches and run-tracking state, which is exactly the
+    /// per-request session isolation a serving layer needs.
+    pub fn prepare(&self, mode: &ExecutionMode, n_nodes: usize) -> PreparedDeployment {
         let (route, splits) = self.layout(mode, n_nodes);
+        PreparedDeployment {
+            strategy: Arc::clone(&self.strategy),
+            mode: mode.clone(),
+            n_nodes,
+            route,
+            splits,
+        }
+    }
 
+    /// Assembles and executes one generation run across `n_nodes` ranks.
+    ///
+    /// Thin wrapper over [`Deployment::prepare`] +
+    /// [`PreparedDeployment::run`] for one-shot callers.
+    pub fn run(&self, mode: &ExecutionMode, n_nodes: usize, gen_config: &GenConfig) -> RunOutput {
+        self.prepare(mode, n_nodes).run(gen_config)
+    }
+}
+
+/// A validated, reusable deployment: one strategy bound to one execution
+/// mode and rank count, with the rank layout computed and checked once.
+///
+/// `PreparedDeployment` is `Send + Sync`, so a server can execute many
+/// requests over the same prepared state concurrently — each
+/// [`PreparedDeployment::run`] call builds fresh engines and workers (fresh
+/// KV caches and run trackers, i.e. an isolated session) around the shared
+/// strategy, model weights and layout.
+pub struct PreparedDeployment {
+    strategy: Arc<dyn Strategy>,
+    mode: ExecutionMode,
+    n_nodes: usize,
+    route: PipelineRoute,
+    splits: Vec<Range<usize>>,
+}
+
+impl PreparedDeployment {
+    /// The wrapped strategy.
+    pub fn strategy(&self) -> &dyn Strategy {
+        self.strategy.as_ref()
+    }
+
+    /// The execution mode this deployment was prepared for.
+    pub fn mode(&self) -> &ExecutionMode {
+        &self.mode
+    }
+
+    /// Number of ranks in the prepared cluster.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// The validated pipeline route.
+    pub fn route(&self) -> &PipelineRoute {
+        &self.route
+    }
+
+    /// The validated per-stage layer splits.
+    pub fn splits(&self) -> &[Range<usize>] {
+        &self.splits
+    }
+
+    /// Executes one generation run over the prepared layout.
+    pub fn run(&self, gen_config: &GenConfig) -> RunOutput {
+        let strategy = self.strategy.as_ref();
+        let (mode, route, splits) = (&self.mode, &self.route, &self.splits);
         let handle: RecordHandle = Arc::new(Mutex::new(None));
-        let engine = build_head_engine(mode, &splits, gen_config);
+        let engine = build_head_engine(mode, splits, gen_config);
         let drafter = strategy
             .needs_drafter()
             .then(|| build_drafter(mode, route.head(), gen_config));
@@ -331,9 +411,9 @@ impl Deployment {
             gen_config: gen_config.clone(),
             record: handle.clone(),
         });
-        let mut others = build_workers(mode, &route, &splits, gen_config);
-        others.extend(strategy.build_auxiliary(mode, n_nodes, &route, gen_config));
-        let behaviors = assemble_for(strategy.name(), n_nodes, head, others);
+        let mut others = build_workers(mode, route, splits, gen_config);
+        others.extend(strategy.build_auxiliary(mode, self.n_nodes, route, gen_config));
+        let behaviors = assemble_for(strategy.name(), self.n_nodes, head, others);
         execute(mode, behaviors, &handle)
     }
 }
@@ -568,6 +648,46 @@ mod tests {
             spec.record.tokens[..24],
             "strategies must produce the same greedy stream for one oracle seed"
         );
+    }
+
+    #[test]
+    fn prepared_deployment_is_reusable_and_matches_one_shot_run() {
+        let config = GenConfig {
+            prompt: vec![9; 12],
+            n_generate: 16,
+            max_draft: 4,
+            confidence_cutoff: 0.4,
+            kv_capacity: 4096,
+        };
+        let deployment = Deployment::new(SpeculativeStrategy);
+        let prepared = deployment.prepare(&sim_mode(4), 4);
+        assert_eq!(prepared.n_nodes(), 4);
+        assert_eq!(prepared.strategy().name(), "Speculative");
+        assert_eq!(prepared.route().n_stages(), 4);
+        assert_eq!(prepared.splits().len(), 4);
+        // Repeated runs over one prepared deployment are isolated sessions:
+        // identical configs reproduce identical outputs, and both match the
+        // one-shot Deployment::run path bit-for-bit.
+        let a = prepared.run(&config);
+        let b = prepared.run(&config);
+        let solo = deployment.run(&sim_mode(4), 4, &config);
+        assert!(a.completed && b.completed && solo.completed);
+        assert_eq!(a.record.tokens, b.record.tokens);
+        assert_eq!(a.record.tokens, solo.record.tokens);
+        assert_eq!(a.record.finished_at, solo.record.finished_at);
+    }
+
+    #[test]
+    fn prepared_deployment_is_shareable_across_threads() {
+        let config = GenConfig::small_test(vec![4; 8], 8);
+        let prepared = Deployment::new(IterativeStrategy).prepare(&sim_mode(4), 4);
+        let tokens: Vec<Vec<u32>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..3)
+                .map(|_| s.spawn(|| prepared.run(&config).record.tokens.clone()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(tokens.windows(2).all(|w| w[0] == w[1]));
     }
 
     #[test]

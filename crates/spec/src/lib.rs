@@ -40,8 +40,8 @@ pub mod verify;
 pub mod worker;
 
 pub use deploy::{
-    Deployment, ExecutionMode, HeadParts, IterativeStrategy, RecordHandle, RunOutput,
-    SpeculativeStrategy, Strategy,
+    Deployment, ExecutionMode, HeadParts, IterativeStrategy, PreparedDeployment, RecordHandle,
+    RunOutput, SpeculativeStrategy, Strategy,
 };
 pub use drafter::{Drafter, OracleDrafter, RealDrafter};
 pub use engine::{

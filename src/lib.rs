@@ -16,7 +16,11 @@
 //! * [`core`] — PipeInfer itself: asynchronous pipelined speculation with
 //!   continuous speculation, KV-cache multibuffering and early inference
 //!   cancellation.
-//! * [`metrics`] — measurement summaries and report rendering.
+//! * [`metrics`] — measurement summaries, percentiles, histograms and report
+//!   rendering.
+//! * [`serve`] — the continuous-batching serving layer: a long-lived
+//!   [`serve::Server`] over one prepared deployment, workload generators and
+//!   per-request latency metrics.
 //!
 //! Every strategy executes through the strategy-agnostic
 //! [`spec::deploy::Deployment`] layer: implement
@@ -46,13 +50,17 @@ pub use pipeinfer_core as core;
 /// Metrics and report rendering (`pi-metrics`).
 pub use pi_metrics as metrics;
 
+/// Continuous-batching serving layer (`pi-serve`).
+pub use pi_serve as serve;
+
 /// Convenience prelude with the types most programs need.
 pub mod prelude {
     pub use pi_model::{Batch, ByteTokenizer, Model, ModelConfig, Token};
     pub use pi_perf::{ClusterSpec, InferenceStrategy, ModelPair};
+    pub use pi_serve::{Request, ServeReport, Server, ServerConfig, WorkloadGen};
     pub use pi_spec::deploy::{
-        Deployment, ExecutionMode, HeadParts, IterativeStrategy, RunOutput, SpeculativeStrategy,
-        Strategy,
+        Deployment, ExecutionMode, HeadParts, IterativeStrategy, PreparedDeployment, RunOutput,
+        SpeculativeStrategy, Strategy,
     };
     pub use pi_spec::runner::{run_iterative, run_speculative};
     pub use pi_spec::{GenConfig, GenerationRecord};

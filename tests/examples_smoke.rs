@@ -7,11 +7,12 @@
 
 use std::process::Command;
 
-const EXAMPLES: [&str; 4] = [
+const EXAMPLES: [&str; 5] = [
     "quickstart",
     "chat_generation",
     "cluster_sweep",
     "heterogeneous_cluster",
+    "serving",
 ];
 
 fn run_example(name: &str) {
@@ -54,4 +55,9 @@ fn cluster_sweep_example_runs() {
 #[test]
 fn heterogeneous_cluster_example_runs() {
     run_example(EXAMPLES[3]);
+}
+
+#[test]
+fn serving_example_runs() {
+    run_example(EXAMPLES[4]);
 }
