@@ -74,25 +74,57 @@ impl Bencher {
         }
     }
 
-    fn report(&self, name: &str) {
+    fn report(&self, name: &str) -> BenchReport {
         if self.samples.is_empty() {
             println!("{name:<48} (no samples)");
-            return;
+            return BenchReport {
+                name: name.to_string(),
+                mean_ns: 0.0,
+                min_ns: 0.0,
+                max_ns: 0.0,
+                iters: 0,
+            };
         }
         let total: Duration = self.samples.iter().sum();
         let mean = total / self.samples.len() as u32;
-        let min = self.samples.iter().min().unwrap();
-        let max = self.samples.iter().max().unwrap();
+        let min = *self.samples.iter().min().unwrap();
+        let max = *self.samples.iter().max().unwrap();
         println!(
             "{name:<48} mean {mean:>12?}  min {min:>12?}  max {max:>12?}  ({} iters)",
             self.samples.len()
         );
+        BenchReport {
+            name: name.to_string(),
+            mean_ns: mean.as_nanos() as f64,
+            min_ns: min.as_nanos() as f64,
+            max_ns: max.as_nanos() as f64,
+            iters: self.samples.len(),
+        }
     }
+}
+
+/// Summary statistics of one finished benchmark, exposed so bench binaries
+/// can emit machine-readable results (e.g. `BENCH_kernels.json`).  The real
+/// criterion persists this under `target/criterion/`; the stand-in hands it
+/// back to the caller instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Benchmark name as passed to [`Criterion::bench_function`].
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest observed iteration in nanoseconds.
+    pub min_ns: f64,
+    /// Slowest observed iteration in nanoseconds.
+    pub max_ns: f64,
+    /// Number of measured iterations.
+    pub iters: usize,
 }
 
 /// Benchmark registry and runner (criterion API subset).
 pub struct Criterion {
     target_time: Duration,
+    reports: Vec<BenchReport>,
 }
 
 impl Default for Criterion {
@@ -103,6 +135,7 @@ impl Default for Criterion {
             .unwrap_or(300u64);
         Self {
             target_time: Duration::from_millis(target_ms),
+            reports: Vec::new(),
         }
     }
 }
@@ -121,8 +154,14 @@ impl Criterion {
     {
         let mut bencher = Bencher::new(self.target_time);
         f(&mut bencher);
-        bencher.report(name);
+        let report = bencher.report(name);
+        self.reports.push(report);
         self
+    }
+
+    /// Statistics of every benchmark run so far, in execution order.
+    pub fn reports(&self) -> &[BenchReport] {
+        &self.reports
     }
 }
 

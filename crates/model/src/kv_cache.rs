@@ -149,12 +149,25 @@ impl KvCache {
     /// query and must not be in the query's future.  This implements the
     /// causal + tree attention mask of speculative verification.
     pub fn visible_cells(&self, seq_ids: &[SeqId], pos: Pos) -> Vec<usize> {
-        self.cells
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| !c.is_free() && c.pos <= pos && seq_ids.iter().any(|s| c.has_seq(*s)))
-            .map(|(i, _)| i)
-            .collect()
+        let mut out = Vec::new();
+        self.visible_cells_into(seq_ids, pos, &mut out);
+        out
+    }
+
+    /// [`Self::visible_cells`] writing into a caller-provided buffer, so the
+    /// per-token attention loop can reuse one allocation across the whole
+    /// forward pass (the scratch arena holds the buffer).
+    pub fn visible_cells_into(&self, seq_ids: &[SeqId], pos: Pos, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(
+            self.cells
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| {
+                    !c.is_free() && c.pos <= pos && seq_ids.iter().any(|s| c.has_seq(*s))
+                })
+                .map(|(i, _)| i),
+        );
     }
 
     /// Copies sequence `src`'s entries in position range `[p0, p1)` into

@@ -38,7 +38,7 @@ pub use oracle::{OracleDraft, OracleTarget};
 pub use sampler::Sampler;
 pub use token_tree::{TokenTree, TreeNodeId};
 pub use tokenizer::ByteTokenizer;
-pub use transformer::Model;
+pub use transformer::{Model, ScratchArena};
 pub use weights::ModelWeights;
 
 /// Token identifier type used throughout the workspace.

@@ -42,6 +42,63 @@ impl std::fmt::Display for ModelError {
 
 impl std::error::Error for ModelError {}
 
+/// Reusable per-forward scratch buffers.
+///
+/// One decoder layer needs normed activations, q/k/v projections, attention
+/// accumulators, MLP intermediates and an attention-score/visible-cell pair
+/// per token.  Allocating those fresh for every token of every layer
+/// dominated small-model forward cost; an arena is created once (or held
+/// long-term by an engine) and every token of every layer reuses it.
+///
+/// An arena is sized for one model configuration; [`Model::forward_layer_range_with`]
+/// checks compatibility and errors rather than silently resizing, so engines
+/// cannot accidentally share an arena across differently-shaped models.
+#[derive(Debug, Clone)]
+pub struct ScratchArena {
+    /// `d_model` — normed activations entering attention / MLP.
+    h: Vec<f32>,
+    /// `d_model` — query projection.
+    q: Vec<f32>,
+    /// `kv_dim` — key projection.
+    k: Vec<f32>,
+    /// `kv_dim` — value projection.
+    v: Vec<f32>,
+    /// `d_model` — per-head attention output accumulator.
+    attn: Vec<f32>,
+    /// `d_model` — attention output / MLP down projection.
+    proj: Vec<f32>,
+    /// `d_ff` — gate projection (SwiGLU) .
+    gate: Vec<f32>,
+    /// `d_ff` — up projection.
+    up: Vec<f32>,
+    /// Attention scores over visible cells (grows to context length).
+    scores: Vec<f32>,
+    /// Visible-cell indices for the current token.
+    visible: Vec<usize>,
+}
+
+impl ScratchArena {
+    /// Builds an arena sized for `cfg`.
+    pub fn for_config(cfg: &ModelConfig) -> Self {
+        Self {
+            h: vec![0.0; cfg.d_model],
+            q: vec![0.0; cfg.d_model],
+            k: vec![0.0; cfg.kv_dim()],
+            v: vec![0.0; cfg.kv_dim()],
+            attn: vec![0.0; cfg.d_model],
+            proj: vec![0.0; cfg.d_model],
+            gate: vec![0.0; cfg.d_ff],
+            up: vec![0.0; cfg.d_ff],
+            scores: Vec::new(),
+            visible: Vec::new(),
+        }
+    }
+
+    fn fits(&self, cfg: &ModelConfig) -> bool {
+        self.h.len() == cfg.d_model && self.k.len() == cfg.kv_dim() && self.gate.len() == cfg.d_ff
+    }
+}
+
 /// A runnable decoder-only transformer: configuration plus weights.
 #[derive(Debug, Clone)]
 pub struct Model {
@@ -125,6 +182,28 @@ impl Model {
         cache: &mut KvCache,
         cells: &[usize],
     ) -> Result<Tensor, ModelError> {
+        let mut scratch = ScratchArena::for_config(&self.cfg);
+        self.forward_layer_range_with(batch, hidden, layers, cache, cells, &mut scratch)
+    }
+
+    /// [`Self::forward_layer_range`] with a caller-held [`ScratchArena`], so
+    /// long-lived engines reuse the per-layer temporaries across *calls*
+    /// (every decoded token), not just across the tokens of one batch.
+    pub fn forward_layer_range_with(
+        &self,
+        batch: &Batch,
+        hidden: &Tensor,
+        layers: Range<usize>,
+        cache: &mut KvCache,
+        cells: &[usize],
+        scratch: &mut ScratchArena,
+    ) -> Result<Tensor, ModelError> {
+        if !scratch.fits(&self.cfg) {
+            return Err(ModelError::BadHidden(format!(
+                "scratch arena sized for another model (d_model {} expected)",
+                self.cfg.d_model
+            )));
+        }
         if layers.end > self.cfg.n_layers {
             return Err(ModelError::BadLayerRange(format!(
                 "range {layers:?} exceeds {} layers",
@@ -149,11 +228,12 @@ impl Model {
         }
         let mut x = hidden.clone();
         for (local, global) in layers.clone().enumerate() {
-            self.forward_one_layer(batch, &mut x, global, local, cache, cells);
+            self.forward_one_layer(batch, &mut x, global, local, cache, cells, scratch);
         }
         Ok(x)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn forward_one_layer(
         &self,
         batch: &Batch,
@@ -162,78 +242,80 @@ impl Model {
         local_layer: usize,
         cache: &mut KvCache,
         cells: &[usize],
+        scratch: &mut ScratchArena,
     ) {
         let cfg = &self.cfg;
         let lw = &self.weights.layers[global_layer];
-        let d = cfg.d_model;
         let hd = cfg.head_dim();
         let n_heads = cfg.n_heads;
         let n_kv = cfg.n_kv_heads;
         let group = n_heads / n_kv;
         let scale = 1.0 / (hd as f32).sqrt();
+        let ScratchArena {
+            h,
+            q,
+            k,
+            v,
+            attn,
+            proj,
+            gate,
+            up,
+            scores,
+            visible,
+        } = scratch;
 
         // Tokens are processed in batch order so that later tokens can attend
         // to the KV entries of earlier tokens in the same batch (prompt
         // processing and tree verification both rely on this).
         for (i, entry) in batch.iter().enumerate() {
-            let xi = x.row(i).unwrap().to_vec();
-
             // --- Attention block ---
-            let h = ops::rmsnorm(&xi, lw.attn_norm.data(), cfg.norm_eps);
-            let ht = Tensor::from_vec(h, &[1, d]).unwrap();
-            let mut q = ops::matmul_t(&ht, &lw.wq).unwrap().into_vec();
-            let mut k = ops::matmul_t(&ht, &lw.wk).unwrap().into_vec();
-            let v = ops::matmul_t(&ht, &lw.wv).unwrap().into_vec();
-            ops::rope_inplace(&mut q, n_heads, hd, entry.pos as usize, cfg.rope_theta);
-            ops::rope_inplace(&mut k, n_kv, hd, entry.pos as usize, cfg.rope_theta);
-            cache.store(local_layer, cells[i], &k, &v);
+            ops::rmsnorm_into(x.row(i).unwrap(), lw.attn_norm.data(), cfg.norm_eps, h);
+            ops::matvec_t_into(h, &lw.wq, q).unwrap();
+            ops::matvec_t_into(h, &lw.wk, k).unwrap();
+            ops::matvec_t_into(h, &lw.wv, v).unwrap();
+            ops::rope_inplace(q, n_heads, hd, entry.pos as usize, cfg.rope_theta);
+            ops::rope_inplace(k, n_kv, hd, entry.pos as usize, cfg.rope_theta);
+            cache.store(local_layer, cells[i], k, v);
 
-            let visible = cache.visible_cells(&entry.seq_ids, entry.pos);
-            let mut attn_out = vec![0.0f32; d];
+            cache.visible_cells_into(&entry.seq_ids, entry.pos, visible);
+            attn.fill(0.0);
             for head in 0..n_heads {
                 let kv_head = head / group;
                 let q_h = &q[head * hd..(head + 1) * hd];
-                let mut scores = Vec::with_capacity(visible.len());
-                for &cell in &visible {
+                scores.clear();
+                for &cell in visible.iter() {
                     let k_c = cache.key(local_layer, cell);
                     let k_h = &k_c[kv_head * hd..(kv_head + 1) * hd];
                     scores.push(ops::dot(q_h, k_h) * scale);
                 }
-                ops::softmax_inplace(&mut scores);
-                let out_h = &mut attn_out[head * hd..(head + 1) * hd];
+                ops::softmax_inplace(scores);
+                let out_h = &mut attn[head * hd..(head + 1) * hd];
                 for (w, &cell) in scores.iter().zip(visible.iter()) {
                     let v_c = cache.value(local_layer, cell);
                     let v_h = &v_c[kv_head * hd..(kv_head + 1) * hd];
                     ops::axpy(out_h, *w, v_h);
                 }
             }
-            let attn_t = Tensor::from_vec(attn_out, &[1, d]).unwrap();
-            let o = ops::matmul_t(&attn_t, &lw.wo).unwrap();
-            ops::add_inplace(x.row_mut(i).unwrap(), o.data());
+            ops::matvec_t_into(attn, &lw.wo, proj).unwrap();
+            ops::add_inplace(x.row_mut(i).unwrap(), proj);
 
             // --- MLP block ---
-            let xi2 = x.row(i).unwrap().to_vec();
-            let h2 = ops::rmsnorm(&xi2, lw.mlp_norm.data(), cfg.norm_eps);
-            let h2t = Tensor::from_vec(h2, &[1, d]).unwrap();
-            let mlp_out = match cfg.activation {
+            ops::rmsnorm_into(x.row(i).unwrap(), lw.mlp_norm.data(), cfg.norm_eps, h);
+            match cfg.activation {
                 Activation::SwiGlu => {
-                    let mut gate = ops::matmul_t(&h2t, lw.w_gate.as_ref().unwrap())
-                        .unwrap()
-                        .into_vec();
-                    let up = ops::matmul_t(&h2t, &lw.w_up).unwrap().into_vec();
-                    ops::silu_inplace(&mut gate);
-                    ops::mul_inplace(&mut gate, &up);
-                    let gate_t = Tensor::from_vec(gate, &[1, cfg.d_ff]).unwrap();
-                    ops::matmul_t(&gate_t, &lw.w_down).unwrap()
+                    ops::matvec_t_into(h, lw.w_gate.as_ref().unwrap(), gate).unwrap();
+                    ops::matvec_t_into(h, &lw.w_up, up).unwrap();
+                    ops::silu_inplace(gate);
+                    ops::mul_inplace(gate, up);
+                    ops::matvec_t_into(gate, &lw.w_down, proj).unwrap();
                 }
                 Activation::Gelu => {
-                    let mut up = ops::matmul_t(&h2t, &lw.w_up).unwrap().into_vec();
-                    ops::gelu_inplace(&mut up);
-                    let up_t = Tensor::from_vec(up, &[1, cfg.d_ff]).unwrap();
-                    ops::matmul_t(&up_t, &lw.w_down).unwrap()
+                    ops::matvec_t_into(h, &lw.w_up, up).unwrap();
+                    ops::gelu_inplace(up);
+                    ops::matvec_t_into(up, &lw.w_down, proj).unwrap();
                 }
-            };
-            ops::add_inplace(x.row_mut(i).unwrap(), mlp_out.data());
+            }
+            ops::add_inplace(x.row_mut(i).unwrap(), proj);
         }
     }
 
@@ -245,12 +327,12 @@ impl Model {
         let n = hidden.rows();
         let mut normed = Tensor::zeros(&[n, d]);
         for i in 0..n {
-            let row = ops::rmsnorm(
+            ops::rmsnorm_into(
                 hidden.row(i).unwrap(),
                 self.weights.final_norm.data(),
                 self.cfg.norm_eps,
+                normed.row_mut(i).unwrap(),
             );
-            normed.row_mut(i).unwrap().copy_from_slice(&row);
         }
         ops::matmul_t(&normed, &self.weights.lm_head).unwrap()
     }
@@ -401,6 +483,50 @@ mod tests {
         let total: usize = r.iter().map(|x| x.len()).sum();
         assert_eq!(total, 10);
         assert_eq!(Model::split_layers(3, 5).len(), 5);
+    }
+
+    #[test]
+    fn reused_scratch_arena_is_equivalent_to_fresh() {
+        // Decoding with one long-lived arena must produce exactly the same
+        // logits as the per-call arena path, token after token.
+        let m = tiny_model(11);
+        let mut scratch = ScratchArena::for_config(m.config());
+        let mut c1 = m.new_cache_for_layers(&(0..4), 64);
+        let mut c2 = m.new_cache_for_layers(&(0..4), 64);
+        for (pos, tok) in [7u32, 3, 19, 4, 2].into_iter().enumerate() {
+            let batch = Batch::single(tok, pos as i32, 0);
+
+            let cells1 = Model::alloc_cells(&batch, &mut c1).unwrap();
+            let hidden1 = m.embed(&batch);
+            let out1 = m
+                .forward_layer_range_with(&batch, &hidden1, 0..4, &mut c1, &cells1, &mut scratch)
+                .unwrap();
+
+            let cells2 = Model::alloc_cells(&batch, &mut c2).unwrap();
+            let hidden2 = m.embed(&batch);
+            let out2 = m
+                .forward_layer_range(&batch, &hidden2, 0..4, &mut c2, &cells2)
+                .unwrap();
+
+            assert_eq!(out1.data(), out2.data(), "token at pos {pos} diverged");
+        }
+    }
+
+    #[test]
+    fn mismatched_scratch_arena_rejected() {
+        let m = tiny_model(12);
+        let other = ModelConfig::tiny_llama(64, 4);
+        let mut wrong = ScratchArena::for_config(&ModelConfig {
+            d_model: other.d_model * 2,
+            ..other
+        });
+        let batch = Batch::single(1, 0, 0);
+        let mut cache = m.new_cache_for_layers(&(0..4), 8);
+        let cells = Model::alloc_cells(&batch, &mut cache).unwrap();
+        let hidden = m.embed(&batch);
+        assert!(m
+            .forward_layer_range_with(&batch, &hidden, 0..4, &mut cache, &cells, &mut wrong)
+            .is_err());
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //!   70B–180B scale.
 
 use crate::message::{ActivationPayload, CacheOp};
-use pi_model::{Batch, KvCache, Model, OracleTarget, Sampler, Token};
+use pi_model::{Batch, KvCache, Model, OracleTarget, Sampler, ScratchArena, Token};
 use pi_perf::{CostModel, ModelCost};
 use std::ops::Range;
 use std::sync::Arc;
@@ -74,6 +74,9 @@ pub struct RealStageEngine {
     model: Arc<Model>,
     layers: Range<usize>,
     cache: KvCache,
+    /// Long-lived forward-pass temporaries, reused across every token this
+    /// stage ever evaluates (see `pi_model::ScratchArena`).
+    scratch: ScratchArena,
 }
 
 impl RealStageEngine {
@@ -81,10 +84,12 @@ impl RealStageEngine {
     /// KV cache of `kv_capacity` cells.
     pub fn new(model: Arc<Model>, layers: Range<usize>, kv_capacity: usize) -> Self {
         let cache = model.new_cache_for_layers(&layers, kv_capacity);
+        let scratch = ScratchArena::for_config(model.config());
         Self {
             model,
             layers,
             cache,
+            scratch,
         }
     }
 
@@ -104,7 +109,14 @@ impl StageEngine for RealStageEngine {
         let cells = Model::alloc_cells(batch, &mut self.cache).expect("stage KV cache exhausted");
         let out = self
             .model
-            .forward_layer_range(batch, hidden, self.layers.clone(), &mut self.cache, &cells)
+            .forward_layer_range_with(
+                batch,
+                hidden,
+                self.layers.clone(),
+                &mut self.cache,
+                &cells,
+                &mut self.scratch,
+            )
             .expect("layer-range evaluation failed");
         (ActivationPayload::Real(out), start.elapsed().as_secs_f64())
     }
@@ -121,16 +133,21 @@ pub struct RealHeadEngine {
     model: Arc<Model>,
     layers: Range<usize>,
     cache: KvCache,
+    /// Long-lived forward-pass temporaries, reused across every token the
+    /// head ever evaluates.
+    scratch: ScratchArena,
 }
 
 impl RealHeadEngine {
     /// Creates the head engine for global layers `layers` of `model`.
     pub fn new(model: Arc<Model>, layers: Range<usize>, kv_capacity: usize) -> Self {
         let cache = model.new_cache_for_layers(&layers, kv_capacity);
+        let scratch = ScratchArena::for_config(model.config());
         Self {
             model,
             layers,
             cache,
+            scratch,
         }
     }
 
@@ -147,7 +164,14 @@ impl HeadEngine for RealHeadEngine {
         let hidden = self.model.embed(batch);
         let out = self
             .model
-            .forward_layer_range(batch, &hidden, self.layers.clone(), &mut self.cache, &cells)
+            .forward_layer_range_with(
+                batch,
+                &hidden,
+                self.layers.clone(),
+                &mut self.cache,
+                &cells,
+                &mut self.scratch,
+            )
             .expect("head layer-range evaluation failed");
         (ActivationPayload::Real(out), start.elapsed().as_secs_f64())
     }

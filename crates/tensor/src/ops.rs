@@ -2,20 +2,176 @@
 //!
 //! Kernels operate on [`Tensor`]s or raw `f32` slices.  The only
 //! parallelised kernel is [`matmul_t`] (weights-transposed matrix product),
-//! which dominates runtime for real tiny-model execution; it splits work over
-//! output rows with rayon.  All other kernels are O(tokens × hidden) and not
-//! worth parallelising at the model sizes this reproduction executes for
-//! real.
+//! which dominates runtime for real tiny-model execution.  It runs on the
+//! persistent worker pool behind `rayon::prelude::par_chunks_mut` and is
+//! **blocked**: the single-row (decode) case splits the output row into
+//! column blocks, the multi-row (speculative-verify) case processes 4-row
+//! tiles that stream each weight row once for all four inputs.  The inner
+//! [`dot`] uses four independent accumulators so the compiler can
+//! autovectorise it.  Workloads below `PAR_DISPATCH_MULADDS` multiply-adds
+//! stay on the calling thread — pool dispatch costs more than tiny-model
+//! matmuls.
+//!
+//! Determinism: every output element is accumulated in the same fixed order
+//! (4-wide lanes, then a scalar tail) regardless of thread count or tiling,
+//! so results are bitwise reproducible across `PIPEINFER_THREADS` settings.
+//! All other kernels are O(tokens × hidden) and not worth parallelising at
+//! the model sizes this reproduction executes for real.
 
 use crate::{Result, Tensor, TensorError};
 use rayon::prelude::*;
+
+/// Multiply-add count below which a matmul runs serially on the caller:
+/// dispatching to the pool costs a few microseconds, which dominates the
+/// tiny-model (d≈64) per-token products.
+pub(crate) const PAR_DISPATCH_MULADDS: usize = 32 * 1024;
 
 /// Computes `out = x · wᵀ` where `x` is `[m, k]` and `w` is `[n, k]`.
 ///
 /// This is the natural layout for transformer weight matrices (each output
 /// feature is a row of `w`), and lets the inner loop be a contiguous dot
-/// product.  Rows of the output are computed in parallel.
+/// product.  See the module docs for the blocking/tiling scheme.
 pub fn matmul_t(x: &Tensor, w: &Tensor) -> Result<Tensor> {
+    let m = x.rows();
+    let k = x.cols();
+    let n = w.rows();
+    if w.cols() != k {
+        return Err(TensorError::IncompatibleShapes(format!(
+            "matmul_t: x is [{m}, {k}], w is [{}, {}]",
+            n,
+            w.cols()
+        )));
+    }
+    let mut out = vec![0.0f32; m * n];
+    matmul_t_into(x.data(), w.data(), m, k, n, &mut out);
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Raw-slice core of [`matmul_t`]: `x` is `[m, k]`, `w` is `[n, k]`, `out`
+/// is `[m, n]`, all row-major.  Lets callers (the transformer forward pass)
+/// reuse scratch output buffers instead of allocating a tensor per product.
+pub fn matmul_t_into(xd: &[f32], wd: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(xd.len(), m * k, "x data does not match [m, k]");
+    assert_eq!(wd.len(), n * k, "w data does not match [n, k]");
+    assert_eq!(out.len(), m * n, "out does not match [m, n]");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if m == 1 {
+        gemv_t(xd, wd, k, n, out);
+    } else {
+        gemm_t_tiled(xd, wd, k, n, out);
+    }
+}
+
+/// Single-row `x · wᵀ` writing into `out` (`[n]`), where `w` is `[n, k]`.
+///
+/// The decode-path convenience wrapper over [`matmul_t_into`] used by the
+/// transformer's scratch-buffer arena.
+pub fn matvec_t_into(x: &[f32], w: &Tensor, out: &mut [f32]) -> Result<()> {
+    let k = w.cols();
+    let n = w.rows();
+    if x.len() != k || out.len() != n {
+        return Err(TensorError::IncompatibleShapes(format!(
+            "matvec_t: x has {} elements, out has {}, w is [{n}, {k}]",
+            x.len(),
+            out.len()
+        )));
+    }
+    gemv_t(x, w.data(), k, n, out);
+    Ok(())
+}
+
+/// Dispatch skeleton shared by the dense and quantized single-row products:
+/// fills `out[j] = row_dot(j)` for every output feature `j`, serially below
+/// [`PAR_DISPATCH_MULADDS`] multiply-adds (`k` per element), otherwise
+/// parallel over column blocks sized to carry at least that much work each.
+pub(crate) fn gemv_dispatch<F>(k: usize, out: &mut [f32], row_dot: F)
+where
+    F: Fn(usize) -> f32 + Sync,
+{
+    let n = out.len();
+    if n * k < PAR_DISPATCH_MULADDS {
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = row_dot(j);
+        }
+        return;
+    }
+    let block = (PAR_DISPATCH_MULADDS / k.max(1)).clamp(1, n);
+    out.par_chunks_mut(block)
+        .enumerate()
+        .for_each(|(b, chunk)| {
+            let j0 = b * block;
+            for (dj, o) in chunk.iter_mut().enumerate() {
+                *o = row_dot(j0 + dj);
+            }
+        });
+}
+
+/// Matrix-vector product (`m == 1`): each output element is an independent
+/// dot of `x` against one weight row, dispatched via [`gemv_dispatch`].
+fn gemv_t(x: &[f32], wd: &[f32], k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), n);
+    gemv_dispatch(k, out, |j| dot(x, &wd[j * k..(j + 1) * k]));
+}
+
+/// Multi-row product tiled over 4 input rows: each weight row is streamed
+/// from memory once per tile instead of once per input row, which is the
+/// dominant traffic for the speculative-verify batches (`m` in 2..=16).
+/// Tiles are distributed over the pool; the remainder tile (`m % 4` rows)
+/// falls back to per-row dots that accumulate in the identical order.
+fn gemm_t_tiled(xd: &[f32], wd: &[f32], k: usize, n: usize, out: &mut [f32]) {
+    const TILE: usize = 4;
+    let m = out.len() / n;
+    // The per-tile computation is identical either way; only the dispatch
+    // differs, so small products skip the pool (same threshold as the GEMV
+    // path) while producing bitwise-identical results.
+    if m * n * k < PAR_DISPATCH_MULADDS {
+        for (t, chunk) in out.chunks_mut(TILE * n).enumerate() {
+            gemm_tile(xd, wd, k, n, t, chunk);
+        }
+    } else {
+        out.par_chunks_mut(TILE * n)
+            .enumerate()
+            .for_each(|(t, chunk)| gemm_tile(xd, wd, k, n, t, chunk));
+    }
+}
+
+/// Computes tile `t` (up to 4 consecutive output rows) of the tiled product.
+fn gemm_tile(xd: &[f32], wd: &[f32], k: usize, n: usize, t: usize, chunk: &mut [f32]) {
+    const TILE: usize = 4;
+    let i0 = t * TILE;
+    let rows = chunk.len() / n;
+    let xt = &xd[i0 * k..(i0 + rows) * k];
+    if rows == TILE {
+        let (x0, x1, x2, x3) = (
+            &xt[..k],
+            &xt[k..2 * k],
+            &xt[2 * k..3 * k],
+            &xt[3 * k..4 * k],
+        );
+        for j in 0..n {
+            let wrow = &wd[j * k..(j + 1) * k];
+            let d = dot4(wrow, x0, x1, x2, x3);
+            chunk[j] = d[0];
+            chunk[n + j] = d[1];
+            chunk[2 * n + j] = d[2];
+            chunk[3 * n + j] = d[3];
+        }
+    } else {
+        for j in 0..n {
+            let wrow = &wd[j * k..(j + 1) * k];
+            for r in 0..rows {
+                chunk[r * n + j] = dot(&xt[r * k..(r + 1) * k], wrow);
+            }
+        }
+    }
+}
+
+/// Reference `x · wᵀ` — the pre-optimisation scalar kernel, kept as the
+/// ground truth for the blocked kernel's equivalence property tests and as
+/// the "before" side of `cargo bench -p pi-bench --bench kernels`.
+pub fn matmul_t_naive(x: &Tensor, w: &Tensor) -> Result<Tensor> {
     let m = x.rows();
     let k = x.cols();
     let n = w.rows();
@@ -29,25 +185,92 @@ pub fn matmul_t(x: &Tensor, w: &Tensor) -> Result<Tensor> {
     let xd = x.data();
     let wd = w.data();
     let mut out = vec![0.0f32; m * n];
-    out.par_chunks_mut(n).enumerate().for_each(|(i, out_row)| {
+    for i in 0..m {
         let xrow = &xd[i * k..(i + 1) * k];
-        for (j, o) in out_row.iter_mut().enumerate() {
+        for j in 0..n {
             let wrow = &wd[j * k..(j + 1) * k];
-            *o = dot(xrow, wrow);
+            let mut acc = 0.0f32;
+            for (a, b) in xrow.iter().zip(wrow.iter()) {
+                acc += a * b;
+            }
+            out[i * n + j] = acc;
         }
-    });
+    }
     Tensor::from_vec(out, &[m, n])
 }
 
 /// Dot product of two equal-length slices.
+///
+/// Four independent accumulators break the serial floating-point dependency
+/// chain so the loop autovectorises; the accumulation order is fixed
+/// (lane-wise, then `(a0+a1)+(a2+a3)`, then the scalar tail) to keep results
+/// bitwise deterministic.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    let mut acc = 0.0f32;
-    for i in 0..a.len() {
-        acc += a[i] * b[i];
+    let main = a.len() - a.len() % 4;
+    let mut acc = [0.0f32; 4];
+    for (av, bv) in a[..main].chunks_exact(4).zip(b[..main].chunks_exact(4)) {
+        acc[0] += av[0] * bv[0];
+        acc[1] += av[1] * bv[1];
+        acc[2] += av[2] * bv[2];
+        acc[3] += av[3] * bv[3];
     }
-    acc
+    let mut tail = 0.0f32;
+    for (x, y) in a[main..].iter().zip(b[main..].iter()) {
+        tail += x * y;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Four simultaneous dots of `w` against `x0..x3`, streaming `w` once.
+///
+/// Each lane accumulates in exactly the same order as [`dot`], so a value
+/// computed through the tiled path is bitwise identical to the per-row path.
+#[inline]
+fn dot4(w: &[f32], x0: &[f32], x1: &[f32], x2: &[f32], x3: &[f32]) -> [f32; 4] {
+    let k = w.len();
+    assert!(x0.len() == k && x1.len() == k && x2.len() == k && x3.len() == k);
+    let main = k - k % 4;
+    let mut a0 = [0.0f32; 4];
+    let mut a1 = [0.0f32; 4];
+    let mut a2 = [0.0f32; 4];
+    let mut a3 = [0.0f32; 4];
+    let mut i = 0;
+    while i < main {
+        let (w0, w1, w2, w3) = (w[i], w[i + 1], w[i + 2], w[i + 3]);
+        a0[0] += x0[i] * w0;
+        a0[1] += x0[i + 1] * w1;
+        a0[2] += x0[i + 2] * w2;
+        a0[3] += x0[i + 3] * w3;
+        a1[0] += x1[i] * w0;
+        a1[1] += x1[i + 1] * w1;
+        a1[2] += x1[i + 2] * w2;
+        a1[3] += x1[i + 3] * w3;
+        a2[0] += x2[i] * w0;
+        a2[1] += x2[i + 1] * w1;
+        a2[2] += x2[i + 2] * w2;
+        a2[3] += x2[i + 3] * w3;
+        a3[0] += x3[i] * w0;
+        a3[1] += x3[i + 1] * w1;
+        a3[2] += x3[i + 2] * w2;
+        a3[3] += x3[i + 3] * w3;
+        i += 4;
+    }
+    let mut t = [0.0f32; 4];
+    while i < k {
+        t[0] += x0[i] * w[i];
+        t[1] += x1[i] * w[i];
+        t[2] += x2[i] * w[i];
+        t[3] += x3[i] * w[i];
+        i += 1;
+    }
+    [
+        (a0[0] + a0[1]) + (a0[2] + a0[3]) + t[0],
+        (a1[0] + a1[1]) + (a1[2] + a1[3]) + t[1],
+        (a2[0] + a2[1]) + (a2[2] + a2[3]) + t[2],
+        (a3[0] + a3[1]) + (a3[2] + a3[3]) + t[3],
+    ]
 }
 
 /// In-place element-wise addition: `a += b`.
@@ -95,13 +318,21 @@ pub fn softmax(x: &[f32]) -> Vec<f32> {
 ///
 /// `eps` guards against division by zero exactly as in Llama-family models.
 pub fn rmsnorm(x: &[f32], weight: &[f32], eps: f32) -> Vec<f32> {
+    let mut out = vec![0.0f32; x.len()];
+    rmsnorm_into(x, weight, eps, &mut out);
+    out
+}
+
+/// [`rmsnorm`] writing into a caller-provided buffer (the scratch arena's
+/// per-layer normed-activation slot), avoiding a per-token allocation.
+pub fn rmsnorm_into(x: &[f32], weight: &[f32], eps: f32, out: &mut [f32]) {
     debug_assert_eq!(x.len(), weight.len());
+    debug_assert_eq!(x.len(), out.len());
     let ss: f32 = x.iter().map(|v| v * v).sum::<f32>() / x.len() as f32;
     let scale = 1.0 / (ss + eps).sqrt();
-    x.iter()
-        .zip(weight.iter())
-        .map(|(v, w)| v * scale * w)
-        .collect()
+    for ((o, v), w) in out.iter_mut().zip(x.iter()).zip(weight.iter()) {
+        *o = v * scale * w;
+    }
 }
 
 /// SiLU activation (`x * sigmoid(x)`), applied element-wise in place.
@@ -193,6 +424,54 @@ mod tests {
         let x = t(vec![1.0, 2.0, 3.0], &[1, 3]);
         let w = t(vec![1.0, 2.0], &[1, 2]);
         assert!(matmul_t(&x, &w).is_err());
+        assert!(matmul_t_naive(&x, &w).is_err());
+    }
+
+    #[test]
+    fn blocked_matches_naive_across_tile_remainders() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        // m sweeps the full-tile (4, 8), remainder (1..3, 5..7) and
+        // single-row cases; k sweeps non-multiple-of-4 lengths.
+        for m in 1..=9usize {
+            for &k in &[1usize, 3, 4, 7, 33, 64] {
+                let n = 17;
+                let x = Tensor::rand_uniform(&mut rng, &[m, k], 1.0);
+                let w = Tensor::rand_uniform(&mut rng, &[n, k], 1.0);
+                let fast = matmul_t(&x, &w).unwrap();
+                let slow = matmul_t_naive(&x, &w).unwrap();
+                for (a, b) in fast.data().iter().zip(slow.data().iter()) {
+                    assert!(
+                        (a - b).abs() <= 1e-4 * a.abs().max(1.0),
+                        "m={m} k={k}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_t_into_matches_matmul() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(12);
+        let x = Tensor::rand_uniform(&mut rng, &[1, 48], 1.0);
+        let w = Tensor::rand_uniform(&mut rng, &[31, 48], 1.0);
+        let mut out = vec![0.0f32; 31];
+        matvec_t_into(x.data(), &w, &mut out).unwrap();
+        let full = matmul_t(&x, &w).unwrap();
+        assert_eq!(out.as_slice(), full.data());
+        let mut bad = vec![0.0f32; 30];
+        assert!(matvec_t_into(x.data(), &w, &mut bad).is_err());
+    }
+
+    #[test]
+    fn rmsnorm_into_matches_allocating_variant() {
+        let x = vec![3.0, -4.0, 5.5, 0.25];
+        let w = vec![1.0, 0.5, 2.0, 1.5];
+        let a = rmsnorm(&x, &w, 1e-6);
+        let mut b = vec![0.0f32; 4];
+        rmsnorm_into(&x, &w, 1e-6, &mut b);
+        assert_eq!(a, b);
     }
 
     #[test]

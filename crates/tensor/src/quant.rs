@@ -17,9 +17,53 @@
 //! round-trip error characteristics that the experiments rely on.
 
 use crate::{ops, Result, Tensor, TensorError};
+use rayon::prelude::*;
 
 /// Number of weights in a quantization block.
 pub const BLOCK_SIZE: usize = 32;
+
+/// Fused dot of an activation chunk against one block's integer weights.
+///
+/// `x` may be shorter than [`BLOCK_SIZE`] (the final block of a row whose
+/// length is not a multiple of the block size); trailing `q` entries are
+/// zero by construction and are simply not visited.  Four independent
+/// accumulators (same fixed order as `ops::dot`) let the widen-and-multiply
+/// loop autovectorise while keeping results deterministic.
+#[inline]
+fn dot_q(x: &[f32], q: &[i8; BLOCK_SIZE]) -> f32 {
+    if x.len() >= BLOCK_SIZE {
+        // Full block: a compile-time trip count lets the widen-multiply loop
+        // unroll and vectorise completely.
+        let x: &[f32; BLOCK_SIZE] = x[..BLOCK_SIZE].try_into().unwrap();
+        let mut acc = [0.0f32; 4];
+        for i in 0..BLOCK_SIZE / 4 {
+            acc[0] += x[4 * i] * q[4 * i] as f32;
+            acc[1] += x[4 * i + 1] * q[4 * i + 1] as f32;
+            acc[2] += x[4 * i + 2] * q[4 * i + 2] as f32;
+            acc[3] += x[4 * i + 3] * q[4 * i + 3] as f32;
+        }
+        return (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    }
+    // Short final block of a row whose length is not a multiple of the block
+    // size: same 4-lane accumulation order, dynamic bound.
+    let n = x.len();
+    let main = n - n % 4;
+    let mut acc = [0.0f32; 4];
+    let mut i = 0;
+    while i < main {
+        acc[0] += x[i] * q[i] as f32;
+        acc[1] += x[i + 1] * q[i + 1] as f32;
+        acc[2] += x[i + 2] * q[i + 2] as f32;
+        acc[3] += x[i + 3] * q[i + 3] as f32;
+        i += 4;
+    }
+    let mut tail = 0.0f32;
+    while i < n {
+        tail += x[i] * q[i] as f32;
+        i += 1;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
 
 /// Supported quantization formats.
 ///
@@ -215,9 +259,80 @@ impl QuantizedMatrix {
         Tensor::from_vec(data, &[self.rows, self.cols]).expect("shape is consistent")
     }
 
-    /// Computes `x · wᵀ` against the quantized weights, dequantizing block by
-    /// block (the same structure a fused quantized kernel would use).
+    /// Computes `x · wᵀ` against the quantized weights with a **fused**
+    /// kernel: integer weights are consumed in place (no dequantized copy),
+    /// the per-block scale is applied once per block, and output rows /
+    /// column blocks are distributed over the persistent worker pool.
+    ///
+    /// The input row is walked with `chunks(BLOCK_SIZE)` zipped against the
+    /// weight row's blocks, so the per-block `(start..end)` bounds re-check
+    /// the old kernel paid per element is hoisted out entirely; the final
+    /// (possibly short) chunk pairs with the final block because blocks
+    /// cover exactly `cols` elements (debug-asserted below).
     pub fn matmul_t(&self, x: &Tensor) -> Result<Tensor> {
+        if x.cols() != self.cols {
+            return Err(TensorError::IncompatibleShapes(format!(
+                "quantized matmul: x has {} cols, w has {}",
+                x.cols(),
+                self.cols
+            )));
+        }
+        debug_assert_eq!(
+            self.blocks_per_row,
+            self.cols.div_ceil(BLOCK_SIZE),
+            "blocks must cover exactly the {} columns of a row",
+            self.cols
+        );
+        debug_assert_eq!(self.blocks.len(), self.rows * self.blocks_per_row);
+        let m = x.rows();
+        let n = self.rows;
+        let k = self.cols;
+        let xd = x.data();
+        let mut out = vec![0.0f32; m * n];
+        if m == 1 {
+            self.gemv_into(xd, &mut out);
+        } else if m * n * k < ops::PAR_DISPATCH_MULADDS {
+            for (i, orow) in out.chunks_mut(n).enumerate() {
+                self.row_into(&xd[i * k..(i + 1) * k], orow);
+            }
+        } else {
+            out.par_chunks_mut(n).enumerate().for_each(|(i, orow)| {
+                self.row_into(&xd[i * k..(i + 1) * k], orow);
+            });
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Single-row fused product, dispatched through the same serial-below-
+    /// threshold / column-block-parallel skeleton as the dense decode kernel
+    /// (`ops::gemv_dispatch`).
+    fn gemv_into(&self, x: &[f32], out: &mut [f32]) {
+        ops::gemv_dispatch(self.cols, out, |j| self.fused_row_dot(j, x));
+    }
+
+    /// Fills `out[j] = x · w_jᵀ` for every output feature `j`.
+    fn row_into(&self, xrow: &[f32], out: &mut [f32]) {
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = self.fused_row_dot(j, xrow);
+        }
+    }
+
+    /// Fused dot of `xrow` against quantized weight row `j`: one multiply by
+    /// the block scale per block, integer weights widened in the inner loop.
+    #[inline]
+    fn fused_row_dot(&self, j: usize, xrow: &[f32]) -> f32 {
+        let row_blocks = &self.blocks[j * self.blocks_per_row..(j + 1) * self.blocks_per_row];
+        let mut acc = 0.0f32;
+        for (xchunk, block) in xrow.chunks(BLOCK_SIZE).zip(row_blocks.iter()) {
+            acc += dot_q(xchunk, &block.q) * block.scale;
+        }
+        acc
+    }
+
+    /// Reference fused product — the pre-optimisation serial kernel with its
+    /// per-block slicing, kept as ground truth for the parallel kernel's
+    /// equivalence property tests and the kernels bench's "before" side.
+    pub fn matmul_t_reference(&self, x: &Tensor) -> Result<Tensor> {
         if x.cols() != self.cols {
             return Err(TensorError::IncompatibleShapes(format!(
                 "quantized matmul: x has {} cols, w has {}",
@@ -360,6 +475,29 @@ mod tests {
         assert!(rel < 0.02, "relative error {rel}");
         let rel4 = quantization_matmul_error(&x, &w, QuantKind::Q4K).unwrap();
         assert!(rel4 < 0.2, "relative error {rel4}");
+    }
+
+    #[test]
+    fn fused_matmul_matches_reference_kernel() {
+        for (m, cols, seed) in [
+            (1usize, 64usize, 10u64),
+            (3, 50, 11),
+            (5, 96, 12),
+            (8, 33, 13),
+        ] {
+            let x = random_matrix(m, cols, seed);
+            let w = random_matrix(7, cols, seed + 100);
+            let q = QuantizedMatrix::quantize(&w, QuantKind::Q4K).unwrap();
+            let fused = q.matmul_t(&x).unwrap();
+            let reference = q.matmul_t_reference(&x).unwrap();
+            assert_eq!(fused.shape(), reference.shape());
+            for (a, b) in fused.data().iter().zip(reference.data().iter()) {
+                assert!(
+                    (a - b).abs() <= 1e-4 * a.abs().max(1.0),
+                    "m={m} cols={cols}: {a} vs {b}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! Property tests pinning the optimised kernels to their naive references.
+//!
+//! The blocked/tiled dense `matmul_t` and the parallel fused quantized
+//! matmul must match the pre-optimisation scalar kernels within 1e-4
+//! relative error on random shapes — including single-row (decode), multi-row
+//! (speculative verify, exercising the 4-row tile and its remainder), inner
+//! dimensions that are not multiples of the 4-wide accumulator width, and
+//! column counts that are not multiples of the quantization block size.
+
+use pi_tensor::{ops, QuantKind, QuantizedMatrix, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn assert_close(fast: &Tensor, reference: &Tensor, what: &str) {
+    assert_eq!(fast.shape(), reference.shape(), "{what}: shape mismatch");
+    for (i, (a, b)) in fast.data().iter().zip(reference.data().iter()).enumerate() {
+        assert!(
+            (a - b).abs() <= 1e-4 * a.abs().max(1.0),
+            "{what}: element {i} diverged: {a} vs {b}"
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn prop_blocked_matmul_matches_naive(
+        m in 1usize..10,
+        k in 1usize..130,
+        n in 1usize..70,
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Tensor::rand_uniform(&mut rng, &[m, k], 1.0);
+        let w = Tensor::rand_uniform(&mut rng, &[n, k], 1.0);
+        let fast = ops::matmul_t(&x, &w).unwrap();
+        let naive = ops::matmul_t_naive(&x, &w).unwrap();
+        assert_close(&fast, &naive, "dense blocked vs naive");
+    }
+
+    #[test]
+    fn prop_fused_quant_matmul_matches_reference(
+        m in 1usize..7,
+        // Deliberately straddles multiples of BLOCK_SIZE (32): 31, 32, 33,
+        // 50, 64, 96... all occur.
+        cols in 1usize..130,
+        n in 1usize..40,
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1000));
+        let x = Tensor::rand_uniform(&mut rng, &[m, cols], 1.0);
+        let w = Tensor::rand_uniform(&mut rng, &[n, cols], 1.0);
+        for kind in [QuantKind::Q8_0, QuantKind::Q4K] {
+            let q = QuantizedMatrix::quantize(&w, kind).unwrap();
+            let fused = q.matmul_t(&x).unwrap();
+            let reference = q.matmul_t_reference(&x).unwrap();
+            assert_close(&fused, &reference, "quant fused vs reference");
+        }
+    }
+
+    #[test]
+    fn prop_blocked_matmul_deterministic_across_thread_counts(
+        m in 1usize..6,
+        k in 1usize..100,
+        n in 1usize..50,
+        seed in 0u64..200,
+    ) {
+        // Same inputs, two runs — the claim-based pool must not introduce
+        // any run-to-run variation (every element is accumulated in a fixed
+        // order regardless of which worker computes it).
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(2000));
+        let x = Tensor::rand_uniform(&mut rng, &[m, k], 1.0);
+        let w = Tensor::rand_uniform(&mut rng, &[n, k], 1.0);
+        let a = ops::matmul_t(&x, &w).unwrap();
+        let b = ops::matmul_t(&x, &w).unwrap();
+        prop_assert_eq!(a.data(), b.data());
+    }
+}
