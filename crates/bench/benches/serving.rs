@@ -1,13 +1,17 @@
 //! Serving-layer benchmark: goodput and latency percentiles per strategy
-//! under identical steady / bursty / mixed traffic.
+//! under identical steady / bursty / mixed traffic, plus the
+//! tree-vs-linear speculation gate.
 //!
 //! Run with `cargo bench -p pi-bench --bench serving`.  By default the quick
 //! profile is used; set `PIPEINFER_BENCH_SCALE=paper` for a longer stream
 //! with the paper's token budgets.  Each strategy owns one prepared
 //! deployment and serves the same request streams through the
 //! continuous-batching `pi-serve` scheduler on the discrete-event simulator.
+//! With `PIPEINFER_BENCH_ASSERT=1` the run fails unless tree speculation
+//! beats linear speculation in accepted-tokens-per-verify on the seeded
+//! low-acceptance workload (the CI regression gate).
 
-use pi_bench::{fig_serving, BenchScale, ServingScale};
+use pi_bench::{fig_serving, tree_vs_linear_gate, BenchScale, ServingScale};
 use std::time::Instant;
 
 fn main() {
@@ -20,6 +24,19 @@ fn main() {
     let start = Instant::now();
     for fig in fig_serving(scale) {
         println!("{}", fig.render());
+    }
+    let (tree, linear) = tree_vs_linear_gate(scale);
+    println!(
+        "tree-speculation gate (Goliath + XWin-7B, mixed lengths): \
+         tree {tree:.3} vs linear {linear:.3} accepted-tokens-per-verify"
+    );
+    if std::env::var_os("PIPEINFER_BENCH_ASSERT").is_some() {
+        assert!(
+            tree > linear,
+            "tree speculation ({tree:.3} tok/verify) must beat linear \
+             speculation ({linear:.3}) on the seeded workload"
+        );
+        println!("PIPEINFER_BENCH_ASSERT: tree > linear — OK");
     }
     eprintln!("[{:6.1?}] serving figures done", start.elapsed());
 }

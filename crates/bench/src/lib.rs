@@ -19,7 +19,7 @@ use pi_perf::{ClusterSpec, InferenceStrategy, ModelPair};
 use pi_spec::deploy::{
     Deployment, ExecutionMode, IterativeStrategy, RunOutput, SpeculativeStrategy,
 };
-use pi_spec::{GenConfig, GenerationRecord};
+use pi_spec::{GenConfig, GenerationRecord, TreeSpeculationStrategy};
 use pipeinfer_core::{run_pipeinfer, PipeInferConfig, PipeInferStrategy};
 
 /// How much work each experiment run performs.
@@ -449,6 +449,17 @@ impl ServingScale {
     }
 }
 
+/// The deployments the serving experiments compare: the three paper
+/// strategies plus tree speculation, in figure order.
+pub fn serving_deployments() -> Vec<Deployment> {
+    vec![
+        Deployment::new(IterativeStrategy),
+        Deployment::new(SpeculativeStrategy),
+        Deployment::new(PipeInferStrategy::new(PipeInferConfig::paper_default())),
+        Deployment::new(TreeSpeculationStrategy::default()),
+    ]
+}
+
 /// Serving figures: goodput and latency percentiles per strategy, one figure
 /// per strategy, under *identical* steady / bursty / mixed traffic.
 ///
@@ -456,7 +467,9 @@ impl ServingScale {
 /// strategy owns one prepared deployment (weights and layout built once) and
 /// serves the same request streams through the continuous-batching
 /// `pi-serve` scheduler; the figures report goodput plus p50/p99 end-to-end
-/// and TTFT latency per workload shape.
+/// and TTFT latency per workload shape, and — since the tree strategy landed
+/// — the speculation-quality columns (acceptance rate,
+/// accepted-tokens-per-verify, tree utilization).
 pub fn fig_serving(scale: BenchScale) -> Vec<Figure> {
     use pi_serve::{
         BurstyWorkload, MixedWorkload, Server, ServerConfig, SteadyWorkload, WorkloadGen,
@@ -497,16 +510,16 @@ pub fn fig_serving(scale: BenchScale) -> Vec<Figure> {
     ];
 
     let mut figures = Vec::new();
-    for strategy in InferenceStrategy::all() {
+    for deployment in serving_deployments() {
         let mode = sim_mode(&pair, ClusterSpec::cluster_c(serving.n_nodes));
         let server = Server::new(
-            deployment_for(strategy).prepare(&mode, serving.n_nodes),
+            deployment.prepare(&mode, serving.n_nodes),
             ServerConfig {
                 max_in_flight: serving.max_in_flight,
             },
         );
         let mut fig = Figure::new(
-            &format!("Serving ({})", strategy.name()),
+            &format!("Serving ({})", server.strategy_name()),
             &format!(
                 "{} requests over {} nodes, window {}",
                 serving.n_requests, serving.n_nodes, serving.max_in_flight
@@ -520,6 +533,52 @@ pub fn fig_serving(scale: BenchScale) -> Vec<Figure> {
         figures.push(fig);
     }
     figures
+}
+
+/// The tree-speculation regression gate: serves one seeded mixed-length
+/// stream through `TreeSpeculationStrategy` and `SpeculativeStrategy` at the same
+/// verify-batch budget over the 52 %-acceptance Goliath + XWin-7B pair (the
+/// regime where hedging must pay off), returning
+/// `(tree, linear)` mean accepted-tokens-per-verify.
+///
+/// CI runs this with `PIPEINFER_BENCH_ASSERT=1` (see the `serving` bench
+/// target), failing the build if tree speculation stops beating linear
+/// speculation on this workload.  The stream uses mixed prompt/output
+/// lengths so every request decodes a genuinely different token stream
+/// (identical requests would replay one experiment N times); window 1
+/// serialises execution so the cross-request shape feedback — and therefore
+/// the result — is deterministic.
+pub fn tree_vs_linear_gate(scale: BenchScale) -> (f64, f64) {
+    use pi_serve::{MixedWorkload, Server, ServerConfig, WorkloadGen};
+
+    let serving = ServingScale::from(scale);
+    let pair = ModelPair::goliath_xwin7b();
+    let workload = MixedWorkload {
+        base: GenConfig {
+            prompt: make_prompt(scale, 6),
+            n_generate: serving.n_generate,
+            max_draft: 4,
+            confidence_cutoff: 0.4,
+            kv_capacity: 8192,
+        },
+        n_requests: serving.n_requests,
+        mean_interarrival: serving.n_generate as f64 / 16.0,
+        prompt_len: (scale.prompt_len / 2, scale.prompt_len),
+        n_generate: (serving.n_generate, serving.n_generate * 2),
+        seed: ORACLE_SEED,
+    };
+    let serve = |deployment: Deployment| {
+        let mode = sim_mode(&pair, ClusterSpec::cluster_c(serving.n_nodes));
+        Server::new(
+            deployment.prepare(&mode, serving.n_nodes),
+            ServerConfig { max_in_flight: 1 },
+        )
+        .serve(workload.generate())
+        .mean_tokens_per_run()
+    };
+    let tree = serve(Deployment::new(TreeSpeculationStrategy::default()));
+    let linear = serve(Deployment::new(SpeculativeStrategy));
+    (tree, linear)
 }
 
 /// Table I / Table III: model pairs with size, quantization and acceptance
@@ -690,11 +749,11 @@ mod tests {
     #[test]
     fn serving_figures_cover_all_strategies_and_metrics() {
         let figs = fig_serving(tiny_scale());
-        assert_eq!(figs.len(), 3, "one figure per strategy");
+        assert_eq!(figs.len(), 4, "one figure per strategy incl. tree");
         for fig in &figs {
-            // Three workload series, six metric columns each.
+            // Three workload series, nine metric columns each.
             assert_eq!(fig.series_labels(), vec!["steady", "bursty", "mixed"]);
-            assert_eq!(fig.x_labels().len(), 6);
+            assert_eq!(fig.x_labels().len(), 9);
             for series in fig.series_labels() {
                 let goodput = fig.value(&series, "goodput tok/s").unwrap();
                 let p50 = fig.value(&series, "p50 e2e s").unwrap();
@@ -713,6 +772,21 @@ mod tests {
             pipe > iter,
             "serving goodput: PipeInfer {pipe} <= Iterative {iter}"
         );
+        // Only the tree figure reports non-zero tree utilization.
+        assert_eq!(figs[1].value("bursty", "tree util"), Some(0.0));
+        assert!(figs[3].value("bursty", "tree util").unwrap() > 0.0);
+        assert!(figs[3].id.contains("TreeSpeculation"));
+    }
+
+    #[test]
+    fn tree_gate_beats_linear_on_the_seeded_workload() {
+        let (tree, linear) = tree_vs_linear_gate(tiny_scale());
+        assert!(
+            tree > linear,
+            "tree speculation {tree} <= linear speculation {linear} tok/verify"
+        );
+        // Both are genuine speculation results (> 1 token per verify run).
+        assert!(linear > 1.0 && tree > 1.0);
     }
 
     #[test]

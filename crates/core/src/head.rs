@@ -159,14 +159,8 @@ impl PipeInferHead {
         let batch = Self::make_batch(&tokens, base_pos, seq);
         let (payload, cost) = self.engine.eval_first_stage(&batch);
         ctx.elapse(cost);
-        self.tracker.push(RunInfo {
-            run_id,
-            kind,
-            tokens,
-            base_pos,
-            seq,
-            cancelled: false,
-        });
+        self.tracker
+            .push(RunInfo::chain(run_id, kind, &tokens, base_pos, seq));
         if let Some(next) = self.route.next_after(self.route.head()) {
             ctx.send(
                 next,
@@ -176,6 +170,9 @@ impl PipeInferHead {
                     kind,
                     batch,
                     payload,
+                    // Continuous micro-batches are degenerate single-branch
+                    // trees; their topology is implicit in batch order.
+                    tree: None,
                 },
             );
         } else {
@@ -336,14 +333,15 @@ impl PipeInferHead {
             }
             return;
         }
+        let run_tokens = info.tokens();
         // Prompt completion.
         if !self.prompt_done {
-            let batch = Self::make_batch(&info.tokens, info.base_pos, info.seq);
+            let batch = Self::make_batch(&run_tokens, info.base_pos, info.seq);
             let (greedy, cost) = self.engine.finalize(&batch, &payload, &[]);
             ctx.elapse(cost);
             self.prompt_done = true;
             self.record.prompt_done_at = ctx.now();
-            self.accepted = info.tokens.clone();
+            self.accepted = run_tokens.clone();
             // The token sampled from prompt processing is not counted as
             // generated (paper TTFT definition) but becomes the pending
             // token.
@@ -362,7 +360,7 @@ impl PipeInferHead {
         }
 
         let context = &self.accepted[..info.base_pos as usize];
-        let batch = Self::make_batch(&info.tokens, info.base_pos, info.seq);
+        let batch = Self::make_batch(&run_tokens, info.base_pos, info.seq);
         let (greedy, cost) = self.engine.finalize(&batch, &payload, context);
         ctx.elapse(cost);
 
@@ -384,7 +382,7 @@ impl PipeInferHead {
                 };
                 let mut confirmed = 0usize;
                 let mut mismatch: Option<Token> = None;
-                for (j, &tok) in info.tokens.iter().enumerate() {
+                for (j, &tok) in run_tokens.iter().enumerate() {
                     let pos = info.base_pos as usize + j;
                     if pos < self.accepted.len() {
                         debug_assert_eq!(tok, self.accepted[pos], "pre-accepted token mismatch");

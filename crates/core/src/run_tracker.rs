@@ -1,14 +1,18 @@
 //! Run tracking for asynchronous speculation (§IV-A1, §IV-D1).
 //!
 //! Every run dispatched into the target pipeline is tracked in a FIFO data
-//! structure recording the batch it carries, its token positions and its
-//! sequence partition.  Because both drivers preserve per-link ordering, run
-//! results return to the head in dispatch order, so the head only ever
-//! inspects the front of the FIFO.  The same records drive invalidation
-//! detection: a run is invalidated when its starting tokens can no longer
-//! match the accepted sequence.
+//! structure recording the speculation it carries — as a
+//! [`pi_model::TokenTree`], the workspace's canonical speculation unit — its
+//! token positions and its sequence partition.  PipeInfer's continuous
+//! micro-batches are degenerate single-branch trees, so in this layout
+//! "cancelling a sibling branch" is exactly what [`RunTracker::invalidate_from`]
+//! does: every in-flight tree whose base position falls at or past the
+//! divergence point is a sibling of the newly accepted path and is cancelled
+//! through the existing out-of-band cancellation signal.  Because both
+//! drivers preserve per-link ordering, run results return to the head in
+//! dispatch order, so the head only ever inspects the front of the FIFO.
 
-use pi_model::{Pos, SeqId, Token};
+use pi_model::{Pos, SeqId, Token, TokenTree};
 use pi_spec::{RunId, RunKind};
 use std::collections::VecDeque;
 
@@ -19,9 +23,11 @@ pub struct RunInfo {
     pub run_id: RunId,
     /// Speculative or non-speculative.
     pub kind: RunKind,
-    /// The tokens the run evaluates, in batch order.
-    pub tokens: Vec<Token>,
-    /// Position of the first token.
+    /// The speculation the run evaluates, as the canonical tree unit.
+    /// Non-speculative runs (prompt processing, pending tokens) carry a
+    /// degenerate single-branch chain.
+    pub tree: TokenTree,
+    /// Position of the first token (the tree's depth-0 level).
     pub base_pos: Pos,
     /// KV-cache sequence partition the run writes into (the canonical
     /// sequence for non-speculative runs).
@@ -32,9 +38,32 @@ pub struct RunInfo {
 }
 
 impl RunInfo {
-    /// Position one past the run's last token.
+    /// Convenience constructor for a linear (chain-shaped) run.
+    pub fn chain(
+        run_id: RunId,
+        kind: RunKind,
+        tokens: &[Token],
+        base_pos: Pos,
+        seq: SeqId,
+    ) -> Self {
+        Self {
+            run_id,
+            kind,
+            tree: TokenTree::chain_of(tokens),
+            base_pos,
+            seq,
+            cancelled: false,
+        }
+    }
+
+    /// The run's tokens in batch (parent-before-child) order.
+    pub fn tokens(&self) -> Vec<Token> {
+        self.tree.tokens()
+    }
+
+    /// Position one past the run's deepest token.
     pub fn end_pos(&self) -> Pos {
-        self.base_pos + self.tokens.len() as Pos
+        self.base_pos + self.tree.span() as Pos
     }
 }
 
@@ -135,14 +164,8 @@ mod tests {
     use super::*;
 
     fn run(id: RunId, kind: RunKind, base: Pos, n: usize, seq: SeqId) -> RunInfo {
-        RunInfo {
-            run_id: id,
-            kind,
-            tokens: (0..n as u32).collect(),
-            base_pos: base,
-            seq,
-            cancelled: false,
-        }
+        let tokens: Vec<u32> = (0..n as u32).collect();
+        RunInfo::chain(id, kind, &tokens, base, seq)
     }
 
     #[test]
@@ -191,6 +214,28 @@ mod tests {
         let ids = t.invalidate_from(0);
         assert_eq!(ids, vec![5]);
         assert!(!t.covers(20), "cancelled runs provide no coverage");
+    }
+
+    #[test]
+    fn branching_tree_coverage_uses_span_not_node_count() {
+        let mut t = RunTracker::new();
+        // A 4-node tree spanning only 2 positions (two branches of depth 2).
+        let mut tree = TokenTree::new();
+        let a = tree.add(None, 1, 0.9);
+        let b = tree.add(None, 2, 0.5);
+        tree.add(Some(a), 3, 0.8);
+        tree.add(Some(b), 4, 0.4);
+        t.push(RunInfo {
+            run_id: 1,
+            kind: RunKind::Speculative,
+            tree,
+            base_pos: 10,
+            seq: 1,
+            cancelled: false,
+        });
+        assert!(t.covers(10) && t.covers(11));
+        assert!(!t.covers(12), "span is 2, not the 4 nodes");
+        assert_eq!(t.iter().next().unwrap().tokens(), vec![1, 2, 3, 4]);
     }
 
     #[test]

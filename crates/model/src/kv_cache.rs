@@ -213,6 +213,41 @@ impl KvCache {
         }
     }
 
+    /// Commits one accepted branch of a speculation tree written under the
+    /// dense sequence range `first_seq .. first_seq + n_seqs`: the entries of
+    /// `path_seq` (the leaf sequence whose root-to-leaf path contains every
+    /// accepted node) in `[p0, p1)` are copied into `dst` (normally the
+    /// canonical sequence), then the whole tree is rolled back — every tree
+    /// sequence is dropped, freeing the cells of the rejected branches while
+    /// the accepted path survives as members of `dst`.
+    ///
+    /// All of this is metadata-only, which is what makes tree verification's
+    /// "keep only the deepest accepted path" nearly free (the same property
+    /// the paper's buffer swap relies on).
+    pub fn branch_commit(
+        &mut self,
+        dst: SeqId,
+        path_seq: SeqId,
+        first_seq: SeqId,
+        n_seqs: usize,
+        p0: Pos,
+        p1: Pos,
+    ) {
+        self.seq_cp(path_seq, dst, p0, p1);
+        self.branch_rollback(first_seq, n_seqs);
+    }
+
+    /// Rolls a speculation tree back entirely: every sequence in
+    /// `first_seq .. first_seq + n_seqs` is removed from every cell.  Cells
+    /// owned only by tree sequences (the speculated tokens) are freed; cells
+    /// shared with other sequences (the context prefix each branch was given
+    /// via [`KvCache::seq_cp`]) merely lose their tree memberships.
+    pub fn branch_rollback(&mut self, first_seq: SeqId, n_seqs: usize) {
+        for seq in first_seq..first_seq + n_seqs as SeqId {
+            self.seq_rm(seq, 0, Pos::MAX);
+        }
+    }
+
     /// Highest position stored for sequence `seq`, or `None` if the sequence
     /// has no entries.
     pub fn seq_max_pos(&self, seq: SeqId) -> Option<Pos> {
@@ -386,6 +421,44 @@ mod tests {
         c.clear();
         assert_eq!(c.used(), 0);
         assert_eq!(c.seq_max_pos(0), None);
+    }
+
+    #[test]
+    fn branch_commit_keeps_accepted_path_and_frees_rest() {
+        let mut c = cache();
+        // Canonical context at positions 0..2.
+        c.alloc(0, &[0]).unwrap();
+        c.alloc(1, &[0]).unwrap();
+        // Each branch gets the context prefix (metadata copy)…
+        c.seq_cp(0, 1, 0, Pos::MAX);
+        c.seq_cp(0, 2, 0, Pos::MAX);
+        // …then the tree: shared root (both branches), two leaves.
+        c.alloc(2, &[1, 2]).unwrap();
+        c.alloc(3, &[1]).unwrap();
+        c.alloc(3, &[2]).unwrap();
+        assert_eq!(c.used(), 5);
+        // Accept the path down branch 1 (root + its leaf).
+        c.branch_commit(0, 1, 1, 2, 2, 4);
+        assert_eq!(c.seq_len(0), 4, "canonical gains the accepted path");
+        assert_eq!(c.seq_len(1), 0);
+        assert_eq!(c.seq_len(2), 0);
+        assert_eq!(c.used(), 4, "the rejected leaf is freed");
+        assert!(c.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn branch_rollback_frees_all_tree_cells() {
+        let mut c = cache();
+        c.alloc(0, &[0]).unwrap();
+        c.seq_cp(0, 1, 0, Pos::MAX);
+        c.seq_cp(0, 2, 0, Pos::MAX);
+        c.alloc(1, &[1, 2]).unwrap();
+        c.alloc(2, &[2]).unwrap();
+        c.branch_rollback(1, 2);
+        assert_eq!(c.used(), 1, "only the canonical context survives");
+        assert_eq!(c.seq_len(0), 1);
+        assert_eq!(c.seq_len(1), 0);
+        assert_eq!(c.seq_len(2), 0);
     }
 
     #[test]

@@ -19,7 +19,15 @@
 //! * layer-split evaluation for pipeline parallelism →
 //!   [`transformer::Model::forward_layer_range`],
 //! * greedy / temperature sampling → [`sampler`],
-//! * speculation trees and their attention masks → [`token_tree`].
+//! * speculation trees and their attention masks → [`token_tree`].  The
+//!   [`token_tree::TokenTree`] is the workspace's *canonical speculation
+//!   unit*: `pi_spec`'s TreeSpeculation strategy verifies genuine multi-branch
+//!   trees through it, and the linear chains of the speculative baseline and
+//!   PipeInfer's micro-batches are its degenerate single-branch case.  The
+//!   [`kv_cache::KvCache`] completes the loop with
+//!   [`kv_cache::KvCache::branch_commit`] /
+//!   [`kv_cache::KvCache::branch_rollback`], which retain only the accepted
+//!   root-to-leaf path after verification.
 
 pub mod batch;
 pub mod config;

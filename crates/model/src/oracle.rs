@@ -100,6 +100,12 @@ pub struct OracleDraft {
     alignment: f64,
     /// Half-width of the per-block difficulty modulation.
     burstiness: f64,
+    /// Probability that, when the draft's top-1 proposal misses the target,
+    /// the next-ranked candidate recovers the true token (decaying
+    /// geometrically with rank).  Mirrors the top-k behaviour of real draft
+    /// models, whose second choice is often right when the first is wrong —
+    /// the property tree speculation exploits.
+    recovery: f64,
     context_window: usize,
 }
 
@@ -111,6 +117,7 @@ impl OracleDraft {
             vocab,
             alignment: alignment.clamp(0.0, 1.0),
             burstiness: 0.35,
+            recovery: 0.5,
             context_window: 8,
         }
     }
@@ -119,6 +126,13 @@ impl OracleDraft {
     /// identically distributed).
     pub fn with_burstiness(mut self, burstiness: f64) -> Self {
         self.burstiness = burstiness.clamp(0.0, 0.5);
+        self
+    }
+
+    /// Overrides the top-k recovery probability (0.0 makes every non-top-1
+    /// candidate a guaranteed miss, so trees gain nothing over chains).
+    pub fn with_recovery(mut self, recovery: f64) -> Self {
+        self.recovery = recovery.clamp(0.0, 1.0);
         self
     }
 
@@ -172,6 +186,50 @@ impl OracleDraft {
         } else {
             0.15 + 0.60 * u
         }
+    }
+
+    /// The draft model's top-`k` candidates for the token following
+    /// `context`, best first, each with a confidence value.
+    ///
+    /// Candidate 0 is exactly [`OracleDraft::draft_token`].  When it misses
+    /// the target's true token, each following candidate recovers the truth
+    /// with probability `recovery` (conditioned on every better-ranked
+    /// candidate having missed), so wider speculation trees hedge against
+    /// top-1 misses the way real top-k drafting does.  All candidates are
+    /// distinct, and confidences decay with rank.
+    pub fn draft_topk(&self, context: &[Token], true_next: Token, k: usize) -> Vec<(Token, f32)> {
+        let mut out: Vec<(Token, f32)> = Vec::with_capacity(k);
+        if k == 0 {
+            return out;
+        }
+        let first = self.draft_token(context, true_next);
+        let mut truth_placed = first == true_next;
+        out.push((first, self.confidence(context, truth_placed)));
+        for rank in 1..k {
+            let hit = !truth_placed
+                && self.unit_draw(context, 0x70b1 ^ (rank as u64) << 8) < self.recovery;
+            let tok = if hit {
+                truth_placed = true;
+                true_next
+            } else {
+                // Deterministic filler, kept distinct from the truth and from
+                // every better-ranked candidate.  A tiny vocabulary can run
+                // out of distinct non-truth tokens; stop early rather than
+                // spin (the tree is simply narrower than requested).
+                if out.len() + 1 >= self.vocab as usize {
+                    break;
+                }
+                let h = fnv1a(self.seed ^ 0xa172 ^ ((rank as u64) << 16), context);
+                let mut t = (h % self.vocab as u64) as Token;
+                while t == true_next || out.iter().any(|(p, _)| *p == t) {
+                    t = (t + 1) % self.vocab;
+                }
+                t
+            };
+            let conf = self.confidence(context, hit) * 0.8f32.powi(rank as i32);
+            out.push((tok, conf));
+        }
+        out
     }
 
     /// Convenience: drafts a chain of `n` tokens following `context`,
@@ -316,5 +374,82 @@ mod tests {
     fn alignment_is_clamped() {
         assert_eq!(OracleDraft::new(0, 10, 1.7).alignment(), 1.0);
         assert_eq!(OracleDraft::new(0, 10, -0.3).alignment(), 0.0);
+    }
+
+    #[test]
+    fn topk_candidates_are_distinct_and_start_with_top1() {
+        let t = OracleTarget::new(8, 500);
+        let d = OracleDraft::new(9, 500, 0.5);
+        let mut ctx = vec![1, 2, 3];
+        for _ in 0..40 {
+            let truth = t.next_token(&ctx);
+            let topk = d.draft_topk(&ctx, truth, 4);
+            assert_eq!(topk.len(), 4);
+            assert_eq!(topk[0].0, d.draft_token(&ctx, truth));
+            let tokens: Vec<_> = topk.iter().map(|(tok, _)| *tok).collect();
+            for (i, a) in tokens.iter().enumerate() {
+                assert!(!tokens[i + 1..].contains(a), "duplicate candidate {a}");
+            }
+            // The truth appears at most once across the candidates.
+            assert!(tokens.iter().filter(|&&x| x == truth).count() <= 1);
+            ctx.push(truth);
+        }
+    }
+
+    #[test]
+    fn topk_terminates_on_tiny_vocabularies() {
+        // With vocab 2 there may be no distinct filler left once the top-1
+        // candidate missed; the list must come back short, not hang.
+        for vocab in [1u32, 2, 3] {
+            let t = OracleTarget::new(3, vocab);
+            let d = OracleDraft::new(4, vocab, 0.3).with_recovery(0.0);
+            let mut ctx = vec![0];
+            for _ in 0..30 {
+                let truth = t.next_token(&ctx);
+                let topk = d.draft_topk(&ctx, truth, 4);
+                assert!(!topk.is_empty() && topk.len() <= 4);
+                let tokens: Vec<_> = topk.iter().map(|(tok, _)| *tok).collect();
+                for (i, a) in tokens.iter().enumerate() {
+                    assert!(!tokens[i + 1..].contains(a));
+                }
+                ctx.push(truth);
+            }
+        }
+    }
+
+    #[test]
+    fn topk_recovery_rescues_misses_at_the_configured_rate() {
+        let t = OracleTarget::new(11, 32000);
+        let d = OracleDraft::new(12, 32000, 0.4).with_burstiness(0.0);
+        let mut ctx = vec![5];
+        let (mut misses, mut rescued) = (0usize, 0usize);
+        for i in 0..3000u32 {
+            let truth = t.next_token(&ctx);
+            let topk = d.draft_topk(&ctx, truth, 2);
+            if topk[0].0 != truth {
+                misses += 1;
+                if topk[1].0 == truth {
+                    rescued += 1;
+                }
+            }
+            ctx.push(truth);
+            ctx.push(i % 89);
+            if ctx.len() > 64 {
+                ctx.drain(..32);
+            }
+        }
+        let rate = rescued as f64 / misses as f64;
+        assert!((rate - 0.5).abs() < 0.08, "second-choice recovery {rate}");
+        // With recovery disabled, the second candidate never hits.
+        let none = OracleDraft::new(12, 32000, 0.4).with_recovery(0.0);
+        let mut ctx = vec![5, 6, 7];
+        for _ in 0..200 {
+            let truth = t.next_token(&ctx);
+            let topk = none.draft_topk(&ctx, truth, 3);
+            for (tok, _) in &topk[1..] {
+                assert_ne!(*tok, truth);
+            }
+            ctx.push(truth);
+        }
     }
 }

@@ -1,12 +1,14 @@
-//! Speculation token trees.
+//! Speculation token trees — the canonical speculation unit.
 //!
-//! The speculative baseline (SpecInfer-style) speculates a *tree* of token
-//! sequences; PipeInfer's continuous speculation emits small linear chains
-//! (micro-batches) which are just degenerate trees.  A [`TokenTree`] stores
-//! the speculated tokens, their parent links and the draft model's confidence
-//! for each, and can linearise itself into a [`Batch`] whose sequence-id sets
-//! encode the tree attention mask (mutually exclusive branches never share a
-//! sequence id, shared prefixes carry the union of their descendants' ids).
+//! Every speculation in the workspace is a [`TokenTree`]: the tree-shaped
+//! drafts of `pi_spec`'s TreeSpeculation strategy, and the flat chains of the
+//! SpecInfer-style baseline and PipeInfer's continuous micro-batches, which
+//! are just degenerate single-branch trees ([`TokenTree::chain`]).  A
+//! [`TokenTree`] stores the speculated tokens, their parent links and the
+//! draft model's confidence for each, and can linearise itself into a
+//! [`Batch`] whose sequence-id sets encode the tree attention mask (mutually
+//! exclusive branches never share a sequence id, shared prefixes carry the
+//! union of their descendants' ids).
 
 use crate::batch::Batch;
 use crate::{Pos, SeqId, Token};
@@ -53,6 +55,24 @@ impl TokenTree {
         tree
     }
 
+    /// Builds a linear chain from plain tokens (probability 1.0 each) — the
+    /// shape of non-speculative runs (prompts, pending tokens) once every
+    /// run is represented as a tree.
+    pub fn chain_of(tokens: &[Token]) -> Self {
+        let mut tree = Self::new();
+        let mut parent = None;
+        for &tok in tokens {
+            parent = Some(tree.add(parent, tok, 1.0));
+        }
+        tree
+    }
+
+    /// The tokens in node-insertion (parent-before-child) order; for a
+    /// single-branch tree this is the chain itself.
+    pub fn tokens(&self) -> Vec<Token> {
+        self.nodes.iter().map(|n| n.token).collect()
+    }
+
     /// Adds a node under `parent` (or as a root if `parent` is `None`).
     pub fn add(&mut self, parent: Option<TreeNodeId>, token: Token, prob: f32) -> TreeNodeId {
         let depth = parent.map(|p| self.nodes[p].depth + 1).unwrap_or(0);
@@ -83,6 +103,22 @@ impl TokenTree {
     /// All nodes, indexed by [`TreeNodeId`].
     pub fn nodes(&self) -> &[TreeNode] {
         &self.nodes
+    }
+
+    /// Node ids of the depth-0 roots.
+    pub fn roots(&self) -> Vec<TreeNodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.parent.is_none())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Parent link of every node, indexed by [`TreeNodeId`] — the per-node
+    /// topology shipped alongside tree batches on the wire.
+    pub fn parents(&self) -> Vec<Option<TreeNodeId>> {
+        self.nodes.iter().map(|n| n.parent).collect()
     }
 
     /// Node ids of the leaves.
@@ -192,6 +228,11 @@ mod tests {
         assert_eq!(t.leaves(), vec![2]);
         assert_eq!(t.span(), 3);
         assert_eq!(t.sequence_to(2), vec![1, 2, 3]);
+        assert_eq!(t.tokens(), vec![1, 2, 3]);
+        let plain = TokenTree::chain_of(&[1, 2, 3]);
+        assert_eq!(plain.tokens(), t.tokens());
+        assert_eq!(plain.span(), 3);
+        assert!(plain.nodes().iter().all(|n| n.prob == 1.0));
     }
 
     #[test]
@@ -199,6 +240,17 @@ mod tests {
         let t = sample_tree();
         assert_eq!(t.leaves(), vec![2, 3]);
         assert_eq!(t.span(), 3);
+    }
+
+    #[test]
+    fn roots_and_parents() {
+        let t = sample_tree();
+        assert_eq!(t.roots(), vec![0]);
+        assert_eq!(t.parents(), vec![None, Some(0), Some(0), Some(1)]);
+        let mut multi = TokenTree::new();
+        multi.add(None, 1, 0.5);
+        multi.add(None, 2, 0.5);
+        assert_eq!(multi.roots(), vec![0, 1]);
     }
 
     #[test]

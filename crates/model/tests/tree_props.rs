@@ -1,0 +1,174 @@
+//! Property tests for the canonical speculation-tree unit.
+//!
+//! Two invariants the whole tree-speculation path rests on:
+//!
+//! 1. The tree attention mask that [`TokenTree::assign_sequences`] encodes
+//!    into sequence-id sets — as realised by [`KvCache::visible_cells`] —
+//!    is *exactly* the ancestor relation: a tree token attends to another
+//!    tree token iff that token is an ancestor-or-self in the tree, and to
+//!    every canonical context cell, never to a sibling branch.
+//! 2. [`KvCache::branch_commit`] / [`KvCache::branch_rollback`] round-trip:
+//!    after verifying a tree and committing the accepted root-to-leaf
+//!    prefix, the cache is indistinguishable from one that evaluated the
+//!    accepted tokens *linearly* in the canonical sequence (same sequence
+//!    lengths, same positions, same number of live cells).
+//!
+//! (The third leg — a degenerate single-branch tree verifying byte-for-byte
+//! like linear speculation — lives in `pi_spec::verify` and the
+//! `TreeSpeculationStrategy` deployment tests.)
+
+use pi_model::{KvCache, Pos, SeqId, TokenTree};
+use proptest::prelude::*;
+
+/// Builds a random tree from parent codes: node 0 is a root; node `i`'s code
+/// 0 makes it a root, otherwise its parent is `(code - 1) % i`.
+fn build_tree(codes: &[usize]) -> TokenTree {
+    let mut tree = TokenTree::new();
+    for (i, &code) in codes.iter().enumerate() {
+        let parent = if i == 0 || code == 0 {
+            None
+        } else {
+            Some((code - 1) % i)
+        };
+        tree.add(parent, (100 + i) as u32, 0.5);
+    }
+    tree
+}
+
+/// Whether `a` is an ancestor of `b` (or `a == b`) in `tree`.
+fn is_ancestor_or_self(tree: &TokenTree, a: usize, b: usize) -> bool {
+    let mut cur = Some(b);
+    while let Some(id) = cur {
+        if id == a {
+            return true;
+        }
+        cur = tree.nodes()[id].parent;
+    }
+    false
+}
+
+/// Replays what the tree head does to a stage cache before verification:
+/// `ctx_len` canonical cells, the context prefix copied to every leaf
+/// sequence, then one cell per tree node.  Returns the cache and the cell
+/// index of every tree node.
+fn cache_with_tree(tree: &TokenTree, ctx_len: usize) -> (KvCache, Vec<usize>) {
+    let mut cache = KvCache::new(1, 2, 256);
+    for pos in 0..ctx_len {
+        cache.alloc(pos as Pos, &[0]).unwrap();
+    }
+    let n_leaves = tree.n_sequences();
+    for leaf in 0..n_leaves as SeqId {
+        cache.seq_cp(0, 1 + leaf, 0, Pos::MAX);
+    }
+    let seqs = tree.assign_sequences(1);
+    let cells: Vec<usize> = tree
+        .nodes()
+        .iter()
+        .enumerate()
+        .map(|(id, node)| {
+            cache
+                .alloc(ctx_len as Pos + node.depth as Pos, &seqs[id])
+                .unwrap()
+        })
+        .collect();
+    (cache, cells)
+}
+
+proptest! {
+    /// Invariant 1: sequence-set visibility == ancestor relation.
+    #[test]
+    fn prop_tree_mask_matches_naive_ancestor_check(
+        codes in proptest::collection::vec(0usize..8, 1..12),
+        ctx_len in 1usize..6,
+    ) {
+        let tree = build_tree(&codes);
+        let (cache, cells) = cache_with_tree(&tree, ctx_len);
+        let seqs = tree.assign_sequences(1);
+        prop_assert!(cache.check_consistency().is_ok());
+        for (i, node_i) in tree.nodes().iter().enumerate() {
+            let visible = cache.visible_cells(&seqs[i], ctx_len as Pos + node_i.depth as Pos);
+            // Every canonical context cell is visible (shared prefix).
+            for pos in 0..ctx_len {
+                let ctx_cell = cache
+                    .cells()
+                    .iter()
+                    .position(|c| c.pos == pos as Pos && c.has_seq(0))
+                    .unwrap();
+                prop_assert!(visible.contains(&ctx_cell), "node {i} missed context pos {pos}");
+            }
+            // Tree-to-tree visibility is exactly ancestor-or-self.
+            for (j, &cell_j) in cells.iter().enumerate() {
+                prop_assert_eq!(
+                    visible.contains(&cell_j),
+                    is_ancestor_or_self(&tree, j, i),
+                    "node {} vs node {}: mask and ancestor check disagree",
+                    i,
+                    j
+                );
+            }
+        }
+    }
+
+    /// Invariant 2: committing the accepted path (or rolling the tree back)
+    /// leaves the cache in the state a linear evaluation of the accepted
+    /// tokens would have produced.
+    #[test]
+    fn prop_branch_commit_round_trips_to_linear_state(
+        codes in proptest::collection::vec(0usize..8, 1..12),
+        ctx_len in 1usize..6,
+        leaf_pick in 0usize..64,
+        len_pick in 0usize..64,
+    ) {
+        let tree = build_tree(&codes);
+        let (mut cache, _) = cache_with_tree(&tree, ctx_len);
+        let n_leaves = tree.n_sequences();
+        let seqs = tree.assign_sequences(1);
+
+        // Choose a root-to-node path prefix as the "accepted" path.
+        let leaves = tree.leaves();
+        let leaf = leaves[leaf_pick % leaves.len()];
+        let path = tree.path_to(leaf);
+        let accepted = len_pick % (path.len() + 1);
+
+        if accepted > 0 {
+            let deepest = path[accepted - 1];
+            cache.branch_commit(
+                0,
+                seqs[deepest][0],
+                1,
+                n_leaves,
+                ctx_len as Pos,
+                (ctx_len + accepted) as Pos,
+            );
+        } else {
+            cache.branch_rollback(1, n_leaves);
+        }
+
+        // Reference: a cache that only ever evaluated context + accepted
+        // tokens linearly in the canonical sequence.
+        let mut linear = KvCache::new(1, 2, 256);
+        for pos in 0..ctx_len + accepted {
+            linear.alloc(pos as Pos, &[0]).unwrap();
+        }
+
+        prop_assert!(cache.check_consistency().is_ok());
+        prop_assert_eq!(cache.used(), linear.used(), "live cell count");
+        prop_assert_eq!(cache.seq_len(0), linear.seq_len(0), "canonical length");
+        prop_assert_eq!(cache.seq_max_pos(0), linear.seq_max_pos(0));
+        for leaf_seq in 1..=n_leaves as SeqId {
+            prop_assert_eq!(cache.seq_len(leaf_seq), 0, "tree seq {} must be gone", leaf_seq);
+        }
+        // Same canonical positions, cell indices aside.
+        let positions = |c: &KvCache| {
+            let mut p: Vec<Pos> = c
+                .cells()
+                .iter()
+                .filter(|cell| cell.has_seq(0))
+                .map(|cell| cell.pos)
+                .collect();
+            p.sort_unstable();
+            p
+        };
+        prop_assert_eq!(positions(&cache), positions(&linear));
+    }
+}

@@ -118,6 +118,31 @@ impl ServeReport {
         self.summary_of(Completion::mean_itl)
     }
 
+    fn mean_of(&self, f: impl Fn(&Completion) -> f64) -> f64 {
+        if self.completions.is_empty() {
+            return 0.0;
+        }
+        self.completions.iter().map(f).sum::<f64>() / self.completions.len() as f64
+    }
+
+    /// Mean accepted-tokens-per-verify across requests: tokens generated per
+    /// target-pipeline run, the metric tree speculation trades width/depth
+    /// to maximise at a fixed verify-batch budget.
+    pub fn mean_tokens_per_run(&self) -> f64 {
+        self.mean_of(|c| c.output.record.tokens_per_run())
+    }
+
+    /// Mean draft-token acceptance rate across requests.
+    pub fn mean_acceptance_rate(&self) -> f64 {
+        self.mean_of(|c| c.output.record.acceptance_rate())
+    }
+
+    /// Mean tree utilization across requests (zero for linear strategies,
+    /// which never speculate tree nodes).
+    pub fn mean_tree_utilization(&self) -> f64 {
+        self.mean_of(|c| c.output.record.tree_utilization())
+    }
+
     /// End-to-end latency histogram over `[0, max e2e]`.
     pub fn e2e_histogram(&self, n_buckets: usize) -> Histogram {
         let hi = self.e2e_summary().max.max(1e-9);
@@ -128,8 +153,10 @@ impl ServeReport {
         h
     }
 
-    /// Pushes this report's aggregates into `figure` as one series: goodput
-    /// plus latency percentiles, one x-label per metric.
+    /// Pushes this report's aggregates into `figure` as one series: goodput,
+    /// latency percentiles, plus speculation quality (acceptance rate,
+    /// accepted-tokens-per-verify and tree utilization), one x-label per
+    /// metric.
     pub fn to_figure(&self, figure: &mut Figure, series: &str) {
         let e2e = self.e2e_summary();
         let ttft = self.ttft_summary();
@@ -139,6 +166,9 @@ impl ServeReport {
         figure.push(series, "p50 TTFT s", ttft.p50);
         figure.push(series, "p99 TTFT s", ttft.p99);
         figure.push(series, "mean ITL s", self.itl_summary().mean);
+        figure.push(series, "accept rate", self.mean_acceptance_rate());
+        figure.push(series, "tok/verify", self.mean_tokens_per_run());
+        figure.push(series, "tree util", self.mean_tree_utilization());
     }
 
     /// Renders a per-request table plus the aggregate line.
@@ -153,31 +183,41 @@ impl ServeReport {
         );
         let _ = writeln!(
             out,
-            "{:>4} {:>4} {:>10} {:>10} {:>10} {:>10} {:>7}",
-            "id", "prio", "arrival", "wait", "TTFT", "e2e", "tokens"
+            "{:>4} {:>4} {:>10} {:>10} {:>10} {:>10} {:>7} {:>8} {:>11}",
+            "id", "prio", "arrival", "wait", "TTFT", "e2e", "tokens", "tok/run", "shape"
         );
         for c in &self.completions {
+            let shape = match c.output.record.tree_shape_range() {
+                Some(((w0, d0), (w1, d1))) => format!("{w0}x{d0}->{w1}x{d1}"),
+                None => "-".to_string(),
+            };
             let _ = writeln!(
                 out,
-                "{:>4} {:>4} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>7}",
+                "{:>4} {:>4} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>7} {:>8.2} {:>11}",
                 c.id,
                 c.priority,
                 c.timing.arrival,
                 c.timing.wait(),
                 c.timing.ttft(),
                 c.timing.e2e(),
-                c.n_tokens()
+                c.n_tokens(),
+                c.output.record.tokens_per_run(),
+                shape,
             );
         }
         let e2e = self.e2e_summary();
         let _ = writeln!(
             out,
-            "goodput {:.3} tok/s | e2e p50 {:.4} s p95 {:.4} s p99 {:.4} s | ttft p50 {:.4} s",
+            "goodput {:.3} tok/s | e2e p50 {:.4} s p95 {:.4} s p99 {:.4} s | ttft p50 {:.4} s \
+             | accept {:.0}% | {:.2} tok/verify | tree util {:.0}%",
             self.goodput(),
             e2e.p50,
             e2e.p95,
             e2e.p99,
             self.ttft_summary().p50,
+            self.mean_acceptance_rate() * 100.0,
+            self.mean_tokens_per_run(),
+            self.mean_tree_utilization() * 100.0,
         );
         out
     }
@@ -254,14 +294,37 @@ mod tests {
         );
         let mut fig = Figure::new("Serving", "serving metrics", "mixed");
         report.to_figure(&mut fig, "Test");
-        assert_eq!(fig.x_labels().len(), 6);
+        assert_eq!(fig.x_labels().len(), 9);
         assert!(fig.value("Test", "goodput tok/s").unwrap() > 0.0);
         assert!(fig.value("Test", "p99 e2e s").unwrap() >= fig.value("Test", "p50 e2e s").unwrap());
+        assert_eq!(fig.value("Test", "tree util"), Some(0.0));
         let text = report.render();
         assert!(text.contains("goodput"));
         assert!(text.contains("window 1"));
+        assert!(text.contains("tok/verify"));
+        assert!(text.contains("shape"));
         let hist = report.e2e_histogram(8);
         assert_eq!(hist.count(), 2);
+    }
+
+    #[test]
+    fn speculation_quality_aggregates() {
+        let mut a = completion(0, 0.0, 0.0, 1.0, 8);
+        a.output.record.runs_launched = 4;
+        a.output.record.drafted = 10;
+        a.output.record.accepted_drafts = 5;
+        a.output.record.tree_nodes = 10;
+        a.output.record.tree_accepted_path = 5;
+        a.output.record.tree_shapes = vec![(1, 4), (3, 2)];
+        let mut b = completion(1, 0.1, 1.0, 2.0, 8);
+        b.output.record.runs_launched = 8;
+        let report = ServeReport::new("Test", 1, vec![a, b]);
+        // Means over {8/4, 8/8}, {0.5, 0.0}, {0.5, 0.0}.
+        assert!((report.mean_tokens_per_run() - 1.5).abs() < 1e-12);
+        assert!((report.mean_acceptance_rate() - 0.25).abs() < 1e-12);
+        assert!((report.mean_tree_utilization() - 0.25).abs() < 1e-12);
+        // The per-request shape trace lands in the rendered table.
+        assert!(report.render().contains("1x4->3x2"));
     }
 
     #[test]

@@ -340,6 +340,75 @@ mod tests {
     }
 
     #[test]
+    fn tree_speculation_serves_streams_with_adaptive_shapes() {
+        use pi_spec::TreeSpeculationStrategy;
+        // The 52 %-acceptance pair: the regime where hedging with tree
+        // branches beats a pure chain at the same verify-batch budget.
+        let mode = ExecutionMode::Sim {
+            pair: ModelPair::goliath_xwin7b(),
+            cluster: ClusterSpec::cluster_c(4),
+            oracle_seed: 42,
+        };
+        let workload = BurstyWorkload {
+            base: base(),
+            n_requests: 6,
+            mean_interarrival: 0.3,
+            seed: 5,
+        };
+        // Window 1 serialises execution in admission order, so the
+        // cross-request shape feedback is deterministic.
+        let serve = |deployment: Deployment| {
+            Server::new(
+                deployment.prepare(&mode, 4),
+                ServerConfig { max_in_flight: 1 },
+            )
+            .serve(workload.generate())
+        };
+        let tree = serve(Deployment::new(TreeSpeculationStrategy::default()));
+        let linear = serve(Deployment::new(SpeculativeStrategy));
+
+        // Token streams are identical: tree shape never changes the output
+        // (rounds may overshoot the budget differently, so compare the
+        // requested n_generate prefix).
+        assert_eq!(tree.len(), linear.len());
+        let n = base().n_generate;
+        for c in tree.completions() {
+            let l = linear.completion(c.id).unwrap();
+            assert_eq!(c.output.record.tokens[..n], l.output.record.tokens[..n]);
+        }
+        // Strictly higher mean accepted-tokens-per-verify at equal budget.
+        assert!(
+            tree.mean_tokens_per_run() > linear.mean_tokens_per_run(),
+            "tree {} <= linear {}",
+            tree.mean_tokens_per_run(),
+            linear.mean_tokens_per_run()
+        );
+        assert!(tree.mean_tree_utilization() > 0.0);
+        assert_eq!(linear.mean_tree_utilization(), 0.0);
+
+        // The adaptive width/depth visibly changes across the bursty stream…
+        let shapes: Vec<Vec<(usize, usize)>> = tree
+            .completions()
+            .iter()
+            .map(|c| c.output.record.tree_shapes.clone())
+            .collect();
+        assert!(shapes.iter().all(|s| !s.is_empty()));
+        assert!(
+            shapes.iter().any(|s| s.iter().any(|&shape| shape != s[0])),
+            "within-request adaptation must change the shape"
+        );
+        // …and the cross-request feedback makes later requests *start* at a
+        // different shape than the first request's optimistic chain.
+        let first_shapes: Vec<(usize, usize)> = shapes.iter().map(|s| s[0]).collect();
+        assert!(
+            first_shapes.iter().any(|&f| f != first_shapes[0]),
+            "feedback through the serve loop must move the starting shape: {first_shapes:?}"
+        );
+        // The shape trace is visible in the rendered report.
+        assert!(tree.render().contains('x'), "{}", tree.render());
+    }
+
+    #[test]
     fn strategy_name_and_config_are_exposed() {
         let server = Server::new(
             Deployment::new(PipeInferStrategy::default()).prepare(&sim_mode(4), 4),

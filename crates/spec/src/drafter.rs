@@ -9,9 +9,15 @@
 //! * [`OracleDrafter`] — uses the alignment oracle (configurable agreement
 //!   with the target) and charges the roofline cost of running the paper's
 //!   actual draft model (TinyLlama, Orca-2, XWin, Falcon-7B/40B, …).
+//!
+//! Both also support *branching* drafts ([`Drafter::draft_tree`]): a
+//! [`TokenTree`] whose primary branch is the greedy chain and whose extra
+//! root-level branches are the draft model's top-k runner-up candidates —
+//! the hedge tree speculation verifies in one batched pass.
 
-use pi_model::{Batch, KvCache, Model, OracleDraft, OracleTarget, Sampler, Token};
+use pi_model::{Batch, KvCache, Model, OracleDraft, OracleTarget, Sampler, Token, TokenTree};
 use pi_perf::{CostModel, ModelCost};
+use pi_tensor::ops;
 use std::time::Instant;
 
 /// A speculative (draft) model front-end.
@@ -31,6 +37,53 @@ pub trait Drafter: Send {
         max_tokens: usize,
         cutoff: f32,
     ) -> (Vec<(Token, f32)>, f64);
+
+    /// Proposes a speculation *tree* continuing `context ++ extra`.
+    ///
+    /// The tree has at most `width` root-level branches: the primary branch
+    /// is the greedy chain (up to `depth` deep, gated by `cutoff` exactly
+    /// like [`Drafter::draft`]), and the remaining `width - 1` branches are
+    /// the draft model's runner-up candidates for the first position,
+    /// speculated as single-node leaves.  Total size is therefore at most
+    /// `depth + width - 1` nodes — the verify-batch budget the strategy
+    /// trades between width and depth.
+    ///
+    /// Runner-up branches are *not* gated by `cutoff`: they exist precisely
+    /// because the primary might be wrong, and the strategy already chose to
+    /// spend `width - 1` budget on hedging.
+    ///
+    /// The default implementation ignores `width` and returns the degenerate
+    /// single-branch tree of the linear chain, so every drafter is tree-
+    /// capable and `width == 1` reproduces linear speculation exactly.
+    fn draft_tree(
+        &mut self,
+        context: &[Token],
+        extra: &[Token],
+        _width: usize,
+        depth: usize,
+        cutoff: f32,
+    ) -> (TokenTree, f64) {
+        let (chain, cost) = self.draft(context, extra, depth, cutoff);
+        (TokenTree::chain(&chain), cost)
+    }
+}
+
+/// Indices and probabilities of the `k` largest entries of `probs`,
+/// descending; ties resolve to the lowest token id, matching
+/// [`Sampler::Greedy`]'s argmax rule so the top-1 candidate is exactly the
+/// greedy draft token.
+fn top_k(probs: &[f32], k: usize) -> Vec<(Token, f32)> {
+    let mut idx: Vec<usize> = (0..probs.len()).collect();
+    idx.sort_by(|&a, &b| {
+        probs[b]
+            .partial_cmp(&probs[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx.into_iter()
+        .take(k)
+        .map(|i| (i as Token, probs[i]))
+        .collect()
 }
 
 /// Drafter running a real tiny model with greedy sampling.
@@ -98,6 +151,71 @@ impl Drafter for RealDrafter {
         }
         (out, start.elapsed().as_secs_f64())
     }
+
+    fn draft_tree(
+        &mut self,
+        context: &[Token],
+        extra: &[Token],
+        width: usize,
+        depth: usize,
+        cutoff: f32,
+    ) -> (TokenTree, f64) {
+        if width <= 1 {
+            let (chain, cost) = self.draft(context, extra, depth, cutoff);
+            return (TokenTree::chain(&chain), cost);
+        }
+        let start = Instant::now();
+        let mut tree = TokenTree::new();
+        if depth == 0 {
+            return (tree, start.elapsed().as_secs_f64());
+        }
+        let mut cache = KvCache::new(
+            self.model.config().n_layers,
+            self.model.config().kv_dim(),
+            self.kv_capacity,
+        );
+        let mut full: Vec<Token> = context.iter().chain(extra.iter()).copied().collect();
+        if full.is_empty() {
+            full.push(0);
+        }
+        let prompt = Batch::prompt(&full, 0, 0);
+        let logits = self
+            .model
+            .forward_full(&prompt, &mut cache)
+            .expect("draft prompt evaluation failed");
+        let first_probs = ops::softmax(logits.row(full.len() - 1).unwrap());
+        let top = top_k(&first_probs, width);
+        // Primary branch: the greedy chain.  The cutoff gates only its
+        // *extension* — as a single root among several the primary always
+        // rides along, because a tree verifies its whole root level in one
+        // batched pass anyway (this is where trees beat chains in
+        // low-confidence regions, where linear drafting gives up entirely).
+        let (primary, p_conf) = top[0];
+        let mut parent = tree.add(None, primary, p_conf);
+        let mut cur = primary;
+        let extend = if p_conf >= cutoff { depth } else { 1 };
+        let first_pos = full.len() as i32;
+        for pos in first_pos..first_pos + extend as i32 - 1 {
+            let step = Batch::single(cur, pos, 0);
+            let logits = self
+                .model
+                .forward_full(&step, &mut cache)
+                .expect("draft step evaluation failed");
+            let row = logits.row(0).unwrap();
+            let conf = Sampler::confidence(row);
+            if conf < cutoff {
+                break;
+            }
+            let next = Sampler::Greedy.sample(row);
+            parent = tree.add(Some(parent), next, conf);
+            cur = next;
+        }
+        // Runner-up branches: the top-k alternatives for the first position.
+        for &(tok, prob) in &top[1..] {
+            tree.add(None, tok, prob);
+        }
+        (tree, start.elapsed().as_secs_f64())
+    }
 }
 
 /// Drafter backed by the alignment oracle plus a roofline cost model for the
@@ -162,6 +280,57 @@ impl Drafter for OracleDrafter {
             .full_model_time(&self.draft_cost, 1, context_len);
         let cost = per_token * out.len().max(1) as f64;
         (out, cost)
+    }
+
+    fn draft_tree(
+        &mut self,
+        context: &[Token],
+        extra: &[Token],
+        width: usize,
+        depth: usize,
+        cutoff: f32,
+    ) -> (TokenTree, f64) {
+        if width <= 1 {
+            let (chain, cost) = self.draft(context, extra, depth, cutoff);
+            return (TokenTree::chain(&chain), cost);
+        }
+        let full: Vec<Token> = context.iter().chain(extra.iter()).copied().collect();
+        let mut tree = TokenTree::new();
+        if depth == 0 {
+            return (tree, 0.0);
+        }
+        let truth0 = self.target.next_token(&full);
+        let topk = self.draft.draft_topk(&full, truth0, width);
+        // Primary branch: the greedy chain (identical prefix to draft()).
+        // The cutoff gates only its extension; as one root among several the
+        // primary always rides along in the batched verification — which is
+        // where trees keep speculating in low-confidence regions where
+        // linear drafting gives up entirely.
+        let (primary, p_conf) = topk[0];
+        let mut parent = tree.add(None, primary, p_conf);
+        let mut spine_len = 1usize;
+        if p_conf >= cutoff {
+            let mut ctx = full.clone();
+            ctx.push(primary);
+            for (tok, conf) in self.draft.draft_chain(&self.target, &ctx, depth - 1) {
+                if conf < cutoff {
+                    break;
+                }
+                parent = tree.add(Some(parent), tok, conf);
+                spine_len += 1;
+            }
+        }
+        // Runner-up branches come from the same first-position distribution.
+        for &(tok, conf) in &topk[1..] {
+            tree.add(None, tok, conf);
+        }
+        // Width is nearly free at draft time (one distribution yields every
+        // root candidate); depth costs one draft-model pass per token.
+        let per_token = self
+            .cost_model
+            .full_model_time(&self.draft_cost, 1, full.len());
+        let cost = per_token * spine_len.max(1) as f64;
+        (tree, cost)
     }
 }
 
@@ -249,6 +418,54 @@ mod tests {
             assert_eq!(tok, truth);
             ctx.push(truth);
         }
+    }
+
+    #[test]
+    fn real_drafter_tree_hedges_with_runner_up_roots() {
+        let model = Model::random(ModelConfig::tiny_llama(64, 2), 5);
+        let mut d = RealDrafter::new(model, 256);
+        let (chain, _) = d.draft(&[1, 2, 3], &[4], 3, 0.0);
+        let (tree, _) = d.draft_tree(&[1, 2, 3], &[4], 3, 3, 0.0);
+        // Primary branch is the greedy chain; runner-ups are extra roots.
+        assert!(tree.len() <= 5, "depth 3 + width 3 - 1");
+        let roots = tree.roots();
+        assert!(roots.len() <= 3 && roots.len() >= 2);
+        assert_eq!(tree.nodes()[roots[0]].token, chain[0].0);
+        let root_tokens: Vec<_> = roots.iter().map(|&r| tree.nodes()[r].token).collect();
+        for (i, a) in root_tokens.iter().enumerate() {
+            assert!(!root_tokens[i + 1..].contains(a), "duplicate root {a}");
+        }
+        // Width 1 reproduces the linear chain exactly.
+        let (linear_tree, _) = d.draft_tree(&[1, 2, 3], &[4], 1, 3, 0.0);
+        assert_eq!(linear_tree.len(), chain.len());
+        assert_eq!(linear_tree.leaves().len(), 1);
+        let leaf = linear_tree.leaves()[0];
+        assert_eq!(
+            linear_tree.sequence_to(leaf),
+            chain.iter().map(|(t, _)| *t).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn oracle_drafter_tree_spine_matches_linear_chain() {
+        let mut d = oracle_drafter(0.6);
+        let (chain, _) = d.draft(&[1, 2, 3], &[4], 4, 0.0);
+        let (tree, cost) = d.draft_tree(&[1, 2, 3], &[4], 3, 4, 0.0);
+        assert!(cost > 0.0);
+        assert!(tree.len() <= 6, "depth 4 + width 3 - 1");
+        assert_eq!(tree.roots().len(), 3);
+        // The deepest branch is the linear chain.
+        let deepest = *tree
+            .leaves()
+            .iter()
+            .max_by_key(|&&l| tree.nodes()[l].depth)
+            .unwrap();
+        let spine = tree.sequence_to(deepest);
+        let linear: Vec<_> = chain.iter().map(|(t, _)| *t).collect();
+        assert_eq!(spine, linear[..spine.len()].to_vec());
+        // Determinism.
+        let (again, _) = d.draft_tree(&[1, 2, 3], &[4], 3, 4, 0.0);
+        assert_eq!(tree, again);
     }
 
     #[test]

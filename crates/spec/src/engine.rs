@@ -53,6 +53,26 @@ pub trait HeadEngine: Send {
         context: &[Token],
     ) -> (Vec<Token>, f64);
 
+    /// Tree-aware variant of [`HeadEngine::finalize`] for batches that carry
+    /// a speculation tree: `parents[i]` is the batch index of entry `i`'s
+    /// parent (`None` for entries continuing the accepted context directly),
+    /// so each entry's greedy token is conditioned on its *root-to-node
+    /// path*, not on every preceding batch entry.
+    ///
+    /// Real engines ignore the topology — their logits were computed under
+    /// the tree attention mask that the batch's sequence-id sets encode — so
+    /// the default forwards to [`HeadEngine::finalize`].  Simulated engines
+    /// must override it to walk the parent links when querying the oracle.
+    fn finalize_tree(
+        &mut self,
+        batch: &Batch,
+        payload: &ActivationPayload,
+        context: &[Token],
+        _parents: &[Option<usize>],
+    ) -> (Vec<Token>, f64) {
+        self.finalize(batch, payload, context)
+    }
+
     /// Applies a KV-cache operation on the head's own cache.
     fn apply_cache_op(&mut self, op: &CacheOp) -> f64;
 }
@@ -62,6 +82,15 @@ fn apply_op(cache: &mut KvCache, op: &CacheOp) {
         CacheOp::SeqCp { src, dst, p0, p1 } => cache.seq_cp(src, dst, p0, p1),
         CacheOp::SeqRm { seq, p0, p1 } => cache.seq_rm(seq, p0, p1),
         CacheOp::SeqKeep { seq } => cache.seq_keep(seq),
+        CacheOp::BranchCommit {
+            dst,
+            path,
+            first,
+            n_seqs,
+            p0,
+            p1,
+        } => cache.branch_commit(dst, path, first, n_seqs as usize, p0, p1),
+        CacheOp::BranchRollback { first, n_seqs } => cache.branch_rollback(first, n_seqs as usize),
     }
 }
 
@@ -311,6 +340,35 @@ impl HeadEngine for SimHeadEngine {
         (out, cost)
     }
 
+    fn finalize_tree(
+        &mut self,
+        batch: &Batch,
+        _payload: &ActivationPayload,
+        context: &[Token],
+        parents: &[Option<usize>],
+    ) -> (Vec<Token>, f64) {
+        assert_eq!(parents.len(), batch.len(), "one parent link per entry");
+        // Ground truth after each entry's root-to-node token path.  Parents
+        // precede children, so each path extends an already-computed one.
+        let mut paths: Vec<Vec<Token>> = Vec::with_capacity(batch.len());
+        let mut out = Vec::with_capacity(batch.len());
+        for (i, entry) in batch.iter().enumerate() {
+            let mut path = match parents[i] {
+                Some(p) => {
+                    assert!(p < i, "parent {p} does not precede entry {i}");
+                    paths[p].clone()
+                }
+                None => context.to_vec(),
+            };
+            path.push(entry.token);
+            out.push(self.oracle.next_token(&path));
+            paths.push(path);
+        }
+        let cost = self.cost_model.io_time(&self.model_cost, batch.len())
+            + self.cost_model.sampling_time(&self.model_cost, batch.len());
+        (out, cost)
+    }
+
     fn apply_cache_op(&mut self, _op: &CacheOp) -> f64 {
         1e-7
     }
@@ -391,6 +449,80 @@ mod tests {
         let (out, cost) = stage.eval(&batch, &ActivationPayload::Empty);
         assert!(matches!(out, ActivationPayload::Empty));
         assert_eq!(cost, 0.0);
+    }
+
+    #[test]
+    fn real_engines_apply_branch_commit_and_rollback() {
+        let model = tiny();
+        let mut stage = RealStageEngine::new(model.clone(), 0..4, 64);
+        // Canonical context at positions 0..2 in sequence 0.
+        let ctx_batch = Batch::prompt(&[1, 2], 0, 0);
+        let _ = stage.eval(
+            &ctx_batch,
+            &ActivationPayload::Real(model.embed(&ctx_batch)),
+        );
+        // Give both branch sequences the context prefix, then evaluate a
+        // two-leaf tree: shared root at pos 2, two leaves at pos 3.
+        for dst in [1u32, 2] {
+            stage.apply_cache_op(&CacheOp::SeqCp {
+                src: 0,
+                dst,
+                p0: 0,
+                p1: i32::MAX,
+            });
+        }
+        let mut tree_batch = Batch::new();
+        tree_batch.push(7, 2, vec![1, 2], true);
+        tree_batch.push(8, 3, vec![1], true);
+        tree_batch.push(9, 3, vec![2], true);
+        let _ = stage.eval(
+            &tree_batch,
+            &ActivationPayload::Real(model.embed(&tree_batch)),
+        );
+        assert_eq!(stage.cache().used(), 5);
+        // Accept the path through leaf sequence 2 (root + one leaf).
+        stage.apply_cache_op(&CacheOp::BranchCommit {
+            dst: 0,
+            path: 2,
+            first: 1,
+            n_seqs: 2,
+            p0: 2,
+            p1: 4,
+        });
+        assert_eq!(stage.cache().seq_len(0), 4);
+        assert_eq!(stage.cache().seq_len(1), 0);
+        assert_eq!(stage.cache().seq_len(2), 0);
+        assert_eq!(stage.cache().used(), 4, "rejected leaf freed");
+        // A rollback after the fact is a no-op on already-dropped sequences.
+        stage.apply_cache_op(&CacheOp::BranchRollback {
+            first: 1,
+            n_seqs: 2,
+        });
+        assert_eq!(stage.cache().used(), 4);
+    }
+
+    #[test]
+    fn sim_finalize_tree_conditions_on_paths_not_batch_order() {
+        let (cm, mc) = sim_pair();
+        let oracle = OracleTarget::new(5, 32000);
+        let mut head = SimHeadEngine::new(cm, mc, 10, oracle);
+        let context = vec![10, 20];
+        // Entry 0 continues the context; entries 1 and 2 are sibling
+        // branches under it (same position, different branches).
+        let mut batch = Batch::new();
+        batch.push(30, 2, vec![0, 1, 2], true);
+        batch.push(40, 3, vec![1], true);
+        batch.push(50, 3, vec![2], true);
+        let parents = vec![None, Some(0), Some(0)];
+        let (tokens, cost) =
+            head.finalize_tree(&batch, &ActivationPayload::Empty, &context, &parents);
+        assert!(cost > 0.0);
+        assert_eq!(tokens[0], oracle.next_token(&[10, 20, 30]));
+        assert_eq!(tokens[1], oracle.next_token(&[10, 20, 30, 40]));
+        // The sibling is conditioned on its own path — entry 1's token must
+        // NOT leak into entry 2's context.
+        assert_eq!(tokens[2], oracle.next_token(&[10, 20, 30, 50]));
+        assert_ne!(tokens[2], oracle.next_token(&[10, 20, 30, 40, 50]));
     }
 
     fn sim_pair() -> (CostModel, ModelCost) {

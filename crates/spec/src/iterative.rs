@@ -79,6 +79,7 @@ impl IterativeHead {
                     kind: RunKind::NonSpeculative,
                     batch,
                     payload,
+                    tree: None,
                 },
             );
         } else {

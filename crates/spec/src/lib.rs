@@ -8,7 +8,10 @@
 //!   ([`iterative::IterativeHead`]);
 //! * **pipeline-parallel speculative inference** — a SpecInfer-style
 //!   synchronous speculate-then-verify loop with a single draft model hosted
-//!   on the head node ([`speculative::SpeculativeHead`]).
+//!   on the head node ([`speculative::SpeculativeHead`]);
+//! * **tree speculation** — the same loop over genuine token *trees* with
+//!   adaptive width/depth ([`tree::TreeSpeculationStrategy`]), exercising the
+//!   canonical `pi_model::TokenTree` unit end-to-end.
 //!
 //! The crate also provides everything PipeInfer itself (in `pipeinfer-core`)
 //! reuses:
@@ -36,6 +39,7 @@ pub mod message;
 pub mod route;
 pub mod runner;
 pub mod speculative;
+pub mod tree;
 pub mod verify;
 pub mod worker;
 
@@ -47,9 +51,10 @@ pub use drafter::{Drafter, OracleDrafter, RealDrafter};
 pub use engine::{
     HeadEngine, RealHeadEngine, RealStageEngine, SimHeadEngine, SimStageEngine, StageEngine,
 };
-pub use message::{ActivationPayload, CacheOp, PipeMsg, RunId, RunKind};
+pub use message::{ActivationPayload, CacheOp, PipeMsg, RunId, RunKind, TreeTopology};
 pub use route::PipelineRoute;
-pub use verify::verify_greedy;
+pub use tree::{AdaptiveShape, TreeConfig, TreeSpecHead, TreeSpeculationStrategy};
+pub use verify::{verify_greedy, verify_tree, TreeVerifyOutcome};
 pub use worker::PipelineWorker;
 
 use pi_model::Token;
@@ -116,6 +121,15 @@ pub struct GenerationRecord {
     pub runs_launched: usize,
     /// Number of runs cancelled by early inference cancellation.
     pub runs_cancelled: usize,
+    /// Number of tree-verification rounds (zero for linear strategies).
+    pub tree_rounds: usize,
+    /// Total speculated tree nodes across all rounds.
+    pub tree_nodes: usize,
+    /// Sum of accepted root-to-leaf path lengths across all rounds.
+    pub tree_accepted_path: usize,
+    /// The (width, depth) shape the adaptive controller chose each round, in
+    /// round order — the live trace of width/depth adaptation.
+    pub tree_shapes: Vec<(usize, usize)>,
 }
 
 impl GenerationRecord {
@@ -160,6 +174,33 @@ impl GenerationRecord {
             self.accepted_drafts as f64 / self.drafted as f64
         }
     }
+
+    /// Mean tokens generated per target-pipeline run — the
+    /// accepted-tokens-per-verify metric tree speculation optimises (higher
+    /// is better at a fixed verify-batch budget).
+    pub fn tokens_per_run(&self) -> f64 {
+        if self.runs_launched == 0 {
+            0.0
+        } else {
+            self.tokens.len() as f64 / self.runs_launched as f64
+        }
+    }
+
+    /// Tree utilization: the fraction of speculated tree nodes that ended up
+    /// on an accepted path.  Zero when no trees were speculated.
+    pub fn tree_utilization(&self) -> f64 {
+        if self.tree_nodes == 0 {
+            0.0
+        } else {
+            self.tree_accepted_path as f64 / self.tree_nodes as f64
+        }
+    }
+
+    /// First and last (width, depth) shape of the adaptive tree controller,
+    /// or `None` for linear strategies.
+    pub fn tree_shape_range(&self) -> Option<((usize, usize), (usize, usize))> {
+        Some((*self.tree_shapes.first()?, *self.tree_shapes.last()?))
+    }
 }
 
 #[cfg(test)]
@@ -176,6 +217,7 @@ mod tests {
             accepted_drafts: 7,
             runs_launched: 5,
             runs_cancelled: 1,
+            ..GenerationRecord::default()
         }
     }
 
@@ -207,6 +249,19 @@ mod tests {
         assert_eq!(r.generation_speed(), 0.0);
         assert_eq!(r.ttft(), 0.0);
         assert_eq!(r.mean_itl(), 0.0);
+    }
+
+    #[test]
+    fn tree_metrics_and_shape_range() {
+        let mut r = record();
+        assert_eq!(r.tokens_per_run(), 4.0 / 5.0);
+        assert_eq!(r.tree_utilization(), 0.0);
+        assert_eq!(r.tree_shape_range(), None);
+        r.tree_nodes = 8;
+        r.tree_accepted_path = 6;
+        r.tree_shapes = vec![(2, 3), (1, 4), (3, 2)];
+        assert!((r.tree_utilization() - 0.75).abs() < 1e-12);
+        assert_eq!(r.tree_shape_range(), Some(((2, 3), (3, 2))));
     }
 
     #[test]

@@ -49,6 +49,34 @@ pub enum ActivationPayload {
     Empty,
 }
 
+/// Topology of a speculation tree travelling with a decode transaction.
+///
+/// Tree verification ships the speculated tokens as one batch whose
+/// sequence-id sets already encode the attention mask, but the head also
+/// needs the per-node parent links to walk the deepest accepted path when
+/// the result returns, and a real multi-process deployment would need them
+/// to rebuild the mask.  `parents[i]` is the *batch index* of entry `i`'s
+/// parent, or `None` for entries that directly continue the accepted
+/// context (the pending token and, through it, the tree's roots).  Parents
+/// always precede children (the batch is linearised parent-before-child).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeTopology {
+    /// Per-batch-entry parent index.
+    pub parents: Vec<Option<u32>>,
+}
+
+impl TreeTopology {
+    /// Serialized size: a length word plus one parent word per entry.
+    pub fn wire_bytes(&self) -> u64 {
+        4 + 4 * self.parents.len() as u64
+    }
+
+    /// The parents as `usize` indices for engines that resolve them.
+    pub fn parent_indices(&self) -> Vec<Option<usize>> {
+        self.parents.iter().map(|p| p.map(|i| i as usize)).collect()
+    }
+}
+
 impl ActivationPayload {
     /// Number of tokens the payload represents.
     pub fn tokens(&self) -> usize {
@@ -98,6 +126,32 @@ pub enum CacheOp {
         /// Sequence to keep.
         seq: SeqId,
     },
+    /// Commit the accepted root-to-leaf path of a speculation tree: copy the
+    /// entries of leaf sequence `path` in `[p0, p1)` into `dst`, then drop
+    /// every tree sequence in `first .. first + n_seqs`, freeing the
+    /// rejected sibling branches (see `KvCache::branch_commit`).
+    BranchCommit {
+        /// Destination (normally the canonical) sequence.
+        dst: SeqId,
+        /// Leaf sequence whose path contains every accepted node.
+        path: SeqId,
+        /// First tree sequence.
+        first: SeqId,
+        /// Number of tree sequences (= number of leaves).
+        n_seqs: u32,
+        /// First accepted position (inclusive).
+        p0: Pos,
+        /// One past the last accepted position (exclusive).
+        p1: Pos,
+    },
+    /// Roll a speculation tree back entirely: drop every tree sequence in
+    /// `first .. first + n_seqs` (see `KvCache::branch_rollback`).
+    BranchRollback {
+        /// First tree sequence.
+        first: SeqId,
+        /// Number of tree sequences.
+        n_seqs: u32,
+    },
 }
 
 /// Messages exchanged between ranks.
@@ -114,6 +168,11 @@ pub enum PipeMsg {
         batch: Batch,
         /// Input activations for this stage.
         payload: ActivationPayload,
+        /// Per-node parent links when the run verifies a speculation tree;
+        /// `None` for linear runs (prompts, single tokens and chains, which
+        /// are degenerate single-branch trees whose topology is implicit in
+        /// the batch order).
+        tree: Option<TreeTopology>,
     },
     /// Final-stage output returning to the head for sampling/verification.
     RunResult {
@@ -159,8 +218,19 @@ impl WireMessage for PipeMsg {
 
     fn wire_bytes(&self) -> u64 {
         match self {
-            PipeMsg::Decode { batch, payload, .. } => 16 + batch.wire_bytes() + payload.nbytes(),
+            PipeMsg::Decode {
+                batch,
+                payload,
+                tree,
+                ..
+            } => {
+                16 + batch.wire_bytes()
+                    + payload.nbytes()
+                    + tree.as_ref().map_or(0, TreeTopology::wire_bytes)
+            }
             PipeMsg::RunResult { payload, .. } => 12 + payload.nbytes(),
+            PipeMsg::Cache(CacheOp::BranchCommit { .. }) => 28,
+            PipeMsg::Cache(CacheOp::BranchRollback { .. }) => 16,
             PipeMsg::Cache(_) => 20,
             PipeMsg::Cancel { .. } => 12,
             PipeMsg::DraftRequest { context, .. } => 16 + 4 * context.len() as u64,
@@ -216,8 +286,53 @@ mod tests {
                 tokens: 3,
                 bytes: 1000,
             },
+            tree: None,
         };
         assert_eq!(msg.wire_bytes(), 16 + batch.wire_bytes() + 1000);
+    }
+
+    #[test]
+    fn tree_topology_is_charged_on_the_wire() {
+        let batch = Batch::prompt(&[1, 2, 3], 0, 0);
+        let topology = TreeTopology {
+            parents: vec![None, Some(0), Some(0)],
+        };
+        assert_eq!(topology.wire_bytes(), 4 + 4 * 3);
+        assert_eq!(topology.parent_indices(), vec![None, Some(0usize), Some(0)]);
+        let linear = PipeMsg::Decode {
+            run_id: 1,
+            kind: RunKind::Speculative,
+            batch: batch.clone(),
+            payload: ActivationPayload::Empty,
+            tree: None,
+        };
+        let treed = PipeMsg::Decode {
+            run_id: 1,
+            kind: RunKind::Speculative,
+            batch,
+            payload: ActivationPayload::Empty,
+            tree: Some(topology),
+        };
+        assert_eq!(treed.wire_bytes(), linear.wire_bytes() + 16);
+    }
+
+    #[test]
+    fn branch_cache_ops_have_fixed_wire_sizes() {
+        let commit = PipeMsg::Cache(CacheOp::BranchCommit {
+            dst: 0,
+            path: 2,
+            first: 1,
+            n_seqs: 3,
+            p0: 10,
+            p1: 14,
+        });
+        assert_eq!(commit.wire_bytes(), 28);
+        let rollback = PipeMsg::Cache(CacheOp::BranchRollback {
+            first: 1,
+            n_seqs: 3,
+        });
+        assert_eq!(rollback.wire_bytes(), 16);
+        assert!(!commit.priority() && !rollback.priority());
     }
 
     #[test]

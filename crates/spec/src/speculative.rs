@@ -90,6 +90,7 @@ impl SpeculativeHead {
                     kind,
                     batch,
                     payload,
+                    tree: None,
                 },
             );
         } else {

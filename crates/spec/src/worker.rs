@@ -9,7 +9,7 @@
 //! ordering, paper §IV-D2), and shuts down on request.
 
 use crate::engine::StageEngine;
-use crate::message::{tags, ActivationPayload, PipeMsg, RunId, RunKind};
+use crate::message::{tags, ActivationPayload, PipeMsg, RunId, RunKind, TreeTopology};
 use crate::route::PipelineRoute;
 use pi_cluster::{NodeBehavior, NodeCtx, Rank, Tag};
 use std::collections::HashSet;
@@ -52,6 +52,7 @@ impl PipelineWorker {
         kind: RunKind,
         batch: pi_model::Batch,
         payload: ActivationPayload,
+        tree: Option<TreeTopology>,
     ) {
         match self.route.next_after(self.rank) {
             Some(next) => ctx.send(
@@ -62,6 +63,7 @@ impl PipelineWorker {
                     kind,
                     batch,
                     payload,
+                    tree,
                 },
             ),
             None => ctx.send(
@@ -81,6 +83,7 @@ impl NodeBehavior<PipeMsg> for PipelineWorker {
                 kind,
                 batch,
                 payload,
+                tree,
             } => {
                 self.seen.insert(run_id);
                 let skip = kind == RunKind::Speculative && self.cancelled.remove(&run_id);
@@ -89,12 +92,12 @@ impl NodeBehavior<PipeMsg> for PipelineWorker {
                     // but keep the message flowing so ordering and per-node
                     // state stay intact.
                     self.skipped_runs += 1;
-                    self.forward_result(ctx, run_id, kind, batch, ActivationPayload::Empty);
+                    self.forward_result(ctx, run_id, kind, batch, ActivationPayload::Empty, tree);
                 } else {
                     let (out, cost) = self.engine.eval(&batch, &payload);
                     ctx.elapse(cost);
                     self.evaluated_runs += 1;
-                    self.forward_result(ctx, run_id, kind, batch, out);
+                    self.forward_result(ctx, run_id, kind, batch, out, tree);
                 }
             }
             PipeMsg::RunResult { run_id, payload } => {
@@ -200,6 +203,7 @@ mod tests {
                 tokens: 1,
                 bytes: 100,
             },
+            tree: None,
         }
     }
 
@@ -231,6 +235,31 @@ mod tests {
             ctx.sent[0].1,
             PipeMsg::RunResult { run_id: 9, .. }
         ));
+    }
+
+    #[test]
+    fn tree_topology_is_forwarded_with_the_batch() {
+        let mut w = PipelineWorker::new(1, PipelineRoute::baseline(3), sim_engine());
+        let mut ctx = TestCtx::new();
+        let topology = TreeTopology {
+            parents: vec![None, Some(0)],
+        };
+        w.on_message(
+            0,
+            tags::DECODE,
+            PipeMsg::Decode {
+                run_id: 2,
+                kind: RunKind::Speculative,
+                batch: Batch::prompt(&[5, 6], 10, 0),
+                payload: ActivationPayload::Empty,
+                tree: Some(topology.clone()),
+            },
+            &mut ctx,
+        );
+        match &ctx.sent[0].1 {
+            PipeMsg::Decode { tree, .. } => assert_eq!(tree.as_ref(), Some(&topology)),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

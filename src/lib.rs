@@ -63,6 +63,6 @@ pub mod prelude {
         SpeculativeStrategy, Strategy,
     };
     pub use pi_spec::runner::{run_iterative, run_speculative};
-    pub use pi_spec::{GenConfig, GenerationRecord};
+    pub use pi_spec::{GenConfig, GenerationRecord, TreeConfig, TreeSpeculationStrategy};
     pub use pipeinfer_core::{run_pipeinfer, PipeInferConfig, PipeInferStrategy};
 }

@@ -7,12 +7,13 @@
 
 use std::process::Command;
 
-const EXAMPLES: [&str; 5] = [
+const EXAMPLES: [&str; 6] = [
     "quickstart",
     "chat_generation",
     "cluster_sweep",
     "heterogeneous_cluster",
     "serving",
+    "tree_generation",
 ];
 
 fn run_example(name: &str) {
@@ -60,4 +61,9 @@ fn heterogeneous_cluster_example_runs() {
 #[test]
 fn serving_example_runs() {
     run_example(EXAMPLES[4]);
+}
+
+#[test]
+fn tree_generation_example_runs() {
+    run_example(EXAMPLES[5]);
 }

@@ -29,6 +29,7 @@ fn all_deployments() -> Vec<(&'static str, Deployment)> {
         ("iterative", Deployment::new(IterativeStrategy)),
         ("speculative", Deployment::new(SpeculativeStrategy)),
         ("pipeinfer", Deployment::new(PipeInferStrategy::default())),
+        ("tree", Deployment::new(TreeSpeculationStrategy::default())),
     ]
 }
 
@@ -87,8 +88,10 @@ fn poorly_aligned_draft_does_not_change_output() {
     let gen = GenConfig::small_test(prompt, n);
     let spec = Deployment::new(SpeculativeStrategy).run(&mode, 2, &gen);
     let pipe = Deployment::new(PipeInferStrategy::default()).run(&mode, 2, &gen);
+    let tree = Deployment::new(TreeSpeculationStrategy::default()).run(&mode, 2, &gen);
     assert_eq!(spec.record.tokens[..n], truth[..]);
     assert_eq!(pipe.record.tokens[..n], truth[..]);
+    assert_eq!(tree.record.tokens[..n], truth[..]);
     // The poorly aligned draft must show a visibly lower acceptance rate.
     assert!(pipe.record.acceptance_rate() < 0.9);
 }
