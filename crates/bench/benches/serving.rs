@@ -1,17 +1,21 @@
 //! Serving-layer benchmark: goodput and latency percentiles per strategy
-//! under identical steady / bursty / mixed traffic, plus the
-//! tree-vs-linear speculation gate.
+//! under identical steady / bursty / mixed traffic, the Fig. 3 draft-rank
+//! layout study, plus the tree-vs-linear and draft-rank regression gates.
 //!
 //! Run with `cargo bench -p pi-bench --bench serving`.  By default the quick
 //! profile is used; set `PIPEINFER_BENCH_SCALE=paper` for a longer stream
 //! with the paper's token budgets.  Each strategy owns one prepared
 //! deployment and serves the same request streams through the
 //! continuous-batching `pi-serve` scheduler on the discrete-event simulator.
-//! With `PIPEINFER_BENCH_ASSERT=1` the run fails unless tree speculation
-//! beats linear speculation in accepted-tokens-per-verify on the seeded
-//! low-acceptance workload (the CI regression gate).
+//! With `PIPEINFER_BENCH_ASSERT=1` the run fails unless (a) tree speculation
+//! beats linear speculation in accepted-tokens-per-verify and (b) the
+//! dedicated-draft-rank layout clears at least head-hosted
+//! accepted-tokens-per-second, both on the seeded 52 %-acceptance stream
+//! (the CI regression gates).
 
-use pi_bench::{fig_serving, tree_vs_linear_gate, BenchScale, ServingScale};
+use pi_bench::{
+    draft_rank_gate_of, fig_draft_rank, fig_serving, tree_vs_linear_gate, BenchScale, ServingScale,
+};
 use std::time::Instant;
 
 fn main() {
@@ -25,18 +29,34 @@ fn main() {
     for fig in fig_serving(scale) {
         println!("{}", fig.render());
     }
+    let layout_fig = fig_draft_rank(scale);
+    println!("{}", layout_fig.render());
+    let assert_gates = std::env::var_os("PIPEINFER_BENCH_ASSERT").is_some();
     let (tree, linear) = tree_vs_linear_gate(scale);
     println!(
         "tree-speculation gate (Goliath + XWin-7B, mixed lengths): \
          tree {tree:.3} vs linear {linear:.3} accepted-tokens-per-verify"
     );
-    if std::env::var_os("PIPEINFER_BENCH_ASSERT").is_some() {
+    if assert_gates {
         assert!(
             tree > linear,
             "tree speculation ({tree:.3} tok/verify) must beat linear \
              speculation ({linear:.3}) on the seeded workload"
         );
         println!("PIPEINFER_BENCH_ASSERT: tree > linear — OK");
+    }
+    let (dedicated, head_hosted) = draft_rank_gate_of(&layout_fig);
+    println!(
+        "draft-rank gate (Goliath + XWin-7B, mixed lengths): \
+         dedicated {dedicated:.3} vs head-hosted {head_hosted:.3} accepted-tokens-per-second"
+    );
+    if assert_gates {
+        assert!(
+            dedicated >= head_hosted,
+            "the dedicated draft rank ({dedicated:.3} tok/s) must not fall behind \
+             head-hosted drafting ({head_hosted:.3} tok/s) on the seeded workload"
+        );
+        println!("PIPEINFER_BENCH_ASSERT: dedicated >= head-hosted — OK");
     }
     eprintln!("[{:6.1?}] serving figures done", start.elapsed());
 }

@@ -535,6 +535,30 @@ pub fn fig_serving(scale: BenchScale) -> Vec<Figure> {
     figures
 }
 
+/// The seeded 52 %-acceptance gate stream: mixed prompt/output lengths over
+/// the Goliath + XWin-7B pair, shared by [`tree_vs_linear_gate`],
+/// [`fig_draft_rank`] and [`draft_rank_gate`] so the figure and the CI gates
+/// always measure the same workload.  Mixed lengths make every request
+/// decode a genuinely different token stream (identical requests would
+/// replay one experiment N times).
+fn gate_workload(scale: BenchScale) -> pi_serve::MixedWorkload {
+    let serving = ServingScale::from(scale);
+    pi_serve::MixedWorkload {
+        base: GenConfig {
+            prompt: make_prompt(scale, 6),
+            n_generate: serving.n_generate,
+            max_draft: 4,
+            confidence_cutoff: 0.4,
+            kv_capacity: 8192,
+        },
+        n_requests: serving.n_requests,
+        mean_interarrival: serving.n_generate as f64 / 16.0,
+        prompt_len: (scale.prompt_len / 2, scale.prompt_len),
+        n_generate: (serving.n_generate, serving.n_generate * 2),
+        seed: ORACLE_SEED,
+    }
+}
+
 /// The tree-speculation regression gate: serves one seeded mixed-length
 /// stream through `TreeSpeculationStrategy` and `SpeculativeStrategy` at the same
 /// verify-batch budget over the 52 %-acceptance Goliath + XWin-7B pair (the
@@ -549,24 +573,11 @@ pub fn fig_serving(scale: BenchScale) -> Vec<Figure> {
 /// serialises execution so the cross-request shape feedback — and therefore
 /// the result — is deterministic.
 pub fn tree_vs_linear_gate(scale: BenchScale) -> (f64, f64) {
-    use pi_serve::{MixedWorkload, Server, ServerConfig, WorkloadGen};
+    use pi_serve::{Server, ServerConfig, WorkloadGen};
 
     let serving = ServingScale::from(scale);
     let pair = ModelPair::goliath_xwin7b();
-    let workload = MixedWorkload {
-        base: GenConfig {
-            prompt: make_prompt(scale, 6),
-            n_generate: serving.n_generate,
-            max_draft: 4,
-            confidence_cutoff: 0.4,
-            kv_capacity: 8192,
-        },
-        n_requests: serving.n_requests,
-        mean_interarrival: serving.n_generate as f64 / 16.0,
-        prompt_len: (scale.prompt_len / 2, scale.prompt_len),
-        n_generate: (serving.n_generate, serving.n_generate * 2),
-        seed: ORACLE_SEED,
-    };
+    let workload = gate_workload(scale);
     let serve = |deployment: Deployment| {
         let mode = sim_mode(&pair, ClusterSpec::cluster_c(serving.n_nodes));
         Server::new(
@@ -579,6 +590,81 @@ pub fn tree_vs_linear_gate(scale: BenchScale) -> (f64, f64) {
     let tree = serve(Deployment::new(TreeSpeculationStrategy::default()));
     let linear = serve(Deployment::new(SpeculativeStrategy));
     (tree, linear)
+}
+
+/// The four PipeInfer deployment variants of the Fig. 3 layout study:
+/// draft placement (head-hosted vs dedicated rank) × continuous micro-batch
+/// shape (chain vs tree), in figure order.
+pub fn draft_rank_variants() -> Vec<(&'static str, PipeInferConfig)> {
+    use pipeinfer_core::DraftPlacement;
+    vec![
+        ("head-hosted / chain", PipeInferConfig::paper_default()),
+        ("head-hosted / tree", PipeInferConfig::tree_micro()),
+        ("dedicated / chain", PipeInferConfig::dedicated_draft_rank()),
+        (
+            "dedicated / tree",
+            PipeInferConfig::tree_micro().with_placement(DraftPlacement::DedicatedRank),
+        ),
+    ]
+}
+
+/// The Fig. 3 layout study: the four PipeInfer variants of
+/// [`draft_rank_variants`] serving the *same* seeded 52 %-acceptance
+/// mixed-length stream (Goliath + XWin-7B) over one prepared deployment
+/// each.  One series per variant; the columns are the serving metrics of
+/// `ServeReport::to_figure` — goodput, latency percentiles, speculation
+/// quality, per-rank draft traffic and evaluations saved by cancellation.
+pub fn fig_draft_rank(scale: BenchScale) -> Figure {
+    use pi_serve::{Server, ServerConfig, WorkloadGen};
+
+    let serving = ServingScale::from(scale);
+    let pair = ModelPair::goliath_xwin7b();
+    let workload = gate_workload(scale);
+    let mut fig = Figure::new(
+        "Fig. 3 layout",
+        &format!(
+            "PipeInfer draft placement × micro-batch shape, {} mixed requests over {} nodes",
+            serving.n_requests, serving.n_nodes
+        ),
+        "tok/s | s",
+    );
+    for (name, config) in draft_rank_variants() {
+        let deployment = Deployment::new(PipeInferStrategy::new(config));
+        let mode = sim_mode(&pair, ClusterSpec::cluster_c(serving.n_nodes));
+        let report = Server::new(
+            deployment.prepare(&mode, serving.n_nodes),
+            ServerConfig { max_in_flight: 1 },
+        )
+        .serve(workload.generate());
+        report.to_figure(&mut fig, name);
+    }
+    fig
+}
+
+/// The dedicated-draft-rank regression gate, read off an already-computed
+/// [`fig_draft_rank`] figure: `(dedicated, head_hosted)` accepted tokens
+/// per second of stream makespan (goodput) of the two chain-shaped layout
+/// variants on the seeded 52 %-acceptance stream.
+pub fn draft_rank_gate_of(fig: &Figure) -> (f64, f64) {
+    let goodput = |series: &str| {
+        fig.value(series, "goodput tok/s")
+            .unwrap_or_else(|| panic!("figure is missing the {series} goodput"))
+    };
+    (goodput("dedicated / chain"), goodput("head-hosted / chain"))
+}
+
+/// The dedicated-draft-rank regression gate: serves the seeded
+/// 52 %-acceptance mixed-length stream through the four-way layout study
+/// ([`fig_draft_rank`]) and returns `(dedicated, head_hosted)` goodput of
+/// the two chain-shaped variants.  Callers that already hold the figure
+/// should use [`draft_rank_gate_of`] instead of re-serving the streams.
+///
+/// CI runs this with `PIPEINFER_BENCH_ASSERT=1` (see the `serving` bench
+/// target), failing the build if moving drafting off the head stops paying
+/// for itself on this workload.  Window 1 serialises execution so the
+/// result is deterministic.
+pub fn draft_rank_gate(scale: BenchScale) -> (f64, f64) {
+    draft_rank_gate_of(&fig_draft_rank(scale))
 }
 
 /// Table I / Table III: model pairs with size, quantization and acceptance
@@ -751,9 +837,9 @@ mod tests {
         let figs = fig_serving(tiny_scale());
         assert_eq!(figs.len(), 4, "one figure per strategy incl. tree");
         for fig in &figs {
-            // Three workload series, nine metric columns each.
+            // Three workload series, eleven metric columns each.
             assert_eq!(fig.series_labels(), vec!["steady", "bursty", "mixed"]);
-            assert_eq!(fig.x_labels().len(), 9);
+            assert_eq!(fig.x_labels().len(), 11);
             for series in fig.series_labels() {
                 let goodput = fig.value(&series, "goodput tok/s").unwrap();
                 let p50 = fig.value(&series, "p50 e2e s").unwrap();
@@ -776,6 +862,33 @@ mod tests {
         assert_eq!(figs[1].value("bursty", "tree util"), Some(0.0));
         assert!(figs[3].value("bursty", "tree util").unwrap() > 0.0);
         assert!(figs[3].id.contains("TreeSpeculation"));
+    }
+
+    #[test]
+    fn draft_rank_figure_covers_the_four_way_matrix() {
+        let fig = fig_draft_rank(tiny_scale());
+        let series = fig.series_labels();
+        assert_eq!(series.len(), 4);
+        assert!(series.contains(&"head-hosted / chain".to_string()));
+        assert!(series.contains(&"dedicated / tree".to_string()));
+        for s in &series {
+            assert!(fig.value(s, "goodput tok/s").unwrap() > 0.0, "{s}");
+        }
+        // Only the dedicated layouts move draft traffic over the wire.
+        assert_eq!(fig.value("head-hosted / chain", "draft kB"), Some(0.0));
+        assert_eq!(fig.value("head-hosted / tree", "draft kB"), Some(0.0));
+        assert!(fig.value("dedicated / chain", "draft kB").unwrap() > 0.0);
+        assert!(fig.value("dedicated / tree", "draft kB").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn draft_rank_gate_dedicated_at_least_matches_head_hosted() {
+        let (dedicated, head_hosted) = draft_rank_gate(tiny_scale());
+        assert!(dedicated > 0.0 && head_hosted > 0.0);
+        assert!(
+            dedicated >= head_hosted,
+            "dedicated layout {dedicated} tok/s < head-hosted {head_hosted} tok/s"
+        );
     }
 
     #[test]

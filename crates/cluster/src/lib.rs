@@ -66,6 +66,14 @@ pub trait WireMessage: Send + 'static {
     fn priority(&self) -> bool {
         false
     }
+
+    /// Whether the message belongs to the draft-rank protocol (draft
+    /// requests, responses and their cancellation signals).  Drivers account
+    /// such traffic separately in [`NodeStats`] so the cost of the paper's
+    /// Fig. 3 dedicated-draft-rank layout is visible per rank.
+    fn is_draft(&self) -> bool {
+        false
+    }
 }
 
 /// Context handed to a [`NodeBehavior`] during callbacks.
@@ -90,6 +98,12 @@ pub trait NodeCtx<M: WireMessage> {
     /// the figure for utilisation statistics (real compute already consumed
     /// real time).
     fn elapse(&mut self, seconds: SimTime);
+    /// Records that this rank skipped `n` units of work thanks to an early
+    /// cancellation signal (a stage evaluation a worker never ran, a stale
+    /// draft hypothesis the draft rank never served).  Drivers accumulate
+    /// the figure into [`NodeStats::cancellations_saved`]; the default is a
+    /// no-op so test contexts need not care.
+    fn record_cancellation_saved(&mut self, _n: u64) {}
 }
 
 /// A rank state machine.

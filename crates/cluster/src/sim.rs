@@ -81,6 +81,7 @@ struct SimCtx<M> {
     world: usize,
     now: SimTime,
     elapsed: SimTime,
+    saved: u64,
     outgoing: Vec<(Rank, Tag, M, SimTime)>,
 }
 
@@ -101,6 +102,9 @@ impl<M: WireMessage> NodeCtx<M> for SimCtx<M> {
         let s = seconds.max(0.0);
         self.now += s;
         self.elapsed += s;
+    }
+    fn record_cancellation_saved(&mut self, n: u64) {
+        self.saved += n;
     }
 }
 
@@ -168,11 +172,13 @@ impl SimDriver {
                 world: n,
                 now: 0.0,
                 elapsed: 0.0,
+                saved: 0,
                 outgoing: Vec::new(),
             };
             behaviors[r].on_start(&mut ctx);
             local_time[r] = ctx.now;
             stats.nodes[r].busy_time += ctx.elapsed;
+            stats.nodes[r].cancellations_saved += ctx.saved;
             Self::dispatch(
                 &self.topology,
                 &mut stats,
@@ -243,6 +249,7 @@ impl SimDriver {
                 world: n,
                 now: t,
                 elapsed: 0.0,
+                saved: 0,
                 outgoing: Vec::new(),
             };
             match kind {
@@ -279,6 +286,7 @@ impl SimDriver {
             }
             local_time[r] = ctx.now;
             stats.nodes[r].busy_time += ctx.elapsed;
+            stats.nodes[r].cancellations_saved += ctx.saved;
             Self::dispatch(
                 &self.topology,
                 &mut stats,
@@ -338,6 +346,10 @@ impl SimDriver {
             }
             stats.nodes[src].messages_sent += 1;
             stats.nodes[src].bytes_sent += bytes;
+            if msg.is_draft() {
+                stats.nodes[src].draft_messages_sent += 1;
+                stats.nodes[src].draft_bytes_sent += bytes;
+            }
             *seq += 1;
             let entry = Pending {
                 arrival,

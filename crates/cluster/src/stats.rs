@@ -19,6 +19,16 @@ pub struct NodeStats {
     pub bytes_sent: u64,
     /// Number of idle callbacks that performed work.
     pub idle_work: u64,
+    /// Messages sent by this rank belonging to the draft-rank protocol
+    /// (draft requests/responses and draft cancellations; a subset of
+    /// `messages_sent`).
+    pub draft_messages_sent: u64,
+    /// Bytes sent by this rank on the draft-rank protocol (a subset of
+    /// `bytes_sent`).
+    pub draft_bytes_sent: u64,
+    /// Units of work this rank skipped thanks to early cancellation signals
+    /// (stage evaluations never run, stale draft hypotheses never served).
+    pub cancellations_saved: u64,
 }
 
 impl NodeStats {
@@ -77,6 +87,21 @@ impl ClusterStats {
     pub fn total_bytes(&self) -> u64 {
         self.nodes.iter().map(|n| n.bytes_sent).sum()
     }
+
+    /// Total draft-protocol messages sent across all ranks.
+    pub fn total_draft_messages(&self) -> u64 {
+        self.nodes.iter().map(|n| n.draft_messages_sent).sum()
+    }
+
+    /// Total draft-protocol bytes sent across all ranks.
+    pub fn total_draft_bytes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.draft_bytes_sent).sum()
+    }
+
+    /// Total units of work saved by early cancellation across all ranks.
+    pub fn total_cancellations_saved(&self) -> u64 {
+        self.nodes.iter().map(|n| n.cancellations_saved).sum()
+    }
 }
 
 #[cfg(test)]
@@ -109,6 +134,20 @@ mod tests {
         assert_eq!(c.total_messages(), 4);
         assert_eq!(c.total_bytes(), 150);
         assert_eq!(c.node(1).messages_sent, 1);
+    }
+
+    #[test]
+    fn draft_and_cancellation_aggregates() {
+        let mut c = ClusterStats::new(3);
+        c.nodes[0].draft_messages_sent = 4;
+        c.nodes[0].draft_bytes_sent = 400;
+        c.nodes[1].draft_messages_sent = 2;
+        c.nodes[1].draft_bytes_sent = 100;
+        c.nodes[1].cancellations_saved = 5;
+        c.nodes[2].cancellations_saved = 1;
+        assert_eq!(c.total_draft_messages(), 6);
+        assert_eq!(c.total_draft_bytes(), 500);
+        assert_eq!(c.total_cancellations_saved(), 6);
     }
 
     #[test]

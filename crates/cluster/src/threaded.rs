@@ -53,6 +53,10 @@ impl<M: WireMessage> NodeCtx<M> for ThreadedCtx<M> {
     fn send(&mut self, dst: Rank, tag: Tag, msg: M) {
         self.stats.messages_sent += 1;
         self.stats.bytes_sent += msg.wire_bytes();
+        if msg.is_draft() {
+            self.stats.draft_messages_sent += 1;
+            self.stats.draft_bytes_sent += msg.wire_bytes();
+        }
         // A send to a rank that already exited is silently dropped, matching
         // buffered-send semantics after a receiver has finalised.
         let _ = self.senders[dst].send(Envelope {
@@ -64,6 +68,9 @@ impl<M: WireMessage> NodeCtx<M> for ThreadedCtx<M> {
     fn elapse(&mut self, seconds: SimTime) {
         // Real compute already took real time; only record it.
         self.stats.busy_time += seconds.max(0.0);
+    }
+    fn record_cancellation_saved(&mut self, n: u64) {
+        self.stats.cancellations_saved += n;
     }
 }
 

@@ -3,14 +3,28 @@
 //! The head keeps the dedicated draft rank busy by issuing micro-batch draft
 //! requests whenever verification work would otherwise leave it idle.  The
 //! [`SpeculationController`] decides *whether* another request should be
-//! issued and with *what* confidence cutoff, implementing the paper's
-//! reactive speculation: every successful continuous-speculation iteration
-//! raises the cutoff by the *recovery factor* (so speculation gets harder the
-//! further it runs ahead), a completed accepted run resets it, and a failed
-//! speculation with nothing waiting to be sampled lowers it by the *decay
-//! factor* (so an idle system speculates more aggressively).
+//! issued, with *what* confidence cutoff, and in *what shape*:
+//!
+//! * the paper's reactive speculation gradient — every successful
+//!   continuous-speculation iteration raises the cutoff by the *recovery
+//!   factor* (so speculation gets harder the further it runs ahead), a
+//!   completed accepted run resets it, and a failed speculation with nothing
+//!   waiting to be sampled lowers it by the *decay factor* (so an idle
+//!   system speculates more aggressively);
+//! * with `micro_width > 1`, a per-iteration **width×depth tree shape**
+//!   chosen by the same windowed-acceptance expected-value model the tree
+//!   strategy uses ([`pi_spec::AdaptiveShape`]): deep chains while the draft
+//!   model tracks the target, wide shallow hedges when it struggles, always
+//!   inside the `micro_batch` node budget.  Width 1 degenerates to the
+//!   pre-tree chain micro-batches exactly.
 
 use crate::PipeInferConfig;
+use pi_spec::{AdaptiveShape, TreeConfig};
+
+/// Starting acceptance estimate of the shape model: optimistic, so a fresh
+/// generation begins with a pure chain and only widens on evidence (matching
+/// `pi_spec::tree`'s prior).
+const SHAPE_PRIOR: f64 = 0.8;
 
 /// Reactive continuous-speculation controller.
 #[derive(Debug, Clone)]
@@ -23,12 +37,26 @@ pub struct SpeculationController {
     max_ahead: usize,
     continuous: bool,
     ablation_batch: usize,
+    /// Present iff `micro_width > 1`: the windowed acceptance model re-
+    /// splitting the micro-batch budget between width and depth.
+    shape: Option<AdaptiveShape>,
 }
 
 impl SpeculationController {
     /// Creates a controller from the run configuration and the base
     /// speculation cutoff.
     pub fn new(config: &PipeInferConfig, base_cutoff: f32) -> Self {
+        let shape = (config.micro_width > 1).then(|| {
+            AdaptiveShape::new(
+                TreeConfig {
+                    max_width: config.micro_width,
+                    max_depth: config.micro_batch.max(1),
+                    window: config.shape_window.max(1),
+                },
+                config.micro_batch.max(1),
+                SHAPE_PRIOR,
+            )
+        });
         Self {
             base_cutoff,
             cutoff: base_cutoff,
@@ -38,6 +66,7 @@ impl SpeculationController {
             max_ahead: config.max_speculation_ahead.max(1),
             continuous: config.enable_continuous_speculation,
             ablation_batch: config.ablation_batch.max(1),
+            shape,
         }
     }
 
@@ -52,6 +81,25 @@ impl SpeculationController {
             self.micro_batch
         } else {
             self.ablation_batch
+        }
+    }
+
+    /// The `(width, depth)` of the next micro-batch: `(1, batch_size())`
+    /// for chain micro-batches, the adaptive shape model's argmax inside
+    /// the node budget otherwise.
+    pub fn shape(&self) -> (usize, usize) {
+        match &self.shape {
+            Some(model) if self.continuous => model.shape(),
+            _ => (1, self.batch_size()),
+        }
+    }
+
+    /// Records one resolved speculative run's outcome for the shape model:
+    /// the accepted prefix of the *primary spine* out of a tree spanning
+    /// `span` positions.  A no-op for chain micro-batches.
+    pub fn observe_shape(&mut self, spine_accepted: usize, span: usize) {
+        if let Some(model) = &mut self.shape {
+            model.observe(spine_accepted, span);
         }
     }
 
@@ -177,5 +225,43 @@ mod tests {
     fn continuous_mode_uses_micro_batches() {
         let c = controller();
         assert_eq!(c.batch_size(), PipeInferConfig::default().micro_batch);
+    }
+
+    #[test]
+    fn width_one_shape_is_the_plain_chain() {
+        let c = controller();
+        assert_eq!(c.shape(), (1, c.batch_size()));
+        let abl = SpeculationController::new(&PipeInferConfig::no_continuous_speculation(), 0.4);
+        assert_eq!(abl.shape(), (1, abl.batch_size()));
+    }
+
+    #[test]
+    fn tree_micro_shape_adapts_within_the_budget() {
+        let cfg = PipeInferConfig::tree_micro();
+        let mut c = SpeculationController::new(&cfg, 0.4);
+        // Optimistic prior: starts as a pure chain at full depth.
+        assert_eq!(c.shape(), (1, cfg.micro_batch));
+        // Sustained rejection widens while preserving the node budget.
+        for _ in 0..2 * cfg.shape_window {
+            c.observe_shape(0, cfg.micro_batch);
+        }
+        let (w, d) = c.shape();
+        assert!(w > 1, "width must grow under rejection, got {w}");
+        assert!(w <= cfg.micro_width);
+        assert_eq!(w + d - 1, cfg.micro_batch, "budget must be preserved");
+        // Recovery narrows back to the chain.
+        for _ in 0..2 * cfg.shape_window {
+            c.observe_shape(cfg.micro_batch, cfg.micro_batch);
+        }
+        assert_eq!(c.shape(), (1, cfg.micro_batch));
+    }
+
+    #[test]
+    fn observe_shape_is_a_no_op_for_chains() {
+        let mut c = controller();
+        for _ in 0..16 {
+            c.observe_shape(0, 2);
+        }
+        assert_eq!(c.shape(), (1, c.batch_size()));
     }
 }

@@ -1,24 +1,33 @@
 //! The PipeInfer head rank.
 //!
 //! Following the paper's deployment (Fig. 3), the head rank hosts the
-//! *speculative model* and the sampling/verification logic, while the target
-//! model is split across the remaining ranks — the target pipeline is
-//! therefore one node shorter than under iterative inference, which is why
-//! the paper sometimes measures *lower* TTFT than the iterative baseline.
-//! The head owns the whole orchestration described in §IV:
+//! sampling/verification logic, while the target model is split across the
+//! remaining ranks — the target pipeline is therefore one node shorter than
+//! under iterative inference, which is why the paper sometimes measures
+//! *lower* TTFT than the iterative baseline.  The speculative model runs
+//! either on the head itself ([`DraftSource::Local`], the layout earlier PRs
+//! used) or on the dedicated draft rank of Fig. 3
+//! ([`DraftSource::Remote`]), which the head drives with
+//! `DraftRequest`/`DraftResponse` transactions so drafting overlaps with
+//! verification instead of stalling the head.  The head owns the whole
+//! orchestration described in §IV:
 //!
 //! * it embeds each batch and hands it to the first target stage,
-//! * it drafts speculative micro-batches with its local draft model whenever
-//!   probing finds no returned logits waiting (Asynchronous + Continuous
-//!   Speculation — the drafting happens while the target pipeline keeps
-//!   working),
+//! * it obtains speculative micro-batches — genuine width×depth *token
+//!   trees* sized by the [`SpeculationController`]'s acceptance shape model,
+//!   chains being the width-1 degenerate case — whenever probing finds no
+//!   returned logits waiting (Asynchronous + Continuous Speculation),
 //! * it dispatches speculative verification runs without waiting for earlier
 //!   runs to complete, tracking them in a FIFO ([`RunTracker`]),
-//! * it assigns each speculative run a private KV-cache sequence partition
-//!   and pipelines the cache-copy / cache-remove commands that implement the
-//!   multibuffering "buffer swap" (§IV-C),
-//! * it verifies returning runs with the SpecInfer greedy rule, detects
-//!   invalidated runs and back-propagates cancellation signals (§IV-D).
+//! * it assigns each speculative run a contiguous block of private KV-cache
+//!   sequence partitions (one per tree leaf) and pipelines the
+//!   `BranchCommit`/`BranchRollback` commands that implement the
+//!   multibuffering "buffer swap" (§IV-C) at branch granularity,
+//! * it verifies returning runs with the SpecInfer greedy rule walking the
+//!   deepest accepted branch, detects invalidated runs and back-propagates
+//!   cancellation signals (§IV-D) — *branch-granularly*: a run whose sibling
+//!   branch carries the newly accepted token is kept alive instead of
+//!   cancelled with the rest.
 //!
 //! ## Differences from the paper's implementation
 //!
@@ -36,20 +45,41 @@ use crate::multibuffer::{SeqPartitionPool, CANONICAL_SEQ};
 use crate::run_tracker::{RunInfo, RunTracker};
 use crate::PipeInferConfig;
 use pi_cluster::{NodeBehavior, NodeCtx, Rank, Tag};
-use pi_model::{Batch, Pos, SeqId, Token};
+use pi_model::{Batch, Pos, SeqId, Token, TokenTree, TreeNodeId};
 use pi_spec::deploy::RecordHandle;
 use pi_spec::message::tags;
 use pi_spec::{
     ActivationPayload, CacheOp, Drafter, GenConfig, GenerationRecord, HeadEngine, PipeMsg,
-    PipelineRoute, RunId, RunKind,
+    PipelineRoute, RunId, RunKind, TreeTopology,
 };
 use std::collections::VecDeque;
+
+/// Where the head obtains its speculative micro-batches.
+pub enum DraftSource {
+    /// The draft model lives on the head and is invoked synchronously
+    /// between probes (`DraftPlacement::HeadHosted`).
+    Local(Box<dyn Drafter>),
+    /// The draft model lives on a dedicated rank (the paper's Fig. 3,
+    /// `DraftPlacement::DedicatedRank`); the head sends
+    /// [`PipeMsg::DraftRequest`] transactions to it and dispatches the
+    /// returned trees, cancelling stale hypotheses out-of-band.
+    Remote(Rank),
+}
+
+/// A draft request awaiting its response from the dedicated draft rank.
+#[derive(Debug, Clone, Copy)]
+struct InflightDraft {
+    id: u64,
+    /// The confidence cutoff the request was issued with (drives the
+    /// refusal backoff when the reply comes back empty).
+    cutoff: f32,
+}
 
 /// The PipeInfer head rank state machine.
 pub struct PipeInferHead {
     route: PipelineRoute,
     engine: Box<dyn HeadEngine>,
-    drafter: Box<dyn Drafter>,
+    draft: DraftSource,
     gen_config: GenConfig,
     config: PipeInferConfig,
     controller: SpeculationController,
@@ -59,8 +89,9 @@ pub struct PipeInferHead {
     /// Accepted tokens (prompt included).  The last element may still be
     /// unevaluated (the pending token).
     accepted: Vec<Token>,
-    /// Accepted tokens followed by every dispatched, unresolved speculative
-    /// token — the head's current best guess of the generation.
+    /// Accepted tokens followed by the primary spine of every dispatched,
+    /// unresolved speculative tree — the head's current best guess of the
+    /// generation.
     hypothesis: Vec<Token>,
     /// The target's known-true token for position `accepted.len()`, once the
     /// run covering the last accepted token has returned.
@@ -68,6 +99,14 @@ pub struct PipeInferHead {
     prompt_done: bool,
 
     next_run_id: RunId,
+    next_draft_id: u64,
+    inflight_draft: Option<InflightDraft>,
+    /// Set when the draft rank returned an empty draft: `(cutoff, hyp_len)`
+    /// at refusal time.  No new request is sent until the cutoff drops below
+    /// the refused one or the hypothesis changes — the remote analogue of
+    /// the local path's "stop speculating until verification catches up",
+    /// without which the head busy-loops request/empty-response round trips.
+    draft_refused: Option<(f32, usize)>,
     record: GenerationRecord,
     output: RecordHandle,
     finished: bool,
@@ -79,17 +118,17 @@ impl PipeInferHead {
     /// Creates the head rank.
     ///
     /// * `route` — the target-pipeline route; the head is stage 0 and
-    ///   typically holds an *empty* layer range (the draft model lives here
-    ///   instead).
+    ///   typically holds an *empty* layer range.
     /// * `engine` — embedding / output-head / stage-0 evaluation engine.
-    /// * `drafter` — the local speculative model front-end.
+    /// * `draft` — the speculative-model front-end: hosted locally or
+    ///   reached over the wire on the dedicated draft rank.
     /// * `gen_config` / `config` — generation parameters and PipeInfer
     ///   tuning/ablation switches.
     /// * `output` — handle the final [`GenerationRecord`] is written to.
     pub fn new(
         route: PipelineRoute,
         engine: Box<dyn HeadEngine>,
-        drafter: Box<dyn Drafter>,
+        draft: DraftSource,
         gen_config: GenConfig,
         config: PipeInferConfig,
         output: RecordHandle,
@@ -99,7 +138,7 @@ impl PipeInferHead {
         Self {
             route,
             engine,
-            drafter,
+            draft,
             gen_config,
             config,
             controller,
@@ -110,6 +149,9 @@ impl PipeInferHead {
             expected: None,
             prompt_done: false,
             next_run_id: 0,
+            next_draft_id: 0,
+            inflight_draft: None,
+            draft_refused: None,
             record: GenerationRecord::default(),
             output,
             finished: false,
@@ -145,22 +187,17 @@ impl PipeInferHead {
         }
     }
 
-    fn dispatch_run(
+    fn send_decode(
         &mut self,
-        tokens: Vec<Token>,
-        base_pos: Pos,
+        run_id: RunId,
         kind: RunKind,
-        seq: SeqId,
+        batch: Batch,
+        topology: Option<TreeTopology>,
         ctx: &mut dyn NodeCtx<PipeMsg>,
     ) {
-        let run_id = self.next_run_id;
-        self.next_run_id += 1;
         self.record.runs_launched += 1;
-        let batch = Self::make_batch(&tokens, base_pos, seq);
         let (payload, cost) = self.engine.eval_first_stage(&batch);
         ctx.elapse(cost);
-        self.tracker
-            .push(RunInfo::chain(run_id, kind, &tokens, base_pos, seq));
         if let Some(next) = self.route.next_after(self.route.head()) {
             ctx.send(
                 next,
@@ -170,9 +207,7 @@ impl PipeInferHead {
                     kind,
                     batch,
                     payload,
-                    // Continuous micro-batches are degenerate single-branch
-                    // trees; their topology is implicit in batch order.
-                    tree: None,
+                    tree: topology,
                 },
             );
         } else {
@@ -180,42 +215,82 @@ impl PipeInferHead {
         }
     }
 
-    /// Dispatches a speculative micro-batch covering the next positions of
-    /// the hypothesis.
-    fn dispatch_spec_chunk(&mut self, tokens: Vec<Token>, ctx: &mut dyn NodeCtx<PipeMsg>) {
-        if tokens.is_empty() {
+    /// Dispatches a non-speculative run (prompt processing, pending token)
+    /// into the canonical sequence.
+    fn dispatch_run(&mut self, tokens: Vec<Token>, base_pos: Pos, ctx: &mut dyn NodeCtx<PipeMsg>) {
+        let run_id = self.next_run_id;
+        self.next_run_id += 1;
+        let batch = Self::make_batch(&tokens, base_pos, CANONICAL_SEQ);
+        self.tracker.push(RunInfo::chain(
+            run_id,
+            RunKind::NonSpeculative,
+            &tokens,
+            base_pos,
+            CANONICAL_SEQ,
+        ));
+        self.send_decode(run_id, RunKind::NonSpeculative, batch, None, ctx);
+    }
+
+    /// Dispatches a speculative tree micro-batch covering the next positions
+    /// of the hypothesis.  The hypothesis is extended with the tree's
+    /// primary spine; sibling branches ride along as hedges.
+    fn dispatch_spec_tree(&mut self, tree: TokenTree, ctx: &mut dyn NodeCtx<PipeMsg>) {
+        if tree.is_empty() {
             return;
         }
-        let Some(seq) = self.pool.alloc() else {
-            // No free partition: drop the speculation (it will be re-drafted
-            // later if still useful).
+        let n_leaves = tree.n_sequences();
+        let Some(first_seq) = self.pool.alloc_block(n_leaves) else {
+            // No free partition block: drop the speculation (it will be
+            // re-drafted later if still useful).
             return;
         };
-        // Give the new partition the shared prefix: the latest in-flight
+        // Give every leaf partition the shared prefix: the latest in-flight
         // speculative partition already holds canonical + all prior
-        // speculated entries; fall back to the canonical sequence.
+        // speculated entries along the hypothesis; fall back to the
+        // canonical sequence.
         let src = self
             .tracker
             .latest_speculative_seq()
             .unwrap_or(CANONICAL_SEQ);
-        self.send_cache_op(
-            CacheOp::SeqCp {
-                src,
-                dst: seq,
-                p0: 0,
-                p1: Pos::MAX,
-            },
-            ctx,
-        );
+        for leaf in 0..n_leaves as SeqId {
+            self.send_cache_op(
+                CacheOp::SeqCp {
+                    src,
+                    dst: first_seq + leaf,
+                    p0: 0,
+                    p1: Pos::MAX,
+                },
+                ctx,
+            );
+        }
         let base = self.hypothesis.len() as Pos;
-        self.record.drafted += tokens.len();
-        self.hypothesis.extend(tokens.iter().copied());
-        self.dispatch_run(tokens, base, RunKind::Speculative, seq, ctx);
+        self.record.drafted += tree.len();
+        if self.config.micro_width > 1 {
+            self.record.tree_rounds += 1;
+            self.record.tree_nodes += tree.len();
+            self.record
+                .tree_shapes
+                .push((tree.roots().len(), tree.spine().len()));
+        }
+        for &node in &tree.spine() {
+            self.hypothesis.push(tree.nodes()[node].token);
+        }
+        let run_id = self.next_run_id;
+        self.next_run_id += 1;
+        let batch = tree.to_batch(base, first_seq);
+        // Chains keep their topology implicit in batch order (degenerate
+        // single-branch trees); only genuine trees ship parent links.
+        let topology = (n_leaves > 1).then(|| TreeTopology::from_tree(&tree));
+        self.tracker
+            .push(RunInfo::tree(run_id, tree, base, first_seq));
+        self.send_decode(run_id, RunKind::Speculative, batch, topology, ctx);
     }
 
-    /// One iteration of continuous speculation: probe-found-nothing ⇒ draft a
-    /// micro-batch with the local speculative model and dispatch it.
-    /// Returns `true` if a chunk was dispatched.
+    /// One iteration of continuous speculation: probe-found-nothing ⇒ obtain
+    /// a tree micro-batch from the draft source.  Locally hosted drafters
+    /// draft and dispatch synchronously; the dedicated draft rank is sent a
+    /// request whose response dispatches on arrival.  Returns `true` if
+    /// useful work was performed.
     fn try_speculate(&mut self, ctx: &mut dyn NodeCtx<PipeMsg>) -> bool {
         if self.finished || !self.prompt_done {
             return false;
@@ -228,23 +303,157 @@ impl PipeInferHead {
         ) {
             return false;
         }
-        let (chain, cost) = self.drafter.draft(
-            &self.hypothesis,
-            &[],
-            self.controller.batch_size(),
-            self.controller.cutoff(),
-        );
-        ctx.elapse(cost);
-        if chain.is_empty() {
-            // The draft model is not confident enough under the current
-            // cutoff gradient: stop speculating until verification catches
-            // up (a run completion resets the cutoff).
-            return false;
+        let (width, depth) = self.controller.shape();
+        match &mut self.draft {
+            DraftSource::Local(drafter) => {
+                let (tree, cost) = drafter.draft_tree(
+                    &self.hypothesis,
+                    &[],
+                    width,
+                    depth,
+                    self.controller.cutoff(),
+                );
+                ctx.elapse(cost);
+                if tree.is_empty() {
+                    // The draft model is not confident enough under the
+                    // current cutoff gradient: stop speculating until
+                    // verification catches up (a run completion resets the
+                    // cutoff).
+                    return false;
+                }
+                self.controller.on_iteration();
+                self.dispatch_spec_tree(tree, ctx);
+                true
+            }
+            DraftSource::Remote(rank) => {
+                if self.inflight_draft.is_some() {
+                    // One hypothesis in flight at a time; the response (or
+                    // its invalidation) unblocks the next request.
+                    return false;
+                }
+                let cutoff = self.controller.cutoff();
+                if let Some((refused_cutoff, refused_len)) = self.draft_refused {
+                    if cutoff >= refused_cutoff && self.hypothesis.len() == refused_len {
+                        // The draft rank already refused this hypothesis at
+                        // an equal-or-lower bar; wait for verification to
+                        // lower the cutoff or move the hypothesis.
+                        return false;
+                    }
+                    self.draft_refused = None;
+                }
+                let id = self.next_draft_id;
+                self.next_draft_id += 1;
+                self.inflight_draft = Some(InflightDraft { id, cutoff });
+                self.record.draft_requests += 1;
+                let rank = *rank;
+                ctx.send(
+                    rank,
+                    tags::DRAFT,
+                    PipeMsg::DraftRequest {
+                        request_id: id,
+                        context: self.hypothesis.clone(),
+                        width,
+                        max_tokens: depth,
+                        confidence_cutoff: cutoff,
+                    },
+                );
+                true
+            }
+        }
+    }
+
+    /// Handles the dedicated draft rank's response: drops it if the
+    /// hypothesis it continues has been invalidated or extended since the
+    /// request, otherwise dispatches the returned tree.
+    fn handle_draft_response(
+        &mut self,
+        request_id: u64,
+        nodes: Vec<(Token, f32)>,
+        topology: TreeTopology,
+        context_len: usize,
+        ctx: &mut dyn NodeCtx<PipeMsg>,
+    ) {
+        if self.finished {
+            return;
+        }
+        let inflight = self.inflight_draft;
+        let fresh = matches!(inflight, Some(d) if d.id == request_id);
+        if fresh {
+            self.inflight_draft = None;
+        }
+        if !fresh {
+            // A response to an abandoned (invalidated) hypothesis: these
+            // tokens continue a sequence that no longer exists.  Already
+            // counted as stale when the cancellation was issued — the only
+            // way a request stops being the in-flight one without its
+            // response arriving.
+            return;
+        }
+        if nodes.is_empty() {
+            // The draft rank was not confident enough under the request's
+            // cutoff; back off until the gradient or the hypothesis moves.
+            // The refusal applies to the *requested* context only — if the
+            // hypothesis has grown since, the draft rank never judged it, so
+            // the next request goes out unimpeded.
+            if context_len == self.hypothesis.len() {
+                let cutoff = inflight.map(|d| d.cutoff).unwrap_or(0.0);
+                self.draft_refused = Some((cutoff, context_len));
+            }
+            return;
+        }
+        let mut tree = topology.to_tree(&nodes);
+        if context_len != self.hypothesis.len() {
+            // The hypothesis moved ahead while the request was in flight
+            // (accepted tokens extended it, without an invalidation — an
+            // invalidation would have cancelled the request).  Salvage the
+            // draft's unused tail: if the drafted tree covers the gap
+            // exactly, its remainder still continues the current hypothesis.
+            let Some(tail) = (context_len < self.hypothesis.len())
+                .then(|| {
+                    let gap = &self.hypothesis[context_len..];
+                    let mut level = tree.roots();
+                    let mut last = None;
+                    for &tok in gap {
+                        let hit = level.iter().find(|&&id| tree.nodes()[id].token == tok)?;
+                        last = Some(*hit);
+                        level = tree.nodes()[*hit].children.clone();
+                    }
+                    last.map(|node| tree.subtree_below(node))
+                })
+                .flatten()
+                .filter(|t| !t.is_empty())
+            else {
+                self.record.draft_stale += 1;
+                return;
+            };
+            tree = tail;
+            self.record.draft_salvaged += 1;
+        }
+        // Re-check the gate: partitions or the speculation budget may have
+        // been consumed while the request was in flight.  This drop is
+        // backpressure, not staleness — the hypothesis is intact and the
+        // draft will simply be re-requested when the gate reopens.
+        let ahead = self.hypothesis.len() - self.accepted.len();
+        if !self.controller.should_request(
+            ahead,
+            self.tracker.active_speculative(),
+            self.pool.available(),
+        ) {
+            return;
         }
         self.controller.on_iteration();
-        let tokens: Vec<Token> = chain.into_iter().map(|(t, _)| t).collect();
-        self.dispatch_spec_chunk(tokens, ctx);
-        true
+        self.dispatch_spec_tree(tree, ctx);
+    }
+
+    /// Cancels the in-flight draft request, if any: its hypothesis has just
+    /// been invalidated, so the draft rank should drop it unserved.
+    fn cancel_inflight_draft(&mut self, ctx: &mut dyn NodeCtx<PipeMsg>) {
+        if let DraftSource::Remote(rank) = self.draft {
+            if let Some(d) = self.inflight_draft.take() {
+                self.record.draft_stale += 1;
+                ctx.send(rank, tags::CANCEL, PipeMsg::DraftCancel { up_to: d.id });
+            }
+        }
     }
 
     /// Accepts `token` as the new pending token (correction or anticipated
@@ -259,41 +468,99 @@ impl PipeInferHead {
         }
         self.expected = None;
         let base = (self.accepted.len() - 1) as Pos;
-        self.dispatch_run(
-            vec![token],
-            base,
-            RunKind::NonSpeculative,
-            CANONICAL_SEQ,
-            ctx,
-        );
+        self.dispatch_run(vec![token], base, ctx);
     }
 
-    /// Invalidates every in-flight speculative run covering positions at or
-    /// after `pos` and back-propagates cancellation signals.
-    fn invalidate_from(&mut self, pos: Pos, ctx: &mut dyn NodeCtx<PipeMsg>) {
-        let cancelled = self.tracker.invalidate_from(pos);
-        self.record.runs_cancelled += cancelled.len();
+    /// Accepts `token` knowing an in-flight run's surviving sibling branch
+    /// already covers it: no non-speculative run is needed — the kept run's
+    /// result will confirm the token and re-establish the expectation (the
+    /// branch-granular analogue of the paper's anticipated acceptance).
+    fn accept_rescued(&mut self, token: Token, ctx: &mut dyn NodeCtx<PipeMsg>) {
+        self.accepted.push(token);
+        if self.prompt_done {
+            self.record.tokens.push(token);
+            self.record.accept_times.push(ctx.now());
+        }
+        self.controller.on_accept();
+        self.expected = None;
+        self.hypothesis = self.accepted.clone();
+    }
+
+    /// Cancellation sweep: marks in-flight speculative runs from `pos` on as
+    /// invalid and back-propagates cancellation signals.  When `rescue`
+    /// carries the accepted token for `pos`, a run whose sibling branch
+    /// holds it survives the sweep; returns `true` iff one did.
+    fn cancel_runs_from(
+        &mut self,
+        pos: Pos,
+        rescue: Option<Token>,
+        ctx: &mut dyn NodeCtx<PipeMsg>,
+    ) -> bool {
+        let outcome = self.tracker.invalidate_from(pos, rescue);
+        self.record.runs_cancelled += outcome.cancelled.len();
+        if outcome.rescued.is_some() {
+            self.record.runs_rescued += 1;
+        }
         if self.config.enable_cancellation && self.route.n_stages() > 1 {
-            for run_id in cancelled {
+            for run_id in outcome.cancelled {
                 ctx.send(self.route.last(), tags::CANCEL, PipeMsg::Cancel { run_id });
             }
         }
         self.controller.on_failure_while_idle();
+        self.cancel_inflight_draft(ctx);
+        // The correction rewrites the hypothesis's content, so a standing
+        // refusal (keyed on the old content's length) no longer applies.
+        self.draft_refused = None;
+        outcome.rescued.is_some()
+    }
+
+    /// Handles a divergence discovered at `accepted.len()`: invalidate the
+    /// contradicted speculation, then accept the correction — through the
+    /// rescued sibling branch when one survives, through a fresh
+    /// non-speculative run otherwise.
+    ///
+    /// `observe_rejection` is set by callers whose divergence no surviving
+    /// run will report to the shape model (the anticipation path): when the
+    /// sweep cancels the covering run outright, the spine rejection is
+    /// registered here — a rescued run reports its own outcome later, and a
+    /// within-walk mismatch was already observed by the walking run.
+    fn correct_frontier(
+        &mut self,
+        correction: Token,
+        observe_rejection: bool,
+        ctx: &mut dyn NodeCtx<PipeMsg>,
+    ) {
+        let pos = self.accepted.len() as Pos;
+        let rescue_token = self.config.branch_invalidation.then_some(correction);
+        let rescued = self.cancel_runs_from(pos, rescue_token, ctx);
         self.hypothesis.truncate(self.accepted.len());
+        if observe_rejection && !rescued {
+            self.controller.observe_shape(0, 1);
+        }
+        if rescued {
+            self.accept_rescued(correction, ctx);
+        } else {
+            self.accept_new_pending(correction, ctx);
+        }
     }
 
     /// Handles a newly learned true token `e` for position `accepted.len()`:
     /// either an in-flight speculation already covers it (and will be
-    /// verified when it returns), or speculation diverged (invalidate), or
-    /// nothing covers it (accept it immediately and keep the pipeline busy
-    /// with its non-speculative run).
+    /// verified when it returns), or speculation diverged (invalidate, with
+    /// sibling branches eligible for rescue), or nothing covers it (accept
+    /// it immediately and keep the pipeline busy with its non-speculative
+    /// run).
     fn resolve_expected(&mut self, e: Token, ctx: &mut dyn NodeCtx<PipeMsg>) {
         self.expected = Some(e);
         let pos = self.accepted.len();
         if self.hypothesis.len() > pos {
             if self.hypothesis[pos] != e {
-                self.invalidate_from(pos as Pos, ctx);
-                self.accept_new_pending(e, ctx);
+                // Unless a sibling branch rescues it, the covering run is
+                // about to be cancelled and will never report its own
+                // outcome: `correct_frontier` registers the spine rejection
+                // in that case, or the shape model only ever sees the
+                // survivors and stays optimistic.
+                self.correct_frontier(e, true, ctx);
             } else {
                 // The token is already speculated and its verification run is
                 // in flight — but it is the target's own choice, so it is
@@ -317,6 +584,37 @@ impl PipeInferHead {
 
     // ----- result handling --------------------------------------------------
 
+    /// Releases a speculative run's partition block, committing the accepted
+    /// root-to-leaf path into the canonical sequence first when one exists.
+    /// `committed` carries the path's leaf partition and one past the last
+    /// accepted position.
+    fn release_run(
+        &mut self,
+        info: &RunInfo,
+        committed: Option<(SeqId, Pos)>,
+        ctx: &mut dyn NodeCtx<PipeMsg>,
+    ) {
+        if info.n_seqs == 0 {
+            return;
+        }
+        let op = match committed {
+            Some((path, p1)) => CacheOp::BranchCommit {
+                dst: CANONICAL_SEQ,
+                path,
+                first: info.first_seq,
+                n_seqs: info.n_seqs as u32,
+                p0: info.base_pos,
+                p1,
+            },
+            None => CacheOp::BranchRollback {
+                first: info.first_seq,
+                n_seqs: info.n_seqs as u32,
+            },
+        };
+        self.send_cache_op(op, ctx);
+        self.pool.free_block(info.first_seq, info.n_seqs);
+    }
+
     fn handle_result(
         &mut self,
         run_id: RunId,
@@ -328,15 +626,13 @@ impl PipeInferHead {
         }
         let info = self.tracker.pop_expect(run_id);
         if info.cancelled {
-            if info.kind == RunKind::Speculative {
-                self.release_partition(info.seq, ctx);
-            }
+            self.release_run(&info, None, ctx);
             return;
         }
         let run_tokens = info.tokens();
         // Prompt completion.
         if !self.prompt_done {
-            let batch = Self::make_batch(&run_tokens, info.base_pos, info.seq);
+            let batch = Self::make_batch(&run_tokens, info.base_pos, info.first_seq);
             let (greedy, cost) = self.engine.finalize(&batch, &payload, &[]);
             ctx.elapse(cost);
             self.prompt_done = true;
@@ -349,19 +645,19 @@ impl PipeInferHead {
             self.accepted.push(pending);
             self.hypothesis = self.accepted.clone();
             let base = (self.accepted.len() - 1) as Pos;
-            self.dispatch_run(
-                vec![pending],
-                base,
-                RunKind::NonSpeculative,
-                CANONICAL_SEQ,
-                ctx,
-            );
+            self.dispatch_run(vec![pending], base, ctx);
             return;
         }
 
         let context = &self.accepted[..info.base_pos as usize];
-        let batch = Self::make_batch(&run_tokens, info.base_pos, info.seq);
-        let (greedy, cost) = self.engine.finalize(&batch, &payload, context);
+        let batch = info.tree.to_batch(info.base_pos, info.first_seq);
+        let (greedy, cost) = if info.n_seqs > 1 {
+            let parents = info.tree.parents();
+            self.engine
+                .finalize_tree(&batch, &payload, context, &parents)
+        } else {
+            self.engine.finalize(&batch, &payload, context)
+        };
         ctx.elapse(cost);
 
         match info.kind {
@@ -370,69 +666,7 @@ impl PipeInferHead {
                 self.resolve_expected(e, ctx);
             }
             RunKind::Speculative => {
-                // `exp` holds the target's true token at the verification
-                // frontier.  A chunk may start with tokens that were already
-                // accepted in anticipation (see `resolve_expected`); those
-                // are confirmed rather than re-accepted, and their greedy
-                // outputs re-establish the expectation.
-                let mut exp = if (info.base_pos as usize) >= self.accepted.len() {
-                    self.expected
-                } else {
-                    None
-                };
-                let mut confirmed = 0usize;
-                let mut mismatch: Option<Token> = None;
-                for (j, &tok) in run_tokens.iter().enumerate() {
-                    let pos = info.base_pos as usize + j;
-                    if pos < self.accepted.len() {
-                        debug_assert_eq!(tok, self.accepted[pos], "pre-accepted token mismatch");
-                        confirmed += 1;
-                        exp = Some(greedy[j]);
-                        continue;
-                    }
-                    let expected_tok = exp.expect(
-                        "speculative result arrived before its expectation was established",
-                    );
-                    if tok == expected_tok {
-                        self.accepted.push(tok);
-                        self.record.tokens.push(tok);
-                        self.record.accept_times.push(ctx.now());
-                        confirmed += 1;
-                        exp = Some(greedy[j]);
-                    } else {
-                        mismatch = Some(expected_tok);
-                        break;
-                    }
-                }
-                self.record.accepted_drafts += confirmed;
-                // Buffer swap: copy the accepted entries into the canonical
-                // sequence, then release the partition.
-                if confirmed > 0 {
-                    self.send_cache_op(
-                        CacheOp::SeqCp {
-                            src: info.seq,
-                            dst: CANONICAL_SEQ,
-                            p0: info.base_pos,
-                            p1: info.base_pos + confirmed as Pos,
-                        },
-                        ctx,
-                    );
-                    self.controller.on_accept();
-                }
-                self.release_partition(info.seq, ctx);
-
-                match mismatch {
-                    None => {
-                        let e = exp.expect("non-empty chunk always yields an expectation");
-                        self.resolve_expected(e, ctx);
-                    }
-                    Some(correction) => {
-                        // Mismatch inside the chunk: everything speculated
-                        // past the accepted prefix is invalid.
-                        self.invalidate_from(self.accepted.len() as Pos, ctx);
-                        self.accept_new_pending(correction, ctx);
-                    }
-                }
+                self.resolve_speculative(info, greedy, ctx);
             }
         }
 
@@ -441,16 +675,137 @@ impl PipeInferHead {
         }
     }
 
-    fn release_partition(&mut self, seq: SeqId, ctx: &mut dyn NodeCtx<PipeMsg>) {
-        self.send_cache_op(
-            CacheOp::SeqRm {
-                seq,
-                p0: 0,
-                p1: Pos::MAX,
-            },
-            ctx,
-        );
-        self.pool.free(seq);
+    /// Verifies a returned speculative tree run: walks the deepest branch
+    /// consistent with the accepted tokens (confirming tokens accepted in
+    /// anticipation or through a rescue) and the target's greedy choices
+    /// (accepting fresh ones), commits the accepted path's KV entries, and
+    /// resolves the new expectation.
+    ///
+    /// `greedy[id]` is the target's true token after node `id`'s
+    /// root-to-node path.  For a degenerate chain this reduces exactly to
+    /// the longest-prefix rule of linear speculation.
+    fn resolve_speculative(
+        &mut self,
+        info: RunInfo,
+        greedy: Vec<Token>,
+        ctx: &mut dyn NodeCtx<PipeMsg>,
+    ) {
+        let nodes = info.tree.nodes();
+        let mut level: Vec<TreeNodeId> = info.tree.roots();
+        let mut pos = info.base_pos as usize;
+        // The expectation at the walk frontier: pre-accepted positions carry
+        // their own truth; past them the target's choice after the last
+        // walked node (seeded with the standing expectation when the run
+        // starts at the frontier).
+        let mut exp: Option<Token> = if pos >= self.accepted.len() {
+            self.expected
+        } else {
+            None
+        };
+        let mut path: Vec<TreeNodeId> = Vec::new();
+        let mut confirmed = 0usize;
+        let mut mismatch: Option<Token> = None;
+        let mut inconsistent = false;
+        // Set once the walk accepts a node off the hypothesis (a sibling
+        // branch rescuing the round synchronously): everything speculated
+        // after that position descends from the rejected spine.
+        let mut deviated = false;
+        while !level.is_empty() {
+            let want = if pos < self.accepted.len() {
+                self.accepted[pos]
+            } else {
+                exp.expect("speculative result arrived before its expectation was established")
+            };
+            let Some(&hit) = level.iter().find(|&&id| nodes[id].token == want) else {
+                if pos < self.accepted.len() {
+                    // No branch lies on the already-accepted path: the run
+                    // contributed nothing and a covering run for these
+                    // positions is already in flight (it should have been
+                    // cancelled; reaching here is only possible with
+                    // whole-run invalidation disabled mid-stream).
+                    debug_assert!(false, "uncancelled run off the accepted path");
+                    inconsistent = true;
+                } else {
+                    mismatch = Some(want);
+                }
+                break;
+            };
+            if pos >= self.accepted.len() {
+                debug_assert_eq!(pos, self.accepted.len(), "walk positions are contiguous");
+                match self.hypothesis.get(pos) {
+                    // Position not covered by any hypothesis: nothing was
+                    // drafted past here, so there is nothing to invalidate
+                    // (deep branches of an already-rescued run land here).
+                    None => {}
+                    Some(&h) if h != want && !deviated => {
+                        // The target chose a sibling branch over the spine:
+                        // the hypothesis past this position — and every
+                        // in-flight run drafted on it — is invalid, but this
+                        // run's own surviving branch keeps the round alive.
+                        deviated = true;
+                        self.record.runs_rescued += 1;
+                        self.cancel_runs_from(pos as Pos, None, ctx);
+                        self.hypothesis.truncate(pos);
+                    }
+                    Some(_) => {}
+                }
+                self.accepted.push(want);
+                if self.hypothesis.len() < self.accepted.len() {
+                    // Keep the hypothesis a superset of the accepted tokens.
+                    self.hypothesis.push(want);
+                }
+                self.record.tokens.push(want);
+                self.record.accept_times.push(ctx.now());
+            }
+            path.push(hit);
+            confirmed += 1;
+            exp = Some(greedy[hit]);
+            level = nodes[hit].children.clone();
+            pos += 1;
+        }
+        self.record.accepted_drafts += confirmed;
+        if self.config.micro_width > 1 {
+            self.record.tree_accepted_path += confirmed;
+        }
+        // The shape model tracks the primary spine: a round rescued by a
+        // runner-up still rejected the primary candidate.
+        let spine = info.tree.spine();
+        let spine_accepted = path
+            .iter()
+            .zip(&spine)
+            .take_while(|(walked, spine_node)| walked == spine_node)
+            .count();
+        self.controller
+            .observe_shape(spine_accepted, info.tree.span());
+
+        // Buffer swap at branch granularity: commit the accepted path's
+        // entries into the canonical sequence while dropping every sibling
+        // branch, or roll the whole block back when nothing survived.
+        let committed = path.last().map(|&deepest| {
+            let leaf_seq = info.tree.assign_sequences(info.first_seq)[deepest][0];
+            (leaf_seq, info.base_pos + confirmed as Pos)
+        });
+        if committed.is_some() {
+            self.controller.on_accept();
+        }
+        self.release_run(&info, committed, ctx);
+
+        if inconsistent {
+            return;
+        }
+        match mismatch {
+            None => {
+                let e = exp.expect("non-empty run always yields an expectation");
+                self.resolve_expected(e, ctx);
+            }
+            Some(correction) => {
+                // Mismatch at the frontier: everything speculated past the
+                // accepted prefix is invalid — except a sibling branch of a
+                // later run that carries the correction itself.  This run
+                // already reported the rejection to the shape model above.
+                self.correct_frontier(correction, false, ctx);
+            }
+        }
     }
 
     fn drain_local_results(&mut self, ctx: &mut dyn NodeCtx<PipeMsg>) {
@@ -470,6 +825,9 @@ impl PipeInferHead {
         if let Some(next) = self.route.next_after(self.route.head()) {
             ctx.send(next, tags::SHUTDOWN, PipeMsg::Shutdown);
         }
+        if let DraftSource::Remote(rank) = self.draft {
+            ctx.send(rank, tags::SHUTDOWN, PipeMsg::Shutdown);
+        }
         *self.output.lock().unwrap() = Some(self.record.clone());
         self.finished = true;
     }
@@ -479,13 +837,24 @@ impl NodeBehavior<PipeMsg> for PipeInferHead {
     fn on_start(&mut self, ctx: &mut dyn NodeCtx<PipeMsg>) {
         let prompt = self.gen_config.prompt.clone();
         assert!(!prompt.is_empty(), "prompt must not be empty");
-        self.dispatch_run(prompt, 0, RunKind::NonSpeculative, CANONICAL_SEQ, ctx);
+        self.dispatch_run(prompt, 0, ctx);
         self.drain_local_results(ctx);
     }
 
     fn on_message(&mut self, _src: Rank, _tag: Tag, msg: PipeMsg, ctx: &mut dyn NodeCtx<PipeMsg>) {
-        if let PipeMsg::RunResult { run_id, payload } = msg {
-            self.handle_result(run_id, payload, ctx);
+        match msg {
+            PipeMsg::RunResult { run_id, payload } => {
+                self.handle_result(run_id, payload, ctx);
+            }
+            PipeMsg::DraftResponse {
+                request_id,
+                nodes,
+                topology,
+                context_len,
+            } => {
+                self.handle_draft_response(request_id, nodes, topology, context_len, ctx);
+            }
+            _ => {}
         }
         self.drain_local_results(ctx);
     }
@@ -529,7 +898,7 @@ mod tests {
             self.rank
         }
         fn world_size(&self) -> usize {
-            2
+            3
         }
         fn now(&self) -> f64 {
             self.now
@@ -545,30 +914,44 @@ mod tests {
     const ORACLE_SEED: u64 = 77;
     const VOCAB: u32 = 32000;
 
-    /// A two-rank test world: rank 0 = head (drafts locally, no layers),
-    /// rank 1 = a single pipeline worker holding every target layer.
+    /// A test world: rank 0 = head, rank 1 = a single pipeline worker
+    /// holding every target layer, and (for the Fig. 3 layout) rank 2 = the
+    /// dedicated draft rank.
     struct TestWorld {
         head: PipeInferHead,
         worker: pi_spec::PipelineWorker,
+        draft_node: Option<crate::DraftNode>,
         cancel_messages: usize,
     }
 
-    fn build_head(
+    fn oracle_drafter(alignment: f64) -> OracleDrafter {
+        OracleDrafter::new(
+            OracleTarget::new(ORACLE_SEED, VOCAB),
+            OracleDraft::new(ORACLE_SEED + 1, VOCAB, alignment),
+            CostModel::new(NodeSpec::xeon_gold_6140_dual()),
+            ModelCost::new(ModelConfig::tinyllama_1_1b(), QuantKind::Q4K),
+        )
+    }
+
+    fn build_world(
         alignment: f64,
         n_generate: usize,
         config: PipeInferConfig,
     ) -> (TestWorld, RecordHandle) {
         let output: RecordHandle = Arc::new(Mutex::new(None));
         let oracle = OracleTarget::new(ORACLE_SEED, VOCAB);
+        let dedicated = matches!(config.draft_placement, crate::DraftPlacement::DedicatedRank);
+        // Head-hosted: route over ranks {0, 1}.  Dedicated: the worker keeps
+        // rank 1 for simplicity and the draft rank sits at rank 2, off the
+        // route — the head only cares that the draft rank is off-route.
         let route = PipelineRoute::baseline(2);
         let target_cost = ModelCost::new(ModelConfig::llama2_70b(), QuantKind::Q3K);
         let node = NodeSpec::xeon_gold_6140_dual();
-        let drafter = OracleDrafter::new(
-            oracle,
-            OracleDraft::new(ORACLE_SEED + 1, VOCAB, alignment),
-            CostModel::new(node.clone()),
-            ModelCost::new(ModelConfig::tinyllama_1_1b(), QuantKind::Q4K),
-        );
+        let draft = if dedicated {
+            DraftSource::Remote(2)
+        } else {
+            DraftSource::Local(Box::new(oracle_drafter(alignment)))
+        };
         let head = PipeInferHead::new(
             route.clone(),
             Box::new(SimHeadEngine::new(
@@ -577,7 +960,7 @@ mod tests {
                 0,
                 oracle,
             )),
-            Box::new(drafter),
+            draft,
             GenConfig::small_test(vec![3, 1, 4, 1, 5], n_generate),
             config,
             output.clone(),
@@ -587,14 +970,25 @@ mod tests {
             route,
             Box::new(SimStageEngine::new(CostModel::new(node), target_cost, 80)),
         );
+        let draft_node =
+            dedicated.then(|| crate::DraftNode::new(0, Box::new(oracle_drafter(alignment))));
         (
             TestWorld {
                 head,
                 worker,
+                draft_node,
                 cancel_messages: 0,
             },
             output,
         )
+    }
+
+    fn build_head(
+        alignment: f64,
+        n_generate: usize,
+        config: PipeInferConfig,
+    ) -> (TestWorld, RecordHandle) {
+        build_world(alignment, n_generate, config)
     }
 
     /// Runs the world to completion by shuttling messages round by round,
@@ -610,6 +1004,11 @@ mod tests {
             sent: Vec::new(),
             now: 0.0,
         };
+        let mut draft_ctx = TestCtx {
+            rank: 2,
+            sent: Vec::new(),
+            now: 0.0,
+        };
         world.head.on_start(&mut head_ctx);
         let mut safety = 0;
         while !world.head.is_finished() {
@@ -622,20 +1021,39 @@ mod tests {
                     break;
                 }
             }
-            // Deliver the head's outgoing traffic to the worker.
+            // Deliver the head's outgoing traffic.
             let outgoing: Vec<(Rank, PipeMsg)> = head_ctx.sent.drain(..).collect();
             let mut progressed = false;
             for (dst, msg) in outgoing {
                 if matches!(msg, PipeMsg::Cancel { .. }) {
                     world.cancel_messages += 1;
                 }
-                if dst == 1 {
-                    world.worker.on_message(0, 0, msg, &mut worker_ctx);
+                match dst {
+                    1 => {
+                        world.worker.on_message(0, 0, msg, &mut worker_ctx);
+                        progressed = true;
+                    }
+                    2 => {
+                        if let Some(node) = world.draft_node.as_mut() {
+                            node.on_message(0, 0, msg, &mut draft_ctx);
+                            progressed = true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            // Let the draft rank serve its newest request.
+            if let Some(node) = world.draft_node.as_mut() {
+                if node.on_idle(&mut draft_ctx) {
                     progressed = true;
                 }
             }
-            // Deliver the worker's results back to the head.
-            let results: Vec<(Rank, PipeMsg)> = worker_ctx.sent.drain(..).collect();
+            // Deliver worker results and draft responses back to the head.
+            let results: Vec<(Rank, PipeMsg)> = worker_ctx
+                .sent
+                .drain(..)
+                .chain(draft_ctx.sent.drain(..))
+                .collect();
             for (dst, msg) in results {
                 if dst == 0 && !world.head.is_finished() {
                     head_ctx.now += 1e-4;
@@ -663,6 +1081,64 @@ mod tests {
                 truth[1..25].to_vec(),
                 "PipeInfer must preserve greedy output exactly (alignment {alignment})"
             );
+        }
+    }
+
+    #[test]
+    fn tree_micro_batches_preserve_the_stream_and_rescue_runs() {
+        let oracle = OracleTarget::new(ORACLE_SEED, VOCAB);
+        let truth = oracle.generate(&[3, 1, 4, 1, 5], 48);
+        // Low alignment: the spine misses often, so runner-up branches get
+        // their chance to rescue rounds.
+        let (mut world, _) = build_head(0.3, 32, PipeInferConfig::tree_micro());
+        let record = drive(&mut world);
+        assert_eq!(
+            record.tokens[..32].to_vec(),
+            truth[1..33].to_vec(),
+            "tree micro-batches must preserve greedy output"
+        );
+        assert!(record.tree_rounds > 0, "tree stats must be recorded");
+        assert_eq!(record.tree_shapes.len(), record.tree_rounds);
+        // Partition blocks are recycled, not leaked.
+        assert!(world.head.partition_pool().in_use() <= 32);
+    }
+
+    #[test]
+    fn branch_rescue_accepts_tokens_without_extra_runs() {
+        // With hedged trees and a poorly aligned draft, some rounds must be
+        // saved by a sibling branch (rescue) — and whole-run invalidation of
+        // the same configuration must cancel strictly more runs.
+        let (mut world, _) = build_head(0.2, 40, PipeInferConfig::tree_micro());
+        let branch = drive(&mut world);
+        let (mut world_whole, _) = build_head(
+            0.2,
+            40,
+            PipeInferConfig::tree_micro().whole_run_invalidation(),
+        );
+        let whole = drive(&mut world_whole);
+        assert_eq!(branch.tokens, whole.tokens, "streams never differ");
+        assert!(
+            branch.runs_rescued > 0,
+            "hedged trees must rescue some rounds at 20% alignment"
+        );
+        assert_eq!(whole.runs_rescued, 0, "whole-run mode never rescues");
+    }
+
+    #[test]
+    fn dedicated_draft_rank_reproduces_the_stream() {
+        let oracle = OracleTarget::new(ORACLE_SEED, VOCAB);
+        let truth = oracle.generate(&[3, 1, 4, 1, 5], 40);
+        for alignment in [0.3, 0.9] {
+            let (mut world, _) = build_head(alignment, 24, PipeInferConfig::dedicated_draft_rank());
+            let record = drive(&mut world);
+            assert_eq!(
+                record.tokens[..24].to_vec(),
+                truth[1..25].to_vec(),
+                "remote drafting must preserve greedy output (alignment {alignment})"
+            );
+            assert!(record.draft_requests > 0, "head must send draft requests");
+            let node = world.draft_node.as_ref().unwrap();
+            assert!(node.requests_served > 0);
         }
     }
 

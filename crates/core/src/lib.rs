@@ -30,17 +30,33 @@ pub mod strategy;
 
 pub use continuous::SpeculationController;
 pub use draft_node::DraftNode;
-pub use head::PipeInferHead;
+pub use head::{DraftSource, PipeInferHead};
 pub use multibuffer::SeqPartitionPool;
 pub use run_tracker::{RunInfo, RunTracker};
 pub use runner::run_pipeinfer;
-pub use strategy::PipeInferStrategy;
+pub use strategy::{PipeInferStrategy, DRAFT_RANK};
+
+/// Where PipeInfer's speculative (draft) model runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DraftPlacement {
+    /// The head rank hosts the draft model and drafts synchronously between
+    /// probes — the layout every earlier PR used.
+    #[default]
+    HeadHosted,
+    /// The paper's Fig. 3 layout: rank 1 is a dedicated draft rank off the
+    /// target-pipeline route (`PipelineRoute::pipeinfer`), and the head
+    /// drives it with `PipeMsg::DraftRequest`/`DraftResponse` transactions
+    /// so drafting overlaps with verification instead of stalling the head.
+    DedicatedRank,
+}
 
 /// PipeInfer-specific tuning knobs, including the ablation switches used by
 /// the paper's Fig. 8.
 #[derive(Debug, Clone)]
 pub struct PipeInferConfig {
-    /// Tokens per speculative micro-batch (the paper uses 1–4).
+    /// Tokens per speculative micro-batch (the paper uses 1–4).  With
+    /// `micro_width > 1` this is the per-iteration tree-node budget the
+    /// controller splits between width and depth.
     pub micro_batch: usize,
     /// Maximum number of speculated-but-unverified tokens in flight.  Bounds
     /// how far continuous speculation runs ahead of verification.
@@ -65,6 +81,24 @@ pub struct PipeInferConfig {
     /// Speculative batch size used when continuous speculation is disabled
     /// (the ablation's "increased speculative batch size").
     pub ablation_batch: usize,
+    /// Where the draft model runs (head-hosted or on the dedicated rank of
+    /// the paper's Fig. 3).
+    pub draft_placement: DraftPlacement,
+    /// Maximum root-level branches per continuous micro-batch.  `1` keeps
+    /// micro-batches as plain chains (the pre-tree behavior, byte-identical
+    /// token streams); larger values let the controller hedge each
+    /// iteration with the draft model's runner-up candidates.
+    pub micro_width: usize,
+    /// Sliding-window length (in resolved speculative runs) of the
+    /// acceptance estimate driving width/depth adaptation when
+    /// `micro_width > 1`.
+    pub shape_window: usize,
+    /// Enable branch-granular invalidation: on a divergence, an in-flight
+    /// tree run whose sibling branch carries the accepted token is kept
+    /// alive instead of cancelled with the rest.  Irrelevant for
+    /// `micro_width == 1` (chains have no sibling branches); disabling it
+    /// reproduces whole-run invalidation for trees.
+    pub branch_invalidation: bool,
 }
 
 impl Default for PipeInferConfig {
@@ -78,6 +112,10 @@ impl Default for PipeInferConfig {
             enable_cancellation: true,
             enable_continuous_speculation: true,
             ablation_batch: 8,
+            draft_placement: DraftPlacement::HeadHosted,
+            micro_width: 1,
+            shape_window: 4,
+            branch_invalidation: true,
         }
     }
 }
@@ -104,6 +142,41 @@ impl PipeInferConfig {
             ..Self::default()
         }
     }
+
+    /// The paper's Fig. 3 deployment: drafting on the dedicated rank 1, off
+    /// the target-pipeline route.
+    pub fn dedicated_draft_rank() -> Self {
+        Self {
+            draft_placement: DraftPlacement::DedicatedRank,
+            ..Self::default()
+        }
+    }
+
+    /// Tree-shaped continuous micro-batches: each iteration speculates a
+    /// width×depth tree chosen by the controller's acceptance shape model
+    /// over a 4-node budget, with branch-granular invalidation keeping
+    /// sibling-rescued runs alive.
+    pub fn tree_micro() -> Self {
+        Self {
+            micro_batch: 4,
+            micro_width: 3,
+            ..Self::default()
+        }
+    }
+
+    /// Returns this configuration with the given draft placement.
+    pub fn with_placement(mut self, placement: DraftPlacement) -> Self {
+        self.draft_placement = placement;
+        self
+    }
+
+    /// Whole-run invalidation (the degenerate pre-tree behavior): any
+    /// divergence cancels every in-flight run past it, even runs whose
+    /// sibling branches carry the accepted token.
+    pub fn whole_run_invalidation(mut self) -> Self {
+        self.branch_invalidation = false;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -128,5 +201,30 @@ mod tests {
         assert!(ns.enable_cancellation);
         assert!(!ns.enable_continuous_speculation);
         assert!(ns.ablation_batch > ns.micro_batch);
+    }
+
+    #[test]
+    fn default_is_the_degenerate_configuration() {
+        // The byte-identity pin: head-hosted drafting, width-1 chains.
+        let c = PipeInferConfig::default();
+        assert_eq!(c.draft_placement, DraftPlacement::HeadHosted);
+        assert_eq!(c.micro_width, 1);
+        assert!(c.branch_invalidation, "a no-op for chains");
+    }
+
+    #[test]
+    fn layout_and_tree_presets() {
+        let d = PipeInferConfig::dedicated_draft_rank();
+        assert_eq!(d.draft_placement, DraftPlacement::DedicatedRank);
+        assert_eq!(d.micro_width, 1);
+        let t = PipeInferConfig::tree_micro();
+        assert!(t.micro_width > 1);
+        assert!(t.micro_batch >= t.micro_width);
+        assert!(t.branch_invalidation);
+        let tw = PipeInferConfig::tree_micro().whole_run_invalidation();
+        assert!(!tw.branch_invalidation);
+        let td = PipeInferConfig::tree_micro().with_placement(DraftPlacement::DedicatedRank);
+        assert_eq!(td.draft_placement, DraftPlacement::DedicatedRank);
+        assert!(td.micro_width > 1);
     }
 }

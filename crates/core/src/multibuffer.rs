@@ -36,6 +36,38 @@ impl SeqPartitionPool {
         self.free.pop_front()
     }
 
+    /// Allocates `n` partitions with *consecutive* sequence ids — the block
+    /// a tree micro-batch's leaves occupy, so the pipelined
+    /// `BranchCommit`/`BranchRollback` operations can name the whole run as
+    /// `first .. first + n`.  Returns the first id of the block, or `None`
+    /// when no block of `n` consecutive ids is free.
+    ///
+    /// `n == 1` delegates to [`SeqPartitionPool::alloc`], preserving the
+    /// FIFO hand-out order of chain micro-batches exactly.
+    pub fn alloc_block(&mut self, n: usize) -> Option<SeqId> {
+        match n {
+            0 => None,
+            1 => self.alloc(),
+            _ => {
+                let mut free: Vec<SeqId> = self.free.iter().copied().collect();
+                free.sort_unstable();
+                let first = free
+                    .windows(n)
+                    .find(|w| w[n - 1] == w[0] + n as SeqId - 1)
+                    .map(|w| w[0])?;
+                self.free.retain(|&s| s < first || s >= first + n as SeqId);
+                Some(first)
+            }
+        }
+    }
+
+    /// Returns a block of `n` consecutive partitions to the pool.
+    pub fn free_block(&mut self, first: SeqId, n: usize) {
+        for seq in first..first + n as SeqId {
+            self.free(seq);
+        }
+    }
+
     /// Returns a partition to the pool.
     ///
     /// Panics on double-free or on freeing the canonical sequence — both
@@ -96,6 +128,48 @@ mod tests {
         p.free(a);
         assert_eq!(p.in_use(), 0);
         assert_eq!(p.total(), 4);
+    }
+
+    #[test]
+    fn block_allocation_is_contiguous() {
+        let mut p = SeqPartitionPool::new(6);
+        let a = p.alloc_block(3).unwrap();
+        assert_eq!(a, 1, "first block starts at the lowest free id");
+        let b = p.alloc_block(2).unwrap();
+        assert_eq!(b, 4);
+        assert_eq!(p.available(), 1);
+        // Fragmentation: free 1 and 3 (not adjacent to each other), then 6.
+        p.free_block(a, 3);
+        p.free_block(b, 2);
+        let _ = p.alloc(); // takes 6 (FIFO order: 6 was never freed... )
+        assert!(p.alloc_block(3).is_some());
+    }
+
+    #[test]
+    fn block_allocation_respects_fragmentation() {
+        let mut p = SeqPartitionPool::new(4);
+        let a = p.alloc().unwrap(); // 1
+        let _b = p.alloc().unwrap(); // 2
+        let c = p.alloc().unwrap(); // 3
+        p.free(a);
+        p.free(c);
+        // Free set {1, 3, 4}: no 3-block, but {3, 4} is a 2-block.
+        assert_eq!(p.alloc_block(3), None);
+        assert_eq!(p.alloc_block(2), Some(3));
+        assert_eq!(p.available(), 1);
+        assert_eq!(p.alloc_block(0), None);
+    }
+
+    #[test]
+    fn single_block_preserves_fifo_order() {
+        let mut a = SeqPartitionPool::new(3);
+        let mut b = SeqPartitionPool::new(3);
+        assert_eq!(a.alloc(), b.alloc_block(1));
+        assert_eq!(a.alloc(), b.alloc_block(1));
+        a.free(1);
+        b.free_block(1, 1);
+        assert_eq!(a.alloc(), b.alloc_block(1));
+        assert_eq!(a.alloc(), b.alloc_block(1));
     }
 
     #[test]

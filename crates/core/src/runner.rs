@@ -135,6 +135,53 @@ mod tests {
     }
 
     #[test]
+    fn real_dedicated_rank_and_tree_micro_match_iterative_output() {
+        // The Fig. 3 layout and tree micro-batches on the threaded driver
+        // with real tiny models: greedy output must be preserved exactly.
+        let mode = real_mode(31);
+        let config = GenConfig::small_test(vec![9, 8, 7, 6, 5], 10);
+        let iter = run_iterative(&mode, 3, &config);
+        assert!(iter.completed);
+        for variant in [
+            PipeInferConfig::dedicated_draft_rank(),
+            PipeInferConfig::tree_micro(),
+            PipeInferConfig::tree_micro().with_placement(crate::DraftPlacement::DedicatedRank),
+        ] {
+            let pipe = run_pipeinfer(&mode, 3, &config, &variant);
+            assert!(pipe.completed, "{variant:?}");
+            assert_eq!(
+                iter.record.tokens[..10],
+                pipe.record.tokens[..10],
+                "layout/shape must not change greedy output ({variant:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn sim_dedicated_rank_output_matches_oracle() {
+        let pair = ModelPair::goliath_xwin7b();
+        let vocab = pair.target.cfg.vocab_size as u32;
+        let config = GenConfig {
+            prompt: vec![5; 16],
+            n_generate: 32,
+            max_draft: 4,
+            confidence_cutoff: 0.4,
+            kv_capacity: 4096,
+        };
+        let out = run_pipeinfer(
+            &sim_mode(pair, 8),
+            8,
+            &config,
+            &PipeInferConfig::dedicated_draft_rank(),
+        );
+        assert!(out.completed);
+        let truth = OracleTarget::new(42, vocab).generate(&[5; 16], 40);
+        assert_eq!(out.record.tokens[..32].to_vec(), truth[1..33].to_vec());
+        assert!(out.record.draft_requests > 0);
+        assert!(out.stats.total_draft_bytes() > 0);
+    }
+
+    #[test]
     fn sim_pipeinfer_is_deterministic() {
         let config = GenConfig {
             prompt: vec![3; 8],

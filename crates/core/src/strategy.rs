@@ -4,21 +4,31 @@
 //! Rank layout (matching `pi_perf::memory::per_node_memory` and the paper's
 //! Fig. 3):
 //!
-//! * rank 0 — head: draft model, embedding/output head, sampling and
-//!   orchestration (no target layers);
-//! * ranks 1‥N-1 — the target pipeline, one node shorter than under the
-//!   iterative baseline.
+//! * rank 0 — head: embedding/output head, sampling and orchestration (no
+//!   target layers); under `DraftPlacement::HeadHosted` it also hosts the
+//!   draft model;
+//! * rank 1 — under `DraftPlacement::DedicatedRank`, the dedicated draft
+//!   rank: off the target-pipeline route (`PipelineRoute::pipeinfer`),
+//!   serving `DraftRequest` transactions concurrently with target
+//!   inference — the paper's actual Fig. 3 deployment;
+//! * remaining ranks — the target pipeline, one node shorter than under the
+//!   iterative baseline (two shorter with a dedicated draft rank).
 
-use crate::head::PipeInferHead;
-use crate::PipeInferConfig;
+use crate::draft_node::DraftNode;
+use crate::head::{DraftSource, PipeInferHead};
+use crate::{DraftPlacement, PipeInferConfig};
 use pi_cluster::NodeBehavior;
 use pi_model::Model;
-use pi_spec::deploy::{HeadParts, Strategy};
-use pi_spec::{PipeMsg, PipelineRoute};
+use pi_spec::deploy::{build_drafter, ExecutionMode, HeadParts, Strategy};
+use pi_spec::{GenConfig, PipeMsg, PipelineRoute};
 use std::ops::Range;
 
-/// PipeInfer: asynchronous pipelined speculation with a draft-hosting head
-/// rank that holds no target layers.
+/// The rank hosting the draft model in the paper's Fig. 3 layout.
+pub const DRAFT_RANK: usize = 1;
+
+/// PipeInfer: asynchronous pipelined speculation.  The head rank holds no
+/// target layers; depending on [`DraftPlacement`] the draft model lives on
+/// the head or on the dedicated rank 1.
 #[derive(Debug, Clone)]
 pub struct PipeInferStrategy {
     config: PipeInferConfig,
@@ -34,6 +44,10 @@ impl PipeInferStrategy {
     pub fn config(&self) -> &PipeInferConfig {
         &self.config
     }
+
+    fn dedicated(&self) -> bool {
+        self.config.draft_placement == DraftPlacement::DedicatedRank
+    }
 }
 
 impl Default for PipeInferStrategy {
@@ -48,19 +62,32 @@ impl Strategy for PipeInferStrategy {
     }
 
     fn min_nodes(&self) -> usize {
-        // The head/draft rank plus at least one target-pipeline rank.
-        2
+        if self.dedicated() {
+            // Head + dedicated draft rank + at least one target stage.
+            3
+        } else {
+            // The head/draft rank plus at least one target-pipeline rank.
+            2
+        }
     }
 
     fn needs_drafter(&self) -> bool {
-        true
+        // The deployment builds a head-side drafter only for the head-hosted
+        // layout; the dedicated rank builds its own via `build_auxiliary`.
+        !self.dedicated()
     }
 
     fn route(&self, n_nodes: usize) -> PipelineRoute {
-        // Every rank is on the route, but the head contributes no target
-        // layers (see `split_layers`): stage 0 only embeds, samples and
-        // orchestrates while hosting the draft model.
-        PipelineRoute::baseline(n_nodes)
+        if self.dedicated() {
+            // Fig. 3: rank 1 is the draft rank, off the route; stage 0 only
+            // embeds, samples and orchestrates (no target layers).
+            PipelineRoute::pipeinfer(n_nodes)
+        } else {
+            // Every rank is on the route, but the head contributes no target
+            // layers (see `split_layers`): stage 0 only embeds, samples and
+            // orchestrates while hosting the draft model.
+            PipelineRoute::baseline(n_nodes)
+        }
     }
 
     fn split_layers(&self, n_layers: usize, route: &PipelineRoute) -> Vec<Range<usize>> {
@@ -71,15 +98,37 @@ impl Strategy for PipeInferStrategy {
     }
 
     fn build_head(&self, mut parts: HeadParts) -> Box<dyn NodeBehavior<PipeMsg>> {
-        let drafter = parts.take_drafter();
+        let draft = if self.dedicated() {
+            DraftSource::Remote(DRAFT_RANK)
+        } else {
+            DraftSource::Local(parts.take_drafter())
+        };
         Box::new(PipeInferHead::new(
             parts.route,
             parts.engine,
-            drafter,
+            draft,
             parts.gen_config,
             self.config.clone(),
             parts.record,
         ))
+    }
+
+    fn build_auxiliary(
+        &self,
+        mode: &ExecutionMode,
+        _n_nodes: usize,
+        route: &PipelineRoute,
+        gen_config: &GenConfig,
+    ) -> Vec<(usize, Box<dyn NodeBehavior<PipeMsg>>)> {
+        if !self.dedicated() {
+            return Vec::new();
+        }
+        debug_assert!(route.stage_of(DRAFT_RANK).is_none());
+        let drafter = build_drafter(mode, DRAFT_RANK, gen_config);
+        vec![(
+            DRAFT_RANK,
+            Box::new(DraftNode::new(route.head(), drafter)) as Box<dyn NodeBehavior<PipeMsg>>,
+        )]
     }
 }
 
@@ -118,6 +167,28 @@ mod tests {
     }
 
     #[test]
+    fn dedicated_layout_skips_the_draft_rank() {
+        let strategy = PipeInferStrategy::new(PipeInferConfig::dedicated_draft_rank());
+        assert!(!strategy.needs_drafter(), "drafter lives on rank 1");
+        assert_eq!(strategy.min_nodes(), 3);
+        let deployment = Deployment::new(strategy);
+        for n in [3usize, 4, 8] {
+            let (route, splits) = deployment.layout(&sim_mode(n.max(4)), n);
+            assert_eq!(route.head(), 0);
+            assert_eq!(route.stage_of(DRAFT_RANK), None, "rank 1 is off-route");
+            assert_eq!(route.n_stages(), n - 1);
+            assert!(splits[0].is_empty(), "head still holds no layers");
+            let n_layers = sim_mode(4).target_layers();
+            let mut next = 0;
+            for r in &splits[1..] {
+                assert_eq!(r.start, next);
+                next = r.end;
+            }
+            assert_eq!(next, n_layers);
+        }
+    }
+
+    #[test]
     fn strategy_declares_draft_hosting_head() {
         let s = PipeInferStrategy::default();
         assert!(s.needs_drafter());
@@ -144,6 +215,68 @@ mod tests {
         let want = &iter.record.tokens[..config.n_generate];
         assert_eq!(&spec.record.tokens[..config.n_generate], want);
         assert_eq!(&pipe.record.tokens[..config.n_generate], want);
+    }
+
+    #[test]
+    fn every_placement_and_micro_shape_emits_the_same_stream() {
+        // The four-way layout matrix (head-hosted/dedicated × chain/tree)
+        // must agree token-for-token with the head-hosted chain stream.
+        let config = GenConfig {
+            prompt: vec![5; 16],
+            n_generate: 32,
+            max_draft: 4,
+            confidence_cutoff: 0.4,
+            kv_capacity: 4096,
+        };
+        let n = 8;
+        let reference = Deployment::new(PipeInferStrategy::default())
+            .run(&sim_mode(n), n, &config)
+            .record
+            .tokens;
+        for variant in [
+            PipeInferConfig::dedicated_draft_rank(),
+            PipeInferConfig::tree_micro(),
+            PipeInferConfig::tree_micro().with_placement(crate::DraftPlacement::DedicatedRank),
+            PipeInferConfig::tree_micro().whole_run_invalidation(),
+        ] {
+            let out = Deployment::new(PipeInferStrategy::new(variant.clone())).run(
+                &sim_mode(n),
+                n,
+                &config,
+            );
+            assert!(out.completed, "{variant:?}");
+            assert_eq!(
+                out.record.tokens, reference,
+                "layout/shape must never change the greedy stream ({variant:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn dedicated_rank_serves_draft_traffic() {
+        let config = GenConfig {
+            prompt: vec![5; 16],
+            n_generate: 32,
+            max_draft: 4,
+            confidence_cutoff: 0.4,
+            kv_capacity: 4096,
+        };
+        let n = 8;
+        let strategy = PipeInferStrategy::new(PipeInferConfig::dedicated_draft_rank());
+        let out = Deployment::new(strategy).run(&sim_mode(n), n, &config);
+        assert!(out.completed);
+        assert!(out.record.draft_requests > 0, "head must request drafts");
+        // Draft traffic flows head → rank 1 → head and is accounted per rank.
+        assert!(out.stats.node(0).draft_messages_sent > 0);
+        assert!(out.stats.node(DRAFT_RANK).draft_messages_sent > 0);
+        assert!(
+            out.stats.node(DRAFT_RANK).busy_time > 0.0,
+            "drafting is paid"
+        );
+        // Head-hosted layouts send no draft traffic at all.
+        let hosted = Deployment::new(PipeInferStrategy::default()).run(&sim_mode(n), n, &config);
+        assert_eq!(hosted.stats.total_draft_messages(), 0);
+        assert_eq!(hosted.record.draft_requests, 0);
     }
 
     #[test]

@@ -121,6 +121,40 @@ impl TokenTree {
         self.nodes.iter().map(|n| n.parent).collect()
     }
 
+    /// Node ids of the primary spine: the first root followed by the chain
+    /// of first children — the branch the greedy draft proposed, and the
+    /// path PipeInfer's continuous speculation extends its hypothesis with.
+    /// Empty for an empty tree.
+    pub fn spine(&self) -> Vec<TreeNodeId> {
+        let mut spine = Vec::new();
+        let mut cur = self.roots().first().copied();
+        while let Some(id) = cur {
+            spine.push(id);
+            cur = self.nodes[id].children.first().copied();
+        }
+        spine
+    }
+
+    /// The subtree hanging below `node`, re-rooted as a standalone tree:
+    /// `node`'s children become depth-0 roots and their descendants follow,
+    /// preserving parent-before-child order.  Used to salvage the unused
+    /// tail of a draft whose leading tokens have already been accepted.
+    pub fn subtree_below(&self, node: TreeNodeId) -> TokenTree {
+        let mut map: Vec<Option<TreeNodeId>> = vec![None; self.nodes.len()];
+        let mut out = TokenTree::new();
+        for (id, n) in self.nodes.iter().enumerate() {
+            let new_parent = match n.parent {
+                Some(p) if p == node => Some(None),
+                Some(p) => map[p].map(Some),
+                None => None,
+            };
+            if let Some(parent) = new_parent {
+                map[id] = Some(out.add(parent, n.token, n.prob));
+            }
+        }
+        out
+    }
+
     /// Node ids of the leaves.
     pub fn leaves(&self) -> Vec<TreeNodeId> {
         self.nodes
@@ -251,6 +285,37 @@ mod tests {
         multi.add(None, 1, 0.5);
         multi.add(None, 2, 0.5);
         assert_eq!(multi.roots(), vec![0, 1]);
+    }
+
+    #[test]
+    fn spine_follows_first_children() {
+        let t = sample_tree();
+        // First root (a), then its first child (b), then b's first child (d).
+        assert_eq!(t.spine(), vec![0, 1, 3]);
+        let chain = TokenTree::chain_of(&[5, 6, 7]);
+        assert_eq!(chain.spine(), vec![0, 1, 2]);
+        assert!(TokenTree::new().spine().is_empty());
+        // Runner-up roots never appear on the spine.
+        let mut multi = TokenTree::new();
+        let a = multi.add(None, 1, 0.9);
+        multi.add(None, 2, 0.5);
+        multi.add(Some(a), 3, 0.8);
+        assert_eq!(multi.spine(), vec![0, 2]);
+    }
+
+    #[test]
+    fn subtree_below_reroots_descendants() {
+        let t = sample_tree();
+        // Below the root a: children b, c become roots; d follows b.
+        let below = t.subtree_below(0);
+        assert_eq!(below.tokens(), vec![11, 12, 13]);
+        assert_eq!(below.roots().len(), 2);
+        assert_eq!(below.parents(), vec![None, None, Some(0)]);
+        // Below a leaf: empty.
+        assert!(t.subtree_below(3).is_empty());
+        // Chains lose exactly their head.
+        let chain = TokenTree::chain_of(&[1, 2, 3]);
+        assert_eq!(chain.subtree_below(0).tokens(), vec![2, 3]);
     }
 
     #[test]

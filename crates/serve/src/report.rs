@@ -143,6 +143,26 @@ impl ServeReport {
         self.mean_of(|c| c.output.record.tree_utilization())
     }
 
+    /// Total draft-protocol bytes (requests, responses, cancellations) sent
+    /// across all ranks over the whole stream — zero unless the deployment
+    /// hosts drafting on a dedicated rank.
+    pub fn total_draft_bytes(&self) -> u64 {
+        self.completions
+            .iter()
+            .map(|c| c.output.stats.total_draft_bytes())
+            .sum()
+    }
+
+    /// Total units of work saved by early cancellation across all ranks over
+    /// the whole stream: stage evaluations workers skipped plus stale draft
+    /// hypotheses the draft rank dropped unserved.
+    pub fn total_cancellations_saved(&self) -> u64 {
+        self.completions
+            .iter()
+            .map(|c| c.output.stats.total_cancellations_saved())
+            .sum()
+    }
+
     /// End-to-end latency histogram over `[0, max e2e]`.
     pub fn e2e_histogram(&self, n_buckets: usize) -> Histogram {
         let hi = self.e2e_summary().max.max(1e-9);
@@ -169,6 +189,12 @@ impl ServeReport {
         figure.push(series, "accept rate", self.mean_acceptance_rate());
         figure.push(series, "tok/verify", self.mean_tokens_per_run());
         figure.push(series, "tree util", self.mean_tree_utilization());
+        figure.push(series, "draft kB", self.total_draft_bytes() as f64 / 1e3);
+        figure.push(
+            series,
+            "cancel saved",
+            self.total_cancellations_saved() as f64,
+        );
     }
 
     /// Renders a per-request table plus the aggregate line.
@@ -209,7 +235,8 @@ impl ServeReport {
         let _ = writeln!(
             out,
             "goodput {:.3} tok/s | e2e p50 {:.4} s p95 {:.4} s p99 {:.4} s | ttft p50 {:.4} s \
-             | accept {:.0}% | {:.2} tok/verify | tree util {:.0}%",
+             | accept {:.0}% | {:.2} tok/verify | tree util {:.0}% | draft {:.1} kB \
+             | {} evals saved by cancellation",
             self.goodput(),
             e2e.p50,
             e2e.p95,
@@ -218,6 +245,8 @@ impl ServeReport {
             self.mean_acceptance_rate() * 100.0,
             self.mean_tokens_per_run(),
             self.mean_tree_utilization() * 100.0,
+            self.total_draft_bytes() as f64 / 1e3,
+            self.total_cancellations_saved(),
         );
         out
     }
@@ -294,10 +323,12 @@ mod tests {
         );
         let mut fig = Figure::new("Serving", "serving metrics", "mixed");
         report.to_figure(&mut fig, "Test");
-        assert_eq!(fig.x_labels().len(), 9);
+        assert_eq!(fig.x_labels().len(), 11);
         assert!(fig.value("Test", "goodput tok/s").unwrap() > 0.0);
         assert!(fig.value("Test", "p99 e2e s").unwrap() >= fig.value("Test", "p50 e2e s").unwrap());
         assert_eq!(fig.value("Test", "tree util"), Some(0.0));
+        assert_eq!(fig.value("Test", "draft kB"), Some(0.0));
+        assert_eq!(fig.value("Test", "cancel saved"), Some(0.0));
         let text = report.render();
         assert!(text.contains("goodput"));
         assert!(text.contains("window 1"));
@@ -325,6 +356,28 @@ mod tests {
         assert!((report.mean_tree_utilization() - 0.25).abs() < 1e-12);
         // The per-request shape trace lands in the rendered table.
         assert!(report.render().contains("1x4->3x2"));
+    }
+
+    #[test]
+    fn draft_traffic_and_cancellation_savings_aggregate_across_requests() {
+        let mut a = completion(0, 0.0, 0.0, 1.0, 8);
+        a.output.stats = pi_cluster::ClusterStats::new(2);
+        a.output.stats.nodes[0].draft_bytes_sent = 1500;
+        a.output.stats.nodes[1].draft_bytes_sent = 500;
+        a.output.stats.nodes[1].cancellations_saved = 3;
+        let mut b = completion(1, 0.1, 1.0, 2.0, 8);
+        b.output.stats = pi_cluster::ClusterStats::new(2);
+        b.output.stats.nodes[0].cancellations_saved = 2;
+        let report = ServeReport::new("Test", 1, vec![a, b]);
+        assert_eq!(report.total_draft_bytes(), 2000);
+        assert_eq!(report.total_cancellations_saved(), 5);
+        let mut fig = Figure::new("Serving", "serving metrics", "mixed");
+        report.to_figure(&mut fig, "Test");
+        assert_eq!(fig.value("Test", "draft kB"), Some(2.0));
+        assert_eq!(fig.value("Test", "cancel saved"), Some(5.0));
+        let text = report.render();
+        assert!(text.contains("draft 2.0 kB"));
+        assert!(text.contains("5 evals saved"));
     }
 
     #[test]

@@ -121,6 +121,20 @@ pub struct GenerationRecord {
     pub runs_launched: usize,
     /// Number of runs cancelled by early inference cancellation.
     pub runs_cancelled: usize,
+    /// Number of in-flight runs kept alive through an invalidation because a
+    /// sibling branch of their speculation tree lay on the accepted path
+    /// (branch-granular invalidation; zero for chain micro-batches).
+    pub runs_rescued: usize,
+    /// Number of draft requests sent to a dedicated draft rank (zero under
+    /// head-hosted drafting).
+    pub draft_requests: usize,
+    /// Number of draft responses discarded because the hypothesis they
+    /// continued had been invalidated or extended before they arrived.
+    pub draft_stale: usize,
+    /// Number of draft responses whose leading tokens had already been
+    /// accepted by the time they arrived, but whose unused tail still
+    /// continued the hypothesis and was dispatched anyway.
+    pub draft_salvaged: usize,
     /// Number of tree-verification rounds (zero for linear strategies).
     pub tree_rounds: usize,
     /// Total speculated tree nodes across all rounds.

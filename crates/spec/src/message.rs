@@ -75,6 +75,32 @@ impl TreeTopology {
     pub fn parent_indices(&self) -> Vec<Option<usize>> {
         self.parents.iter().map(|p| p.map(|i| i as usize)).collect()
     }
+
+    /// The wire topology of a [`pi_model::TokenTree`] (node-insertion order
+    /// is parent-before-child by construction).
+    pub fn from_tree(tree: &pi_model::TokenTree) -> Self {
+        Self {
+            parents: tree.parents().iter().map(|p| p.map(|i| i as u32)).collect(),
+        }
+    }
+
+    /// Rebuilds the [`pi_model::TokenTree`] this topology describes from
+    /// its wire nodes (`(token, confidence)` pairs in the same order).
+    ///
+    /// Panics if a parent index does not precede its node — the invariant
+    /// every legal wire topology satisfies.
+    pub fn to_tree(&self, nodes: &[(Token, f32)]) -> pi_model::TokenTree {
+        let mut tree = pi_model::TokenTree::new();
+        for (i, &(tok, prob)) in nodes.iter().enumerate() {
+            let parent = self.parents.get(i).copied().flatten().map(|p| {
+                let p = p as usize;
+                assert!(p < i, "topology parent {p} does not precede node {i}");
+                p
+            });
+            tree.add(parent, tok, prob);
+        }
+        tree
+    }
 }
 
 impl ActivationPayload {
@@ -188,13 +214,20 @@ pub enum PipeMsg {
         /// Run to cancel.
         run_id: RunId,
     },
-    /// Request for the dedicated draft rank: speculate a micro-batch.
+    /// Request for the dedicated draft rank: speculate a tree micro-batch.
     DraftRequest {
+        /// Monotonically increasing request sequence number; the reply
+        /// echoes it so the head can drop responses to hypotheses it has
+        /// since abandoned.
+        request_id: u64,
         /// The head's current hypothesis: every accepted token followed by
         /// every token already speculated and dispatched for verification.
         /// The draft continues from the end of this sequence.
         context: Vec<Token>,
-        /// Maximum number of tokens to draft (the micro-batch size).
+        /// Maximum number of root-level branches in the drafted tree
+        /// (1 requests a plain chain).
+        width: usize,
+        /// Maximum depth of the primary branch (the micro-batch size).
         max_tokens: usize,
         /// Confidence cutoff for this request (continuous speculation adjusts
         /// it with the recovery/decay factors).
@@ -202,10 +235,24 @@ pub enum PipeMsg {
     },
     /// The draft rank's reply to a [`PipeMsg::DraftRequest`].
     DraftResponse {
-        /// Drafted tokens with the draft model's confidence for each.
-        tokens: Vec<(Token, f32)>,
+        /// Echo of the request's sequence number.
+        request_id: u64,
+        /// Drafted tree nodes in parent-before-child order, with the draft
+        /// model's confidence for each.
+        nodes: Vec<(Token, f32)>,
+        /// Per-node parent links of the drafted tree (same order as
+        /// `nodes`) — the topology the head needs to rebuild the
+        /// [`pi_model::TokenTree`].
+        topology: TreeTopology,
         /// Context length the draft rank drafted from (echo for validation).
         context_len: usize,
+    },
+    /// Out-of-band signal to the draft rank: every draft request with
+    /// sequence number `up_to` or below speculates from an invalidated
+    /// hypothesis — drop it unserved.
+    DraftCancel {
+        /// Highest stale request sequence number.
+        up_to: u64,
     },
     /// Orderly end of the run; forwarded along the pipeline.
     Shutdown,
@@ -213,7 +260,16 @@ pub enum PipeMsg {
 
 impl WireMessage for PipeMsg {
     fn priority(&self) -> bool {
-        matches!(self, PipeMsg::Cancel { .. })
+        matches!(self, PipeMsg::Cancel { .. } | PipeMsg::DraftCancel { .. })
+    }
+
+    fn is_draft(&self) -> bool {
+        matches!(
+            self,
+            PipeMsg::DraftRequest { .. }
+                | PipeMsg::DraftResponse { .. }
+                | PipeMsg::DraftCancel { .. }
+        )
     }
 
     fn wire_bytes(&self) -> u64 {
@@ -233,8 +289,15 @@ impl WireMessage for PipeMsg {
             PipeMsg::Cache(CacheOp::BranchRollback { .. }) => 16,
             PipeMsg::Cache(_) => 20,
             PipeMsg::Cancel { .. } => 12,
-            PipeMsg::DraftRequest { context, .. } => 16 + 4 * context.len() as u64,
-            PipeMsg::DraftResponse { tokens, .. } => 8 + 8 * tokens.len() as u64,
+            // request_id + width + max_tokens + cutoff + length word, then
+            // one token word per context entry.
+            PipeMsg::DraftRequest { context, .. } => 24 + 4 * context.len() as u64,
+            // request_id + context_len + (token, confidence) pairs + the
+            // per-node parent topology.
+            PipeMsg::DraftResponse {
+                nodes, topology, ..
+            } => 16 + 8 * nodes.len() as u64 + topology.wire_bytes(),
+            PipeMsg::DraftCancel { .. } => 12,
             PipeMsg::Shutdown => 4,
         }
     }
@@ -352,8 +415,9 @@ mod tests {
     }
 
     #[test]
-    fn only_cancellation_is_out_of_band() {
+    fn only_cancellation_signals_are_out_of_band() {
         assert!(PipeMsg::Cancel { run_id: 3 }.priority());
+        assert!(PipeMsg::DraftCancel { up_to: 3 }.priority());
         assert!(!PipeMsg::Shutdown.priority());
         assert!(!PipeMsg::Cache(CacheOp::SeqKeep { seq: 0 }).priority());
         assert!(!PipeMsg::RunResult {
@@ -364,18 +428,47 @@ mod tests {
     }
 
     #[test]
-    fn draft_messages_scale_with_token_count() {
+    fn draft_messages_scale_with_token_count_and_topology() {
         let req = PipeMsg::DraftRequest {
+            request_id: 7,
             context: vec![1, 2, 3, 4, 5],
+            width: 2,
             max_tokens: 4,
             confidence_cutoff: 0.4,
         };
-        assert_eq!(req.wire_bytes(), 16 + 4 * 5);
+        assert_eq!(req.wire_bytes(), 24 + 4 * 5);
         let resp = PipeMsg::DraftResponse {
-            tokens: vec![(1, 0.9), (2, 0.8)],
+            request_id: 7,
+            nodes: vec![(1, 0.9), (2, 0.8)],
+            topology: TreeTopology {
+                parents: vec![None, Some(0)],
+            },
             context_len: 10,
         };
-        assert_eq!(resp.wire_bytes(), 8 + 16);
+        assert_eq!(resp.wire_bytes(), 16 + 16 + (4 + 4 * 2));
+        assert!(PipeMsg::DraftCancel { up_to: 7 }.wire_bytes() < 16);
+    }
+
+    #[test]
+    fn draft_protocol_traffic_is_classified() {
+        assert!(PipeMsg::DraftRequest {
+            request_id: 0,
+            context: vec![],
+            width: 1,
+            max_tokens: 1,
+            confidence_cutoff: 0.0,
+        }
+        .is_draft());
+        assert!(PipeMsg::DraftResponse {
+            request_id: 0,
+            nodes: vec![],
+            topology: TreeTopology { parents: vec![] },
+            context_len: 0,
+        }
+        .is_draft());
+        assert!(PipeMsg::DraftCancel { up_to: 0 }.is_draft());
+        assert!(!PipeMsg::Shutdown.is_draft());
+        assert!(!PipeMsg::Cancel { run_id: 1 }.is_draft());
     }
 
     #[test]

@@ -92,6 +92,7 @@ impl NodeBehavior<PipeMsg> for PipelineWorker {
                     // but keep the message flowing so ordering and per-node
                     // state stay intact.
                     self.skipped_runs += 1;
+                    ctx.record_cancellation_saved(1);
                     self.forward_result(ctx, run_id, kind, batch, ActivationPayload::Empty, tree);
                 } else {
                     let (out, cost) = self.engine.eval(&batch, &payload);
@@ -135,7 +136,9 @@ impl NodeBehavior<PipeMsg> for PipelineWorker {
                 self.finished = true;
             }
             // Draft traffic never reaches pipeline workers.
-            PipeMsg::DraftRequest { .. } | PipeMsg::DraftResponse { .. } => {}
+            PipeMsg::DraftRequest { .. }
+            | PipeMsg::DraftResponse { .. }
+            | PipeMsg::DraftCancel { .. } => {}
         }
     }
 

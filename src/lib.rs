@@ -64,5 +64,5 @@ pub mod prelude {
     };
     pub use pi_spec::runner::{run_iterative, run_speculative};
     pub use pi_spec::{GenConfig, GenerationRecord, TreeConfig, TreeSpeculationStrategy};
-    pub use pipeinfer_core::{run_pipeinfer, PipeInferConfig, PipeInferStrategy};
+    pub use pipeinfer_core::{run_pipeinfer, DraftPlacement, PipeInferConfig, PipeInferStrategy};
 }

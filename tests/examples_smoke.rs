@@ -7,13 +7,14 @@
 
 use std::process::Command;
 
-const EXAMPLES: [&str; 6] = [
+const EXAMPLES: [&str; 7] = [
     "quickstart",
     "chat_generation",
     "cluster_sweep",
     "heterogeneous_cluster",
     "serving",
     "tree_generation",
+    "draft_rank",
 ];
 
 fn run_example(name: &str) {
@@ -66,4 +67,9 @@ fn serving_example_runs() {
 #[test]
 fn tree_generation_example_runs() {
     run_example(EXAMPLES[5]);
+}
+
+#[test]
+fn draft_rank_example_runs() {
+    run_example(EXAMPLES[6]);
 }

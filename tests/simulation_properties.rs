@@ -112,4 +112,44 @@ proptest! {
             iter.record.generation_speed()
         );
     }
+
+    /// The degenerate configuration (head-hosted drafting, width-1 chain
+    /// micro-batches, whole-run invalidation) and every point of the layout
+    /// matrix — dedicated draft rank, tree micro-batches with and without
+    /// branch-granular invalidation — emit byte-identical token streams:
+    /// the target oracle's greedy continuation, regardless of acceptance
+    /// rate, node count or seed.
+    #[test]
+    fn prop_layout_matrix_streams_are_byte_identical(
+        acceptance in 0.05f64..0.95,
+        n_nodes in 4usize..10,
+        seed in 0u64..50,
+    ) {
+        let mut pair = ModelPair::goliath_xwin7b();
+        pair.acceptance_rate = acceptance;
+        let cfg = gen(24);
+        let mode = sim(pair.clone(), n_nodes, seed);
+        let truth = pipeinfer::model::OracleTarget::new(seed, pair.target.cfg.vocab_size as u32)
+            .generate(&cfg.prompt, 32);
+        let degenerate = PipeInferConfig::default().whole_run_invalidation();
+        let variants = [
+            degenerate,
+            PipeInferConfig::default(),
+            PipeInferConfig::dedicated_draft_rank(),
+            PipeInferConfig::tree_micro(),
+            PipeInferConfig::tree_micro().with_placement(DraftPlacement::DedicatedRank),
+            PipeInferConfig::tree_micro().whole_run_invalidation(),
+        ];
+        for config in variants {
+            let out = Deployment::new(PipeInferStrategy::new(config.clone()))
+                .run(&mode, n_nodes, &cfg);
+            prop_assert!(out.completed, "{config:?}");
+            prop_assert_eq!(
+                &out.record.tokens[..24],
+                &truth[1..25],
+                "stream diverged under {:?}",
+                config
+            );
+        }
+    }
 }
