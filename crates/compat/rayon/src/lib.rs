@@ -151,9 +151,17 @@ pub mod pool {
     }
 
     fn default_threads() -> usize {
-        std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1)
+        // `available_parallelism` is *not* cheap on Linux: it re-reads the
+        // cgroup CPU quota files on every call (~10µs in a container), which
+        // a per-dispatch caller would pay on every matmul.  The machine's
+        // parallelism cannot change under us, so resolve it once; only the
+        // `PIPEINFER_THREADS` override stays dynamic.
+        static DEFAULT: OnceLock<usize> = OnceLock::new();
+        *DEFAULT.get_or_init(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
     }
 
     /// Parallelism a call with `n_items` work items will use right now:
@@ -169,6 +177,31 @@ pub mod pool {
     /// Configured parallelism (as [`effective_threads`] with unbounded work).
     pub fn configured_threads() -> usize {
         env_threads().unwrap_or_else(default_threads)
+    }
+
+    /// Minimum multiply-adds (or comparable work units) a parallel chunk
+    /// should carry: below this, the claim/dispatch overhead per chunk is no
+    /// longer negligible against the chunk's own compute.
+    const MIN_CHUNK_WORK: usize = 8 * 1024;
+
+    /// Chunk size for splitting `n_items` uniform work items (each costing
+    /// `work_per_item` multiply-adds) across the pool.
+    ///
+    /// Targets ~4 chunks per configured thread so the claim counter can
+    /// load-balance (the last chunk finishing late only idles a thread for
+    /// 1/4 of its share), but never makes chunks smaller than
+    /// `MIN_CHUNK_WORK` multiply-adds.  This replaces the old fixed
+    /// `threshold / k` sizing, which produced the same chunk count at every
+    /// thread count — 8 chunks for a 512×512 GEMV regardless of whether 1 or
+    /// 8 threads were available.
+    pub fn chunk_size(n_items: usize, work_per_item: usize) -> usize {
+        if n_items == 0 {
+            return 1;
+        }
+        let target_chunks = (configured_threads() * 4).max(1);
+        let by_balance = n_items.div_ceil(target_chunks);
+        let by_work = MIN_CHUNK_WORK.div_ceil(work_per_item.max(1));
+        by_balance.max(by_work).clamp(1, n_items)
     }
 
     /// Total worker threads this process has ever spawned.  The pool only
@@ -525,6 +558,25 @@ mod tests {
                 "long-lived workers must be reused, not respawned"
             );
             assert!(data.iter().all(|&v| v == 51));
+        });
+    }
+
+    #[test]
+    fn chunk_size_scales_with_threads_and_respects_work_floor() {
+        with_threads(Some(8), || {
+            // 512 items of k=512 muladds each: balance wins — 4 chunks per
+            // thread → 32 chunks of 16 items.
+            assert_eq!(super::pool::chunk_size(512, 512), 16);
+            // Tiny per-item work: the 8K-muladd floor wins over balance
+            // (8192/4 = 2048 items per chunk, clamped to the item count).
+            assert_eq!(super::pool::chunk_size(512, 4), 512);
+            // Never exceeds the item count.
+            assert_eq!(super::pool::chunk_size(3, 1), 3);
+            assert_eq!(super::pool::chunk_size(0, 64), 1);
+        });
+        with_threads(Some(1), || {
+            // One thread: 4 chunks of 128 for the same 512×512 shape.
+            assert_eq!(super::pool::chunk_size(512, 512), 128);
         });
     }
 

@@ -108,6 +108,43 @@ impl Batch {
         self.entries.iter().map(|e| e.token).collect()
     }
 
+    /// Splits the batch into maximal contiguous runs of entries that can be
+    /// evaluated **together** — all of a run's K/V cells stored before any of
+    /// its attention — without changing what any entry attends over.
+    ///
+    /// Sequentially, entry `i` never sees the cell of a later entry `j`
+    /// because it is not stored yet.  With the whole run stored up front,
+    /// `i` would see `j`'s cell exactly when the cache's visibility filter
+    /// admits it: `pos_j <= pos_i` and the two entries share a sequence.  A
+    /// run is therefore safe iff no earlier member satisfies that predicate
+    /// against a later one — which holds for the two shapes the engines
+    /// actually submit: prompts (strictly increasing positions in one
+    /// sequence) and speculation trees laid out parents-before-children
+    /// (children have strictly larger positions than ancestors; same-level
+    /// siblings share a position but belong to mutually exclusive branch
+    /// sequences).  Both collapse into a single run, so every projection in
+    /// the forward pass becomes one `m = len` GEMM that streams the weights
+    /// once for the whole batch.  Pathological orderings fall back to more,
+    /// smaller runs and stay correct.
+    pub fn level_groups(&self) -> Vec<std::ops::Range<usize>> {
+        let mut groups = Vec::new();
+        let mut start = 0;
+        for j in 1..self.entries.len() {
+            let e = &self.entries[j];
+            let conflict = self.entries[start..j]
+                .iter()
+                .any(|p| e.pos <= p.pos && e.seq_ids.iter().any(|s| p.seq_ids.contains(s)));
+            if conflict {
+                groups.push(start..j);
+                start = j;
+            }
+        }
+        if start < self.entries.len() {
+            groups.push(start..self.entries.len());
+        }
+        groups
+    }
+
     /// Serialized payload size in bytes, used by the interconnect model to
     /// charge for shipping batch metadata down the pipeline.
     pub fn wire_bytes(&self) -> u64 {
@@ -177,5 +214,47 @@ mod tests {
     fn tokens_in_order() {
         let b = Batch::prompt(&[5, 6, 7], 0, 0);
         assert_eq!(b.tokens(), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn prompt_is_one_level_group() {
+        let b = Batch::prompt(&[5, 6, 7, 8], 3, 0);
+        assert_eq!(b.level_groups(), vec![0..4]);
+        assert_eq!(
+            Batch::new().level_groups(),
+            Vec::<std::ops::Range<usize>>::new()
+        );
+        assert_eq!(Batch::single(1, 0, 0).level_groups(), vec![0..1]);
+    }
+
+    #[test]
+    fn tree_batch_is_one_level_group() {
+        // A 2-level speculation tree rooted at pos 10: the root spans every
+        // branch sequence, level-1 siblings share pos 11 in disjoint branch
+        // sequences, level-2 children sit at pos 12.
+        let mut b = Batch::new();
+        b.push(1, 10, vec![1, 2, 3], false);
+        b.push(2, 11, vec![1, 2], true);
+        b.push(3, 11, vec![3], true);
+        b.push(4, 12, vec![1], true);
+        b.push(5, 12, vec![2], true);
+        assert_eq!(b.level_groups(), vec![0..5]);
+    }
+
+    #[test]
+    fn conflicting_entries_split_groups() {
+        // Same sequence, non-increasing positions: entry 1 would be visible
+        // to entry 0 if stored together, so each must close a group.
+        let mut b = Batch::new();
+        b.push(1, 5, vec![0], true);
+        b.push(2, 5, vec![0], true);
+        b.push(3, 6, vec![0], true);
+        assert_eq!(b.level_groups(), vec![0..1, 1..3]);
+
+        // Disjoint sequences never conflict, whatever the positions.
+        let mut d = Batch::new();
+        d.push(1, 9, vec![0], true);
+        d.push(2, 3, vec![1], true);
+        assert_eq!(d.level_groups(), vec![0..2]);
     }
 }

@@ -75,6 +75,23 @@ pub struct ScratchArena {
     scores: Vec<f32>,
     /// Visible-cell indices for the current token.
     visible: Vec<usize>,
+    /// `[g, d_model]` — normed activations of a whole level group.
+    bh: Vec<f32>,
+    /// `[g, d_model]` — batched query projections.
+    bq: Vec<f32>,
+    /// `[g, kv_dim]` — batched key projections.
+    bk: Vec<f32>,
+    /// `[g, kv_dim]` — batched value projections.
+    bv: Vec<f32>,
+    /// `[g, d_model]` — per-row attention outputs awaiting the batched
+    /// output projection.
+    battn: Vec<f32>,
+    /// `[g, d_model]` — batched attention-output / MLP down projection.
+    bproj: Vec<f32>,
+    /// `[g, d_ff]` — batched gate projection (SwiGLU).
+    bgate: Vec<f32>,
+    /// `[g, d_ff]` — batched up projection.
+    bup: Vec<f32>,
 }
 
 impl ScratchArena {
@@ -91,11 +108,39 @@ impl ScratchArena {
             up: vec![0.0; cfg.d_ff],
             scores: Vec::new(),
             visible: Vec::new(),
+            bh: Vec::new(),
+            bq: Vec::new(),
+            bk: Vec::new(),
+            bv: Vec::new(),
+            battn: Vec::new(),
+            bproj: Vec::new(),
+            bgate: Vec::new(),
+            bup: Vec::new(),
         }
     }
 
     fn fits(&self, cfg: &ModelConfig) -> bool {
         self.h.len() == cfg.d_model && self.k.len() == cfg.kv_dim() && self.gate.len() == cfg.d_ff
+    }
+
+    /// Grows the level-group buffers to hold `g` rows (they persist at the
+    /// largest size seen, like every other arena slot).
+    fn ensure_group(&mut self, g: usize, cfg: &ModelConfig) {
+        let (d, kv, ff) = (cfg.d_model, cfg.kv_dim(), cfg.d_ff);
+        if self.bh.len() < g * d {
+            self.bh.resize(g * d, 0.0);
+            self.bq.resize(g * d, 0.0);
+            self.battn.resize(g * d, 0.0);
+            self.bproj.resize(g * d, 0.0);
+        }
+        if self.bk.len() < g * kv {
+            self.bk.resize(g * kv, 0.0);
+            self.bv.resize(g * kv, 0.0);
+        }
+        if self.bgate.len() < g * ff {
+            self.bgate.resize(g * ff, 0.0);
+            self.bup.resize(g * ff, 0.0);
+        }
     }
 }
 
@@ -226,9 +271,18 @@ impl Model {
                 batch.len()
             )));
         }
+        // Level groups are a property of the batch alone, so compute them
+        // once and reuse across layers.  Prompts and tree batches collapse
+        // into a single group (see [`Batch::level_groups`]), turning every
+        // per-layer projection into one m = n_tokens GEMM.
+        let groups = batch.level_groups();
+        let max_group = groups.iter().map(|g| g.len()).max().unwrap_or(0);
+        if max_group > 1 {
+            scratch.ensure_group(max_group, &self.cfg);
+        }
         let mut x = hidden.clone();
         for (local, global) in layers.clone().enumerate() {
-            self.forward_one_layer(batch, &mut x, global, local, cache, cells, scratch);
+            self.forward_one_layer(batch, &groups, &mut x, global, local, cache, cells, scratch);
         }
         Ok(x)
     }
@@ -237,6 +291,7 @@ impl Model {
     fn forward_one_layer(
         &self,
         batch: &Batch,
+        groups: &[Range<usize>],
         x: &mut Tensor,
         global_layer: usize,
         local_layer: usize,
@@ -249,8 +304,9 @@ impl Model {
         let hd = cfg.head_dim();
         let n_heads = cfg.n_heads;
         let n_kv = cfg.n_kv_heads;
-        let group = n_heads / n_kv;
+        let group_heads = n_heads / n_kv;
         let scale = 1.0 / (hd as f32).sqrt();
+        let (d, kvd, ff) = (cfg.d_model, cfg.kv_dim(), cfg.d_ff);
         let ScratchArena {
             h,
             q,
@@ -262,60 +318,197 @@ impl Model {
             up,
             scores,
             visible,
+            bh,
+            bq,
+            bk,
+            bv,
+            battn,
+            bproj,
+            bgate,
+            bup,
         } = scratch;
+        let entries = batch.entries();
 
-        // Tokens are processed in batch order so that later tokens can attend
-        // to the KV entries of earlier tokens in the same batch (prompt
-        // processing and tree verification both rely on this).
-        for (i, entry) in batch.iter().enumerate() {
-            // --- Attention block ---
-            ops::rmsnorm_into(x.row(i).unwrap(), lw.attn_norm.data(), cfg.norm_eps, h);
-            ops::matvec_t_into(h, &lw.wq, q).unwrap();
-            ops::matvec_t_into(h, &lw.wk, k).unwrap();
-            ops::matvec_t_into(h, &lw.wv, v).unwrap();
-            ops::rope_inplace(q, n_heads, hd, entry.pos as usize, cfg.rope_theta);
-            ops::rope_inplace(k, n_kv, hd, entry.pos as usize, cfg.rope_theta);
-            cache.store(local_layer, cells[i], k, v);
+        // Groups are processed in batch order so that tokens of a later
+        // group can attend to the KV entries stored by earlier groups.
+        // Within a group, every K/V is stored before any attention runs —
+        // safe by the level-group invariant (no member's cell is visible to
+        // an earlier member), and it lets each projection walk the weight
+        // matrix once for the whole group instead of once per token.
+        for group in groups {
+            let g = group.len();
+            if g == 1 {
+                // Single-token group: the GEMV path, no batching overhead.
+                let i = group.start;
+                let entry = &entries[i];
+                // --- Attention block ---
+                ops::rmsnorm_into(x.row(i).unwrap(), lw.attn_norm.data(), cfg.norm_eps, h);
+                ops::matvec_t_into(h, &lw.wq, q).unwrap();
+                ops::matvec_t_into(h, &lw.wk, k).unwrap();
+                ops::matvec_t_into(h, &lw.wv, v).unwrap();
+                ops::rope_inplace(q, n_heads, hd, entry.pos as usize, cfg.rope_theta);
+                ops::rope_inplace(k, n_kv, hd, entry.pos as usize, cfg.rope_theta);
+                cache.store(local_layer, cells[i], k, v);
 
-            cache.visible_cells_into(&entry.seq_ids, entry.pos, visible);
-            attn.fill(0.0);
-            for head in 0..n_heads {
-                let kv_head = head / group;
-                let q_h = &q[head * hd..(head + 1) * hd];
-                scores.clear();
-                for &cell in visible.iter() {
-                    let k_c = cache.key(local_layer, cell);
-                    let k_h = &k_c[kv_head * hd..(kv_head + 1) * hd];
-                    scores.push(ops::dot(q_h, k_h) * scale);
+                cache.visible_cells_into(&entry.seq_ids, entry.pos, visible);
+                attn.fill(0.0);
+                Self::attend_token(
+                    cache,
+                    local_layer,
+                    visible,
+                    scores,
+                    q,
+                    attn,
+                    n_heads,
+                    group_heads,
+                    hd,
+                    scale,
+                );
+                ops::matvec_t_into(attn, &lw.wo, proj).unwrap();
+                ops::add_inplace(x.row_mut(i).unwrap(), proj);
+
+                // --- MLP block ---
+                ops::rmsnorm_into(x.row(i).unwrap(), lw.mlp_norm.data(), cfg.norm_eps, h);
+                match cfg.activation {
+                    Activation::SwiGlu => {
+                        ops::matvec_t_into(h, lw.w_gate.as_ref().unwrap(), gate).unwrap();
+                        ops::matvec_t_into(h, &lw.w_up, up).unwrap();
+                        ops::silu_mul_inplace(gate, up);
+                        ops::matvec_t_into(gate, &lw.w_down, proj).unwrap();
+                    }
+                    Activation::Gelu => {
+                        ops::matvec_t_into(h, &lw.w_up, up).unwrap();
+                        ops::gelu_inplace(up);
+                        ops::matvec_t_into(up, &lw.w_down, proj).unwrap();
+                    }
                 }
-                ops::softmax_inplace(scores);
-                let out_h = &mut attn[head * hd..(head + 1) * hd];
-                for (w, &cell) in scores.iter().zip(visible.iter()) {
-                    let v_c = cache.value(local_layer, cell);
-                    let v_h = &v_c[kv_head * hd..(kv_head + 1) * hd];
-                    ops::axpy(out_h, *w, v_h);
-                }
+                ops::add_inplace(x.row_mut(i).unwrap(), proj);
+                continue;
             }
-            ops::matvec_t_into(attn, &lw.wo, proj).unwrap();
-            ops::add_inplace(x.row_mut(i).unwrap(), proj);
+
+            // Level-batched path: one GEMM per projection for the whole
+            // group.  Only attention itself stays per-row, because each row
+            // has its own visibility mask.
+            let bh = &mut bh[..g * d];
+            let bq = &mut bq[..g * d];
+            let bk = &mut bk[..g * kvd];
+            let bv = &mut bv[..g * kvd];
+            let battn = &mut battn[..g * d];
+            let bproj = &mut bproj[..g * d];
+
+            // --- Attention block ---
+            for (r, i) in group.clone().enumerate() {
+                ops::rmsnorm_into(
+                    x.row(i).unwrap(),
+                    lw.attn_norm.data(),
+                    cfg.norm_eps,
+                    &mut bh[r * d..(r + 1) * d],
+                );
+            }
+            ops::matmul_t_into(bh, lw.wq.data(), g, d, d, bq);
+            ops::matmul_t_into(bh, lw.wk.data(), g, d, kvd, bk);
+            ops::matmul_t_into(bh, lw.wv.data(), g, d, kvd, bv);
+            for (r, i) in group.clone().enumerate() {
+                let pos = entries[i].pos as usize;
+                ops::rope_inplace(
+                    &mut bq[r * d..(r + 1) * d],
+                    n_heads,
+                    hd,
+                    pos,
+                    cfg.rope_theta,
+                );
+                let krow = &mut bk[r * kvd..(r + 1) * kvd];
+                ops::rope_inplace(krow, n_kv, hd, pos, cfg.rope_theta);
+                cache.store(local_layer, cells[i], krow, &bv[r * kvd..(r + 1) * kvd]);
+            }
+            for (r, i) in group.clone().enumerate() {
+                let entry = &entries[i];
+                cache.visible_cells_into(&entry.seq_ids, entry.pos, visible);
+                let arow = &mut battn[r * d..(r + 1) * d];
+                arow.fill(0.0);
+                Self::attend_token(
+                    cache,
+                    local_layer,
+                    visible,
+                    scores,
+                    &bq[r * d..(r + 1) * d],
+                    arow,
+                    n_heads,
+                    group_heads,
+                    hd,
+                    scale,
+                );
+            }
+            ops::matmul_t_into(battn, lw.wo.data(), g, d, d, bproj);
+            for (r, i) in group.clone().enumerate() {
+                ops::add_inplace(x.row_mut(i).unwrap(), &bproj[r * d..(r + 1) * d]);
+            }
 
             // --- MLP block ---
-            ops::rmsnorm_into(x.row(i).unwrap(), lw.mlp_norm.data(), cfg.norm_eps, h);
+            for (r, i) in group.clone().enumerate() {
+                ops::rmsnorm_into(
+                    x.row(i).unwrap(),
+                    lw.mlp_norm.data(),
+                    cfg.norm_eps,
+                    &mut bh[r * d..(r + 1) * d],
+                );
+            }
             match cfg.activation {
                 Activation::SwiGlu => {
-                    ops::matvec_t_into(h, lw.w_gate.as_ref().unwrap(), gate).unwrap();
-                    ops::matvec_t_into(h, &lw.w_up, up).unwrap();
-                    ops::silu_inplace(gate);
-                    ops::mul_inplace(gate, up);
-                    ops::matvec_t_into(gate, &lw.w_down, proj).unwrap();
+                    let bgate = &mut bgate[..g * ff];
+                    let bup = &mut bup[..g * ff];
+                    ops::matmul_t_into(bh, lw.w_gate.as_ref().unwrap().data(), g, d, ff, bgate);
+                    ops::matmul_t_into(bh, lw.w_up.data(), g, d, ff, bup);
+                    ops::silu_mul_inplace(bgate, bup);
+                    ops::matmul_t_into(bgate, lw.w_down.data(), g, ff, d, bproj);
                 }
                 Activation::Gelu => {
-                    ops::matvec_t_into(h, &lw.w_up, up).unwrap();
-                    ops::gelu_inplace(up);
-                    ops::matvec_t_into(up, &lw.w_down, proj).unwrap();
+                    let bup = &mut bup[..g * ff];
+                    ops::matmul_t_into(bh, lw.w_up.data(), g, d, ff, bup);
+                    ops::gelu_inplace(bup);
+                    ops::matmul_t_into(bup, lw.w_down.data(), g, ff, d, bproj);
                 }
             }
-            ops::add_inplace(x.row_mut(i).unwrap(), proj);
+            for (r, i) in group.clone().enumerate() {
+                ops::add_inplace(x.row_mut(i).unwrap(), &bproj[r * d..(r + 1) * d]);
+            }
+        }
+    }
+
+    /// Multi-head attention for one token over its visible cells: scores
+    /// each head's query slice against the cached keys, softmaxes, and
+    /// gathers the cached values into `out` (which the caller has zeroed).
+    /// Shared by the single-token and level-batched paths so both attend
+    /// identically.
+    #[allow(clippy::too_many_arguments)]
+    fn attend_token(
+        cache: &KvCache,
+        local_layer: usize,
+        visible: &[usize],
+        scores: &mut Vec<f32>,
+        q: &[f32],
+        out: &mut [f32],
+        n_heads: usize,
+        group_heads: usize,
+        hd: usize,
+        scale: f32,
+    ) {
+        for head in 0..n_heads {
+            let kv_head = head / group_heads;
+            let q_h = &q[head * hd..(head + 1) * hd];
+            scores.clear();
+            for &cell in visible.iter() {
+                let k_c = cache.key(local_layer, cell);
+                let k_h = &k_c[kv_head * hd..(kv_head + 1) * hd];
+                scores.push(ops::dot(q_h, k_h) * scale);
+            }
+            ops::softmax_inplace(scores);
+            let out_h = &mut out[head * hd..(head + 1) * hd];
+            for (w, &cell) in scores.iter().zip(visible.iter()) {
+                let v_c = cache.value(local_layer, cell);
+                let v_h = &v_c[kv_head * hd..(kv_head + 1) * hd];
+                ops::axpy(out_h, *w, v_h);
+            }
         }
     }
 
@@ -550,6 +743,56 @@ mod tests {
             .unwrap();
         assert_eq!(logits.shape(), &[3, 64]);
         assert!(logits.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn tree_batch_matches_per_node_evaluation() {
+        // A speculation tree evaluated as one level-batched batch must match
+        // evaluating its nodes one at a time — level batching stores a whole
+        // group's K/V before attending, and that must not change what any
+        // node sees.  The tree: a shared root at pos 3, two mutually
+        // exclusive branches at pos 4, two grandchildren at pos 5.
+        let m = tiny_model(13);
+        let tree_entries: Vec<(u32, i32, Vec<u32>)> = vec![
+            (5, 3, vec![1, 2, 3]),
+            (6, 4, vec![1]),
+            (7, 4, vec![2, 3]),
+            (8, 5, vec![2]),
+            (9, 5, vec![3]),
+        ];
+        let prompt = {
+            let mut b = Batch::new();
+            for (i, &t) in [1u32, 2, 3].iter().enumerate() {
+                b.push(t, i as i32, vec![1, 2, 3], false);
+            }
+            b
+        };
+        let tree_batch: Batch = {
+            let mut b = Batch::new();
+            for (t, p, s) in &tree_entries {
+                b.push(*t, *p, s.clone(), true);
+            }
+            b
+        };
+        assert_eq!(tree_batch.level_groups(), vec![0..5], "tree must batch");
+
+        let mut c1 = m.new_cache_for_layers(&(0..4), 64);
+        m.forward_full(&prompt, &mut c1).unwrap();
+        let batched = m.forward_full(&tree_batch, &mut c1).unwrap();
+
+        let mut c2 = m.new_cache_for_layers(&(0..4), 64);
+        m.forward_full(&prompt, &mut c2).unwrap();
+        for (row, (t, p, s)) in tree_entries.iter().enumerate() {
+            let mut b = Batch::new();
+            b.push(*t, *p, s.clone(), true);
+            let one = m.forward_full(&b, &mut c2).unwrap();
+            for (a, e) in batched.row(row).unwrap().iter().zip(one.row(0).unwrap()) {
+                assert!(
+                    (a - e).abs() <= 1e-4 * a.abs().max(1.0),
+                    "node {row}: {a} vs {e}"
+                );
+            }
+        }
     }
 
     #[test]

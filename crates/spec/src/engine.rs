@@ -99,6 +99,12 @@ fn apply_op(cache: &mut KvCache, op: &CacheOp) {
 // ---------------------------------------------------------------------------
 
 /// Stage engine that runs a real (tiny) model's layer range.
+///
+/// Tree micro-batches submitted by the speculation strategies are evaluated
+/// **level-batched**: `forward_layer_range_with` groups the whole tree (it
+/// is laid out parents-before-children) into a single run, so each
+/// projection walks this stage's weights once per layer for all tree nodes
+/// (one `m = batch` GEMM) instead of once per node.
 pub struct RealStageEngine {
     model: Arc<Model>,
     layers: Range<usize>,
@@ -158,6 +164,9 @@ impl StageEngine for RealStageEngine {
 }
 
 /// Head engine that runs a real (tiny) model.
+///
+/// Like [`RealStageEngine`], tree micro-batches are evaluated level-batched
+/// (one `m = batch` GEMM per projection per layer for the whole tree).
 pub struct RealHeadEngine {
     model: Arc<Model>,
     layers: Range<usize>,
@@ -499,6 +508,64 @@ mod tests {
             n_seqs: 2,
         });
         assert_eq!(stage.cache().used(), 4);
+    }
+
+    #[test]
+    fn real_stage_engine_tree_batch_matches_per_node_evaluation() {
+        let model = tiny();
+        let mut batched = RealStageEngine::new(model.clone(), 0..4, 64);
+        let mut per_node = RealStageEngine::new(model.clone(), 0..4, 64);
+
+        // Identical context + branch setup on both engines.
+        let ctx_batch = Batch::prompt(&[1, 2], 0, 0);
+        for eng in [&mut batched, &mut per_node] {
+            let _ = eng.eval(
+                &ctx_batch,
+                &ActivationPayload::Real(model.embed(&ctx_batch)),
+            );
+            for dst in [1u32, 2] {
+                eng.apply_cache_op(&CacheOp::SeqCp {
+                    src: 0,
+                    dst,
+                    p0: 0,
+                    p1: i32::MAX,
+                });
+            }
+        }
+
+        // Shared root at pos 2, two sibling leaves at pos 3: evaluated as one
+        // level-batched tree on `batched`, and one node at a time (in
+        // parents-first order, the sequential schedule) on `per_node`.
+        let mut tree_batch = Batch::new();
+        tree_batch.push(7, 2, vec![1, 2], true);
+        tree_batch.push(8, 3, vec![1], true);
+        tree_batch.push(9, 3, vec![2], true);
+        let (out, _) = batched.eval(
+            &tree_batch,
+            &ActivationPayload::Real(model.embed(&tree_batch)),
+        );
+        let hidden = match out {
+            ActivationPayload::Real(t) => t,
+            _ => panic!("expected real payload"),
+        };
+
+        for (i, entry) in tree_batch.entries().iter().enumerate() {
+            let mut node = Batch::new();
+            node.push(entry.token, entry.pos, entry.seq_ids.clone(), true);
+            let (out, _) = per_node.eval(&node, &ActivationPayload::Real(model.embed(&node)));
+            let node_hidden = match out {
+                ActivationPayload::Real(t) => t,
+                _ => panic!("expected real payload"),
+            };
+            for (a, b) in hidden
+                .row(i)
+                .unwrap()
+                .iter()
+                .zip(node_hidden.row(0).unwrap())
+            {
+                assert!((a - b).abs() < 1e-4, "node {i}: {a} vs {b}");
+            }
+        }
     }
 
     #[test]

@@ -19,9 +19,32 @@
 //! for initialisation helpers); it is not meant to compete with full tensor
 //! frameworks, only to provide a faithful, testable substrate for the
 //! scheduling algorithms under study.
+//!
+//! ## Feature flags
+//!
+//! * **`simd`** — routes the hot kernels (dense dot/dot4, the fused
+//!   quantized row dot, RMSNorm, softmax, the SiLU gate, axpy) through the
+//!   explicit f32x8 kernels of the `simd` module: `core::arch` AVX2/FMA
+//!   when the CPU
+//!   has it (detected once at runtime), a portable array-of-8 fallback
+//!   otherwise.  The scalar kernels stay compiled as the ground truth
+//!   (`ops::dot_scalar`, `ops::matmul_t_blocked_scalar`,
+//!   `QuantizedMatrix::matmul_t_fused_scalar`); SIMD results match them to
+//!   ~1e-4 relative, and greedy generation produces byte-identical token
+//!   streams with the feature on and off.
+//!
+//! ## Environment
+//!
+//! * **`PIPEINFER_THREADS`** — caps the persistent worker pool that
+//!   parallel matmuls run on (re-read on every call; `1` forces fully
+//!   serial in-caller execution).  Results are bitwise independent of the
+//!   setting: every output element is accumulated in a fixed order no
+//!   matter which thread computes it.
 
 pub mod ops;
 pub mod quant;
+#[cfg(feature = "simd")]
+pub mod simd;
 pub mod tensor;
 
 pub use quant::{QuantKind, QuantizedMatrix};

@@ -1,0 +1,694 @@
+//! Explicit f32x8 SIMD kernels behind the `simd` feature.
+//!
+//! Every kernel exists in two implementations selected once per process by
+//! `Isa::detect`:
+//!
+//! * **AVX2/FMA** (`core::arch::x86_64`) — 8-lane fused multiply-add inner
+//!   loops for the dot products, in-register `i8 → f32` widening for the
+//!   fused quantized kernel (weight rows are never materialised as dense
+//!   `f32`), and 8-lane element-wise passes for RMSNorm / softmax / the
+//!   SiLU-gate product (whose `exp` uses the Cephes polynomial, the same
+//!   approximation llama.cpp ships).
+//! * **Portable** — the identical loop structure over `[f32; 8]` arrays so
+//!   the autovectoriser can still emit whatever the target offers; on a
+//!   machine without AVX2 this is the fallback, and it is also what
+//!   non-x86_64 builds compile to.
+//!
+//! The scalar kernels in [`crate::ops`] and [`crate::quant`] remain the
+//! ground truth: `crates/tensor/tests/kernel_equivalence.rs` pins every SIMD
+//! kernel to its scalar reference within 1e-4 relative error (the SIMD
+//! accumulation order differs, so results are *close*, not bitwise equal, to
+//! the scalar path — within one build the chosen path is fixed, so results
+//! stay bitwise reproducible across runs and thread counts).
+
+use crate::quant::{Block, BLOCK_SIZE};
+
+/// Instruction set selected for this process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Isa {
+    /// `core::arch` AVX2 + FMA intrinsics.
+    #[cfg(target_arch = "x86_64")]
+    Avx2Fma,
+    /// `[f32; 8]` lane arrays, autovectorised.
+    Portable,
+}
+
+impl Isa {
+    /// Runtime CPU detection, cached after the first call.
+    fn detect() -> Isa {
+        #[cfg(target_arch = "x86_64")]
+        {
+            use std::sync::OnceLock;
+            static ISA: OnceLock<Isa> = OnceLock::new();
+            *ISA.get_or_init(|| {
+                if std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma") {
+                    Isa::Avx2Fma
+                } else {
+                    Isa::Portable
+                }
+            })
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Isa::Portable
+        }
+    }
+}
+
+/// Name of the active SIMD path (`"avx2+fma"` or `"portable-f32x8"`), for
+/// bench/report labelling.
+pub fn active_isa() -> &'static str {
+    match Isa::detect() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2Fma => "avx2+fma",
+        Isa::Portable => "portable-f32x8",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dot products
+// ---------------------------------------------------------------------------
+
+/// 8-lane dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    match Isa::detect() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2Fma => unsafe { dot_avx2(a, b) },
+        Isa::Portable => dot_portable(a, b),
+    }
+}
+
+/// Four simultaneous 8-lane dots of `w` against `x0..x3`, streaming `w` once
+/// (the tiled-GEMM inner kernel).
+#[inline]
+pub fn dot4(w: &[f32], x0: &[f32], x1: &[f32], x2: &[f32], x3: &[f32]) -> [f32; 4] {
+    let k = w.len();
+    assert!(x0.len() == k && x1.len() == k && x2.len() == k && x3.len() == k);
+    match Isa::detect() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2Fma => unsafe { dot4_avx2(w, x0, x1, x2, x3) },
+        Isa::Portable => dot4_portable(w, x0, x1, x2, x3),
+    }
+}
+
+/// Fused dot of an activation row against one quantized weight row.
+///
+/// Integer weights are widened in-register (never materialised as dense
+/// `f32`), each block's scale is applied exactly once — in the main loop as
+/// one fused multiply-add of the block accumulator, and hoisted out of the
+/// ragged-tail element loop the same way.
+#[inline]
+pub(crate) fn dot_q_row(xrow: &[f32], blocks: &[Block]) -> f32 {
+    debug_assert_eq!(blocks.len(), xrow.len().div_ceil(BLOCK_SIZE));
+    match Isa::detect() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2Fma => unsafe { dot_q_row_avx2(xrow, blocks) },
+        Isa::Portable => dot_q_row_portable(xrow, blocks),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Element-wise passes
+// ---------------------------------------------------------------------------
+
+/// Sum of squares (the RMSNorm reduction).
+#[inline]
+pub fn sum_squares(x: &[f32]) -> f32 {
+    match Isa::detect() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2Fma => unsafe { sum_squares_avx2(x) },
+        Isa::Portable => sum_squares_portable(x),
+    }
+}
+
+/// RMSNorm application pass: `out[i] = x[i] * scale * w[i]`.
+#[inline]
+pub fn rmsnorm_apply(out: &mut [f32], x: &[f32], scale: f32, w: &[f32]) {
+    debug_assert!(out.len() == x.len() && x.len() == w.len());
+    match Isa::detect() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2Fma => unsafe { rmsnorm_apply_avx2(out, x, scale, w) },
+        Isa::Portable => {
+            for ((o, &v), &wv) in out.iter_mut().zip(x).zip(w) {
+                *o = v * scale * wv;
+            }
+        }
+    }
+}
+
+/// Maximum element (the softmax stabiliser).  Inputs are finite logits; NaN
+/// handling matches `f32::max` only for finite data.
+#[inline]
+pub fn max_val(x: &[f32]) -> f32 {
+    match Isa::detect() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2Fma => unsafe { max_avx2(x) },
+        Isa::Portable => x.iter().copied().fold(f32::NEG_INFINITY, f32::max),
+    }
+}
+
+/// Division pass of softmax normalisation: `x[i] /= d`.  IEEE division is
+/// exact per element, so this is bitwise identical to the scalar loop.
+#[inline]
+pub fn div_inplace(x: &mut [f32], d: f32) {
+    match Isa::detect() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2Fma => unsafe { div_avx2(x, d) },
+        Isa::Portable => {
+            for v in x.iter_mut() {
+                *v /= d;
+            }
+        }
+    }
+}
+
+/// Fused SwiGLU gate: `gate[i] = silu(gate[i]) * up[i]` in one pass.
+///
+/// The AVX2 path evaluates `exp` with the Cephes polynomial (~1e-7 relative
+/// error); the portable path keeps the scalar `exp` but still fuses the two
+/// loops the scalar code used to run.
+#[inline]
+pub fn silu_mul(gate: &mut [f32], up: &[f32]) {
+    debug_assert_eq!(gate.len(), up.len());
+    match Isa::detect() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2Fma => unsafe { silu_mul_avx2(gate, up) },
+        Isa::Portable => {
+            for (g, &u) in gate.iter_mut().zip(up) {
+                *g = *g * (1.0 / (1.0 + (-*g).exp())) * u;
+            }
+        }
+    }
+}
+
+/// Weighted accumulation `acc[i] += w * x[i]` (the attention value gather).
+#[inline]
+pub fn axpy(acc: &mut [f32], w: f32, x: &[f32]) {
+    debug_assert_eq!(acc.len(), x.len());
+    match Isa::detect() {
+        #[cfg(target_arch = "x86_64")]
+        Isa::Avx2Fma => unsafe { axpy_avx2(acc, w, x) },
+        Isa::Portable => {
+            for (a, &b) in acc.iter_mut().zip(x) {
+                *a += w * b;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Portable f32x8 implementations
+// ---------------------------------------------------------------------------
+
+/// Fixed reduction order shared by the portable kernels: pairwise over the 8
+/// lanes, then the scalar tail.
+#[inline]
+fn hsum8(acc: [f32; 8]) -> f32 {
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+}
+
+fn dot_portable(a: &[f32], b: &[f32]) -> f32 {
+    let main = a.len() - a.len() % 8;
+    let mut acc = [0.0f32; 8];
+    for (av, bv) in a[..main].chunks_exact(8).zip(b[..main].chunks_exact(8)) {
+        for l in 0..8 {
+            acc[l] += av[l] * bv[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (x, y) in a[main..].iter().zip(b[main..].iter()) {
+        tail += x * y;
+    }
+    hsum8(acc) + tail
+}
+
+fn dot4_portable(w: &[f32], x0: &[f32], x1: &[f32], x2: &[f32], x3: &[f32]) -> [f32; 4] {
+    let k = w.len();
+    let main = k - k % 8;
+    let mut acc = [[0.0f32; 8]; 4];
+    let mut i = 0;
+    while i < main {
+        for l in 0..8 {
+            let wv = w[i + l];
+            acc[0][l] += x0[i + l] * wv;
+            acc[1][l] += x1[i + l] * wv;
+            acc[2][l] += x2[i + l] * wv;
+            acc[3][l] += x3[i + l] * wv;
+        }
+        i += 8;
+    }
+    let mut t = [0.0f32; 4];
+    while i < k {
+        t[0] += x0[i] * w[i];
+        t[1] += x1[i] * w[i];
+        t[2] += x2[i] * w[i];
+        t[3] += x3[i] * w[i];
+        i += 1;
+    }
+    [
+        hsum8(acc[0]) + t[0],
+        hsum8(acc[1]) + t[1],
+        hsum8(acc[2]) + t[2],
+        hsum8(acc[3]) + t[3],
+    ]
+}
+
+fn dot_q_row_portable(xrow: &[f32], blocks: &[Block]) -> f32 {
+    let full = xrow.len() / BLOCK_SIZE;
+    let mut acc = [0.0f32; 8];
+    for (b, block) in blocks.iter().enumerate().take(full) {
+        let x = &xrow[b * BLOCK_SIZE..(b + 1) * BLOCK_SIZE];
+        let mut bacc = [0.0f32; 8];
+        for (xv, qv) in x.chunks_exact(8).zip(block.q.chunks_exact(8)) {
+            for l in 0..8 {
+                bacc[l] += xv[l] * qv[l] as f32;
+            }
+        }
+        // One scale multiply per block, fused into the running accumulator.
+        for l in 0..8 {
+            acc[l] += bacc[l] * block.scale;
+        }
+    }
+    let mut sum = hsum8(acc);
+    let rem = xrow.len() % BLOCK_SIZE;
+    if rem != 0 {
+        // Ragged tail block: same structure — unscaled element loop, then one
+        // scale multiply hoisted out of it.
+        let block = &blocks[full];
+        let x = &xrow[full * BLOCK_SIZE..];
+        let mut bacc = 0.0f32;
+        for (xv, qv) in x.iter().zip(block.q.iter()) {
+            bacc += xv * *qv as f32;
+        }
+        sum += bacc * block.scale;
+    }
+    sum
+}
+
+fn sum_squares_portable(x: &[f32]) -> f32 {
+    let main = x.len() - x.len() % 8;
+    let mut acc = [0.0f32; 8];
+    for xv in x[..main].chunks_exact(8) {
+        for l in 0..8 {
+            acc[l] += xv[l] * xv[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for v in &x[main..] {
+        tail += v * v;
+    }
+    hsum8(acc) + tail
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 + FMA implementations
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{Block, BLOCK_SIZE};
+    use core::arch::x86_64::*;
+
+    /// Horizontal sum of one 8-lane register (fixed reduction order).
+    #[inline]
+    unsafe fn hsum256(v: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps(v, 1);
+        let s = _mm_add_ps(lo, hi);
+        let shuf = _mm_movehdup_ps(s);
+        let sums = _mm_add_ps(s, shuf);
+        let hi2 = _mm_movehl_ps(shuf, sums);
+        _mm_cvtss_f32(_mm_add_ss(sums, hi2))
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len();
+        let (pa, pb) = (a.as_ptr(), b.as_ptr());
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut acc2 = _mm256_setzero_ps();
+        let mut acc3 = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 32 <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
+            acc1 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(pa.add(i + 8)),
+                _mm256_loadu_ps(pb.add(i + 8)),
+                acc1,
+            );
+            acc2 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(pa.add(i + 16)),
+                _mm256_loadu_ps(pb.add(i + 16)),
+                acc2,
+            );
+            acc3 = _mm256_fmadd_ps(
+                _mm256_loadu_ps(pa.add(i + 24)),
+                _mm256_loadu_ps(pb.add(i + 24)),
+                acc3,
+            );
+            i += 32;
+        }
+        while i + 8 <= n {
+            acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(i)), _mm256_loadu_ps(pb.add(i)), acc0);
+            i += 8;
+        }
+        let acc = _mm256_add_ps(_mm256_add_ps(acc0, acc1), _mm256_add_ps(acc2, acc3));
+        let mut sum = hsum256(acc);
+        while i < n {
+            sum += a[i] * b[i];
+            i += 1;
+        }
+        sum
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn dot4_avx2(w: &[f32], x0: &[f32], x1: &[f32], x2: &[f32], x3: &[f32]) -> [f32; 4] {
+        let k = w.len();
+        let pw = w.as_ptr();
+        let (p0, p1, p2, p3) = (x0.as_ptr(), x1.as_ptr(), x2.as_ptr(), x3.as_ptr());
+        let mut a0 = _mm256_setzero_ps();
+        let mut a1 = _mm256_setzero_ps();
+        let mut a2 = _mm256_setzero_ps();
+        let mut a3 = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 8 <= k {
+            let wv = _mm256_loadu_ps(pw.add(i));
+            a0 = _mm256_fmadd_ps(_mm256_loadu_ps(p0.add(i)), wv, a0);
+            a1 = _mm256_fmadd_ps(_mm256_loadu_ps(p1.add(i)), wv, a1);
+            a2 = _mm256_fmadd_ps(_mm256_loadu_ps(p2.add(i)), wv, a2);
+            a3 = _mm256_fmadd_ps(_mm256_loadu_ps(p3.add(i)), wv, a3);
+            i += 8;
+        }
+        let mut out = [hsum256(a0), hsum256(a1), hsum256(a2), hsum256(a3)];
+        while i < k {
+            out[0] += x0[i] * w[i];
+            out[1] += x1[i] * w[i];
+            out[2] += x2[i] * w[i];
+            out[3] += x3[i] * w[i];
+            i += 1;
+        }
+        out
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn dot_q_row_avx2(xrow: &[f32], blocks: &[Block]) -> f32 {
+        let full = xrow.len() / BLOCK_SIZE;
+        let mut acc = _mm256_setzero_ps();
+        for (b, block) in blocks.iter().enumerate().take(full) {
+            let px = xrow.as_ptr().add(b * BLOCK_SIZE);
+            let pq = block.q.as_ptr();
+            let mut bacc = _mm256_setzero_ps();
+            for j in 0..BLOCK_SIZE / 8 {
+                // Widen 8 i8 weights to f32 entirely in registers.
+                let qi = _mm_loadl_epi64(pq.add(8 * j) as *const __m128i);
+                let qf = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(qi));
+                bacc = _mm256_fmadd_ps(_mm256_loadu_ps(px.add(8 * j)), qf, bacc);
+            }
+            // One scale multiply per block, fused into the running total.
+            acc = _mm256_fmadd_ps(bacc, _mm256_set1_ps(block.scale), acc);
+        }
+        let mut sum = hsum256(acc);
+        let rem = xrow.len() % BLOCK_SIZE;
+        if rem != 0 {
+            // Ragged tail block: unscaled element loop, scale applied once.
+            let block = &blocks[full];
+            let x = &xrow[full * BLOCK_SIZE..];
+            let mut bacc = 0.0f32;
+            for (xv, qv) in x.iter().zip(block.q.iter()) {
+                bacc += xv * *qv as f32;
+            }
+            sum += bacc * block.scale;
+        }
+        sum
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn sum_squares_avx2(x: &[f32]) -> f32 {
+        let n = x.len();
+        let p = x.as_ptr();
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 16 <= n {
+            let v0 = _mm256_loadu_ps(p.add(i));
+            let v1 = _mm256_loadu_ps(p.add(i + 8));
+            acc0 = _mm256_fmadd_ps(v0, v0, acc0);
+            acc1 = _mm256_fmadd_ps(v1, v1, acc1);
+            i += 16;
+        }
+        while i + 8 <= n {
+            let v = _mm256_loadu_ps(p.add(i));
+            acc0 = _mm256_fmadd_ps(v, v, acc0);
+            i += 8;
+        }
+        let mut sum = hsum256(_mm256_add_ps(acc0, acc1));
+        while i < n {
+            sum += x[i] * x[i];
+            i += 1;
+        }
+        sum
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn rmsnorm_apply_avx2(out: &mut [f32], x: &[f32], scale: f32, w: &[f32]) {
+        let n = out.len();
+        let s = _mm256_set1_ps(scale);
+        let mut i = 0;
+        while i + 8 <= n {
+            let v = _mm256_mul_ps(_mm256_loadu_ps(x.as_ptr().add(i)), s);
+            let r = _mm256_mul_ps(v, _mm256_loadu_ps(w.as_ptr().add(i)));
+            _mm256_storeu_ps(out.as_mut_ptr().add(i), r);
+            i += 8;
+        }
+        while i < n {
+            out[i] = x[i] * scale * w[i];
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn max_avx2(x: &[f32]) -> f32 {
+        let n = x.len();
+        let mut i = 0;
+        let mut m = f32::NEG_INFINITY;
+        if n >= 8 {
+            let mut mv = _mm256_loadu_ps(x.as_ptr());
+            i = 8;
+            while i + 8 <= n {
+                mv = _mm256_max_ps(mv, _mm256_loadu_ps(x.as_ptr().add(i)));
+                i += 8;
+            }
+            let mut lanes = [0.0f32; 8];
+            _mm256_storeu_ps(lanes.as_mut_ptr(), mv);
+            for l in lanes {
+                m = m.max(l);
+            }
+        }
+        while i < n {
+            m = m.max(x[i]);
+            i += 1;
+        }
+        m
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn div_avx2(x: &mut [f32], d: f32) {
+        let n = x.len();
+        let dv = _mm256_set1_ps(d);
+        let mut i = 0;
+        while i + 8 <= n {
+            let v = _mm256_div_ps(_mm256_loadu_ps(x.as_ptr().add(i)), dv);
+            _mm256_storeu_ps(x.as_mut_ptr().add(i), v);
+            i += 8;
+        }
+        while i < n {
+            x[i] /= d;
+            i += 1;
+        }
+    }
+
+    /// 8-lane `exp` via the Cephes polynomial (as in llama.cpp / sse_mathfun):
+    /// range-reduce by `log 2`, 5th-order polynomial on the remainder,
+    /// reassemble the exponent through the float bit pattern.  Inputs are
+    /// clamped to ±88.38 so the result never overflows to infinity.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn exp256(x: __m256) -> __m256 {
+        let hi = _mm256_set1_ps(88.376_26);
+        let lo = _mm256_set1_ps(-88.376_26);
+        let log2e = _mm256_set1_ps(std::f32::consts::LOG2_E);
+        let c1 = _mm256_set1_ps(0.693_359_4);
+        let c2 = _mm256_set1_ps(-2.121_944_4e-4);
+        let x = _mm256_min_ps(_mm256_max_ps(x, lo), hi);
+        let fx = _mm256_floor_ps(_mm256_fmadd_ps(x, log2e, _mm256_set1_ps(0.5)));
+        // r = x - fx * ln2 (split constant for accuracy).
+        let r = _mm256_fnmadd_ps(fx, c1, x);
+        let r = _mm256_fnmadd_ps(fx, c2, r);
+        let r2 = _mm256_mul_ps(r, r);
+        let mut y = _mm256_set1_ps(1.987_569_1e-4);
+        y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(1.398_199_9e-3));
+        y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(8.333_452e-3));
+        y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(4.166_579_6e-2));
+        y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(1.666_666_5e-1));
+        y = _mm256_fmadd_ps(y, r, _mm256_set1_ps(5.000_000_3e-1));
+        y = _mm256_fmadd_ps(y, r2, r);
+        y = _mm256_add_ps(y, _mm256_set1_ps(1.0));
+        // 2^fx through the exponent bits.
+        let emm = _mm256_add_epi32(_mm256_cvtps_epi32(fx), _mm256_set1_epi32(0x7f));
+        let pow2 = _mm256_castsi256_ps(_mm256_slli_epi32(emm, 23));
+        _mm256_mul_ps(y, pow2)
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn silu_mul_avx2(gate: &mut [f32], up: &[f32]) {
+        let n = gate.len();
+        let one = _mm256_set1_ps(1.0);
+        let mut i = 0;
+        while i + 8 <= n {
+            let g = _mm256_loadu_ps(gate.as_ptr().add(i));
+            let e = exp256(_mm256_sub_ps(_mm256_setzero_ps(), g));
+            let sig = _mm256_div_ps(one, _mm256_add_ps(one, e));
+            let r = _mm256_mul_ps(_mm256_mul_ps(g, sig), _mm256_loadu_ps(up.as_ptr().add(i)));
+            _mm256_storeu_ps(gate.as_mut_ptr().add(i), r);
+            i += 8;
+        }
+        while i < n {
+            let g = gate[i];
+            gate[i] = g * (1.0 / (1.0 + (-g).exp())) * up[i];
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn axpy_avx2(acc: &mut [f32], w: f32, x: &[f32]) {
+        let n = acc.len();
+        let wv = _mm256_set1_ps(w);
+        let mut i = 0;
+        while i + 8 <= n {
+            let a = _mm256_loadu_ps(acc.as_ptr().add(i));
+            let r = _mm256_fmadd_ps(wv, _mm256_loadu_ps(x.as_ptr().add(i)), a);
+            _mm256_storeu_ps(acc.as_mut_ptr().add(i), r);
+            i += 8;
+        }
+        while i < n {
+            acc[i] += w * x[i];
+            i += 1;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+use avx2::{
+    axpy_avx2, div_avx2, dot4_avx2, dot_avx2, dot_q_row_avx2, max_avx2, rmsnorm_apply_avx2,
+    silu_mul_avx2, sum_squares_avx2,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize, f: impl Fn(usize) -> f32) -> Vec<f32> {
+        (0..n).map(f).collect()
+    }
+
+    #[test]
+    fn dot_matches_scalar_on_ragged_lengths() {
+        for n in [0usize, 1, 7, 8, 9, 31, 32, 33, 100, 512] {
+            let a = seq(n, |i| (i as f32 * 0.37).sin());
+            let b = seq(n, |i| (i as f32 * 0.11).cos());
+            let fast = dot(&a, &b);
+            let slow = crate::ops::dot_scalar(&a, &b);
+            assert!(
+                (fast - slow).abs() <= 1e-4 * slow.abs().max(1.0),
+                "n={n}: {fast} vs {slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot4_matches_four_dots() {
+        for k in [1usize, 5, 8, 17, 64, 130] {
+            let w = seq(k, |i| (i as f32 * 0.3).sin());
+            let xs: Vec<Vec<f32>> = (0..4)
+                .map(|r| seq(k, |i| ((i + r) as f32 * 0.7).cos()))
+                .collect();
+            let got = dot4(&w, &xs[0], &xs[1], &xs[2], &xs[3]);
+            for r in 0..4 {
+                let want = crate::ops::dot_scalar(&w, &xs[r]);
+                assert!(
+                    (got[r] - want).abs() <= 1e-4 * want.abs().max(1.0),
+                    "k={k} r={r}: {} vs {want}",
+                    got[r]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn elementwise_passes_match_scalar() {
+        let x = seq(67, |i| (i as f32 * 0.21).sin() * 3.0);
+        let w = seq(67, |i| 0.5 + (i as f32 * 0.05).cos());
+
+        let ss = sum_squares(&x);
+        let ss_ref: f32 = x.iter().map(|v| v * v).sum();
+        assert!((ss - ss_ref).abs() <= 1e-4 * ss_ref.max(1.0));
+
+        let mut out = vec![0.0f32; x.len()];
+        rmsnorm_apply(&mut out, &x, 0.125, &w);
+        for i in 0..x.len() {
+            let want = x[i] * 0.125 * w[i];
+            assert!((out[i] - want).abs() <= 1e-6 * want.abs().max(1.0));
+        }
+
+        assert_eq!(
+            max_val(&x),
+            x.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        );
+
+        let mut d = x.clone();
+        div_inplace(&mut d, 3.5);
+        for i in 0..x.len() {
+            assert_eq!(d[i], x[i] / 3.5, "division must be exact per element");
+        }
+    }
+
+    #[test]
+    fn silu_mul_matches_scalar_within_tolerance() {
+        let n = 100;
+        let gate_ref = seq(n, |i| (i as f32 - 50.0) * 0.6);
+        let up = seq(n, |i| 1.0 + (i as f32 * 0.13).sin());
+        let mut gate = gate_ref.clone();
+        silu_mul(&mut gate, &up);
+        for i in 0..n {
+            let g = gate_ref[i];
+            let want = g * (1.0 / (1.0 + (-g).exp())) * up[i];
+            assert!(
+                (gate[i] - want).abs() <= 1e-4 * want.abs().max(1.0),
+                "i={i}: {} vs {want}",
+                gate[i]
+            );
+        }
+    }
+
+    #[test]
+    fn axpy_matches_scalar() {
+        let x = seq(45, |i| (i as f32 * 0.4).cos());
+        let mut acc = seq(45, |i| i as f32 * 0.01);
+        let mut acc_ref = acc.clone();
+        axpy(&mut acc, 1.75, &x);
+        for (a, &b) in acc_ref.iter_mut().zip(x.iter()) {
+            *a += 1.75 * b;
+        }
+        for i in 0..45 {
+            assert!((acc[i] - acc_ref[i]).abs() <= 1e-5 * acc_ref[i].abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn active_isa_reports_a_path() {
+        let isa = active_isa();
+        assert!(isa == "avx2+fma" || isa == "portable-f32x8");
+    }
+}

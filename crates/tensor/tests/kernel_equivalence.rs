@@ -6,6 +6,13 @@
 //! (speculative verify, exercising the 4-row tile and its remainder), inner
 //! dimensions that are not multiples of the 4-wide accumulator width, and
 //! column counts that are not multiples of the quantization block size.
+//!
+//! A second family pins the `simd` build to the scalar ground truth: the
+//! dispatch entry points (`matmul_t`, `QuantizedMatrix::matmul_t`, the
+//! elementwise ops) against their `*_scalar` counterparts.  On a scalar
+//! build the two sides are the same code and the properties hold trivially;
+//! with `--features simd` they pin the f32x8 kernels — including lengths
+//! that are not multiples of the 8-lane width — to 1e-4.
 
 use pi_tensor::{ops, QuantKind, QuantizedMatrix, Tensor};
 use proptest::prelude::*;
@@ -55,6 +62,82 @@ proptest! {
             let fused = q.matmul_t(&x).unwrap();
             let reference = q.matmul_t_reference(&x).unwrap();
             assert_close(&fused, &reference, "quant fused vs reference");
+        }
+    }
+
+    #[test]
+    fn prop_simd_matmul_matches_blocked_scalar(
+        m in 1usize..10,
+        // Straddles multiples of the 8-lane SIMD width: 7, 8, 9, 15, 16,
+        // 17... all occur, as do the 32-wide unrolled main loop's edges.
+        k in 1usize..130,
+        n in 1usize..70,
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(3000));
+        let x = Tensor::rand_uniform(&mut rng, &[m, k], 1.0);
+        let w = Tensor::rand_uniform(&mut rng, &[n, k], 1.0);
+        let dispatch = ops::matmul_t(&x, &w).unwrap();
+        let scalar = ops::matmul_t_blocked_scalar(&x, &w).unwrap();
+        assert_close(&dispatch, &scalar, "dense dispatch vs blocked scalar");
+    }
+
+    #[test]
+    fn prop_simd_fused_quant_matches_scalar(
+        m in 1usize..7,
+        cols in 1usize..130,
+        n in 1usize..40,
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(4000));
+        let x = Tensor::rand_uniform(&mut rng, &[m, cols], 1.0);
+        let w = Tensor::rand_uniform(&mut rng, &[n, cols], 1.0);
+        for kind in [QuantKind::Q8_0, QuantKind::Q4K] {
+            let q = QuantizedMatrix::quantize(&w, kind).unwrap();
+            let dispatch = q.matmul_t(&x).unwrap();
+            let scalar = q.matmul_t_fused_scalar(&x).unwrap();
+            assert_close(&dispatch, &scalar, "quant dispatch vs fused scalar");
+        }
+    }
+
+    #[test]
+    fn prop_elementwise_ops_match_scalar_references(
+        len in 1usize..200,
+        seed in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(5000));
+        let x = Tensor::rand_uniform(&mut rng, &[1, len], 2.0);
+        let x = x.data();
+        let w = Tensor::rand_uniform(&mut rng, &[1, len], 1.0);
+        let w = w.data();
+
+        // rmsnorm: dispatch vs the textbook scalar formula.
+        let mut out = vec![0.0f32; len];
+        ops::rmsnorm_into(x, w, 1e-5, &mut out);
+        let ss: f32 = x.iter().map(|v| v * v).sum::<f32>() / len as f32;
+        let scale = 1.0 / (ss + 1e-5).sqrt();
+        for (i, o) in out.iter().enumerate() {
+            let r = x[i] * scale * w[i];
+            prop_assert!((o - r).abs() <= 1e-4 * r.abs().max(1.0), "rmsnorm[{i}]: {o} vs {r}");
+        }
+
+        // softmax: probabilities must match scalar reference and sum to 1.
+        let mut sm = x.to_vec();
+        ops::softmax_inplace(&mut sm);
+        let max = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = x.iter().map(|v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        for (i, o) in sm.iter().enumerate() {
+            let r = exps[i] / sum;
+            prop_assert!((o - r).abs() <= 1e-4, "softmax[{i}]: {o} vs {r}");
+        }
+
+        // fused SwiGLU gate: silu(gate) * up vs the scalar formula.
+        let mut gate = x.to_vec();
+        ops::silu_mul_inplace(&mut gate, w);
+        for (i, o) in gate.iter().enumerate() {
+            let r = x[i] * (1.0 / (1.0 + (-x[i]).exp())) * w[i];
+            prop_assert!((o - r).abs() <= 1e-4 * r.abs().max(1.0), "silu_mul[{i}]: {o} vs {r}");
         }
     }
 

@@ -1,0 +1,48 @@
+//! Golden end-to-end generation: kernel changes must not move the output.
+//!
+//! Greedy decoding from a fixed-seed tiny model is pinned to a hardcoded
+//! token sequence.  The `simd` feature swaps every hot kernel (dense and
+//! quantized matmul, rmsnorm, softmax, SwiGLU) for the f32x8 versions whose
+//! accumulation order differs from the scalar build's — the logits agree
+//! only to ~1e-4 — but greedy argmax margins in a real forward pass dwarf
+//! that, so the *sampled tokens* must be byte-identical with the feature on
+//! and off.  A silent kernel bug large enough to flip any argmax fails this
+//! test on whichever build carries it.
+
+use pipeinfer::model::{Batch, KvCache, Model, ModelConfig, Sampler};
+
+/// Greedy single-process generation, the same schedule as the
+/// output-equivalence suite's ground truth.
+fn greedy(model: &Model, prompt: &[u32], n: usize) -> Vec<u32> {
+    let mut cache = KvCache::new(model.config().n_layers, model.config().kv_dim(), 2048);
+    let logits = model
+        .forward_full(&Batch::prompt(prompt, 0, 0), &mut cache)
+        .unwrap();
+    let mut tok = Sampler::Greedy.sample(logits.row(prompt.len() - 1).unwrap());
+    let mut out = vec![tok];
+    for i in 0..n - 1 {
+        let pos = prompt.len() as i32 + i as i32;
+        let logits = model
+            .forward_full(&Batch::single(tok, pos, 0), &mut cache)
+            .unwrap();
+        tok = Sampler::Greedy.sample(logits.row(0).unwrap());
+        out.push(tok);
+    }
+    out
+}
+
+#[test]
+fn greedy_generation_matches_golden_tokens() {
+    let model = Model::random(ModelConfig::tiny_llama(96, 4), 2024);
+    let prompt: Vec<u32> = vec![3, 14, 15, 9, 2, 6];
+    let tokens = greedy(&model, &prompt, 24);
+    // Recorded from the scalar build; the simd build must reproduce it
+    // exactly (see module docs).
+    let golden: Vec<u32> = vec![
+        8, 8, 11, 11, 11, 11, 8, 8, 8, 8, 8, 8, 8, 11, 11, 78, 8, 8, 8, 8, 28, 28, 28, 28,
+    ];
+    assert_eq!(
+        tokens, golden,
+        "greedy generation diverged from the recorded golden sequence"
+    );
+}
