@@ -837,9 +837,10 @@ mod tests {
         let figs = fig_serving(tiny_scale());
         assert_eq!(figs.len(), 4, "one figure per strategy incl. tree");
         for fig in &figs {
-            // Three workload series, eleven metric columns each.
+            // Three workload series, twelve metric columns each (incl. the
+            // trace-derived bubble fraction, 0.0 for untraced serving).
             assert_eq!(fig.series_labels(), vec!["steady", "bursty", "mixed"]);
-            assert_eq!(fig.x_labels().len(), 11);
+            assert_eq!(fig.x_labels().len(), 12);
             for series in fig.series_labels() {
                 let goodput = fig.value(&series, "goodput tok/s").unwrap();
                 let p50 = fig.value(&series, "p50 e2e s").unwrap();

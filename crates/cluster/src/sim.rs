@@ -21,6 +21,7 @@
 use crate::stats::ClusterStats;
 use crate::topology::Topology;
 use crate::{NodeBehavior, NodeCtx, Rank, SimTime, Tag, WireMessage};
+use pi_trace::{ClockDomain, EventKind, Trace, TraceBuffer, TraceConfig};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -35,6 +36,11 @@ pub struct SimOutcome<M: WireMessage> {
     /// `true` if every rank reported `is_finished()`, `false` if the run hit
     /// the time/event limit or deadlocked.
     pub completed: bool,
+    /// Structured event trace, present iff recording was requested via
+    /// [`SimDriver::with_trace`] (and the `trace` feature is on).  Timestamps
+    /// are virtual [`ClockDomain::Virtual`] seconds, so the trace — like the
+    /// simulation itself — is bit-for-bit reproducible.
+    pub trace: Option<Trace>,
 }
 
 /// Discrete-event simulation driver.
@@ -42,6 +48,7 @@ pub struct SimDriver {
     topology: Topology,
     max_time: SimTime,
     max_events: u64,
+    trace: Option<TraceConfig>,
 }
 
 struct Pending<M> {
@@ -83,6 +90,11 @@ struct SimCtx<M> {
     elapsed: SimTime,
     saved: u64,
     outgoing: Vec<(Rank, Tag, M, SimTime)>,
+    /// Recording is purely passive — events are buffered here and drained
+    /// into the per-rank [`TraceBuffer`] after the callback returns, so a
+    /// traced run takes the exact same schedule as an untraced one.
+    trace_on: bool,
+    events: Vec<(SimTime, EventKind)>,
 }
 
 impl<M: WireMessage> NodeCtx<M> for SimCtx<M> {
@@ -96,15 +108,38 @@ impl<M: WireMessage> NodeCtx<M> for SimCtx<M> {
         self.now
     }
     fn send(&mut self, dst: Rank, tag: Tag, msg: M) {
+        if self.trace_on {
+            self.events.push((
+                self.now,
+                EventKind::WireSend {
+                    dst: dst as u32,
+                    tag,
+                    bytes: msg.wire_bytes(),
+                    draft: msg.is_draft(),
+                },
+            ));
+        }
         self.outgoing.push((dst, tag, msg, self.now));
     }
     fn elapse(&mut self, seconds: SimTime) {
         let s = seconds.max(0.0);
         self.now += s;
         self.elapsed += s;
+        // Span-end convention: the Compute span is stamped at its end.
+        if self.trace_on && s > 0.0 {
+            self.events.push((self.now, EventKind::Compute { dur: s }));
+        }
     }
     fn record_cancellation_saved(&mut self, n: u64) {
         self.saved += n;
+    }
+    fn trace_enabled(&self) -> bool {
+        cfg!(feature = "trace") && self.trace_on
+    }
+    fn trace(&mut self, kind: EventKind) {
+        if self.trace_on {
+            self.events.push((self.now, kind));
+        }
     }
 }
 
@@ -121,6 +156,7 @@ impl SimDriver {
             topology,
             max_time: 1e6,
             max_events: 50_000_000,
+            trace: None,
         }
     }
 
@@ -133,6 +169,14 @@ impl SimDriver {
     /// Sets the maximum number of events before the run is aborted.
     pub fn with_max_events(mut self, max_events: u64) -> Self {
         self.max_events = max_events;
+        self
+    }
+
+    /// Attaches a structured event recorder; the run's [`SimOutcome::trace`]
+    /// carries the assembled [`Trace`] stamped with virtual time.  Recording
+    /// never perturbs the simulated schedule.
+    pub fn with_trace(mut self, config: TraceConfig) -> Self {
+        self.trace = Some(config);
         self
     }
 
@@ -162,6 +206,21 @@ impl SimDriver {
         let mut seq = 0u64;
         let mut events = 0u64;
 
+        let trace_config = if cfg!(feature = "trace") {
+            self.trace
+        } else {
+            None
+        };
+        let mut bufs: Option<Vec<TraceBuffer>> = trace_config.map(|c| {
+            (0..n)
+                .map(|r| TraceBuffer::new(r as u32, c.capacity_per_rank))
+                .collect()
+        });
+        let trace_on = bufs.is_some();
+        // Start of the wait being tracked for each rank's `Blocked` span
+        // (tracing only; never consulted by the scheduler).
+        let mut block_start: Vec<Option<SimTime>> = vec![None; n];
+
         // Helper closure replaced by a macro-free fn: apply a finished ctx.
         // (Implemented inline below because it needs many locals.)
 
@@ -174,11 +233,18 @@ impl SimDriver {
                 elapsed: 0.0,
                 saved: 0,
                 outgoing: Vec::new(),
+                trace_on,
+                events: Vec::new(),
             };
             behaviors[r].on_start(&mut ctx);
             local_time[r] = ctx.now;
             stats.nodes[r].busy_time += ctx.elapsed;
             stats.nodes[r].cancellations_saved += ctx.saved;
+            if let Some(bufs) = bufs.as_mut() {
+                for (ts, kind) in ctx.events.drain(..) {
+                    bufs[r].push(ts, kind);
+                }
+            }
             Self::dispatch(
                 &self.topology,
                 &mut stats,
@@ -191,6 +257,11 @@ impl SimDriver {
                 ctx.outgoing,
             );
             finished[r] = behaviors[r].is_finished();
+            if finished[r] {
+                if let Some(bufs) = bufs.as_mut() {
+                    bufs[r].push(local_time[r], EventKind::RankFinished);
+                }
+            }
         }
 
         let completed = loop {
@@ -251,6 +322,8 @@ impl SimDriver {
                 elapsed: 0.0,
                 saved: 0,
                 outgoing: Vec::new(),
+                trace_on,
+                events: Vec::new(),
             };
             match kind {
                 ActivationKind::Deliver => {
@@ -271,6 +344,21 @@ impl SimDriver {
                                 .expect("deliver requires a pending message"),
                         },
                     };
+                    if let Some(bufs) = bufs.as_mut() {
+                        if let Some(bs) = block_start[r].take() {
+                            if t > bs {
+                                bufs[r].push(t, EventKind::Blocked { dur: t - bs });
+                            }
+                        }
+                        bufs[r].push(
+                            t,
+                            EventKind::WireRecv {
+                                src: p.src as u32,
+                                tag: p.tag,
+                                bytes: p.msg.wire_bytes(),
+                            },
+                        );
+                    }
                     stats.nodes[r].messages_received += 1;
                     behaviors[r].on_message(p.src, p.tag, p.msg, &mut ctx);
                     blocked[r] = false;
@@ -281,12 +369,20 @@ impl SimDriver {
                         stats.nodes[r].idle_work += 1;
                     } else {
                         blocked[r] = true;
+                        if trace_on && block_start[r].is_none() {
+                            block_start[r] = Some(ctx.now);
+                        }
                     }
                 }
             }
             local_time[r] = ctx.now;
             stats.nodes[r].busy_time += ctx.elapsed;
             stats.nodes[r].cancellations_saved += ctx.saved;
+            if let Some(bufs) = bufs.as_mut() {
+                for (ts, kind) in ctx.events.drain(..) {
+                    bufs[r].push(ts, kind);
+                }
+            }
             Self::dispatch(
                 &self.topology,
                 &mut stats,
@@ -302,14 +398,34 @@ impl SimDriver {
                 finished[r] = true;
                 pending[r].clear();
                 priority_pending[r].clear();
+                if let Some(bufs) = bufs.as_mut() {
+                    // A rank that finishes straight out of a fruitless
+                    // on_idle would otherwise leave a zero-length block open.
+                    block_start[r] = None;
+                    bufs[r].push(local_time[r], EventKind::RankFinished);
+                }
             }
         };
 
         stats.total_time = local_time.iter().copied().fold(0.0, f64::max);
+        if let Some(bufs) = bufs.as_mut() {
+            // Close any wait still open at the end of an aborted run so the
+            // per-rank timeline remains fully tiled.
+            let end = stats.total_time;
+            for r in 0..n {
+                if let Some(bs) = block_start[r].take() {
+                    if end > bs {
+                        bufs[r].push(end, EventKind::Blocked { dur: end - bs });
+                    }
+                }
+            }
+        }
+        let trace = bufs.map(|b| Trace::assemble(b, ClockDomain::Virtual));
         SimOutcome {
             behaviors,
             stats,
             completed,
+            trace,
         }
     }
 
@@ -663,5 +779,89 @@ mod tests {
             .downcast_ref::<Receiver>()
             .unwrap();
         assert_eq!(recv.order, vec![1, 2]);
+    }
+
+    #[test]
+    fn untraced_runs_carry_no_trace() {
+        let topo = Topology::uniform(3, LinkSpec::infiniband_edr());
+        let out = SimDriver::new(topo).run(relay_ring(3, 0.001, 2));
+        assert!(out.trace.is_none());
+    }
+
+    #[test]
+    #[cfg_attr(not(feature = "trace"), ignore)]
+    fn traced_run_records_wire_and_compute_events() {
+        let topo = Topology::uniform(4, LinkSpec::new(1e-3, 1e6));
+        let out = SimDriver::new(topo)
+            .with_trace(TraceConfig::default())
+            .run(relay_ring(4, 0.01, 3));
+        assert!(out.completed);
+        let trace = out.trace.expect("trace requested");
+        assert_eq!(trace.n_ranks(), 4);
+        assert_eq!(trace.domain(), ClockDomain::Virtual);
+        assert_eq!(trace.dropped_total(), 0);
+        let sends = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::WireSend { .. }))
+            .count();
+        let recvs = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::WireRecv { .. }))
+            .count();
+        // Every simulated message is recorded once at each end.
+        assert_eq!(sends as u64, out.stats.total_messages());
+        assert_eq!(recvs as u64, out.stats.total_messages());
+        // Compute spans sum to the charged busy time.
+        let compute: f64 = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Compute { dur } => Some(dur),
+                _ => None,
+            })
+            .sum();
+        let busy: f64 = (0..4).map(|r| out.stats.node(r).busy_time).sum();
+        assert!((compute - busy).abs() < 1e-9, "{compute} vs {busy}");
+        // Ranks 1..3 wait between rounds: Blocked spans must appear.
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Blocked { .. })));
+        // Every rank terminates its track.
+        let fins = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::RankFinished))
+            .count();
+        assert_eq!(fins, 4);
+    }
+
+    #[test]
+    #[cfg_attr(not(feature = "trace"), ignore)]
+    fn tracing_does_not_perturb_the_schedule() {
+        let topo = Topology::uniform(5, LinkSpec::gigabit_ethernet());
+        let plain = SimDriver::new(topo.clone()).run(relay_ring(5, 0.002, 10));
+        let traced = SimDriver::new(topo)
+            .with_trace(TraceConfig::default())
+            .run(relay_ring(5, 0.002, 10));
+        assert_eq!(plain.stats.total_time, traced.stats.total_time);
+        assert_eq!(plain.stats.total_messages(), traced.stats.total_messages());
+    }
+
+    #[test]
+    #[cfg_attr(not(feature = "trace"), ignore)]
+    fn trace_log_is_reproducible() {
+        let topo = Topology::uniform(4, LinkSpec::gigabit_ethernet());
+        let run = || {
+            SimDriver::new(topo.clone())
+                .with_trace(TraceConfig::default())
+                .run(relay_ring(4, 0.003, 5))
+                .trace
+                .unwrap()
+                .to_log()
+        };
+        assert_eq!(run(), run());
     }
 }

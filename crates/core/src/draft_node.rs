@@ -18,7 +18,7 @@
 //! worthless).  Every dropped request counts as a saved draft evaluation in
 //! the driver statistics.
 
-use pi_cluster::{NodeBehavior, NodeCtx, Rank, Tag};
+use pi_cluster::{trace_if, EventKind, NodeBehavior, NodeCtx, Rank, Tag};
 use pi_model::Token;
 use pi_spec::message::tags;
 use pi_spec::{Drafter, PipeMsg, TreeTopology};
@@ -76,6 +76,7 @@ impl DraftNode {
             if dropped > 0 {
                 self.requests_dropped += dropped;
                 ctx.record_cancellation_saved(dropped);
+                trace_if(ctx, || EventKind::DraftDropped { n: dropped as u32 });
             }
         }
     }
@@ -92,6 +93,9 @@ impl DraftNode {
             // re-requests after extending or correcting its hypothesis.
             self.requests_dropped += superseded;
             ctx.record_cancellation_saved(superseded);
+            trace_if(ctx, || EventKind::DraftDropped {
+                n: superseded as u32,
+            });
             self.pending.clear();
         }
         let (tree, cost) = self.drafter.draft_tree(
@@ -102,6 +106,11 @@ impl DraftNode {
             req.confidence_cutoff,
         );
         ctx.elapse(cost);
+        trace_if(ctx, || EventKind::DraftServe {
+            request: req.request_id,
+            n_nodes: tree.len() as u32,
+            dur: cost,
+        });
         self.requests_served += 1;
         self.tokens_drafted += tree.len() as u64;
         let nodes: Vec<(Token, f32)> = tree.nodes().iter().map(|n| (n.token, n.prob)).collect();

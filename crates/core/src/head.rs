@@ -44,7 +44,7 @@ use crate::continuous::SpeculationController;
 use crate::multibuffer::{SeqPartitionPool, CANONICAL_SEQ};
 use crate::run_tracker::{RunInfo, RunTracker};
 use crate::PipeInferConfig;
-use pi_cluster::{NodeBehavior, NodeCtx, Rank, Tag};
+use pi_cluster::{trace_if, EventKind, NodeBehavior, NodeCtx, Rank, Tag};
 use pi_model::{Batch, Pos, SeqId, Token, TokenTree, TreeNodeId};
 use pi_spec::deploy::RecordHandle;
 use pi_spec::message::tags;
@@ -182,6 +182,17 @@ impl PipeInferHead {
     fn send_cache_op(&mut self, op: CacheOp, ctx: &mut dyn NodeCtx<PipeMsg>) {
         let cost = self.engine.apply_cache_op(&op);
         ctx.elapse(cost);
+        match &op {
+            CacheOp::BranchCommit { first, n_seqs, .. } => {
+                let (first, n_seqs) = (*first, *n_seqs);
+                trace_if(ctx, || EventKind::BranchCommit { first, n_seqs });
+            }
+            CacheOp::BranchRollback { first, n_seqs } => {
+                let (first, n_seqs) = (*first, *n_seqs);
+                trace_if(ctx, || EventKind::BranchRollback { first, n_seqs });
+            }
+            _ => {}
+        }
         if let Some(next) = self.route.next_after(self.route.head()) {
             ctx.send(next, tags::CACHE, PipeMsg::Cache(op));
         }
@@ -198,6 +209,7 @@ impl PipeInferHead {
         self.record.runs_launched += 1;
         let (payload, cost) = self.engine.eval_first_stage(&batch);
         ctx.elapse(cost);
+        trace_if(ctx, || EventKind::RunInflight { run: run_id });
         if let Some(next) = self.route.next_after(self.route.head()) {
             ctx.send(
                 next,
@@ -220,6 +232,13 @@ impl PipeInferHead {
     fn dispatch_run(&mut self, tokens: Vec<Token>, base_pos: Pos, ctx: &mut dyn NodeCtx<PipeMsg>) {
         let run_id = self.next_run_id;
         self.next_run_id += 1;
+        trace_if(ctx, || EventKind::RunSpawned {
+            run: run_id,
+            speculative: false,
+            n_nodes: tokens.len() as u32,
+            width: 1,
+            depth: tokens.len() as u32,
+        });
         let batch = Self::make_batch(&tokens, base_pos, CANONICAL_SEQ);
         self.tracker.push(RunInfo::chain(
             run_id,
@@ -277,6 +296,13 @@ impl PipeInferHead {
         }
         let run_id = self.next_run_id;
         self.next_run_id += 1;
+        trace_if(ctx, || EventKind::RunSpawned {
+            run: run_id,
+            speculative: true,
+            n_nodes: tree.len() as u32,
+            width: tree.roots().len() as u32,
+            depth: tree.spine().len() as u32,
+        });
         let batch = tree.to_batch(base, first_seq);
         // Chains keep their topology implicit in batch order (degenerate
         // single-branch trees); only genuine trees ship parent links.
@@ -345,6 +371,11 @@ impl PipeInferHead {
                 self.next_draft_id += 1;
                 self.inflight_draft = Some(InflightDraft { id, cutoff });
                 self.record.draft_requests += 1;
+                let context_len = self.hypothesis.len() as u32;
+                trace_if(ctx, || EventKind::DraftRequested {
+                    request: id,
+                    context_len,
+                });
                 let rank = *rank;
                 ctx.send(
                     rank,
@@ -376,6 +407,10 @@ impl PipeInferHead {
         if self.finished {
             return;
         }
+        trace_if(ctx, || EventKind::DraftResponded {
+            request: request_id,
+            n_nodes: nodes.len() as u32,
+        });
         let inflight = self.inflight_draft;
         let fresh = matches!(inflight, Some(d) if d.id == request_id);
         if fresh {
@@ -451,6 +486,7 @@ impl PipeInferHead {
         if let DraftSource::Remote(rank) = self.draft {
             if let Some(d) = self.inflight_draft.take() {
                 self.record.draft_stale += 1;
+                trace_if(ctx, || EventKind::DraftCancelled { up_to: d.id });
                 ctx.send(rank, tags::CANCEL, PipeMsg::DraftCancel { up_to: d.id });
             }
         }
@@ -498,8 +534,14 @@ impl PipeInferHead {
     ) -> bool {
         let outcome = self.tracker.invalidate_from(pos, rescue);
         self.record.runs_cancelled += outcome.cancelled.len();
+        for &run_id in &outcome.cancelled {
+            trace_if(ctx, || EventKind::RunInvalidated { run: run_id });
+        }
         if outcome.rescued.is_some() {
             self.record.runs_rescued += 1;
+        }
+        if let Some(run_id) = outcome.rescued {
+            trace_if(ctx, || EventKind::RunRescued { run: run_id });
         }
         if self.config.enable_cancellation && self.route.n_stages() > 1 {
             for run_id in outcome.cancelled {
@@ -744,6 +786,8 @@ impl PipeInferHead {
                         // run's own surviving branch keeps the round alive.
                         deviated = true;
                         self.record.runs_rescued += 1;
+                        let run = info.run_id;
+                        trace_if(ctx, || EventKind::RunRescued { run });
                         self.cancel_runs_from(pos as Pos, None, ctx);
                         self.hypothesis.truncate(pos);
                     }
@@ -767,6 +811,10 @@ impl PipeInferHead {
         if self.config.micro_width > 1 {
             self.record.tree_accepted_path += confirmed;
         }
+        trace_if(ctx, || EventKind::RunVerified {
+            run: info.run_id,
+            accepted: confirmed as u32,
+        });
         // The shape model tracks the primary spine: a round rescued by a
         // runner-up still rejected the primary candidate.
         let spine = info.tree.spine();

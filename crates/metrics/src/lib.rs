@@ -102,10 +102,13 @@ impl Summary {
 /// A fixed-bucket histogram over a closed value range.
 ///
 /// The serving harness records one sample per request (TTFT, inter-token
-/// latency, end-to-end latency), so a small fixed-bucket histogram is enough:
-/// out-of-range samples are clamped into the edge buckets, and percentile
-/// queries interpolate linearly inside the winning bucket.  For exact
-/// percentiles over retained samples use [`percentile`] instead.
+/// latency, end-to-end latency), so a small fixed-bucket histogram is enough.
+/// Out-of-range samples are **not** silently folded into the edge buckets:
+/// they are tallied as explicit [`Histogram::underflow`]/[`Histogram::overflow`]
+/// counts, excluded from bucket interpolation (an underflow pins the low
+/// percentiles at `lo`, an overflow pins the high ones at `hi`, instead of
+/// inventing in-range mass), and flagged by [`Histogram::render`].  For
+/// exact percentiles over retained samples use [`percentile`] instead.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
@@ -113,6 +116,8 @@ pub struct Histogram {
     counts: Vec<u64>,
     total: u64,
     sum: f64,
+    underflow: u64,
+    overflow: u64,
 }
 
 impl Histogram {
@@ -127,18 +132,28 @@ impl Histogram {
             counts: vec![0; n_buckets],
             total: 0,
             sum: 0.0,
+            underflow: 0,
+            overflow: 0,
         }
     }
 
-    /// Records one sample.  Values outside `[lo, hi]` land in the first or
-    /// last bucket.
+    /// Records one sample.  Values outside `[lo, hi]` are counted as
+    /// underflow/overflow rather than entering a bucket.
     pub fn record(&mut self, value: f64) {
+        self.total += 1;
+        self.sum += value;
+        if value < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        if value > self.hi {
+            self.overflow += 1;
+            return;
+        }
         let n = self.counts.len();
         let width = (self.hi - self.lo) / n as f64;
         let idx = (((value - self.lo) / width).floor() as i64).clamp(0, n as i64 - 1) as usize;
         self.counts[idx] += 1;
-        self.total += 1;
-        self.sum += value;
     }
 
     /// Records every sample of a slice.
@@ -162,9 +177,24 @@ impl Histogram {
         }
     }
 
-    /// Per-bucket counts, lowest bucket first.
+    /// Per-bucket counts, lowest bucket first.  Excludes clipped samples.
     pub fn bucket_counts(&self) -> &[u64] {
         &self.counts
+    }
+
+    /// Number of recorded samples below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Number of recorded samples above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Number of recorded samples outside `[lo, hi]` (underflow + overflow).
+    pub fn clipped(&self) -> u64 {
+        self.underflow + self.overflow
     }
 
     /// The value range `[start, end)` covered by bucket `idx` (the last
@@ -179,14 +209,20 @@ impl Histogram {
 
     /// Estimates the `q`-quantile (`q` in `[0, 1]`) by walking the cumulative
     /// bucket counts and interpolating linearly inside the winning bucket.
-    /// Returns 0 when the histogram is empty.
+    /// Clipped samples participate in the cumulative rank but never in the
+    /// interpolation: a quantile falling among the underflow reports `lo`,
+    /// one falling among the overflow reports `hi`.  Returns 0 when the
+    /// histogram is empty.
     pub fn percentile(&self, q: f64) -> f64 {
         if self.total == 0 {
             return 0.0;
         }
         let q = q.clamp(0.0, 1.0);
         let target = q * self.total as f64;
-        let mut cumulative = 0u64;
+        if target <= self.underflow as f64 && self.underflow > 0 {
+            return self.lo;
+        }
+        let mut cumulative = self.underflow;
         for (idx, &c) in self.counts.iter().enumerate() {
             if c == 0 {
                 continue;
@@ -214,6 +250,18 @@ impl Histogram {
             let (start, end) = self.bucket_range(idx);
             let bar = "#".repeat((c * 40).div_ceil(max) as usize);
             let _ = writeln!(out, "[{start:>9.4}, {end:>9.4}) {c:>6} {bar}");
+        }
+        if self.clipped() > 0 {
+            let _ = writeln!(
+                out,
+                "warning: {} sample(s) outside [{:.4}, {:.4}] excluded from buckets \
+                 ({} below, {} above)",
+                self.clipped(),
+                self.lo,
+                self.hi,
+                self.underflow,
+                self.overflow,
+            );
         }
         out
     }
@@ -453,16 +501,53 @@ mod tests {
     }
 
     #[test]
-    fn histogram_counts_and_clamps() {
+    fn histogram_counts_and_tracks_clipped_samples() {
         let mut h = Histogram::new(0.0, 10.0, 10);
         h.record_all(&[0.5, 1.5, 1.6, 9.99]);
-        h.record(-3.0); // clamped into bucket 0
-        h.record(42.0); // clamped into bucket 9
+        h.record(-3.0); // below range: counted as underflow, not bucket 0
+        h.record(42.0); // above range: counted as overflow, not bucket 9
         assert_eq!(h.count(), 6);
-        assert_eq!(h.bucket_counts()[0], 2);
+        assert_eq!(h.bucket_counts()[0], 1);
         assert_eq!(h.bucket_counts()[1], 2);
-        assert_eq!(h.bucket_counts()[9], 2);
+        assert_eq!(h.bucket_counts()[9], 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.clipped(), 2);
         assert_eq!(h.bucket_range(1), (1.0, 2.0));
+    }
+
+    #[test]
+    fn histogram_percentile_excludes_clipped_mass_from_interpolation() {
+        // 5 underflow, 5 in-range (bucket [4,5)), 5 overflow.
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for _ in 0..5 {
+            h.record(-1.0);
+        }
+        for _ in 0..5 {
+            h.record(4.5);
+        }
+        for _ in 0..5 {
+            h.record(99.0);
+        }
+        // Low quantiles fall among the underflow: pinned at lo, not
+        // interpolated inside bucket 0 (the old clamping behavior).
+        assert_eq!(h.percentile(0.1), 0.0);
+        // Mid quantiles interpolate inside the real bucket.
+        let p50 = h.percentile(0.5);
+        assert!((4.0..5.0).contains(&p50), "p50 = {p50}");
+        // High quantiles fall among the overflow: pinned at hi.
+        assert_eq!(h.percentile(0.99), 10.0);
+    }
+
+    #[test]
+    fn histogram_render_warns_about_clipped_samples() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record_all(&[0.1, 0.6]);
+        assert!(!h.render().contains("warning"), "no clipping, no warning");
+        h.record(7.0);
+        let text = h.render();
+        assert!(text.contains("warning: 1 sample(s) outside [0.0000, 1.0000]"));
+        assert!(text.contains("(0 below, 1 above)"));
     }
 
     #[test]

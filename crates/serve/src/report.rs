@@ -9,6 +9,7 @@
 
 use crate::request::{Completion, RequestId};
 use pi_metrics::{Figure, Histogram, Summary};
+use pi_trace::BubbleReport;
 use std::fmt::Write as _;
 
 /// Per-request completions plus aggregate metrics for one served stream.
@@ -163,6 +164,26 @@ impl ServeReport {
             .sum()
     }
 
+    /// Mean pipeline-bubble fraction across traced requests: the share of
+    /// each run's per-rank timelines spent idle or blocked rather than
+    /// computing, averaged over ranks and then over requests (see
+    /// [`BubbleReport`]).  Zero when the stream was served without
+    /// [`Server::with_trace`](crate::Server::with_trace) — the recorder, not
+    /// the pipeline, determines whether the figure exists.
+    pub fn mean_bubble_fraction(&self) -> f64 {
+        let fracs: Vec<f64> = self
+            .completions
+            .iter()
+            .filter_map(|c| c.output.trace.as_ref())
+            .map(|t| BubbleReport::analyze(t).mean_bubble_fraction())
+            .collect();
+        if fracs.is_empty() {
+            0.0
+        } else {
+            fracs.iter().sum::<f64>() / fracs.len() as f64
+        }
+    }
+
     /// End-to-end latency histogram over `[0, max e2e]`.
     pub fn e2e_histogram(&self, n_buckets: usize) -> Histogram {
         let hi = self.e2e_summary().max.max(1e-9);
@@ -195,6 +216,7 @@ impl ServeReport {
             "cancel saved",
             self.total_cancellations_saved() as f64,
         );
+        figure.push(series, "bubble frac", self.mean_bubble_fraction());
     }
 
     /// Renders a per-request table plus the aggregate line.
@@ -236,7 +258,7 @@ impl ServeReport {
             out,
             "goodput {:.3} tok/s | e2e p50 {:.4} s p95 {:.4} s p99 {:.4} s | ttft p50 {:.4} s \
              | accept {:.0}% | {:.2} tok/verify | tree util {:.0}% | draft {:.1} kB \
-             | {} evals saved by cancellation",
+             | {} evals saved by cancellation | bubble {:.0}%",
             self.goodput(),
             e2e.p50,
             e2e.p95,
@@ -247,6 +269,7 @@ impl ServeReport {
             self.mean_tree_utilization() * 100.0,
             self.total_draft_bytes() as f64 / 1e3,
             self.total_cancellations_saved(),
+            self.mean_bubble_fraction() * 100.0,
         );
         out
     }
@@ -286,6 +309,7 @@ mod tests {
                 record,
                 stats: pi_cluster::ClusterStats::new(1),
                 completed: true,
+                trace: None,
             },
         }
     }
@@ -323,7 +347,8 @@ mod tests {
         );
         let mut fig = Figure::new("Serving", "serving metrics", "mixed");
         report.to_figure(&mut fig, "Test");
-        assert_eq!(fig.x_labels().len(), 11);
+        assert_eq!(fig.x_labels().len(), 12);
+        assert_eq!(fig.value("Test", "bubble frac"), Some(0.0));
         assert!(fig.value("Test", "goodput tok/s").unwrap() > 0.0);
         assert!(fig.value("Test", "p99 e2e s").unwrap() >= fig.value("Test", "p50 e2e s").unwrap());
         assert_eq!(fig.value("Test", "tree util"), Some(0.0));

@@ -32,9 +32,9 @@ use crate::report::ServeReport;
 use crate::request::{Completion, Request, RequestTiming};
 use crate::scheduler::{plan, SchedulerConfig};
 use pi_spec::deploy::{ExecutionMode, PreparedDeployment, RunOutput};
+use pi_trace::{Clock, MonotonicClock, TraceConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +54,8 @@ impl Default for ServerConfig {
 pub struct Server {
     prepared: PreparedDeployment,
     config: ServerConfig,
+    clock: Arc<dyn Clock>,
+    trace: Option<TraceConfig>,
 }
 
 impl Server {
@@ -62,7 +64,27 @@ impl Server {
     /// server alive across request streams.
     pub fn new(prepared: PreparedDeployment, config: ServerConfig) -> Self {
         assert!(config.max_in_flight >= 1, "window must admit at least one");
-        Self { prepared, config }
+        Self {
+            prepared,
+            config,
+            clock: Arc::new(MonotonicClock::new()),
+            trace: None,
+        }
+    }
+
+    /// Replaces the wall-clock source used for `Real`-mode service-time
+    /// measurement (tests inject a [`pi_trace::ManualClock`]).
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Attaches a per-request structured event recorder: every request's
+    /// [`Completion`] carries its run's cross-rank trace, and the report's
+    /// bubble-fraction aggregate becomes available.
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = Some(trace);
+        self
     }
 
     /// The underlying prepared deployment.
@@ -110,9 +132,12 @@ impl Server {
                         break;
                     }
                     let idx = exec_order[k];
-                    let wall_start = Instant::now();
-                    let out = self.prepared.run(&requests[idx].gen);
-                    let wall = wall_start.elapsed().as_secs_f64();
+                    let wall_start = self.clock.now();
+                    let out = match self.trace {
+                        Some(cfg) => self.prepared.run_traced(&requests[idx].gen, cfg),
+                        None => self.prepared.run(&requests[idx].gen),
+                    };
+                    let wall = (self.clock.now() - wall_start).max(0.0);
                     *outputs[idx].lock().unwrap() = Some((out, wall));
                 });
             }
@@ -406,6 +431,46 @@ mod tests {
         );
         // The shape trace is visible in the rendered report.
         assert!(tree.render().contains('x'), "{}", tree.render());
+    }
+
+    #[test]
+    fn traced_serving_records_without_perturbing_output() {
+        let workload = BurstyWorkload {
+            base: base(),
+            n_requests: 4,
+            mean_interarrival: 0.2,
+            seed: 7,
+        };
+        let server = |traced: bool| {
+            let s = Server::new(
+                Deployment::new(PipeInferStrategy::default()).prepare(&sim_mode(4), 4),
+                ServerConfig { max_in_flight: 2 },
+            );
+            if traced {
+                s.with_trace(TraceConfig::default())
+            } else {
+                s
+            }
+        };
+        let plain = server(false).serve(workload.generate());
+        let traced = server(true).serve(workload.generate());
+        assert_eq!(plain.len(), traced.len());
+        for c in traced.completions() {
+            let p = plain.completion(c.id).unwrap();
+            assert_eq!(
+                c.output.record.tokens, p.output.record.tokens,
+                "recording must not perturb request {}",
+                c.id
+            );
+            let trace = c.output.trace.as_ref().expect("traced run carries a trace");
+            assert!(!trace.events().is_empty());
+        }
+        assert!(plain.completions().iter().all(|c| c.output.trace.is_none()));
+        // A real pipelined run always has *some* bubble; untraced streams
+        // report zero because the figure needs the recorder.
+        assert!(traced.mean_bubble_fraction() > 0.0);
+        assert_eq!(plain.mean_bubble_fraction(), 0.0);
+        assert!(traced.render().contains("bubble"));
     }
 
     #[test]

@@ -36,7 +36,7 @@ use crate::worker::PipelineWorker;
 use crate::{GenConfig, GenerationRecord};
 use pi_cluster::sim::SimDriver;
 use pi_cluster::threaded::ThreadedDriver;
-use pi_cluster::{ClusterStats, NodeBehavior, Topology};
+use pi_cluster::{ClusterStats, NodeBehavior, Topology, Trace, TraceConfig};
 use pi_model::{Model, OracleDraft, OracleTarget};
 use pi_perf::{ClusterSpec, CostModel, ModelCost, ModelPair};
 use std::ops::Range;
@@ -97,6 +97,10 @@ pub struct RunOutput {
     pub stats: ClusterStats,
     /// Whether every rank finished cleanly.
     pub completed: bool,
+    /// Structured event trace, present iff the run was started through a
+    /// traced entry point ([`PreparedDeployment::run_traced`] or
+    /// [`execute_traced`]) with the `trace` feature on.
+    pub trace: Option<Trace>,
 }
 
 /// Shared handle type used to pull the record out of the head behavior.
@@ -397,6 +401,18 @@ impl PreparedDeployment {
 
     /// Executes one generation run over the prepared layout.
     pub fn run(&self, gen_config: &GenConfig) -> RunOutput {
+        self.run_inner(gen_config, None)
+    }
+
+    /// Executes one generation run with a structured event recorder attached
+    /// to every rank; the returned [`RunOutput::trace`] carries the
+    /// cross-rank trace (virtual time under `Sim`, wall time under `Real`).
+    /// Recording never perturbs generation output — only observes it.
+    pub fn run_traced(&self, gen_config: &GenConfig, trace: TraceConfig) -> RunOutput {
+        self.run_inner(gen_config, Some(trace))
+    }
+
+    fn run_inner(&self, gen_config: &GenConfig, trace: Option<TraceConfig>) -> RunOutput {
         let strategy = self.strategy.as_ref();
         let (mode, route, splits) = (&self.mode, &self.route, &self.splits);
         let handle: RecordHandle = Arc::new(Mutex::new(None));
@@ -414,7 +430,7 @@ impl PreparedDeployment {
         let mut others = build_workers(mode, route, splits, gen_config);
         others.extend(strategy.build_auxiliary(mode, self.n_nodes, route, gen_config));
         let behaviors = assemble_for(strategy.name(), self.n_nodes, head, others);
-        execute(mode, behaviors, &handle)
+        execute_traced(mode, behaviors, &handle, trace)
     }
 }
 
@@ -424,24 +440,43 @@ pub fn execute(
     behaviors: Vec<Box<dyn NodeBehavior<PipeMsg>>>,
     handle: &RecordHandle,
 ) -> RunOutput {
+    execute_traced(mode, behaviors, handle, None)
+}
+
+/// [`execute`] with an optional structured event recorder attached to the
+/// driver.
+pub fn execute_traced(
+    mode: &ExecutionMode,
+    behaviors: Vec<Box<dyn NodeBehavior<PipeMsg>>>,
+    handle: &RecordHandle,
+    trace: Option<TraceConfig>,
+) -> RunOutput {
     match mode {
         ExecutionMode::Real { .. } => {
-            let out = ThreadedDriver::new()
-                .with_timeout(Duration::from_secs(120))
-                .run(behaviors);
+            let mut driver = ThreadedDriver::new().with_timeout(Duration::from_secs(120));
+            if let Some(cfg) = trace {
+                driver = driver.with_trace(cfg);
+            }
+            let out = driver.run(behaviors);
             RunOutput {
                 record: take_record(handle),
                 stats: out.stats,
                 completed: out.completed,
+                trace: out.trace,
             }
         }
         ExecutionMode::Sim { cluster, .. } => {
             let topology: Topology = cluster.topology();
-            let out = SimDriver::new(topology).run(behaviors);
+            let mut driver = SimDriver::new(topology);
+            if let Some(cfg) = trace {
+                driver = driver.with_trace(cfg);
+            }
+            let out = driver.run(behaviors);
             RunOutput {
                 record: take_record(handle),
                 stats: out.stats,
                 completed: out.completed,
+                trace: out.trace,
             }
         }
     }

@@ -30,6 +30,13 @@ pub trait StageEngine: Send {
 
     /// Applies a pipelined KV-cache operation, returning its cost in seconds.
     fn apply_cache_op(&mut self, op: &CacheOp) -> f64;
+
+    /// The stage's layer range `[lo, hi)`, used to label trace spans.  Real
+    /// engines report global layer indices; simulated engines only know
+    /// their layer *count* and report `[0, n_layers)`.
+    fn layer_span(&self) -> (u32, u32) {
+        (0, 0)
+    }
 }
 
 /// Evaluation engine of the head rank (stage 0 plus embedding, output head,
@@ -161,6 +168,10 @@ impl StageEngine for RealStageEngine {
         apply_op(&mut self.cache, op);
         start.elapsed().as_secs_f64()
     }
+
+    fn layer_span(&self) -> (u32, u32) {
+        (self.layers.start as u32, self.layers.end as u32)
+    }
 }
 
 /// Head engine that runs a real (tiny) model.
@@ -280,6 +291,10 @@ impl StageEngine for SimStageEngine {
         // Metadata-only operation: effectively free relative to layer
         // evaluation (the paper's "near-zero slowdown" observation).
         1e-7
+    }
+
+    fn layer_span(&self) -> (u32, u32) {
+        (0, self.n_layers as u32)
     }
 }
 

@@ -11,7 +11,7 @@
 use crate::engine::StageEngine;
 use crate::message::{tags, ActivationPayload, PipeMsg, RunId, RunKind, TreeTopology};
 use crate::route::PipelineRoute;
-use pi_cluster::{NodeBehavior, NodeCtx, Rank, Tag};
+use pi_cluster::{trace_if, EventKind, NodeBehavior, NodeCtx, Rank, Tag};
 use std::collections::HashSet;
 
 /// A pipeline stage rank.
@@ -93,11 +93,21 @@ impl NodeBehavior<PipeMsg> for PipelineWorker {
                     // state stay intact.
                     self.skipped_runs += 1;
                     ctx.record_cancellation_saved(1);
+                    trace_if(ctx, || EventKind::RunSkipped { run: run_id });
                     self.forward_result(ctx, run_id, kind, batch, ActivationPayload::Empty, tree);
                 } else {
                     let (out, cost) = self.engine.eval(&batch, &payload);
                     ctx.elapse(cost);
                     self.evaluated_runs += 1;
+                    let (layer_lo, layer_hi) = self.engine.layer_span();
+                    let batch_len = batch.len() as u32;
+                    trace_if(ctx, || EventKind::StageForward {
+                        run: run_id,
+                        layer_lo,
+                        layer_hi,
+                        batch: batch_len,
+                        dur: cost,
+                    });
                     self.forward_result(ctx, run_id, kind, batch, out, tree);
                 }
             }

@@ -1,0 +1,136 @@
+//! The unified clock behind every trace timestamp.
+//!
+//! PipeInfer runs on two very different drivers: the threaded driver executes
+//! ranks on real OS threads (wall time), while the sim driver executes them
+//! under a conservative discrete-event scheduler (virtual [`SimTime`]).  For
+//! traces from either driver to be analyzable by the same tooling, both stamp
+//! events through the same [`Clock`] trait:
+//!
+//! * [`MonotonicClock`] — monotonic wall time in seconds since construction
+//!   (the threaded driver's default).
+//! * [`ManualClock`] — an externally driven clock (`set`/`advance`); the sim
+//!   driver stamps events with its virtual time through one of these, and
+//!   tests use it to make wall-clocked components deterministic.
+//!
+//! [`SimTime`]: https://docs.rs/pi-cluster
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotone source of timestamps in **seconds** (f64).
+///
+/// Implementations must be cheap (`now` sits on hot paths) and thread-safe:
+/// the threaded driver shares one clock across every rank thread.
+pub trait Clock: Send + Sync {
+    /// The current time, in seconds.  Monotone non-decreasing.
+    fn now(&self) -> f64;
+}
+
+/// Monotonic wall time, measured in seconds since the clock was created.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose epoch is the moment of construction.
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now(&self) -> f64 {
+        self.origin.elapsed().as_secs_f64()
+    }
+}
+
+/// An externally driven clock: time moves only when `set` or `advance` is
+/// called.  Reads and writes are atomic (f64 bits in an `AtomicU64`), so the
+/// clock can be shared across threads without locks.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    bits: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock starting at `start` seconds.
+    pub fn new(start: f64) -> Self {
+        Self {
+            bits: AtomicU64::new(start.to_bits()),
+        }
+    }
+
+    /// Jumps the clock to `t` seconds.
+    pub fn set(&self, t: f64) {
+        self.bits.store(t.to_bits(), Ordering::Release);
+    }
+
+    /// Advances the clock by `dt` seconds.
+    pub fn advance(&self, dt: f64) {
+        let mut cur = self.bits.load(Ordering::Acquire);
+        loop {
+            let next = (f64::from_bits(cur) + dt).to_bits();
+            match self
+                .bits
+                .compare_exchange(cur, next, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Acquire))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_is_monotone() {
+        let c = MonotonicClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(a >= 0.0);
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_moves_only_when_driven() {
+        let c = ManualClock::new(1.5);
+        assert_eq!(c.now(), 1.5);
+        c.advance(0.25);
+        assert_eq!(c.now(), 1.75);
+        c.set(10.0);
+        assert_eq!(c.now(), 10.0);
+        assert_eq!(c.now(), 10.0, "time does not pass on its own");
+    }
+
+    #[test]
+    fn manual_clock_default_starts_at_zero() {
+        assert_eq!(ManualClock::default().now(), 0.0);
+    }
+
+    #[test]
+    fn clocks_are_object_safe() {
+        let clocks: Vec<Box<dyn Clock>> = vec![
+            Box::new(MonotonicClock::new()),
+            Box::new(ManualClock::new(3.0)),
+        ];
+        assert_eq!(clocks[1].now(), 3.0);
+    }
+}

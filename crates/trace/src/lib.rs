@@ -1,0 +1,82 @@
+//! `pi_trace` — structured cross-rank tracing for PipeInfer.
+//!
+//! PipeInfer's thesis (Butler et al., SC 2024) is about *time*: asynchronous
+//! pipelined speculation shrinks pipeline bubbles and inter-token latency.
+//! Aggregate counters cannot show where a rank idled, why a run was
+//! cancelled, or how long verification stalled behind a draft.  This crate
+//! records, analyzes, and exports the timeline itself:
+//!
+//! * [`Event`] / [`EventKind`] — a typed vocabulary covering the full
+//!   speculation lifecycle: run spawned / inflight / verified / invalidated /
+//!   rescued, draft request / response / cancel, stage forwards with layer
+//!   range and batch shape, KV branch commit / rollback, and wire send /
+//!   recv with byte counts.
+//! * [`TraceBuffer`] — one bounded ring per rank: no locks on the hot path,
+//!   drop-oldest on overflow with an explicit dropped-events counter.  A
+//!   *disabled* recorder costs a single predictable branch per event site
+//!   (the drivers' `trace_enabled()` guard) — benchmarked at well under 5 ns.
+//! * [`Clock`] — the unified timestamp source: [`MonotonicClock`] wall time
+//!   for the threaded driver, virtual `SimTime` (via the sim driver's own
+//!   scheduler, surfaced as [`ClockDomain::Virtual`]) for deterministic,
+//!   byte-reproducible traces.
+//! * [`BubbleReport`] — reconstructs per-rank busy / blocked / idle
+//!   intervals that exactly tile each rank's timeline and attributes every
+//!   bubble to a cause (awaiting draft, awaiting verify, cancelled work,
+//!   scheduling gap).
+//! * [`PerfettoTrace`] — Chrome trace-event JSON export, plus
+//!   [`validate_json`] for CI.
+//!
+//! # Recording a trace
+//!
+//! Recording is off by default.  Ask a driver (or a
+//! `PreparedDeployment`) for it:
+//!
+//! ```ignore
+//! use pipeinfer::prelude::*;
+//! use pi_trace::{BubbleReport, PerfettoTrace, TraceConfig};
+//!
+//! let prepared = Deployment::new(strategy, mode).prepare()?;
+//! let out = prepared.run_traced(&gen_config, TraceConfig::default())?;
+//! let trace = out.trace.as_ref().unwrap();
+//!
+//! // 1. Bubble accounting: where did each rank's time go?
+//! println!("{}", BubbleReport::analyze(trace).render());
+//!
+//! // 2. Perfetto: open the file at https://ui.perfetto.dev
+//! let mut doc = PerfettoTrace::new();
+//! doc.push(1, "pipeinfer", trace);
+//! doc.push_bubbles(1, &BubbleReport::analyze(trace));
+//! std::fs::write("pipeinfer.trace.json", doc.to_json())?;
+//! ```
+//!
+//! # Perfetto workflow
+//!
+//! 1. Run `cargo run --release --example trace_viz` — it writes
+//!    `target/trace_viz/pipeinfer.trace.json` comparing the four layouts
+//!    (head-hosted / dedicated draft rank × chain / tree) as four processes.
+//! 2. Open <https://ui.perfetto.dev> → *Open trace file* → pick the JSON.
+//! 3. Each process is one run; each rank is a thread track.  `compute` /
+//!    `stage_forward` / `draft_serve` spans show busy time, instants mark
+//!    the speculation lifecycle, `runs_inflight` plots pipeline occupancy,
+//!    and the `rank N bubbles` tracks paint the analyzer's attribution —
+//!    the Fig. 3 bubble-reduction claim is directly visible by comparing
+//!    the head-hosted and dedicated processes.
+//!
+//! # Determinism
+//!
+//! Sim-driver traces are stamped in virtual time and are byte-reproducible:
+//! the same deployment and seed produce a [`Trace::to_log`] that is
+//! byte-identical across hosts, `PIPEINFER_THREADS` settings, and repeated
+//! runs.  The reproducibility property tests pin this.
+
+mod bubble;
+mod buffer;
+mod clock;
+mod event;
+mod perfetto;
+
+pub use bubble::{BubbleReport, Cause, Interval, RankTimeline, State};
+pub use buffer::{ClockDomain, Trace, TraceBuffer, TraceConfig};
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use event::{Event, EventKind};
+pub use perfetto::{validate_json, PerfettoTrace};

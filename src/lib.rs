@@ -7,6 +7,8 @@
 //! * [`tensor`] — dense tensors, transformer kernels, block quantization.
 //! * [`model`] — decoder-only transformers, KV cache with sequence metadata,
 //!   token trees, samplers and the synthetic alignment oracles.
+//! * [`trace`] — cross-rank span tracing, pipeline-bubble accounting and
+//!   Chrome trace-event / Perfetto export.
 //! * [`cluster`] — MPI-like messaging, the threaded cluster driver and the
 //!   discrete-event simulator.
 //! * [`perf`] — hardware presets, model-pair presets and the roofline cost
@@ -33,6 +35,10 @@ pub use pi_tensor as tensor;
 
 /// Transformer models, KV cache, token trees and samplers (`pi-model`).
 pub use pi_model as model;
+
+/// Structured event tracing, pipeline-bubble accounting and Perfetto export
+/// (`pi-trace`).
+pub use pi_trace as trace;
 
 /// Message passing, threaded driver and discrete-event simulator
 /// (`pi-cluster`).
@@ -64,5 +70,6 @@ pub mod prelude {
     };
     pub use pi_spec::runner::{run_iterative, run_speculative};
     pub use pi_spec::{GenConfig, GenerationRecord, TreeConfig, TreeSpeculationStrategy};
+    pub use pi_trace::{BubbleReport, PerfettoTrace, Trace, TraceConfig};
     pub use pipeinfer_core::{run_pipeinfer, DraftPlacement, PipeInferConfig, PipeInferStrategy};
 }

@@ -7,7 +7,7 @@
 
 use std::process::Command;
 
-const EXAMPLES: [&str; 7] = [
+const EXAMPLES: [&str; 8] = [
     "quickstart",
     "chat_generation",
     "cluster_sweep",
@@ -15,6 +15,7 @@ const EXAMPLES: [&str; 7] = [
     "serving",
     "tree_generation",
     "draft_rank",
+    "trace_viz",
 ];
 
 fn run_example(name: &str) {
@@ -72,4 +73,9 @@ fn tree_generation_example_runs() {
 #[test]
 fn draft_rank_example_runs() {
     run_example(EXAMPLES[6]);
+}
+
+#[test]
+fn trace_viz_example_runs() {
+    run_example(EXAMPLES[7]);
 }

@@ -1,0 +1,153 @@
+//! Properties of the `pi_trace` recorder and bubble analyzer on real
+//! deployments (ISSUE 7):
+//!
+//! 1. The sim-driver event stream is byte-identical across
+//!    `PIPEINFER_THREADS` settings and oracle seeds — recording rides on
+//!    virtual time, so host parallelism must never leak into a trace log.
+//! 2. The bubble analyzer's busy/blocked/idle intervals exactly tile each
+//!    rank's timeline: contiguous from 0 to the rank's last event, with the
+//!    per-state sums matching the tiled interval lengths.
+//! 3. The paper's Fig. 3 claim in bubble terms: on the lowest-alignment
+//!    pair (Goliath-120B + Xwin-7B, ~52% acceptance) the dedicated draft
+//!    rank leaves the target-pipeline ranks with a lower bubble fraction
+//!    than head-hosted drafting.
+
+use pipeinfer::prelude::*;
+use pipeinfer::trace::State;
+use std::sync::Mutex;
+
+/// Serialises tests that mutate `PIPEINFER_THREADS`.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+const THREADS_ENV: &str = "PIPEINFER_THREADS";
+
+fn sim_mode(oracle_seed: u64) -> ExecutionMode {
+    ExecutionMode::Sim {
+        pair: ModelPair::goliath_xwin7b(),
+        cluster: ClusterSpec::cluster_c(4),
+        oracle_seed,
+    }
+}
+
+fn gen_config() -> GenConfig {
+    GenConfig {
+        prompt: vec![7; 64],
+        n_generate: 64,
+        max_draft: 4,
+        confidence_cutoff: 0.4,
+        kv_capacity: 8192,
+    }
+}
+
+fn traced_run(config: PipeInferConfig, oracle_seed: u64) -> RunOutput {
+    Deployment::new(PipeInferStrategy::new(config))
+        .prepare(&sim_mode(oracle_seed), 4)
+        .run_traced(&gen_config(), TraceConfig::default())
+}
+
+#[test]
+fn sim_trace_log_is_byte_identical_across_thread_counts_and_seeds() {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let prev = std::env::var_os(THREADS_ENV);
+    for seed in [42u64, 1234] {
+        std::env::remove_var(THREADS_ENV);
+        let baseline = traced_run(PipeInferConfig::paper_default(), seed)
+            .trace
+            .expect("traced run must carry a trace")
+            .to_log();
+        assert!(!baseline.is_empty());
+        for threads in [1usize, 2, 4, 8] {
+            std::env::set_var(THREADS_ENV, threads.to_string());
+            let log = traced_run(PipeInferConfig::paper_default(), seed)
+                .trace
+                .expect("traced run must carry a trace")
+                .to_log();
+            assert_eq!(
+                log, baseline,
+                "seed {seed}: trace log diverged at PIPEINFER_THREADS={threads}"
+            );
+        }
+    }
+    match prev {
+        Some(v) => std::env::set_var(THREADS_ENV, v),
+        None => std::env::remove_var(THREADS_ENV),
+    }
+}
+
+#[test]
+fn bubble_intervals_exactly_tile_each_rank_timeline() {
+    for config in [
+        PipeInferConfig::paper_default(),
+        PipeInferConfig::dedicated_draft_rank(),
+        PipeInferConfig::tree_micro(),
+    ] {
+        let out = traced_run(config, 42);
+        assert!(out.completed);
+        let trace = out.trace.expect("traced run must carry a trace");
+        let report = BubbleReport::analyze(&trace);
+        assert_eq!(report.ranks.len(), 4);
+        for t in &report.ranks {
+            assert!(t.end > 0.0, "rank {} recorded no events", t.rank);
+            assert!(!t.intervals.is_empty());
+            assert_eq!(
+                t.intervals[0].t0, 0.0,
+                "rank {} timeline must start at 0",
+                t.rank
+            );
+            for pair in t.intervals.windows(2) {
+                assert_eq!(
+                    pair[0].t1, pair[1].t0,
+                    "rank {}: gap or overlap between consecutive intervals",
+                    t.rank
+                );
+            }
+            assert_eq!(
+                t.intervals.last().unwrap().t1,
+                t.end,
+                "rank {} timeline must end at its last event",
+                t.rank
+            );
+            // Per-state sums are exactly the tiled interval lengths, and
+            // together they cover the whole timeline.
+            let (mut busy, mut blocked, mut idle) = (0.0f64, 0.0, 0.0);
+            for iv in &t.intervals {
+                assert!(iv.t1 >= iv.t0, "rank {}: negative-length interval", t.rank);
+                match iv.state {
+                    State::Busy => busy += iv.len(),
+                    State::Blocked(_) => blocked += iv.len(),
+                    State::Idle(_) => idle += iv.len(),
+                }
+            }
+            let tol = 1e-9 * t.end.max(1.0);
+            assert!((busy - t.busy).abs() <= tol);
+            assert!((blocked - t.blocked).abs() <= tol);
+            assert!((idle - t.idle).abs() <= tol);
+            assert!(
+                (busy + blocked + idle - t.end).abs() <= tol,
+                "rank {}: busy {busy} + blocked {blocked} + idle {idle} != end {}",
+                t.rank,
+                t.end
+            );
+        }
+    }
+}
+
+#[test]
+fn dedicated_draft_rank_lowers_pipeline_bubble_fraction_on_goliath_xwin7b() {
+    // Head-hosted: rank 0 drafts + orchestrates, ranks 1..4 hold the target
+    // pipeline.  Dedicated: rank 1 drafts off-route, ranks 2..4 hold it.
+    let head = traced_run(PipeInferConfig::paper_default(), 42);
+    let dedicated = traced_run(PipeInferConfig::dedicated_draft_rank(), 42);
+    assert!(head.completed && dedicated.completed);
+
+    let head_report = BubbleReport::analyze(head.trace.as_ref().unwrap());
+    let ded_report = BubbleReport::analyze(dedicated.trace.as_ref().unwrap());
+    let head_frac = head_report.mean_bubble_fraction_of(&[1, 2, 3]);
+    let ded_frac = ded_report.mean_bubble_fraction_of(&[2, 3]);
+    assert!(head_frac > 0.0 && head_frac < 1.0);
+    assert!(ded_frac > 0.0 && ded_frac < 1.0);
+    assert!(
+        ded_frac < head_frac,
+        "dedicated draft rank should idle the target pipeline less: \
+         dedicated {ded_frac:.3} vs head-hosted {head_frac:.3}"
+    );
+}
