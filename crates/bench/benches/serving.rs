@@ -8,13 +8,16 @@
 //! deployment and serves the same request streams through the
 //! continuous-batching `pi-serve` scheduler on the discrete-event simulator.
 //! With `PIPEINFER_BENCH_ASSERT=1` the run fails unless (a) tree speculation
-//! beats linear speculation in accepted-tokens-per-verify and (b) the
+//! beats linear speculation in accepted-tokens-per-verify, (b) the
 //! dedicated-draft-rank layout clears at least head-hosted
-//! accepted-tokens-per-second, both on the seeded 52 %-acceptance stream
-//! (the CI regression gates).
+//! accepted-tokens-per-second, both on the seeded 52 %-acceptance stream,
+//! and (c) asynchronous speculation beats synchronous verification at the
+//! high-latency end of the link-latency/jitter sweep (the CI regression
+//! gates).
 
 use pi_bench::{
-    draft_rank_gate_of, fig_draft_rank, fig_serving, tree_vs_linear_gate, BenchScale, ServingScale,
+    draft_rank_gate_of, fig_draft_rank, fig_latency_sweep, fig_serving, latency_tolerance_gate_of,
+    tree_vs_linear_gate, BenchScale, ServingScale, LATENCY_MULTIPLIERS,
 };
 use std::time::Instant;
 
@@ -57,6 +60,22 @@ fn main() {
              head-hosted drafting ({head_hosted:.3} tok/s) on the seeded workload"
         );
         println!("PIPEINFER_BENCH_ASSERT: dedicated >= head-hosted — OK");
+    }
+    let sweep_fig = fig_latency_sweep(scale);
+    println!("{}", sweep_fig.render());
+    let (pipe, spec) = latency_tolerance_gate_of(&sweep_fig);
+    println!(
+        "latency-tolerance gate (Goliath + XWin-7B, {}x link latency): \
+         PipeInfer {pipe:.3} vs Speculative {spec:.3} tokens/s",
+        LATENCY_MULTIPLIERS[LATENCY_MULTIPLIERS.len() - 1]
+    );
+    if assert_gates {
+        assert!(
+            pipe > spec,
+            "asynchronous speculation ({pipe:.3} tok/s) must beat synchronous \
+             verification ({spec:.3} tok/s) at the high-latency end of the sweep"
+        );
+        println!("PIPEINFER_BENCH_ASSERT: async > sync on slow links — OK");
     }
     eprintln!("[{:6.1?}] serving figures done", start.elapsed());
 }

@@ -22,6 +22,7 @@ const SITES_PER_ITER: usize = 1024;
 /// CI gate: a disabled event site must stay under this (ns).
 const DISABLED_SITE_BUDGET_NS: f64 = 5.0;
 
+#[derive(Clone)]
 struct Msg;
 
 impl WireMessage for Msg {

@@ -667,6 +667,108 @@ pub fn draft_rank_gate(scale: BenchScale) -> (f64, f64) {
     draft_rank_gate_of(&fig_draft_rank(scale))
 }
 
+/// Link-latency multipliers of the degradation sweep: nominal cluster-C
+/// InfiniBand up to four orders of magnitude slower (µs-class links
+/// degraded to the tens of milliseconds of a congested WAN hop).
+pub const LATENCY_MULTIPLIERS: [u32; 3] = [1, 100, 10_000];
+
+/// Seed of the jittered series' delay-fault schedule.
+const JITTER_SEED: u64 = 0x6A69_7474;
+
+/// A seeded all-links jitter schedule for an `n`-rank cluster: every
+/// message has a 50% chance of an extra delay uniform in `[0, 8 × latency)`.
+fn jitter_plan(n: usize, latency_s: f64) -> pi_cluster::FaultPlan {
+    let mut plan = pi_cluster::FaultPlan::seeded(JITTER_SEED);
+    for src in 0..n {
+        for dst in 0..n {
+            if src != dst {
+                plan = plan.on_link(
+                    src,
+                    dst,
+                    pi_cluster::LinkFaults::delay(0.5, 0.0, 8.0 * latency_s),
+                );
+            }
+        }
+    }
+    plan
+}
+
+/// The link-latency/jitter degradation sweep: Goliath + XWin-7B over 8
+/// nodes of cluster C with the interconnect latency scaled by each
+/// [`LATENCY_MULTIPLIERS`] entry, generation speed per strategy — plus a
+/// `(jitter)` series per speculation strategy where every link carries a
+/// seeded delay-fault schedule ([`LinkFaults::delay`], 50% of messages
+/// delayed by up to 8× the scaled link latency).
+///
+/// This is the robustness claim behind asynchronous speculation made
+/// measurable: synchronous speculative verification exposes every draft →
+/// verify round trip on the critical path, while PipeInfer overlaps
+/// drafting with verification, pays no more added per-token latency as
+/// links slow down, and therefore stays strictly faster across the sweep —
+/// with and without jitter.
+///
+/// [`LinkFaults::delay`]: pi_cluster::LinkFaults::delay
+pub fn fig_latency_sweep(scale: BenchScale) -> Figure {
+    let mut fig = Figure::new(
+        "Latency sweep",
+        "Generation speed vs link latency (8 nodes, Goliath + XWin-7B)",
+        "tokens/s",
+    );
+    let pair = ModelPair::goliath_xwin7b();
+    let config = gen_config(scale, 7);
+    let n = 8;
+    for &mult in &LATENCY_MULTIPLIERS {
+        let mut cluster = ClusterSpec::cluster_c(n);
+        cluster.interconnect.latency_s *= f64::from(mult);
+        let latency_s = cluster.interconnect.latency_s;
+        let mode = sim_mode(&pair, cluster);
+        let x = format!("{mult}x latency");
+        for strategy in InferenceStrategy::all() {
+            let prepared = deployment_for(strategy).prepare(&mode, n);
+            let clean = prepared.run(&config);
+            fig.push(strategy.name(), &x, Metric::Speed.of(&clean.record));
+            if strategy == InferenceStrategy::Iterative {
+                continue;
+            }
+            let jittered = prepared.run_faulted(&config, jitter_plan(n, latency_s));
+            fig.push(
+                &format!("{} (jitter)", strategy.name()),
+                &x,
+                Metric::Speed.of(&jittered.record),
+            );
+        }
+    }
+    fig
+}
+
+/// The latency-tolerance regression gate, read off an already-computed
+/// [`fig_latency_sweep`] figure: `(pipeinfer, speculative)` generation
+/// speed at the *highest* latency multiplier of the sweep.
+pub fn latency_tolerance_gate_of(fig: &Figure) -> (f64, f64) {
+    let x = format!(
+        "{}x latency",
+        LATENCY_MULTIPLIERS[LATENCY_MULTIPLIERS.len() - 1]
+    );
+    let speed = |series: &str| {
+        fig.value(series, &x)
+            .unwrap_or_else(|| panic!("figure is missing the {series} speed at {x}"))
+    };
+    (speed("PipeInfer"), speed("Speculative"))
+}
+
+/// The latency-tolerance regression gate: runs the link-latency degradation
+/// sweep ([`fig_latency_sweep`]) and returns `(pipeinfer, speculative)`
+/// generation speed at the high-latency end.  Callers that already hold the
+/// figure should use [`latency_tolerance_gate_of`] instead of re-running the
+/// sweep.
+///
+/// CI runs this with `PIPEINFER_BENCH_ASSERT=1` (see the `serving` bench
+/// target), failing the build if asynchronous speculation stops out-degrading
+/// the synchronous baseline on slow links.
+pub fn latency_tolerance_gate(scale: BenchScale) -> (f64, f64) {
+    latency_tolerance_gate_of(&fig_latency_sweep(scale))
+}
+
 /// Table I / Table III: model pairs with size, quantization and acceptance
 /// rate, rendered as text.
 pub fn table_model_pairs(pairs: &[ModelPair], title: &str) -> String {
@@ -837,10 +939,11 @@ mod tests {
         let figs = fig_serving(tiny_scale());
         assert_eq!(figs.len(), 4, "one figure per strategy incl. tree");
         for fig in &figs {
-            // Three workload series, twelve metric columns each (incl. the
-            // trace-derived bubble fraction, 0.0 for untraced serving).
+            // Three workload series, thirteen metric columns each (incl. the
+            // trace-derived bubble fraction, 0.0 for untraced serving, and
+            // the failover count, 0 on fault-free streams).
             assert_eq!(fig.series_labels(), vec!["steady", "bursty", "mixed"]);
-            assert_eq!(fig.x_labels().len(), 12);
+            assert_eq!(fig.x_labels().len(), 13);
             for series in fig.series_labels() {
                 let goodput = fig.value(&series, "goodput tok/s").unwrap();
                 let p50 = fig.value(&series, "p50 e2e s").unwrap();
@@ -880,6 +983,63 @@ mod tests {
         assert_eq!(fig.value("head-hosted / tree", "draft kB"), Some(0.0));
         assert!(fig.value("dedicated / chain", "draft kB").unwrap() > 0.0);
         assert!(fig.value("dedicated / tree", "draft kB").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn latency_sweep_shows_async_speculation_degrading_more_gently() {
+        let fig = fig_latency_sweep(tiny_scale());
+        assert_eq!(fig.x_labels().len(), LATENCY_MULTIPLIERS.len());
+        // Three clean strategy series plus a jittered variant per
+        // speculation strategy.
+        assert_eq!(fig.series_labels().len(), 5);
+        let speed = |series: &str, mult: u32| {
+            fig.value(series, &format!("{mult}x latency"))
+                .unwrap_or_else(|| panic!("missing {series} at {mult}x"))
+        };
+        let first = LATENCY_MULTIPLIERS[0];
+        let last = LATENCY_MULTIPLIERS[LATENCY_MULTIPLIERS.len() - 1];
+        for series in fig.series_labels() {
+            let mut prev = f64::INFINITY;
+            for &mult in &LATENCY_MULTIPLIERS {
+                let s = speed(&series, mult);
+                assert!(s > 0.0, "{series}/{mult}x");
+                assert!(s <= prev + 1e-9, "{series} sped up at {mult}x");
+                prev = s;
+            }
+        }
+        // The robustness claim, twice over: async speculation stays
+        // strictly faster than the synchronous baseline at every point of
+        // the sweep, on clean links and under seeded jitter alike.
+        for &mult in &LATENCY_MULTIPLIERS {
+            assert!(
+                speed("PipeInfer", mult) > speed("Speculative", mult),
+                "clean links, {mult}x"
+            );
+            assert!(
+                speed("PipeInfer (jitter)", mult) > speed("Speculative (jitter)", mult),
+                "jittered links, {mult}x"
+            );
+        }
+        // And it degrades no more steeply: the per-token latency added by
+        // slowing the links down is no larger for PipeInfer than for the
+        // synchronous baseline (both pay the same wire costs, PipeInfer
+        // just hides more of them off the critical path).
+        let added_itl = |series: &str| 1.0 / speed(series, last) - 1.0 / speed(series, first);
+        assert!(
+            added_itl("PipeInfer") <= added_itl("Speculative") + 1e-3,
+            "PipeInfer added {:.4} s/token vs Speculative {:.4}",
+            added_itl("PipeInfer"),
+            added_itl("Speculative"),
+        );
+        // The CI gate reads the high-latency speeds off the same figure:
+        // async speculation must win outright on slow links.
+        let (pipe, spec) = latency_tolerance_gate_of(&fig);
+        assert_eq!(pipe, speed("PipeInfer", last));
+        assert_eq!(spec, speed("Speculative", last));
+        assert!(
+            pipe > spec,
+            "high-latency gate: PipeInfer {pipe} <= Speculative {spec}"
+        );
     }
 
     #[test]

@@ -29,11 +29,14 @@
 //! exact same scheduling code runs threaded (real time) and simulated
 //! (virtual time).
 
+pub mod fault;
 pub mod sim;
 pub mod stats;
 pub mod threaded;
 pub mod topology;
 
+pub use fault::{FaultInjector, FaultPlan, KillTrigger, LinkFaults};
+pub use sim::HaltReason;
 pub use stats::{ClusterStats, NodeStats};
 pub use topology::{LinkSpec, Topology};
 
@@ -61,8 +64,10 @@ pub type SimTime = f64;
 /// A message that can be sent between ranks.
 ///
 /// `wire_bytes` is used by the simulated interconnect to charge transfer
-/// time; the threaded driver ignores it.
-pub trait WireMessage: Send + 'static {
+/// time; the threaded driver ignores it.  `Clone` lets a fault schedule
+/// deliver a message twice ([`LinkFaults::and_duplicate`]); the fault-free
+/// paths never clone.
+pub trait WireMessage: Clone + Send + 'static {
     /// Serialized size of the message in bytes.
     fn wire_bytes(&self) -> u64;
 
@@ -112,6 +117,24 @@ pub trait NodeCtx<M: WireMessage> {
     /// the figure into [`NodeStats::cancellations_saved`]; the default is a
     /// no-op so test contexts need not care.
     fn record_cancellation_saved(&mut self, _n: u64) {}
+    /// Records that a draft request's deadline expired on this rank without
+    /// a response.  Accumulated into [`NodeStats::draft_timeouts`]; default
+    /// no-op.
+    fn record_draft_timeout(&mut self) {}
+    /// Records that this rank re-issued a draft request after a timeout or
+    /// refusal.  Accumulated into [`NodeStats::draft_retries`]; default
+    /// no-op.
+    fn record_draft_retry(&mut self) {}
+    /// Records that this rank failed over away from a remote drafter.
+    /// Accumulated into [`NodeStats::failovers`]; default no-op.
+    fn record_failover(&mut self) {}
+    /// Asks the driver to re-invoke [`NodeBehavior::on_idle`] at time `at`
+    /// even if no message has arrived by then — how a behavior arms a
+    /// deadline (e.g. a draft-request timeout).  The simulator honors wake
+    /// requests only while a fault schedule is attached (fault-free
+    /// schedules stay pinned); the threaded driver's 1 ms poll loop already
+    /// provides this and ignores the hint.  Default no-op.
+    fn request_wake(&mut self, _at: SimTime) {}
     /// Whether a trace recorder is attached to this rank.  Event sites guard
     /// on this before constructing an [`EventKind`] (see [`trace_if`]), so a
     /// disabled recorder costs a single predictable branch — the default is

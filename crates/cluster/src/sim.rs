@@ -18,12 +18,31 @@
 //! activation), so results are bit-for-bit reproducible across runs and
 //! platforms.
 
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::stats::ClusterStats;
 use crate::topology::Topology;
 use crate::{NodeBehavior, NodeCtx, Rank, SimTime, Tag, WireMessage};
-use pi_trace::{ClockDomain, EventKind, Trace, TraceBuffer, TraceConfig};
+use pi_trace::{ClockDomain, EventKind, FaultKind, Trace, TraceBuffer, TraceConfig};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Why a simulated run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HaltReason {
+    /// Every rank reported `is_finished()`.  Ranks killed by a fault
+    /// schedule count as finished — the survivors completed without them.
+    Finished,
+    /// No rank could make progress: every unfinished rank was blocked with
+    /// no message in flight.
+    Deadlock,
+    /// The run exceeded [`SimDriver::with_max_time`].
+    TimeLimit,
+    /// The run exceeded [`SimDriver::with_max_events`].
+    EventLimit,
+    /// A fault-schedule kill left the survivors stuck: at least one
+    /// unfinished rank was waiting on a dead one when the run stalled.
+    RankKilled,
+}
 
 /// Result of a simulated run.
 pub struct SimOutcome<M: WireMessage> {
@@ -33,14 +52,20 @@ pub struct SimOutcome<M: WireMessage> {
     /// Per-rank and cluster statistics; `stats.total_time` is the virtual
     /// makespan of the run.
     pub stats: ClusterStats,
-    /// `true` if every rank reported `is_finished()`, `false` if the run hit
-    /// the time/event limit or deadlocked.
-    pub completed: bool,
+    /// Why the run stopped; [`SimOutcome::completed`] folds it to a bool.
+    pub halt: HaltReason,
     /// Structured event trace, present iff recording was requested via
     /// [`SimDriver::with_trace`] (and the `trace` feature is on).  Timestamps
     /// are virtual [`ClockDomain::Virtual`] seconds, so the trace — like the
     /// simulation itself — is bit-for-bit reproducible.
     pub trace: Option<Trace>,
+}
+
+impl<M: WireMessage> SimOutcome<M> {
+    /// `true` iff the run finished cleanly ([`HaltReason::Finished`]).
+    pub fn completed(&self) -> bool {
+        self.halt == HaltReason::Finished
+    }
 }
 
 /// Discrete-event simulation driver.
@@ -49,6 +74,7 @@ pub struct SimDriver {
     max_time: SimTime,
     max_events: u64,
     trace: Option<TraceConfig>,
+    faults: Option<FaultPlan>,
 }
 
 struct Pending<M> {
@@ -89,12 +115,39 @@ struct SimCtx<M> {
     now: SimTime,
     elapsed: SimTime,
     saved: u64,
+    draft_timeouts: u64,
+    draft_retries: u64,
+    failovers: u64,
+    /// Earliest wake-up the behavior requested during this callback.  Wake
+    /// requests last until the rank's next activation, then must be
+    /// re-armed; the driver honors them only while a fault schedule is
+    /// attached (fault-free schedules stay pinned).
+    wake: Option<SimTime>,
     outgoing: Vec<(Rank, Tag, M, SimTime)>,
     /// Recording is purely passive — events are buffered here and drained
     /// into the per-rank [`TraceBuffer`] after the callback returns, so a
     /// traced run takes the exact same schedule as an untraced one.
     trace_on: bool,
     events: Vec<(SimTime, EventKind)>,
+}
+
+impl<M> SimCtx<M> {
+    fn new(rank: Rank, world: usize, now: SimTime, trace_on: bool) -> Self {
+        Self {
+            rank,
+            world,
+            now,
+            elapsed: 0.0,
+            saved: 0,
+            draft_timeouts: 0,
+            draft_retries: 0,
+            failovers: 0,
+            wake: None,
+            outgoing: Vec::new(),
+            trace_on,
+            events: Vec::new(),
+        }
+    }
 }
 
 impl<M: WireMessage> NodeCtx<M> for SimCtx<M> {
@@ -133,6 +186,21 @@ impl<M: WireMessage> NodeCtx<M> for SimCtx<M> {
     fn record_cancellation_saved(&mut self, n: u64) {
         self.saved += n;
     }
+    fn record_draft_timeout(&mut self) {
+        self.draft_timeouts += 1;
+    }
+    fn record_draft_retry(&mut self) {
+        self.draft_retries += 1;
+    }
+    fn record_failover(&mut self) {
+        self.failovers += 1;
+    }
+    fn request_wake(&mut self, at: SimTime) {
+        self.wake = Some(match self.wake {
+            Some(w) => w.min(at),
+            None => at,
+        });
+    }
     fn trace_enabled(&self) -> bool {
         cfg!(feature = "trace") && self.trace_on
     }
@@ -157,6 +225,7 @@ impl SimDriver {
             max_time: 1e6,
             max_events: 50_000_000,
             trace: None,
+            faults: None,
         }
     }
 
@@ -177,6 +246,19 @@ impl SimDriver {
     /// never perturbs the simulated schedule.
     pub fn with_trace(mut self, config: TraceConfig) -> Self {
         self.trace = Some(config);
+        self
+    }
+
+    /// Attaches a seeded chaos schedule ([`FaultPlan`]) to the run.  The
+    /// schedule perturbs the simulation deterministically: the same plan
+    /// over the same behaviors replays bit-identically, trace included.
+    /// An empty plan is ignored, leaving the fault-free schedule untouched.
+    ///
+    /// While a plan is attached the driver also honors
+    /// [`NodeCtx::request_wake`], so behaviors can arm deadlines (e.g. a
+    /// draft-request timeout) that fire even when no message ever arrives.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -203,8 +285,23 @@ impl SimDriver {
         let mut priority_pending: Vec<BinaryHeap<Pending<M>>> =
             (0..n).map(|_| BinaryHeap::new()).collect();
         let mut link_free = vec![vec![0.0f64; n]; n];
+        // Latest scheduled in-order arrival per link: delay faults stretch a
+        // message's flight time but must not let later traffic overtake it
+        // (per-link FIFO holds unless a reorder fault explicitly lifts it).
+        let mut link_fifo = vec![vec![0.0f64; n]; n];
         let mut seq = 0u64;
         let mut events = 0u64;
+
+        // Fault schedule (chaos testing).  `None` keeps every fault-free
+        // code path — including wake handling — exactly as it always was.
+        let mut injector: Option<FaultInjector> = self
+            .faults
+            .as_ref()
+            .filter(|p| !p.is_empty())
+            .map(|p| FaultInjector::new(p.clone(), n));
+        let faults_armed = injector.is_some();
+        let mut killed = vec![false; n];
+        let mut wake: Vec<Option<SimTime>> = vec![None; n];
 
         let trace_config = if cfg!(feature = "trace") {
             self.trace
@@ -221,25 +318,19 @@ impl SimDriver {
         // (tracing only; never consulted by the scheduler).
         let mut block_start: Vec<Option<SimTime>> = vec![None; n];
 
-        // Helper closure replaced by a macro-free fn: apply a finished ctx.
-        // (Implemented inline below because it needs many locals.)
-
         // on_start at t = 0 for every rank.
         for r in 0..n {
-            let mut ctx = SimCtx {
-                rank: r,
-                world: n,
-                now: 0.0,
-                elapsed: 0.0,
-                saved: 0,
-                outgoing: Vec::new(),
-                trace_on,
-                events: Vec::new(),
-            };
+            let mut ctx = SimCtx::new(r, n, 0.0, trace_on);
             behaviors[r].on_start(&mut ctx);
             local_time[r] = ctx.now;
             stats.nodes[r].busy_time += ctx.elapsed;
             stats.nodes[r].cancellations_saved += ctx.saved;
+            stats.nodes[r].draft_timeouts += ctx.draft_timeouts;
+            stats.nodes[r].draft_retries += ctx.draft_retries;
+            stats.nodes[r].failovers += ctx.failovers;
+            if faults_armed {
+                wake[r] = ctx.wake;
+            }
             if let Some(bufs) = bufs.as_mut() {
                 for (ts, kind) in ctx.events.drain(..) {
                     bufs[r].push(ts, kind);
@@ -251,10 +342,13 @@ impl SimDriver {
                 &mut pending,
                 &mut priority_pending,
                 &mut link_free,
+                &mut link_fifo,
                 &mut blocked,
                 &mut seq,
                 r,
                 ctx.outgoing,
+                &mut injector,
+                &mut bufs,
             );
             finished[r] = behaviors[r].is_finished();
             if finished[r] {
@@ -264,17 +358,17 @@ impl SimDriver {
             }
         }
 
-        let completed = loop {
-            if finished.iter().all(|&f| f) {
-                break true;
+        let halt = loop {
+            if (0..n).all(|r| finished[r] || killed[r]) {
+                break HaltReason::Finished;
             }
             if events >= self.max_events {
-                break false;
+                break HaltReason::EventLimit;
             }
             // Choose the rank with the earliest activation.
             let mut best: Option<(SimTime, Rank, ActivationKind)> = None;
             for r in 0..n {
-                if finished[r] {
+                if finished[r] || killed[r] {
                     continue;
                 }
                 let earliest_arrival = match (pending[r].peek(), priority_pending[r].peek()) {
@@ -294,7 +388,24 @@ impl SimDriver {
                     };
                     Some((local_time[r], r, kind))
                 } else {
-                    earliest_arrival.map(|a| (local_time[r].max(a), r, ActivationKind::Deliver))
+                    // A blocked rank normally waits for its next arrival;
+                    // with faults armed, an armed wake-up (deadline) can
+                    // also rouse it for an idle poll.
+                    let deliver =
+                        earliest_arrival.map(|a| (local_time[r].max(a), ActivationKind::Deliver));
+                    let woken = if faults_armed {
+                        wake[r].map(|w| (local_time[r].max(w), ActivationKind::Idle))
+                    } else {
+                        None
+                    };
+                    match (deliver, woken) {
+                        (Some((td, kd)), Some((tw, kw))) => {
+                            Some(if tw < td { (tw, r, kw) } else { (td, r, kd) })
+                        }
+                        (Some((td, kd)), None) => Some((td, r, kd)),
+                        (None, Some((tw, kw))) => Some((tw, r, kw)),
+                        (None, None) => None,
+                    }
                 };
                 if let Some((t, r2, k)) = candidate {
                     let better = match &best {
@@ -307,24 +418,58 @@ impl SimDriver {
                 }
             }
             let Some((t, r, kind)) = best else {
-                // No rank can make progress: deadlock with unfinished ranks.
-                break false;
+                // No rank can make progress with unfinished ranks left: a
+                // deadlock, or the aftermath of a fault-schedule kill.
+                break if killed.iter().any(|&k| k) {
+                    HaltReason::RankKilled
+                } else {
+                    HaltReason::Deadlock
+                };
             };
             if t > self.max_time {
-                break false;
+                break HaltReason::TimeLimit;
+            }
+            if let Some(inj) = injector.as_mut() {
+                // Kills due at or before this activation fire first, then
+                // the schedule is re-examined without the dead ranks.
+                let newly = inj.due_kills(t, events);
+                if !newly.is_empty() {
+                    for k in newly {
+                        killed[k] = true;
+                        pending[k].clear();
+                        priority_pending[k].clear();
+                        wake[k] = None;
+                        block_start[k] = None;
+                        stats.nodes[k].faults_injected += 1;
+                        if let Some(bufs) = bufs.as_mut() {
+                            bufs[k].push(t, EventKind::RankKilled);
+                        }
+                    }
+                    continue;
+                }
+                // A paused (straggler) rank defers its activation to the
+                // end of the pause window.
+                if let Some((deferred, first)) = inj.pause_deferral(r, t) {
+                    if first {
+                        stats.nodes[r].faults_injected += 1;
+                        if let Some(bufs) = bufs.as_mut() {
+                            bufs[r].push(
+                                t,
+                                EventKind::FaultInjected {
+                                    fault: FaultKind::Pause,
+                                    peer: r as u32,
+                                },
+                            );
+                        }
+                    }
+                    local_time[r] = local_time[r].max(deferred);
+                    continue;
+                }
             }
             events += 1;
             local_time[r] = t;
-            let mut ctx = SimCtx {
-                rank: r,
-                world: n,
-                now: t,
-                elapsed: 0.0,
-                saved: 0,
-                outgoing: Vec::new(),
-                trace_on,
-                events: Vec::new(),
-            };
+            wake[r] = None;
+            let mut ctx = SimCtx::new(r, n, t, trace_on);
             match kind {
                 ActivationKind::Deliver => {
                     // Out-of-band control messages (e.g. cancellation
@@ -367,6 +512,16 @@ impl SimDriver {
                     let worked = behaviors[r].on_idle(&mut ctx);
                     if worked {
                         stats.nodes[r].idle_work += 1;
+                        // A blocked rank roused by a wake-up resumes; close
+                        // the Blocked span its wait opened.
+                        blocked[r] = false;
+                        if let Some(bs) = block_start[r].take() {
+                            if let Some(bufs) = bufs.as_mut() {
+                                if t > bs {
+                                    bufs[r].push(t, EventKind::Blocked { dur: t - bs });
+                                }
+                            }
+                        }
                     } else {
                         blocked[r] = true;
                         if trace_on && block_start[r].is_none() {
@@ -378,6 +533,12 @@ impl SimDriver {
             local_time[r] = ctx.now;
             stats.nodes[r].busy_time += ctx.elapsed;
             stats.nodes[r].cancellations_saved += ctx.saved;
+            stats.nodes[r].draft_timeouts += ctx.draft_timeouts;
+            stats.nodes[r].draft_retries += ctx.draft_retries;
+            stats.nodes[r].failovers += ctx.failovers;
+            if faults_armed {
+                wake[r] = ctx.wake;
+            }
             if let Some(bufs) = bufs.as_mut() {
                 for (ts, kind) in ctx.events.drain(..) {
                     bufs[r].push(ts, kind);
@@ -389,10 +550,13 @@ impl SimDriver {
                 &mut pending,
                 &mut priority_pending,
                 &mut link_free,
+                &mut link_fifo,
                 &mut blocked,
                 &mut seq,
                 r,
                 ctx.outgoing,
+                &mut injector,
+                &mut bufs,
             );
             if behaviors[r].is_finished() {
                 finished[r] = true;
@@ -424,7 +588,7 @@ impl SimDriver {
         SimOutcome {
             behaviors,
             stats,
-            completed,
+            halt,
             trace,
         }
     }
@@ -436,10 +600,13 @@ impl SimDriver {
         pending: &mut [BinaryHeap<Pending<M>>],
         priority_pending: &mut [BinaryHeap<Pending<M>>],
         link_free: &mut [Vec<SimTime>],
+        link_fifo: &mut [Vec<SimTime>],
         blocked: &mut [bool],
         seq: &mut u64,
         src: Rank,
         outgoing: Vec<(Rank, Tag, M, SimTime)>,
+        injector: &mut Option<FaultInjector>,
+        bufs: &mut Option<Vec<TraceBuffer>>,
     ) {
         for (dst, tag, msg, send_time) in outgoing {
             if dst >= pending.len() {
@@ -458,6 +625,8 @@ impl SimDriver {
             let transfer = bytes as f64 / link.bandwidth_bps;
             let arrival = start + link.latency_s + transfer;
             if !priority {
+                // The slot is consumed whether or not a fault later drops
+                // the message: a dropped message still occupied the wire.
                 link_free[src][dst] = start + transfer;
             }
             stats.nodes[src].messages_sent += 1;
@@ -466,20 +635,66 @@ impl SimDriver {
                 stats.nodes[src].draft_messages_sent += 1;
                 stats.nodes[src].draft_bytes_sent += bytes;
             }
-            *seq += 1;
-            let entry = Pending {
-                arrival,
-                seq: *seq,
-                src,
-                tag,
-                msg,
-            };
-            if priority {
-                priority_pending[dst].push(entry);
-            } else {
-                pending[dst].push(entry);
+            match injector.as_mut() {
+                None => {
+                    // Fault-free fast path: one copy, no clone.
+                    *seq += 1;
+                    let entry = Pending {
+                        arrival,
+                        seq: *seq,
+                        src,
+                        tag,
+                        msg,
+                    };
+                    if priority {
+                        priority_pending[dst].push(entry);
+                    } else {
+                        pending[dst].push(entry);
+                    }
+                    blocked[dst] = false;
+                }
+                Some(inj) => {
+                    let fate = inj.on_send(src, dst, send_time);
+                    if !fate.faults.is_empty() {
+                        stats.nodes[src].faults_injected += fate.faults.len() as u64;
+                        if let Some(bufs) = bufs.as_mut() {
+                            for kind in &fate.faults {
+                                bufs[src].push(send_time, *kind);
+                            }
+                        }
+                    }
+                    for (extra, overtakes) in fate.copies {
+                        // An overtaking (reordered) copy skips the link's
+                        // serialisation queue, exactly like priority traffic.
+                        // Every other copy stays FIFO on its link even when a
+                        // delay fault stretches its flight time: later sends
+                        // are clamped behind the latest in-order arrival.
+                        let arrival = if overtakes {
+                            send_time + link.latency_s + transfer + extra
+                        } else if priority {
+                            arrival + extra
+                        } else {
+                            let a = (arrival + extra).max(link_fifo[src][dst]);
+                            link_fifo[src][dst] = a;
+                            a
+                        };
+                        *seq += 1;
+                        let entry = Pending {
+                            arrival,
+                            seq: *seq,
+                            src,
+                            tag,
+                            msg: msg.clone(),
+                        };
+                        if priority {
+                            priority_pending[dst].push(entry);
+                        } else {
+                            pending[dst].push(entry);
+                        }
+                        blocked[dst] = false;
+                    }
+                }
             }
-            blocked[dst] = false;
         }
     }
 }
@@ -599,7 +814,7 @@ mod tests {
         let topo = Topology::uniform(4, LinkSpec::new(1e-3, 1e6));
         let driver = SimDriver::new(topo);
         let out = driver.run(relay_ring(4, 0.01, 3));
-        assert!(out.completed);
+        assert!(out.completed());
         // Each round: 4 hops × (1 ms latency + 1 ms transfer of 1000 B) + 4 × 10 ms compute
         // ≈ 48 ms; 3 rounds ≈ 144 ms.
         let expected_round = 4.0 * (0.001 + 0.001) + 4.0 * 0.01;
@@ -642,7 +857,7 @@ mod tests {
     fn stats_track_messages_and_bytes() {
         let topo = Topology::uniform(3, LinkSpec::infiniband_edr());
         let out = SimDriver::new(topo).run(relay_ring(3, 0.001, 2));
-        assert!(out.completed);
+        assert!(out.completed());
         // Rank 0 sends 2 round-starting messages + 2 shutdown messages.
         assert_eq!(out.stats.node(0).messages_sent, 4);
         assert!(out.stats.node(0).bytes_sent >= 2 * 1000);
@@ -663,7 +878,8 @@ mod tests {
         let out = SimDriver::new(topo)
             .with_max_time(0.1)
             .run(relay_ring(4, 0.0, 100));
-        assert!(!out.completed);
+        assert!(!out.completed());
+        assert_eq!(out.halt, HaltReason::TimeLimit);
     }
 
     /// A rank that performs idle work a fixed number of times.
@@ -697,7 +913,7 @@ mod tests {
             remaining: 7,
             finished: false,
         }) as Box<dyn NodeBehavior<Msg>>]);
-        assert!(out.completed);
+        assert!(out.completed());
         assert!((out.stats.total_time - 0.07).abs() < 1e-9);
         assert_eq!(out.stats.node(0).idle_work, 7);
     }
@@ -717,7 +933,8 @@ mod tests {
         }
         let out = SimDriver::new(Topology::uniform(1, LinkSpec::loopback()))
             .run(vec![Box::new(Stuck) as Box<dyn NodeBehavior<Msg>>]);
-        assert!(!out.completed);
+        assert!(!out.completed());
+        assert_eq!(out.halt, HaltReason::Deadlock);
     }
 
     #[test]
@@ -773,7 +990,7 @@ mod tests {
                 finished: false,
             }) as Box<dyn NodeBehavior<Msg>>,
         ]);
-        assert!(out.completed);
+        assert!(out.completed());
         let recv = out.behaviors[1]
             .as_any()
             .downcast_ref::<Receiver>()
@@ -795,7 +1012,7 @@ mod tests {
         let out = SimDriver::new(topo)
             .with_trace(TraceConfig::default())
             .run(relay_ring(4, 0.01, 3));
-        assert!(out.completed);
+        assert!(out.completed());
         let trace = out.trace.expect("trace requested");
         assert_eq!(trace.n_ranks(), 4);
         assert_eq!(trace.domain(), ClockDomain::Virtual);
@@ -863,5 +1080,211 @@ mod tests {
                 .to_log()
         };
         assert_eq!(run(), run());
+    }
+
+    // ----- fault injection ---------------------------------------------------
+
+    use crate::fault::LinkFaults;
+
+    #[test]
+    fn empty_fault_plan_leaves_the_schedule_untouched() {
+        let topo = Topology::uniform(5, LinkSpec::gigabit_ethernet());
+        let plain = SimDriver::new(topo.clone()).run(relay_ring(5, 0.002, 10));
+        let faulted = SimDriver::new(topo)
+            .with_faults(FaultPlan::seeded(42))
+            .run(relay_ring(5, 0.002, 10));
+        assert!(faulted.completed());
+        assert_eq!(plain.stats.total_time, faulted.stats.total_time);
+        assert_eq!(faulted.stats.total_faults_injected(), 0);
+    }
+
+    #[test]
+    fn full_drop_deadlocks_and_counts_faults() {
+        let plan = FaultPlan::seeded(1).on_link(0, 1, LinkFaults::drop_all());
+        let out = SimDriver::new(Topology::uniform(2, LinkSpec::gigabit_ethernet()))
+            .with_faults(plan)
+            .run(relay_ring(2, 0.001, 3));
+        assert_eq!(out.halt, HaltReason::Deadlock);
+        assert!(!out.completed());
+        assert!(out.stats.node(0).faults_injected >= 1);
+        // The dropped message was still sent (and charged to the wire) —
+        // it just never arrived.
+        assert_eq!(out.stats.node(0).messages_sent, 1);
+        assert_eq!(out.stats.node(1).messages_received, 0);
+    }
+
+    #[test]
+    fn kill_halts_as_rank_killed() {
+        let plan = FaultPlan::seeded(2).kill_at(1, 0.0);
+        let out = SimDriver::new(Topology::uniform(2, LinkSpec::gigabit_ethernet()))
+            .with_faults(plan)
+            .with_trace(TraceConfig::default())
+            .run(relay_ring(2, 0.001, 3));
+        assert_eq!(out.halt, HaltReason::RankKilled);
+        assert_eq!(out.stats.node(1).faults_injected, 1);
+        #[cfg(feature = "trace")]
+        {
+            let trace = out.trace.expect("trace requested");
+            assert!(trace
+                .events()
+                .iter()
+                .any(|e| e.rank == 1 && matches!(e.kind, EventKind::RankKilled)));
+        }
+    }
+
+    #[test]
+    fn delay_faults_slow_the_run_deterministically() {
+        let topo = Topology::uniform(2, LinkSpec::gigabit_ethernet());
+        let plan = || FaultPlan::seeded(7).on_path(0, 1, LinkFaults::delay(1.0, 0.05, 0.06));
+        let base = SimDriver::new(topo.clone()).run(relay_ring(2, 0.001, 3));
+        let a = SimDriver::new(topo.clone())
+            .with_faults(plan())
+            .run(relay_ring(2, 0.001, 3));
+        let b = SimDriver::new(topo)
+            .with_faults(plan())
+            .run(relay_ring(2, 0.001, 3));
+        assert!(a.completed());
+        assert_eq!(a.stats.total_time, b.stats.total_time);
+        assert!(a.stats.total_time > base.stats.total_time + 0.04);
+        assert!(a.stats.total_faults_injected() > 0);
+    }
+
+    #[test]
+    fn duplicated_messages_deliver_twice() {
+        struct Once {
+            done: bool,
+        }
+        impl NodeBehavior<Msg> for Once {
+            fn on_start(&mut self, ctx: &mut dyn NodeCtx<Msg>) {
+                ctx.send(
+                    1,
+                    0,
+                    Msg {
+                        hops: 1,
+                        bytes: 100,
+                    },
+                );
+                self.done = true;
+            }
+            fn on_message(&mut self, _: Rank, _: Tag, _: Msg, _: &mut dyn NodeCtx<Msg>) {}
+            fn is_finished(&self) -> bool {
+                self.done
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        struct Count {
+            got: u32,
+        }
+        impl NodeBehavior<Msg> for Count {
+            fn on_message(&mut self, _: Rank, _: Tag, _: Msg, _: &mut dyn NodeCtx<Msg>) {
+                self.got += 1;
+            }
+            fn is_finished(&self) -> bool {
+                self.got >= 2
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        let plan = FaultPlan::seeded(3).on_link(0, 1, LinkFaults::default().and_duplicate(1.0));
+        let out = SimDriver::new(Topology::uniform(2, LinkSpec::gigabit_ethernet()))
+            .with_faults(plan)
+            .run(vec![
+                Box::new(Once { done: false }) as Box<dyn NodeBehavior<Msg>>,
+                Box::new(Count { got: 0 }) as Box<dyn NodeBehavior<Msg>>,
+            ]);
+        assert!(out.completed());
+        assert_eq!(out.stats.node(0).messages_sent, 1);
+        assert_eq!(out.stats.node(1).messages_received, 2);
+        assert_eq!(out.stats.node(0).faults_injected, 1);
+    }
+
+    #[test]
+    fn pause_defers_activations_to_window_end() {
+        let plan = FaultPlan::seeded(4).pause(0, 0.0, 1.0);
+        let out = SimDriver::new(Topology::uniform(1, LinkSpec::loopback()))
+            .with_faults(plan)
+            .run(vec![Box::new(IdleWorker {
+                remaining: 7,
+                finished: false,
+            }) as Box<dyn NodeBehavior<Msg>>]);
+        assert!(out.completed());
+        assert!(
+            (out.stats.total_time - 1.07).abs() < 1e-9,
+            "total_time = {}",
+            out.stats.total_time
+        );
+        assert_eq!(out.stats.node(0).faults_injected, 1);
+    }
+
+    #[test]
+    fn wake_requests_only_honored_with_faults_armed() {
+        struct Alarm {
+            fired: bool,
+        }
+        impl NodeBehavior<Msg> for Alarm {
+            fn on_message(&mut self, _: Rank, _: Tag, _: Msg, _: &mut dyn NodeCtx<Msg>) {}
+            fn on_idle(&mut self, ctx: &mut dyn NodeCtx<Msg>) -> bool {
+                if ctx.now() >= 0.5 {
+                    self.fired = true;
+                    true
+                } else {
+                    ctx.request_wake(0.5);
+                    false
+                }
+            }
+            fn is_finished(&self) -> bool {
+                self.fired
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        let topo = Topology::uniform(1, LinkSpec::loopback());
+        // Without a fault schedule the hint is ignored — fault-free
+        // schedules must stay bit-identical to what they always were.
+        let plain = SimDriver::new(topo.clone()).run(vec![
+            Box::new(Alarm { fired: false }) as Box<dyn NodeBehavior<Msg>>
+        ]);
+        assert_eq!(plain.halt, HaltReason::Deadlock);
+        // Any non-empty schedule arms wake-ups, even if none of its faults
+        // ever fire.
+        let armed = FaultPlan::seeded(5).pause(0, 1e8, 1e8 + 1.0);
+        let out = SimDriver::new(topo).with_faults(armed).run(vec![
+            Box::new(Alarm { fired: false }) as Box<dyn NodeBehavior<Msg>>,
+        ]);
+        assert_eq!(out.halt, HaltReason::Finished);
+        assert!((out.stats.total_time - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[cfg_attr(not(feature = "trace"), ignore)]
+    fn chaos_runs_replay_bit_identically() {
+        let topo = Topology::uniform(4, LinkSpec::gigabit_ethernet());
+        let plan = FaultPlan::seeded(11)
+            .on_path(
+                0,
+                1,
+                LinkFaults::drop(0.2)
+                    .and_duplicate(0.2)
+                    .and_reorder(0.2, 0.01),
+            )
+            .on_link(2, 3, LinkFaults::delay(0.5, 0.001, 0.002))
+            .pause(2, 0.01, 0.02)
+            .kill_at(3, 0.05);
+        let run = || {
+            let out = SimDriver::new(topo.clone())
+                .with_faults(plan.clone())
+                .with_trace(TraceConfig::default())
+                .run(relay_ring(4, 0.003, 5));
+            (out.halt, out.stats.total_time, out.trace.unwrap().to_log())
+        };
+        let (halt_a, time_a, log_a) = run();
+        let (halt_b, time_b, log_b) = run();
+        assert_eq!(halt_a, halt_b);
+        assert_eq!(time_a, time_b);
+        assert_eq!(log_a, log_b);
     }
 }

@@ -29,6 +29,19 @@ pub struct NodeStats {
     /// Units of work this rank skipped thanks to early cancellation signals
     /// (stage evaluations never run, stale draft hypotheses never served).
     pub cancellations_saved: u64,
+    /// Draft requests whose deadline expired on this rank without a
+    /// response (the head is the only rank that records these).
+    pub draft_timeouts: u64,
+    /// Draft requests this rank re-issued after a timeout or an empty
+    /// refusal (bounded, jittered backoff between attempts).
+    pub draft_retries: u64,
+    /// Times this rank abandoned a remote drafter and failed over to a local
+    /// fallback (or degraded to non-speculative decoding).
+    pub failovers: u64,
+    /// Faults a chaos schedule injected on this rank: dropped/delayed/
+    /// duplicated/reordered messages it sent, plus pauses and kills it
+    /// suffered.
+    pub faults_injected: u64,
 }
 
 impl NodeStats {
@@ -102,6 +115,26 @@ impl ClusterStats {
     pub fn total_cancellations_saved(&self) -> u64 {
         self.nodes.iter().map(|n| n.cancellations_saved).sum()
     }
+
+    /// Total expired draft-request deadlines across all ranks.
+    pub fn total_draft_timeouts(&self) -> u64 {
+        self.nodes.iter().map(|n| n.draft_timeouts).sum()
+    }
+
+    /// Total re-issued draft requests across all ranks.
+    pub fn total_draft_retries(&self) -> u64 {
+        self.nodes.iter().map(|n| n.draft_retries).sum()
+    }
+
+    /// Total drafter failovers across all ranks.
+    pub fn total_failovers(&self) -> u64 {
+        self.nodes.iter().map(|n| n.failovers).sum()
+    }
+
+    /// Total injected faults across all ranks.
+    pub fn total_faults_injected(&self) -> u64 {
+        self.nodes.iter().map(|n| n.faults_injected).sum()
+    }
 }
 
 #[cfg(test)]
@@ -148,6 +181,20 @@ mod tests {
         assert_eq!(c.total_draft_messages(), 6);
         assert_eq!(c.total_draft_bytes(), 500);
         assert_eq!(c.total_cancellations_saved(), 6);
+    }
+
+    #[test]
+    fn recovery_and_fault_aggregates() {
+        let mut c = ClusterStats::new(3);
+        c.nodes[0].draft_timeouts = 2;
+        c.nodes[0].draft_retries = 3;
+        c.nodes[0].failovers = 1;
+        c.nodes[1].faults_injected = 4;
+        c.nodes[2].faults_injected = 1;
+        assert_eq!(c.total_draft_timeouts(), 2);
+        assert_eq!(c.total_draft_retries(), 3);
+        assert_eq!(c.total_failovers(), 1);
+        assert_eq!(c.total_faults_injected(), 5);
     }
 
     #[test]

@@ -8,11 +8,12 @@
 //! (output equivalence across inference strategies) and for the runnable
 //! examples.
 
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::stats::{ClusterStats, NodeStats};
 use crate::{NodeBehavior, NodeCtx, Rank, SimTime, Tag, WireMessage};
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use pi_trace::{Clock, ClockDomain, EventKind, MonotonicClock, Trace, TraceBuffer, TraceConfig};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Result of a threaded run.
@@ -46,6 +47,9 @@ struct ThreadedCtx<M> {
     t0: f64,
     senders: Vec<Sender<Envelope<M>>>,
     stats: NodeStats,
+    /// Shared fault injector (best-effort subset: drop/delay/duplicate on
+    /// the send path), present iff the driver was built `with_faults`.
+    injector: Option<Arc<Mutex<FaultInjector>>>,
     /// This rank's private event ring — per-thread by construction, so the
     /// hot path takes no locks.
     buf: Option<TraceBuffer>,
@@ -77,13 +81,47 @@ impl<M: WireMessage> NodeCtx<M> for ThreadedCtx<M> {
                 draft: msg.is_draft(),
             });
         }
-        // A send to a rank that already exited is silently dropped, matching
-        // buffered-send semantics after a receiver has finalised.
-        let _ = self.senders[dst].send(Envelope {
-            src: self.rank,
-            tag,
-            msg,
-        });
+        match self.injector.as_ref() {
+            None => {
+                // A send to a rank that already exited is silently dropped,
+                // matching buffered-send semantics after a receiver has
+                // finalised.
+                let _ = self.senders[dst].send(Envelope {
+                    src: self.rank,
+                    tag,
+                    msg,
+                });
+            }
+            Some(inj) => {
+                let now = self.now();
+                let fate = inj.lock().unwrap().on_send(self.rank, dst, now);
+                self.stats.faults_injected += fate.faults.len() as u64;
+                if self.trace_enabled() {
+                    for kind in &fate.faults {
+                        self.trace(*kind);
+                    }
+                }
+                for &(extra, _overtakes) in &fate.copies {
+                    let env = Envelope {
+                        src: self.rank,
+                        tag,
+                        msg: msg.clone(),
+                    };
+                    if extra > 0.0 {
+                        // Injected latency: deliver from a helper thread so
+                        // the sender keeps its buffered-send semantics.
+                        let sender = self.senders[dst].clone();
+                        let delay = Duration::from_secs_f64(extra);
+                        std::thread::spawn(move || {
+                            std::thread::sleep(delay);
+                            let _ = sender.send(env);
+                        });
+                    } else {
+                        let _ = self.senders[dst].send(env);
+                    }
+                }
+            }
+        }
     }
     fn elapse(&mut self, seconds: SimTime) {
         // Real compute already took real time; only record it.
@@ -95,6 +133,15 @@ impl<M: WireMessage> NodeCtx<M> for ThreadedCtx<M> {
     }
     fn record_cancellation_saved(&mut self, n: u64) {
         self.stats.cancellations_saved += n;
+    }
+    fn record_draft_timeout(&mut self) {
+        self.stats.draft_timeouts += 1;
+    }
+    fn record_draft_retry(&mut self) {
+        self.stats.draft_retries += 1;
+    }
+    fn record_failover(&mut self) {
+        self.stats.failovers += 1;
     }
     fn trace_enabled(&self) -> bool {
         cfg!(feature = "trace") && self.buf.is_some()
@@ -129,6 +176,7 @@ pub struct ThreadedDriver {
     timeout: Duration,
     clock: Arc<dyn Clock>,
     trace: Option<TraceConfig>,
+    faults: Option<FaultPlan>,
 }
 
 impl Default for ThreadedDriver {
@@ -145,6 +193,7 @@ impl ThreadedDriver {
             timeout: Duration::from_secs(120),
             clock: Arc::new(MonotonicClock::new()),
             trace: None,
+            faults: None,
         }
     }
 
@@ -169,6 +218,18 @@ impl ThreadedDriver {
         self
     }
 
+    /// Attaches a chaos schedule ([`FaultPlan`]), best-effort: the per-link
+    /// message faults (drop/delay/duplicate) are applied on the send path;
+    /// rank pauses, kills and reordering need the virtual-time control only
+    /// the simulator has and are ignored here.  Fault *decisions* are seeded
+    /// and deterministic, but wall-clock thread interleaving still varies
+    /// between runs — use [`SimDriver`](crate::sim::SimDriver) for
+    /// bit-identical chaos replays.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Runs the behaviors, one thread per rank, until all finish or the
     /// timeout expires.
     pub fn run<M: WireMessage>(
@@ -185,6 +246,11 @@ impl ThreadedDriver {
         } else {
             None
         };
+        let injector: Option<Arc<Mutex<FaultInjector>>> = self
+            .faults
+            .as_ref()
+            .filter(|p| !p.is_empty())
+            .map(|p| Arc::new(Mutex::new(FaultInjector::new(p.clone(), n))));
         let handles: Vec<_> = behaviors
             .into_iter()
             .enumerate()
@@ -192,6 +258,7 @@ impl ThreadedDriver {
             .map(|((rank, mut behavior), rx)| {
                 let senders = senders.clone();
                 let clock = Arc::clone(&self.clock);
+                let injector = injector.clone();
                 std::thread::spawn(move || {
                     let mut ctx = ThreadedCtx {
                         rank,
@@ -200,6 +267,7 @@ impl ThreadedDriver {
                         t0,
                         senders,
                         stats: NodeStats::default(),
+                        injector,
                         buf: trace_config
                             .map(|c| TraceBuffer::new(rank as u32, c.capacity_per_rank)),
                     };
@@ -568,6 +636,69 @@ mod tests {
             .sum();
         let busy: f64 = (0..3).map(|r| out.stats.node(r).busy_time).sum();
         assert!((compute - busy).abs() < 1e-9, "{compute} vs {busy}");
+    }
+
+    #[test]
+    fn fault_plan_duplicates_and_drops_on_the_send_path() {
+        use crate::fault::{FaultPlan, LinkFaults};
+
+        // Rank 0 sends one message to rank 1 with a 100 % duplicate fault;
+        // rank 1 finishes only after receiving both copies.
+        struct Once {
+            done: bool,
+        }
+        struct Count {
+            got: u32,
+        }
+        impl NodeBehavior<Num> for Once {
+            fn on_start(&mut self, ctx: &mut dyn NodeCtx<Num>) {
+                ctx.send(1, 0, Num(7));
+                self.done = true;
+            }
+            fn on_message(&mut self, _: Rank, _: Tag, _: Num, _: &mut dyn NodeCtx<Num>) {}
+            fn is_finished(&self) -> bool {
+                self.done
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        impl NodeBehavior<Num> for Count {
+            fn on_message(&mut self, _: Rank, _: Tag, _: Num, _: &mut dyn NodeCtx<Num>) {
+                self.got += 1;
+            }
+            fn is_finished(&self) -> bool {
+                self.got >= 2
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        let plan = FaultPlan::seeded(8).on_link(0, 1, LinkFaults::default().and_duplicate(1.0));
+        let out = ThreadedDriver::new()
+            .with_timeout(Duration::from_secs(20))
+            .with_faults(plan)
+            .run(vec![
+                Box::new(Once { done: false }) as Box<dyn NodeBehavior<Num>>,
+                Box::new(Count { got: 0 }) as Box<dyn NodeBehavior<Num>>,
+            ]);
+        assert!(out.completed);
+        assert_eq!(out.stats.node(0).messages_sent, 1);
+        assert_eq!(out.stats.node(1).messages_received, 2);
+        assert_eq!(out.stats.node(0).faults_injected, 1);
+
+        // A dead link (100 % drop) starves the receiver: the run times out.
+        let plan = FaultPlan::seeded(8).on_link(0, 1, LinkFaults::drop_all());
+        let out = ThreadedDriver::new()
+            .with_timeout(Duration::from_millis(100))
+            .with_faults(plan)
+            .run(vec![
+                Box::new(Once { done: false }) as Box<dyn NodeBehavior<Num>>,
+                Box::new(Count { got: 0 }) as Box<dyn NodeBehavior<Num>>,
+            ]);
+        assert!(!out.completed);
+        assert_eq!(out.stats.node(1).messages_received, 0);
+        assert_eq!(out.stats.node(0).faults_injected, 1);
     }
 
     #[test]

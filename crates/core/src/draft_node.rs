@@ -24,6 +24,16 @@ use pi_spec::message::tags;
 use pi_spec::{Drafter, PipeMsg, TreeTopology};
 use std::collections::VecDeque;
 
+/// Orphan detection window: with no traffic from the head for this long the
+/// draft rank shuts itself down.  Fault-free runs always end with an explicit
+/// [`PipeMsg::Shutdown`] long before this, but a fault schedule can drop the
+/// shutdown (or every head message) on the wire — without the self-shutdown
+/// the rank would block forever and turn a drop schedule into a deadlock.
+/// Virtual seconds under the simulator (where the deadline is driven by
+/// [`NodeCtx::request_wake`], honored only while faults are armed),
+/// wall-clock under the threaded driver.
+const ORPHAN_SHUTDOWN_S: f64 = 30.0;
+
 /// One buffered draft request.
 #[derive(Debug, Clone)]
 struct PendingDraft {
@@ -44,6 +54,8 @@ pub struct DraftNode {
     /// dropped even if they arrive after the cancellation signal.
     cancelled_up_to: Option<u64>,
     finished: bool,
+    /// Time of the last message from the head (orphan-detection clock).
+    last_activity: f64,
     /// Number of draft requests served.
     pub requests_served: u64,
     /// Number of draft requests dropped unserved (superseded by a newer
@@ -62,6 +74,7 @@ impl DraftNode {
             pending: VecDeque::new(),
             cancelled_up_to: None,
             finished: false,
+            last_activity: 0.0,
             requests_served: 0,
             requests_dropped: 0,
             tokens_drafted: 0,
@@ -130,7 +143,14 @@ impl DraftNode {
 }
 
 impl NodeBehavior<PipeMsg> for DraftNode {
+    fn on_start(&mut self, ctx: &mut dyn NodeCtx<PipeMsg>) {
+        self.last_activity = ctx.now();
+        ctx.request_wake(self.last_activity + ORPHAN_SHUTDOWN_S);
+    }
+
     fn on_message(&mut self, _src: Rank, _tag: Tag, msg: PipeMsg, ctx: &mut dyn NodeCtx<PipeMsg>) {
+        self.last_activity = ctx.now();
+        ctx.request_wake(self.last_activity + ORPHAN_SHUTDOWN_S);
         match msg {
             PipeMsg::DraftRequest {
                 request_id,
@@ -164,7 +184,22 @@ impl NodeBehavior<PipeMsg> for DraftNode {
     }
 
     fn on_idle(&mut self, ctx: &mut dyn NodeCtx<PipeMsg>) -> bool {
-        self.serve_latest(ctx)
+        if self.finished {
+            return false;
+        }
+        if self.serve_latest(ctx) {
+            ctx.request_wake(ctx.now() + ORPHAN_SHUTDOWN_S);
+            return true;
+        }
+        if ctx.now() >= self.last_activity + ORPHAN_SHUTDOWN_S {
+            // Nothing from the head for the whole window: it is gone or
+            // unreachable.  Finish so the run halts cleanly instead of
+            // deadlocking on a shutdown that will never arrive.
+            self.finished = true;
+            return false;
+        }
+        ctx.request_wake(self.last_activity + ORPHAN_SHUTDOWN_S);
+        false
     }
 
     fn is_finished(&self) -> bool {

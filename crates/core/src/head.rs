@@ -52,7 +52,23 @@ use pi_spec::{
     ActivationPayload, CacheOp, Drafter, GenConfig, GenerationRecord, HeadEngine, PipeMsg,
     PipelineRoute, RunId, RunKind, TreeTopology,
 };
+use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::VecDeque;
+
+/// Seed of the head's backoff-jitter source.  A fixed constant: the jitter
+/// decorrelates retry times *within* a run while keeping every replay of the
+/// same schedule bit-identical.
+const BACKOFF_JITTER_SEED: u64 = 0x0070_695f_6865_6164; // "pi_head"
+
+/// Cap on the backoff exponent (`base × 2^min(failures, 6)`), bounding the
+/// longest retry wait regardless of how many failures accumulate.
+const BACKOFF_MAX_EXP: u32 = 6;
+
+/// How many times more consecutive refusals than timeouts it takes to fail
+/// over: an empty response proves the draft rank alive, so abandoning it is
+/// held to a much higher bar (`factor × (draft_max_retries + 1)` refusals)
+/// than silence is.
+const REFUSAL_FAILOVER_FACTOR: u32 = 4;
 
 /// Where the head obtains its speculative micro-batches.
 pub enum DraftSource {
@@ -73,6 +89,9 @@ struct InflightDraft {
     /// The confidence cutoff the request was issued with (drives the
     /// refusal backoff when the reply comes back empty).
     cutoff: f32,
+    /// Time by which the response must have arrived; expiry counts as one
+    /// consecutive draft failure (`PipeInferConfig::draft_deadline_s`).
+    deadline: f64,
 }
 
 /// The PipeInfer head rank state machine.
@@ -103,10 +122,41 @@ pub struct PipeInferHead {
     inflight_draft: Option<InflightDraft>,
     /// Set when the draft rank returned an empty draft: `(cutoff, hyp_len)`
     /// at refusal time.  No new request is sent until the cutoff drops below
-    /// the refused one or the hypothesis changes — the remote analogue of
-    /// the local path's "stop speculating until verification catches up",
-    /// without which the head busy-loops request/empty-response round trips.
+    /// the refused one, the hypothesis changes, *or* the seeded retry
+    /// backoff elapses — the remote analogue of the local path's "stop
+    /// speculating until verification catches up", without which the head
+    /// busy-loops request/empty-response round trips.  The time bound keeps
+    /// a permanently-refusing drafter from stalling speculation forever: the
+    /// refusals accumulate as draft failures and eventually fail over.
     draft_refused: Option<(f32, usize)>,
+    /// The dedicated draft rank this head started with, if any — remembered
+    /// across a failover so the (possibly only partitioned, not dead) rank
+    /// still receives its shutdown signal.
+    remote_rank: Option<Rank>,
+    /// Local drafter held in reserve while drafting remotely; a failover
+    /// promotes it to [`DraftSource::Local`].
+    fallback: Option<Box<dyn Drafter>>,
+    /// Consecutive remote-draft timeouts since the last successful
+    /// response; crossing `draft_max_retries` triggers the failover — no
+    /// response at all means the rank is dead, partitioned or
+    /// pathologically slow.
+    draft_failures: u32,
+    /// Consecutive same-hypothesis refusals (empty responses) since the
+    /// last useful one.  A refusal proves the rank *alive*, so the failover
+    /// bar is [`REFUSAL_FAILOVER_FACTOR`]× higher than the timeout bar: a
+    /// transiently under-confident drafter keeps its rank, a permanently
+    /// refusing one is eventually abandoned instead of retried forever.
+    draft_refusals: u32,
+    /// No new draft request is issued before this time (bounded seeded
+    /// backoff after a failure).
+    draft_backoff_until: Option<f64>,
+    /// Set when the head has exhausted every draft source: speculation is
+    /// permanently off and generation completes through the non-speculative
+    /// pending-token runs alone (which never deadlock and only ever emit
+    /// target-verified tokens).
+    draft_degraded: bool,
+    /// Seeded jitter source for the retry backoff.
+    backoff_rng: StdRng,
     record: GenerationRecord,
     output: RecordHandle,
     finished: bool,
@@ -135,6 +185,10 @@ impl PipeInferHead {
     ) -> Self {
         let controller = SpeculationController::new(&config, gen_config.confidence_cutoff);
         let pool = SeqPartitionPool::new(config.n_seq_partitions);
+        let remote_rank = match &draft {
+            DraftSource::Remote(rank) => Some(*rank),
+            DraftSource::Local(_) => None,
+        };
         Self {
             route,
             engine,
@@ -152,11 +206,35 @@ impl PipeInferHead {
             next_draft_id: 0,
             inflight_draft: None,
             draft_refused: None,
+            remote_rank,
+            fallback: None,
+            draft_failures: 0,
+            draft_refusals: 0,
+            draft_backoff_until: None,
+            draft_degraded: false,
+            backoff_rng: StdRng::seed_from_u64(BACKOFF_JITTER_SEED),
             record: GenerationRecord::default(),
             output,
             finished: false,
             local_results: VecDeque::new(),
         }
+    }
+
+    /// Attaches a local fallback drafter the head promotes to
+    /// [`DraftSource::Local`] when the remote draft rank is detected dead or
+    /// unresponsive (consecutive request timeouts/refusals past
+    /// `draft_max_retries`).  Without one, the same detection degrades the
+    /// head to non-speculative pipelined decoding instead.
+    pub fn with_fallback(mut self, drafter: Box<dyn Drafter>) -> Self {
+        self.fallback = Some(drafter);
+        self
+    }
+
+    /// Whether the head has failed over away from its original remote draft
+    /// rank (to the local fallback or into degraded non-speculative mode).
+    pub fn failed_over(&self) -> bool {
+        self.draft_degraded
+            || (self.remote_rank.is_some() && matches!(self.draft, DraftSource::Local(_)))
     }
 
     /// The record accumulated so far.
@@ -352,24 +430,59 @@ impl PipeInferHead {
                 true
             }
             DraftSource::Remote(rank) => {
-                if self.inflight_draft.is_some() {
+                if self.draft_degraded {
+                    // Every draft source is exhausted: non-speculative
+                    // decoding only.
+                    return false;
+                }
+                if let Some(d) = self.inflight_draft {
                     // One hypothesis in flight at a time; the response (or
-                    // its invalidation) unblocks the next request.
+                    // its invalidation, or its deadline) unblocks the next
+                    // request.  Keep the deadline armed: wake requests are
+                    // one-shot.
+                    ctx.request_wake(d.deadline);
                     return false;
                 }
                 let cutoff = self.controller.cutoff();
                 if let Some((refused_cutoff, refused_len)) = self.draft_refused {
                     if cutoff >= refused_cutoff && self.hypothesis.len() == refused_len {
                         // The draft rank already refused this hypothesis at
-                        // an equal-or-lower bar; wait for verification to
-                        // lower the cutoff or move the hypothesis.
-                        return false;
+                        // an equal-or-lower bar.  Wait for verification to
+                        // lower the cutoff or move the hypothesis — but only
+                        // up to the retry backoff: a permanently-refusing
+                        // drafter must keep accumulating failures until the
+                        // head fails over, not stall speculation forever.
+                        match self.draft_backoff_until {
+                            Some(until) if ctx.now() < until => {
+                                ctx.request_wake(until);
+                                return false;
+                            }
+                            _ => {}
+                        }
                     }
                     self.draft_refused = None;
+                    self.draft_backoff_until = None;
+                }
+                if let Some(until) = self.draft_backoff_until {
+                    // Backoff after a request timeout (no refusal standing).
+                    if ctx.now() < until {
+                        ctx.request_wake(until);
+                        return false;
+                    }
+                    self.draft_backoff_until = None;
                 }
                 let id = self.next_draft_id;
                 self.next_draft_id += 1;
-                self.inflight_draft = Some(InflightDraft { id, cutoff });
+                let deadline = ctx.now() + self.config.draft_deadline_s;
+                self.inflight_draft = Some(InflightDraft {
+                    id,
+                    cutoff,
+                    deadline,
+                });
+                if self.draft_failures > 0 || self.draft_refusals > 0 {
+                    ctx.record_draft_retry();
+                }
+                ctx.request_wake(deadline);
                 self.record.draft_requests += 1;
                 let context_len = self.hypothesis.len() as u32;
                 trace_if(ctx, || EventKind::DraftRequested {
@@ -426,16 +539,30 @@ impl PipeInferHead {
         }
         if nodes.is_empty() {
             // The draft rank was not confident enough under the request's
-            // cutoff; back off until the gradient or the hypothesis moves.
-            // The refusal applies to the *requested* context only — if the
-            // hypothesis has grown since, the draft rank never judged it, so
-            // the next request goes out unimpeded.
+            // cutoff; back off until the gradient or the hypothesis moves —
+            // or the bounded retry backoff elapses.  The refusal applies to
+            // the *requested* context only — if the hypothesis has grown
+            // since, the draft rank never judged it, so the next request
+            // goes out unimpeded.
             if context_len == self.hypothesis.len() {
                 let cutoff = inflight.map(|d| d.cutoff).unwrap_or(0.0);
-                self.draft_refused = Some((cutoff, context_len));
+                self.draft_refusals += 1;
+                let bar = REFUSAL_FAILOVER_FACTOR * (self.config.draft_max_retries + 1);
+                if self.draft_refusals >= bar {
+                    // The drafter refuses every retry, backoff after
+                    // backoff: treat it like an unresponsive rank rather
+                    // than keep paying fruitless round trips.
+                    self.fail_over(ctx, self.draft_refusals);
+                } else {
+                    self.draft_refused = Some((cutoff, context_len));
+                    self.arm_backoff(ctx, self.draft_refusals);
+                }
             }
             return;
         }
+        // A useful response: the draft source is alive and cooperating.
+        self.draft_failures = 0;
+        self.draft_refusals = 0;
         let mut tree = topology.to_tree(&nodes);
         if context_len != self.hypothesis.len() {
             // The hypothesis moved ahead while the request was in flight
@@ -490,6 +617,76 @@ impl PipeInferHead {
                 ctx.send(rank, tags::CANCEL, PipeMsg::DraftCancel { up_to: d.id });
             }
         }
+    }
+
+    /// Checks the in-flight draft request against its deadline, called at
+    /// the top of every callback.  An expiry is counted as a draft timeout
+    /// and retried under the bounded backoff; past `draft_max_retries`
+    /// consecutive failures the head fails over away from the remote rank.
+    /// No-op for local drafting and fault-free timelines (the deadline
+    /// dwarfs real round trips).
+    fn poll_draft_deadline(&mut self, ctx: &mut dyn NodeCtx<PipeMsg>) {
+        if self.finished {
+            return;
+        }
+        let DraftSource::Remote(rank) = self.draft else {
+            return;
+        };
+        let Some(d) = self.inflight_draft else {
+            return;
+        };
+        if ctx.now() < d.deadline {
+            ctx.request_wake(d.deadline);
+            return;
+        }
+        // The deadline expired without a response: the draft rank is dead,
+        // partitioned or pathologically slow.
+        self.inflight_draft = None;
+        self.record.draft_stale += 1;
+        self.draft_failures += 1;
+        ctx.record_draft_timeout();
+        let request = d.id;
+        trace_if(ctx, || EventKind::DraftTimeout { request });
+        // Tell the (possibly just slow) rank to drop the request unserved;
+        // a late response is already rejected by the fresh-id check.
+        ctx.send(rank, tags::CANCEL, PipeMsg::DraftCancel { up_to: request });
+        if self.draft_failures > self.config.draft_max_retries {
+            self.fail_over(ctx, self.draft_failures);
+        } else {
+            self.arm_backoff(ctx, self.draft_failures);
+        }
+    }
+
+    /// Fails over away from the remote draft rank — after
+    /// `draft_max_retries + 1` consecutive timeouts, or a
+    /// [`REFUSAL_FAILOVER_FACTOR`]× longer streak of refusals — onto the
+    /// local fallback drafter when one is attached, otherwise into degraded
+    /// non-speculative decoding.  Either way the token stream is unaffected:
+    /// verified tokens only ever come from the head's own target engine.
+    fn fail_over(&mut self, ctx: &mut dyn NodeCtx<PipeMsg>, failures: u32) {
+        ctx.record_failover();
+        trace_if(ctx, || EventKind::DraftFailover { timeouts: failures });
+        self.draft_failures = 0;
+        self.draft_refusals = 0;
+        self.draft_backoff_until = None;
+        self.draft_refused = None;
+        self.inflight_draft = None;
+        match self.fallback.take() {
+            Some(drafter) => self.draft = DraftSource::Local(drafter),
+            None => self.draft_degraded = true,
+        }
+    }
+
+    /// Arms the retry backoff after the latest draft failure:
+    /// `draft_backoff_s × 2^min(failures, 6) × U[0.5, 1.5)`, jittered from a
+    /// seeded source so replays of the same schedule stay bit-identical.
+    fn arm_backoff(&mut self, ctx: &mut dyn NodeCtx<PipeMsg>, failures: u32) {
+        let exp = failures.min(BACKOFF_MAX_EXP);
+        let jitter = 0.5 + self.backoff_rng.gen::<f64>();
+        let delay = self.config.draft_backoff_s * f64::from(1u32 << exp) * jitter;
+        let until = ctx.now() + delay;
+        self.draft_backoff_until = Some(until);
+        ctx.request_wake(until);
     }
 
     /// Accepts `token` as the new pending token (correction or anticipated
@@ -551,8 +748,12 @@ impl PipeInferHead {
         self.controller.on_failure_while_idle();
         self.cancel_inflight_draft(ctx);
         // The correction rewrites the hypothesis's content, so a standing
-        // refusal (keyed on the old content's length) no longer applies.
-        self.draft_refused = None;
+        // refusal (keyed on the old content's length) — and the retry
+        // backoff it armed — no longer applies.  Failures keep accumulating:
+        // only a successful response clears them.
+        if self.draft_refused.take().is_some() {
+            self.draft_backoff_until = None;
+        }
         outcome.rescued.is_some()
     }
 
@@ -873,7 +1074,10 @@ impl PipeInferHead {
         if let Some(next) = self.route.next_after(self.route.head()) {
             ctx.send(next, tags::SHUTDOWN, PipeMsg::Shutdown);
         }
-        if let DraftSource::Remote(rank) = self.draft {
+        // Shut the draft rank down even after a failover: the rank may be
+        // merely partitioned or slow rather than dead (a genuinely dead rank
+        // simply never receives it, and detects the orphaning itself).
+        if let Some(rank) = self.remote_rank {
             ctx.send(rank, tags::SHUTDOWN, PipeMsg::Shutdown);
         }
         *self.output.lock().unwrap() = Some(self.record.clone());
@@ -890,6 +1094,7 @@ impl NodeBehavior<PipeMsg> for PipeInferHead {
     }
 
     fn on_message(&mut self, _src: Rank, _tag: Tag, msg: PipeMsg, ctx: &mut dyn NodeCtx<PipeMsg>) {
+        self.poll_draft_deadline(ctx);
         match msg {
             PipeMsg::RunResult { run_id, payload } => {
                 self.handle_result(run_id, payload, ctx);
@@ -911,6 +1116,7 @@ impl NodeBehavior<PipeMsg> for PipeInferHead {
         // "The idle state is determined by probing for an incoming logits
         // transfer transaction … otherwise, the node generates another
         // speculation tree" (§IV-B).
+        self.poll_draft_deadline(ctx);
         let worked = self.try_speculate(ctx);
         self.drain_local_results(ctx);
         worked && !self.finished
@@ -1000,7 +1206,7 @@ mod tests {
         } else {
             DraftSource::Local(Box::new(oracle_drafter(alignment)))
         };
-        let head = PipeInferHead::new(
+        let mut head = PipeInferHead::new(
             route.clone(),
             Box::new(SimHeadEngine::new(
                 CostModel::new(node.clone()),
@@ -1013,6 +1219,11 @@ mod tests {
             config,
             output.clone(),
         );
+        if dedicated {
+            // Mirrors PipeInferStrategy::build_head: the dedicated layout
+            // keeps a local drafter in reserve for draft-rank failover.
+            head = head.with_fallback(Box::new(oracle_drafter(alignment)));
+        }
         let worker = pi_spec::PipelineWorker::new(
             1,
             route,
@@ -1114,6 +1325,128 @@ mod tests {
             }
         }
         world.head.record().clone()
+    }
+
+    /// Drives a dedicated-rank world whose draft rank is dead from the
+    /// start: every `DraftRequest` disappears on the wire and wall time
+    /// marches one second per round, so request deadlines keep expiring
+    /// until the head's recovery ladder resolves.
+    fn drive_without_draft_rank(world: &mut TestWorld) -> GenerationRecord {
+        let mut head_ctx = TestCtx {
+            rank: 0,
+            sent: Vec::new(),
+            now: 0.0,
+        };
+        let mut worker_ctx = TestCtx {
+            rank: 1,
+            sent: Vec::new(),
+            now: 0.0,
+        };
+        world.head.on_start(&mut head_ctx);
+        let mut safety = 0;
+        while !world.head.is_finished() {
+            safety += 1;
+            assert!(safety < 50_000, "head did not converge");
+            head_ctx.now += 1.0;
+            for _ in 0..2 {
+                if !world.head.on_idle(&mut head_ctx) {
+                    break;
+                }
+            }
+            let outgoing: Vec<(Rank, PipeMsg)> = head_ctx.sent.drain(..).collect();
+            for (dst, msg) in outgoing {
+                if dst == 1 {
+                    world.worker.on_message(0, 0, msg, &mut worker_ctx);
+                }
+                // dst 2 (the draft rank) is dead: messages are black-holed.
+            }
+            let results: Vec<(Rank, PipeMsg)> = worker_ctx.sent.drain(..).collect();
+            for (dst, msg) in results {
+                if dst == 0 && !world.head.is_finished() {
+                    world.head.on_message(1, 0, msg, &mut head_ctx);
+                }
+            }
+        }
+        world.head.record().clone()
+    }
+
+    #[test]
+    fn dead_draft_rank_fails_over_to_the_fallback_and_preserves_the_stream() {
+        let oracle = OracleTarget::new(ORACLE_SEED, VOCAB);
+        let truth = oracle.generate(&[3, 1, 4, 1, 5], 20);
+        // Tight recovery knobs so the failover resolves within the first few
+        // one-second rounds, well before the 12 tokens are out.
+        let config = PipeInferConfig {
+            draft_deadline_s: 0.25,
+            draft_backoff_s: 0.01,
+            ..PipeInferConfig::dedicated_draft_rank()
+        };
+        let (mut world, _) = build_head(0.9, 12, config);
+        world.draft_node = None;
+        let record = drive_without_draft_rank(&mut world);
+        assert!(
+            world.head.failed_over(),
+            "consecutive timeouts must trigger the failover"
+        );
+        assert_eq!(
+            record.tokens[..12].to_vec(),
+            truth[1..13].to_vec(),
+            "failover must preserve the greedy stream byte-for-byte"
+        );
+        assert!(record.draft_requests >= 1, "the head tried the remote rank");
+        assert!(
+            record.accepted_drafts > 0,
+            "the fallback drafter resumes speculation after the failover"
+        );
+    }
+
+    #[test]
+    fn dead_draft_rank_without_fallback_degrades_but_never_deadlocks() {
+        let oracle = OracleTarget::new(ORACLE_SEED, VOCAB);
+        let truth = oracle.generate(&[3, 1, 4, 1, 5], 16);
+        let output: RecordHandle = Arc::new(Mutex::new(None));
+        let route = PipelineRoute::baseline(2);
+        let node = NodeSpec::xeon_gold_6140_dual();
+        let target_cost = ModelCost::new(ModelConfig::llama2_70b(), QuantKind::Q3K);
+        let head = PipeInferHead::new(
+            route.clone(),
+            Box::new(SimHeadEngine::new(
+                CostModel::new(node.clone()),
+                target_cost.clone(),
+                0,
+                OracleTarget::new(ORACLE_SEED, VOCAB),
+            )),
+            DraftSource::Remote(2),
+            GenConfig::small_test(vec![3, 1, 4, 1, 5], 10),
+            PipeInferConfig {
+                draft_deadline_s: 0.25,
+                draft_backoff_s: 0.01,
+                ..PipeInferConfig::dedicated_draft_rank()
+            },
+            output,
+        );
+        let worker = pi_spec::PipelineWorker::new(
+            1,
+            route,
+            Box::new(SimStageEngine::new(CostModel::new(node), target_cost, 80)),
+        );
+        let mut world = TestWorld {
+            head,
+            worker,
+            draft_node: None,
+            cancel_messages: 0,
+        };
+        let record = drive_without_draft_rank(&mut world);
+        assert!(world.head.failed_over(), "degraded mode counts as failover");
+        assert_eq!(
+            record.tokens[..10].to_vec(),
+            truth[1..11].to_vec(),
+            "degraded non-speculative decoding still emits the exact stream"
+        );
+        assert_eq!(
+            record.accepted_drafts, 0,
+            "no drafts are ever accepted without a draft source"
+        );
     }
 
     #[test]

@@ -99,6 +99,21 @@ pub struct PipeInferConfig {
     /// `micro_width == 1` (chains have no sibling branches); disabling it
     /// reproduces whole-run invalidation for trees.
     pub branch_invalidation: bool,
+    /// Deadline for a `DraftRequest` transaction to the dedicated draft
+    /// rank, in seconds (virtual under the simulator, wall-clock under the
+    /// threaded driver).  Generous relative to any fault-free round trip so
+    /// it only fires when the draft rank is dead, partitioned or severely
+    /// delayed; each expiry counts as one consecutive draft failure.
+    pub draft_deadline_s: f64,
+    /// Consecutive draft failures (request timeouts or empty-draft refusals
+    /// of an unchanged hypothesis) the head retries before failing over:
+    /// to its local fallback drafter when one is attached, otherwise into
+    /// degraded non-speculative pipelined decoding.
+    pub draft_max_retries: u32,
+    /// Base of the bounded exponential backoff between draft retries.  The
+    /// actual wait is `draft_backoff_s × 2^min(failures, 6) × U[0.5, 1.5)`
+    /// with a seeded jitter source, so replays are deterministic.
+    pub draft_backoff_s: f64,
 }
 
 impl Default for PipeInferConfig {
@@ -116,6 +131,9 @@ impl Default for PipeInferConfig {
             micro_width: 1,
             shape_window: 4,
             branch_invalidation: true,
+            draft_deadline_s: 2.0,
+            draft_max_retries: 3,
+            draft_backoff_s: 0.05,
         }
     }
 }
@@ -210,6 +228,21 @@ mod tests {
         assert_eq!(c.draft_placement, DraftPlacement::HeadHosted);
         assert_eq!(c.micro_width, 1);
         assert!(c.branch_invalidation, "a no-op for chains");
+    }
+
+    #[test]
+    fn recovery_knobs_have_safe_defaults() {
+        // The deadline must dwarf fault-free draft round trips (sub-second
+        // virtual time) so recovery only ever engages under injected faults
+        // or genuine failures, and the retry budget must be finite.
+        let c = PipeInferConfig::default();
+        assert!(c.draft_deadline_s >= 1.0);
+        assert!(c.draft_max_retries >= 1);
+        assert!(c.draft_backoff_s > 0.0);
+        // Worst-case total backoff stays far below the deadline-dominated
+        // failover time: base × 2^6 × 1.5 per retry.
+        let worst = c.draft_backoff_s * 64.0 * 1.5;
+        assert!(worst < c.draft_deadline_s * 4.0);
     }
 
     #[test]

@@ -72,9 +72,14 @@ impl Strategy for PipeInferStrategy {
     }
 
     fn needs_drafter(&self) -> bool {
-        // The deployment builds a head-side drafter only for the head-hosted
-        // layout; the dedicated rank builds its own via `build_auxiliary`.
-        !self.dedicated()
+        // The head always gets a local drafter: the head-hosted layout
+        // drafts with it directly, and the dedicated layout holds it in
+        // reserve as the failover drafter for a dead or unreachable draft
+        // rank (rank 1 builds its own serving drafter via
+        // `build_auxiliary`).  Drafter construction is rank-agnostic, so the
+        // fallback proposes exactly what the remote rank would have —
+        // failover never changes the token stream.
+        true
     }
 
     fn route(&self, n_nodes: usize) -> PipelineRoute {
@@ -98,19 +103,23 @@ impl Strategy for PipeInferStrategy {
     }
 
     fn build_head(&self, mut parts: HeadParts) -> Box<dyn NodeBehavior<PipeMsg>> {
-        let draft = if self.dedicated() {
-            DraftSource::Remote(DRAFT_RANK)
+        let (draft, fallback) = if self.dedicated() {
+            (DraftSource::Remote(DRAFT_RANK), Some(parts.take_drafter()))
         } else {
-            DraftSource::Local(parts.take_drafter())
+            (DraftSource::Local(parts.take_drafter()), None)
         };
-        Box::new(PipeInferHead::new(
+        let mut head = PipeInferHead::new(
             parts.route,
             parts.engine,
             draft,
             parts.gen_config,
             self.config.clone(),
             parts.record,
-        ))
+        );
+        if let Some(drafter) = fallback {
+            head = head.with_fallback(drafter);
+        }
+        Box::new(head)
     }
 
     fn build_auxiliary(
@@ -169,7 +178,10 @@ mod tests {
     #[test]
     fn dedicated_layout_skips_the_draft_rank() {
         let strategy = PipeInferStrategy::new(PipeInferConfig::dedicated_draft_rank());
-        assert!(!strategy.needs_drafter(), "drafter lives on rank 1");
+        assert!(
+            strategy.needs_drafter(),
+            "the head keeps a local fallback drafter for draft-rank failover"
+        );
         assert_eq!(strategy.min_nodes(), 3);
         let deployment = Deployment::new(strategy);
         for n in [3usize, 4, 8] {

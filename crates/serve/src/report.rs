@@ -164,6 +164,17 @@ impl ServeReport {
             .sum()
     }
 
+    /// Total draft-rank failovers across the whole stream: requests whose
+    /// head abandoned its remote drafter for the local fallback (or degraded
+    /// non-speculative decoding) after repeated timeouts/refusals.  Zero on
+    /// any fault-free stream.
+    pub fn total_failovers(&self) -> u64 {
+        self.completions
+            .iter()
+            .map(|c| c.output.stats.total_failovers())
+            .sum()
+    }
+
     /// Mean pipeline-bubble fraction across traced requests: the share of
     /// each run's per-rank timelines spent idle or blocked rather than
     /// computing, averaged over ranks and then over requests (see
@@ -217,6 +228,7 @@ impl ServeReport {
             self.total_cancellations_saved() as f64,
         );
         figure.push(series, "bubble frac", self.mean_bubble_fraction());
+        figure.push(series, "failovers", self.total_failovers() as f64);
     }
 
     /// Renders a per-request table plus the aggregate line.
@@ -258,7 +270,7 @@ impl ServeReport {
             out,
             "goodput {:.3} tok/s | e2e p50 {:.4} s p95 {:.4} s p99 {:.4} s | ttft p50 {:.4} s \
              | accept {:.0}% | {:.2} tok/verify | tree util {:.0}% | draft {:.1} kB \
-             | {} evals saved by cancellation | bubble {:.0}%",
+             | {} evals saved by cancellation | bubble {:.0}% | {} failover(s)",
             self.goodput(),
             e2e.p50,
             e2e.p95,
@@ -270,6 +282,7 @@ impl ServeReport {
             self.total_draft_bytes() as f64 / 1e3,
             self.total_cancellations_saved(),
             self.mean_bubble_fraction() * 100.0,
+            self.total_failovers(),
         );
         out
     }
@@ -347,8 +360,9 @@ mod tests {
         );
         let mut fig = Figure::new("Serving", "serving metrics", "mixed");
         report.to_figure(&mut fig, "Test");
-        assert_eq!(fig.x_labels().len(), 12);
+        assert_eq!(fig.x_labels().len(), 13);
         assert_eq!(fig.value("Test", "bubble frac"), Some(0.0));
+        assert_eq!(fig.value("Test", "failovers"), Some(0.0));
         assert!(fig.value("Test", "goodput tok/s").unwrap() > 0.0);
         assert!(fig.value("Test", "p99 e2e s").unwrap() >= fig.value("Test", "p50 e2e s").unwrap());
         assert_eq!(fig.value("Test", "tree util"), Some(0.0));
@@ -390,19 +404,24 @@ mod tests {
         a.output.stats.nodes[0].draft_bytes_sent = 1500;
         a.output.stats.nodes[1].draft_bytes_sent = 500;
         a.output.stats.nodes[1].cancellations_saved = 3;
+        a.output.stats.nodes[0].draft_timeouts = 4;
+        a.output.stats.nodes[0].failovers = 1;
         let mut b = completion(1, 0.1, 1.0, 2.0, 8);
         b.output.stats = pi_cluster::ClusterStats::new(2);
         b.output.stats.nodes[0].cancellations_saved = 2;
         let report = ServeReport::new("Test", 1, vec![a, b]);
         assert_eq!(report.total_draft_bytes(), 2000);
         assert_eq!(report.total_cancellations_saved(), 5);
+        assert_eq!(report.total_failovers(), 1);
         let mut fig = Figure::new("Serving", "serving metrics", "mixed");
         report.to_figure(&mut fig, "Test");
         assert_eq!(fig.value("Test", "draft kB"), Some(2.0));
         assert_eq!(fig.value("Test", "cancel saved"), Some(5.0));
+        assert_eq!(fig.value("Test", "failovers"), Some(1.0));
         let text = report.render();
         assert!(text.contains("draft 2.0 kB"));
         assert!(text.contains("5 evals saved"));
+        assert!(text.contains("1 failover(s)"));
     }
 
     #[test]

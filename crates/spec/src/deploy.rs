@@ -36,7 +36,7 @@ use crate::worker::PipelineWorker;
 use crate::{GenConfig, GenerationRecord};
 use pi_cluster::sim::SimDriver;
 use pi_cluster::threaded::ThreadedDriver;
-use pi_cluster::{ClusterStats, NodeBehavior, Topology, Trace, TraceConfig};
+use pi_cluster::{ClusterStats, FaultPlan, NodeBehavior, Topology, Trace, TraceConfig};
 use pi_model::{Model, OracleDraft, OracleTarget};
 use pi_perf::{ClusterSpec, CostModel, ModelCost, ModelPair};
 use std::ops::Range;
@@ -401,7 +401,7 @@ impl PreparedDeployment {
 
     /// Executes one generation run over the prepared layout.
     pub fn run(&self, gen_config: &GenConfig) -> RunOutput {
-        self.run_inner(gen_config, None)
+        self.run_inner(gen_config, None, None)
     }
 
     /// Executes one generation run with a structured event recorder attached
@@ -409,10 +409,35 @@ impl PreparedDeployment {
     /// cross-rank trace (virtual time under `Sim`, wall time under `Real`).
     /// Recording never perturbs generation output — only observes it.
     pub fn run_traced(&self, gen_config: &GenConfig, trace: TraceConfig) -> RunOutput {
-        self.run_inner(gen_config, Some(trace))
+        self.run_inner(gen_config, Some(trace), None)
     }
 
-    fn run_inner(&self, gen_config: &GenConfig, trace: Option<TraceConfig>) -> RunOutput {
+    /// Executes one generation run with a seeded chaos schedule attached to
+    /// the driver (`SimDriver::with_faults`; the threaded driver applies its
+    /// best-effort subset).  Under `Sim` mode the perturbed run replays
+    /// bit-identically for the same plan.
+    pub fn run_faulted(&self, gen_config: &GenConfig, faults: FaultPlan) -> RunOutput {
+        self.run_inner(gen_config, None, Some(faults))
+    }
+
+    /// [`PreparedDeployment::run_faulted`] with a structured event recorder
+    /// attached, so injected faults and any recovery they provoke
+    /// (`fault_injected`, `draft_failover`, …) land in the trace.
+    pub fn run_faulted_traced(
+        &self,
+        gen_config: &GenConfig,
+        faults: FaultPlan,
+        trace: TraceConfig,
+    ) -> RunOutput {
+        self.run_inner(gen_config, Some(trace), Some(faults))
+    }
+
+    fn run_inner(
+        &self,
+        gen_config: &GenConfig,
+        trace: Option<TraceConfig>,
+        faults: Option<FaultPlan>,
+    ) -> RunOutput {
         let strategy = self.strategy.as_ref();
         let (mode, route, splits) = (&self.mode, &self.route, &self.splits);
         let handle: RecordHandle = Arc::new(Mutex::new(None));
@@ -430,7 +455,7 @@ impl PreparedDeployment {
         let mut others = build_workers(mode, route, splits, gen_config);
         others.extend(strategy.build_auxiliary(mode, self.n_nodes, route, gen_config));
         let behaviors = assemble_for(strategy.name(), self.n_nodes, head, others);
-        execute_traced(mode, behaviors, &handle, trace)
+        execute_with(mode, behaviors, &handle, trace, faults)
     }
 }
 
@@ -440,7 +465,7 @@ pub fn execute(
     behaviors: Vec<Box<dyn NodeBehavior<PipeMsg>>>,
     handle: &RecordHandle,
 ) -> RunOutput {
-    execute_traced(mode, behaviors, handle, None)
+    execute_with(mode, behaviors, handle, None, None)
 }
 
 /// [`execute`] with an optional structured event recorder attached to the
@@ -451,11 +476,26 @@ pub fn execute_traced(
     handle: &RecordHandle,
     trace: Option<TraceConfig>,
 ) -> RunOutput {
+    execute_with(mode, behaviors, handle, trace, None)
+}
+
+/// [`execute`] with an optional structured event recorder and an optional
+/// seeded chaos schedule attached to the driver.
+pub fn execute_with(
+    mode: &ExecutionMode,
+    behaviors: Vec<Box<dyn NodeBehavior<PipeMsg>>>,
+    handle: &RecordHandle,
+    trace: Option<TraceConfig>,
+    faults: Option<FaultPlan>,
+) -> RunOutput {
     match mode {
         ExecutionMode::Real { .. } => {
             let mut driver = ThreadedDriver::new().with_timeout(Duration::from_secs(120));
             if let Some(cfg) = trace {
                 driver = driver.with_trace(cfg);
+            }
+            if let Some(plan) = faults {
+                driver = driver.with_faults(plan);
             }
             let out = driver.run(behaviors);
             RunOutput {
@@ -471,11 +511,15 @@ pub fn execute_traced(
             if let Some(cfg) = trace {
                 driver = driver.with_trace(cfg);
             }
+            if let Some(plan) = faults {
+                driver = driver.with_faults(plan);
+            }
             let out = driver.run(behaviors);
+            let completed = out.completed();
             RunOutput {
                 record: take_record(handle),
                 stats: out.stats,
-                completed: out.completed,
+                completed,
                 trace: out.trace,
             }
         }

@@ -24,6 +24,39 @@ pub struct Event {
     pub kind: EventKind,
 }
 
+/// The category of an injected fault, carried by
+/// [`EventKind::FaultInjected`] so bubble accounting can attribute stalls
+/// caused by a chaos schedule to their cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A message was dropped in transit.
+    Drop,
+    /// A message was delivered with extra injected latency.
+    Delay,
+    /// A message was delivered twice.
+    Duplicate,
+    /// A message was allowed to overtake earlier traffic on its link.
+    Reorder,
+    /// The rank was paused (straggler window).
+    Pause,
+    /// The rank was killed.
+    Kill,
+}
+
+impl FaultKind {
+    /// A short, stable name for labels and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Delay => "delay",
+            FaultKind::Duplicate => "duplicate",
+            FaultKind::Reorder => "reorder",
+            FaultKind::Pause => "pause",
+            FaultKind::Kill => "kill",
+        }
+    }
+}
+
 /// What happened.  See the module docs for the span/instant split.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EventKind {
@@ -104,6 +137,22 @@ pub enum EventKind {
 
     /// The rank's behavior reported completion and its loop exited.
     RankFinished,
+
+    // ----- fault injection and recovery -------------------------------------
+    /// A fault-injection schedule perturbed this rank: a message on the link
+    /// to `peer` was dropped/delayed/duplicated/reordered, or the rank itself
+    /// was paused or killed (`peer` echoes the rank for non-link faults).
+    FaultInjected { fault: FaultKind, peer: u32 },
+    /// A draft request's deadline expired without a response reaching the
+    /// head.
+    DraftTimeout { request: u64 },
+    /// The head abandoned the remote draft rank and failed over to its local
+    /// fallback drafter (or, with no fallback, degraded to non-speculative
+    /// decoding) after `timeouts` consecutive timeouts/refusals.
+    DraftFailover { timeouts: u32 },
+    /// The rank was killed by a fault schedule; it delivers and sends nothing
+    /// from this point on.
+    RankKilled,
 }
 
 impl EventKind {
@@ -140,6 +189,10 @@ impl EventKind {
             EventKind::WireSend { .. } => "wire_send",
             EventKind::WireRecv { .. } => "wire_recv",
             EventKind::RankFinished => "rank_finished",
+            EventKind::FaultInjected { .. } => "fault_injected",
+            EventKind::DraftTimeout { .. } => "draft_timeout",
+            EventKind::DraftFailover { .. } => "draft_failover",
+            EventKind::RankKilled => "rank_killed",
         }
     }
 }
@@ -177,6 +230,32 @@ mod tests {
         };
         assert_eq!(i.kind.dur(), None);
         assert_eq!(i.start(), 1.0);
+    }
+
+    #[test]
+    fn fault_events_are_instants_with_stable_names() {
+        let kinds = [
+            EventKind::FaultInjected {
+                fault: FaultKind::Drop,
+                peer: 1,
+            },
+            EventKind::DraftTimeout { request: 3 },
+            EventKind::DraftFailover { timeouts: 2 },
+            EventKind::RankKilled,
+        ];
+        let names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "fault_injected",
+                "draft_timeout",
+                "draft_failover",
+                "rank_killed"
+            ]
+        );
+        assert!(kinds.iter().all(|k| k.dur().is_none()));
+        assert_eq!(FaultKind::Kill.name(), "kill");
+        assert_ne!(FaultKind::Delay, FaultKind::Reorder);
     }
 
     #[test]

@@ -78,5 +78,5 @@ mod perfetto;
 pub use bubble::{BubbleReport, Cause, Interval, RankTimeline, State};
 pub use buffer::{ClockDomain, Trace, TraceBuffer, TraceConfig};
 pub use clock::{Clock, ManualClock, MonotonicClock};
-pub use event::{Event, EventKind};
+pub use event::{Event, EventKind, FaultKind};
 pub use perfetto::{validate_json, PerfettoTrace};

@@ -61,6 +61,7 @@ pub use pi_serve as serve;
 
 /// Convenience prelude with the types most programs need.
 pub mod prelude {
+    pub use pi_cluster::{FaultPlan, HaltReason, KillTrigger, LinkFaults};
     pub use pi_model::{Batch, ByteTokenizer, Model, ModelConfig, Token};
     pub use pi_perf::{ClusterSpec, InferenceStrategy, ModelPair};
     pub use pi_serve::{Request, ServeReport, Server, ServerConfig, WorkloadGen};

@@ -7,7 +7,7 @@
 
 use std::process::Command;
 
-const EXAMPLES: [&str; 8] = [
+const EXAMPLES: [&str; 9] = [
     "quickstart",
     "chat_generation",
     "cluster_sweep",
@@ -16,6 +16,7 @@ const EXAMPLES: [&str; 8] = [
     "tree_generation",
     "draft_rank",
     "trace_viz",
+    "chaos",
 ];
 
 fn run_example(name: &str) {
@@ -78,4 +79,9 @@ fn draft_rank_example_runs() {
 #[test]
 fn trace_viz_example_runs() {
     run_example(EXAMPLES[7]);
+}
+
+#[test]
+fn chaos_example_runs() {
+    run_example(EXAMPLES[8]);
 }
