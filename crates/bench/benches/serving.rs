@@ -16,10 +16,47 @@
 //! gates).
 
 use pi_bench::{
-    draft_rank_gate_of, fig_draft_rank, fig_latency_sweep, fig_serving, latency_tolerance_gate_of,
-    tree_vs_linear_gate, BenchScale, ServingScale, LATENCY_MULTIPLIERS,
+    draft_rank_gate_of, fig_draft_rank, fig_latency_sweep, fig_serving, fig_shared_prefix,
+    latency_tolerance_gate_of, tree_vs_linear_gate, BenchScale, ServingScale, SharedPrefixGate,
+    LATENCY_MULTIPLIERS,
 };
+use pi_metrics::Figure;
 use std::time::Instant;
+
+/// Where the machine-readable results go: the workspace root, next to
+/// `BENCH_kernels.json`.
+const JSON_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
+
+/// Flattens every figure's data points plus the shared-prefix gate numbers
+/// into `BENCH_serving.json`.
+fn write_json(figures: &[&Figure], gate: &SharedPrefixGate) {
+    let mut rows: Vec<String> = Vec::new();
+    for fig in figures {
+        for point in fig.points() {
+            rows.push(format!(
+                "  {{\"figure\": \"{}\", \"series\": \"{}\", \"metric\": \"{}\", \"value\": {:.6}}}",
+                fig.id, point.series, point.x, point.value
+            ));
+        }
+    }
+    for (metric, value) in [
+        ("ttft p50 pooled s", gate.pooled_ttft_p50),
+        ("ttft p50 flat s", gate.flat_ttft_p50),
+        ("prefix hit rate", gate.prefix_hit_rate),
+        ("max window shared", gate.shared_max_window as f64),
+        ("max window unshared", gate.unshared_max_window as f64),
+        ("pool pages", gate.pool_pages as f64),
+    ] {
+        rows.push(format!(
+            "  {{\"figure\": \"shared-prefix gate\", \"series\": \"paged kv pool\",              \"metric\": \"{metric}\", \"value\": {value:.6}}}"
+        ));
+    }
+    let out = format!("[\n{}\n]\n", rows.join(",\n"));
+    match std::fs::write(JSON_PATH, out) {
+        Ok(()) => println!("\nwrote {}", JSON_PATH),
+        Err(e) => eprintln!("\nfailed to write {}: {e}", JSON_PATH),
+    }
+}
 
 fn main() {
     let scale = BenchScale::from_env();
@@ -29,7 +66,8 @@ fn main() {
         serving.n_requests, serving.n_generate, serving.max_in_flight, serving.n_nodes
     );
     let start = Instant::now();
-    for fig in fig_serving(scale) {
+    let serving_figs = fig_serving(scale);
+    for fig in &serving_figs {
         println!("{}", fig.render());
     }
     let layout_fig = fig_draft_rank(scale);
@@ -77,5 +115,41 @@ fn main() {
         );
         println!("PIPEINFER_BENCH_ASSERT: async > sync on slow links — OK");
     }
+    let (prefix_fig, prefix_gate) = fig_shared_prefix(scale);
+    println!("{}", prefix_fig.render());
+    println!(
+        "shared-prefix gate (90 % shared system prompt, paged KV pool): \
+         ttft p50 {:.4} s pooled vs {:.4} s flat | prefix hit rate {:.0} % | \
+         max refusal-free window {} shared vs {} unshared at {} pages",
+        prefix_gate.pooled_ttft_p50,
+        prefix_gate.flat_ttft_p50,
+        prefix_gate.prefix_hit_rate * 100.0,
+        prefix_gate.shared_max_window,
+        prefix_gate.unshared_max_window,
+        prefix_gate.pool_pages,
+    );
+    if assert_gates {
+        assert!(
+            prefix_gate.pooled_ttft_p50 < prefix_gate.flat_ttft_p50,
+            "prefix sharing ({:.4} s p50 TTFT) must beat flat prefill ({:.4} s) \
+             on the 90 %-shared stream",
+            prefix_gate.pooled_ttft_p50,
+            prefix_gate.flat_ttft_p50,
+        );
+        assert!(
+            prefix_gate.shared_max_window > prefix_gate.unshared_max_window,
+            "shared-prefix traffic must sustain a larger refusal-free window \
+             ({}) than unshared traffic ({}) at {} pages",
+            prefix_gate.shared_max_window,
+            prefix_gate.unshared_max_window,
+            prefix_gate.pool_pages,
+        );
+        println!("PIPEINFER_BENCH_ASSERT: shared-prefix TTFT + window — OK");
+    }
+    let mut json_figs: Vec<&Figure> = serving_figs.iter().collect();
+    json_figs.push(&layout_fig);
+    json_figs.push(&sweep_fig);
+    json_figs.push(&prefix_fig);
+    write_json(&json_figs, &prefix_gate);
     eprintln!("[{:6.1?}] serving figures done", start.elapsed());
 }

@@ -535,6 +535,150 @@ pub fn fig_serving(scale: BenchScale) -> Vec<Figure> {
     figures
 }
 
+/// The shared-prefix serving stream: `shared_fraction` of the requests open
+/// with one seeded system prompt (the 90 %-shared workload of the KV-pool
+/// gate), the rest are fully random prompts of the same total length.  Both
+/// populations draw identical suffix/arrival distributions, so any latency
+/// difference is attributable to prefix-cache hits.
+pub fn shared_prefix_workload(
+    scale: BenchScale,
+    shared_fraction: f64,
+) -> pi_serve::SharedPrefixWorkload {
+    let serving = ServingScale::from(scale);
+    pi_serve::SharedPrefixWorkload {
+        base: GenConfig {
+            prompt: make_prompt(scale, 6),
+            n_generate: serving.n_generate,
+            max_draft: 4,
+            confidence_cutoff: 0.4,
+            kv_capacity: 8192,
+        },
+        n_requests: serving.n_requests,
+        mean_interarrival: serving.n_generate as f64 / 16.0,
+        shared_fraction,
+        prefix_len: (scale.prompt_len, scale.prompt_len + scale.prompt_len / 2),
+        suffix_len: ((scale.prompt_len / 8).max(2), (scale.prompt_len / 4).max(4)),
+        seed: ORACLE_SEED + 2,
+    }
+}
+
+/// Measurements behind the shared-prefix serving gate (see
+/// [`fig_shared_prefix`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SharedPrefixGate {
+    /// p50 time-to-first-token serving the 90 %-shared stream over the page
+    /// pool (prefill skipped for cached prefixes).
+    pub pooled_ttft_p50: f64,
+    /// p50 time-to-first-token for the identical stream on flat per-request
+    /// caches (every prompt prefilled from scratch).
+    pub flat_ttft_p50: f64,
+    /// Fraction of pooled admissions that matched a committed prefix.
+    pub prefix_hit_rate: f64,
+    /// Largest in-flight window the *shared* stream sustains with zero
+    /// admission refusals at [`SharedPrefixGate::pool_pages`] pages.
+    pub shared_max_window: usize,
+    /// Largest refusal-free window for the unshared stream of identical
+    /// lengths at the same pool size.
+    pub unshared_max_window: usize,
+    /// Pool size (pages) used for the window probe.
+    pub pool_pages: usize,
+}
+
+/// The paged-KV serving experiment: the 90 %-shared-system-prompt stream
+/// served by PipeInfer over a page pool vs the identical stream on flat
+/// per-request caches, plus the max-sustainable-window probe at a
+/// constrained pool size.
+///
+/// Two gates ride on the returned measurements (CI runs the `serving` bench
+/// with `PIPEINFER_BENCH_ASSERT=1`): prefix sharing must cut p50 TTFT, and
+/// at a fixed page budget the shared stream must sustain a strictly larger
+/// refusal-free in-flight window than unshared traffic of identical lengths
+/// (the pool holds the shared prefix once instead of once per request).
+pub fn fig_shared_prefix(scale: BenchScale) -> (Figure, SharedPrefixGate) {
+    use pi_model::{KvPagePool, KvPoolConfig};
+    use pi_serve::{admission_order, pool_admission_spans, Server, ServerConfig, WorkloadGen};
+
+    let serving = ServingScale::from(scale);
+    let workload = shared_prefix_workload(scale, 0.9);
+    let tokens_per_page = 16;
+    // Worst-case pages one request pins when nothing is shared: longest
+    // system prompt + longest suffix + the generation budget.
+    let flat_pages = (scale.prompt_len
+        + scale.prompt_len / 2
+        + (scale.prompt_len / 4).max(4)
+        + serving.n_generate)
+        .div_ceil(tokens_per_page);
+
+    let deployment = Deployment::new(PipeInferStrategy::new(PipeInferConfig::paper_default()));
+    let mode = sim_mode(
+        &ModelPair::dolphin_tinyllama(),
+        ClusterSpec::cluster_c(serving.n_nodes),
+    );
+    let serve = |pooled: bool| {
+        let mut prepared = deployment.prepare(&mode, serving.n_nodes);
+        if pooled {
+            // Generous pool: the TTFT comparison measures prefill reuse, not
+            // admission pressure.
+            prepared = prepared.with_kv_pool(KvPagePool::new(KvPoolConfig {
+                tokens_per_page,
+                n_pages: serving.n_requests * flat_pages,
+            }));
+        }
+        Server::new(
+            prepared,
+            ServerConfig {
+                max_in_flight: serving.max_in_flight,
+            },
+        )
+        .serve(workload.generate())
+    };
+    let pooled = serve(true);
+    let flat = serve(false);
+
+    let mut fig = Figure::new(
+        "Serving (shared prefix)",
+        &format!(
+            "90 % shared system prompt, {} requests over {} nodes, window {}",
+            serving.n_requests, serving.n_nodes, serving.max_in_flight
+        ),
+        "tok/s | s",
+    );
+    pooled.to_figure(&mut fig, "paged pool");
+    flat.to_figure(&mut fig, "flat caches");
+
+    // Max sustainable window: largest in-flight bound whose admission
+    // pre-pass completes with zero refusals at a page budget that fits only
+    // a few unshared requests.  Pure pool arithmetic — no model execution.
+    let constrained = KvPoolConfig {
+        tokens_per_page,
+        n_pages: 4 * flat_pages,
+    };
+    let max_window = |w: &pi_serve::SharedPrefixWorkload| {
+        let requests = w.generate();
+        let order = admission_order(&requests);
+        let mut best = 0;
+        for win in 1..=2 * serving.max_in_flight {
+            let pool = KvPagePool::new(constrained);
+            pool_admission_spans(&pool, &requests, &order, win);
+            if pool.stats().refusals == 0 {
+                best = win;
+            } else {
+                break;
+            }
+        }
+        best
+    };
+    let gate = SharedPrefixGate {
+        pooled_ttft_p50: pooled.ttft_summary().p50,
+        flat_ttft_p50: flat.ttft_summary().p50,
+        prefix_hit_rate: pooled.prefix_hit_rate(),
+        shared_max_window: max_window(&workload),
+        unshared_max_window: max_window(&shared_prefix_workload(scale, 0.0)),
+        pool_pages: constrained.n_pages,
+    };
+    (fig, gate)
+}
+
 /// The seeded 52 %-acceptance gate stream: mixed prompt/output lengths over
 /// the Goliath + XWin-7B pair, shared by [`tree_vs_linear_gate`],
 /// [`fig_draft_rank`] and [`draft_rank_gate`] so the figure and the CI gates
@@ -939,11 +1083,12 @@ mod tests {
         let figs = fig_serving(tiny_scale());
         assert_eq!(figs.len(), 4, "one figure per strategy incl. tree");
         for fig in &figs {
-            // Three workload series, thirteen metric columns each (incl. the
-            // trace-derived bubble fraction, 0.0 for untraced serving, and
-            // the failover count, 0 on fault-free streams).
+            // Three workload series, seventeen metric columns each (incl.
+            // the trace-derived bubble fraction, 0.0 for untraced serving,
+            // the failover count, 0 on fault-free streams, and the four
+            // KV-pool columns, 0 for pool-less serving).
             assert_eq!(fig.series_labels(), vec!["steady", "bursty", "mixed"]);
-            assert_eq!(fig.x_labels().len(), 13);
+            assert_eq!(fig.x_labels().len(), 17);
             for series in fig.series_labels() {
                 let goodput = fig.value(&series, "goodput tok/s").unwrap();
                 let p50 = fig.value(&series, "p50 e2e s").unwrap();

@@ -128,6 +128,11 @@ pub trait NodeCtx<M: WireMessage> {
     /// Records that this rank failed over away from a remote drafter.
     /// Accumulated into [`NodeStats::failovers`]; default no-op.
     fn record_failover(&mut self) {}
+    /// Records paged KV-cache activity drained from this rank's engines:
+    /// pages materialised, pool pages attached via prefix hits, copy-on-write
+    /// clones and page releases/evictions.  Accumulated into the
+    /// `NodeStats::kv_*` counters; default no-op.
+    fn record_kv_pages(&mut self, _allocated: u64, _share_hits: u64, _cows: u64, _evictions: u64) {}
     /// Asks the driver to re-invoke [`NodeBehavior::on_idle`] at time `at`
     /// even if no message has arrived by then — how a behavior arms a
     /// deadline (e.g. a draft-request timeout).  The simulator honors wake

@@ -118,6 +118,10 @@ struct SimCtx<M> {
     draft_timeouts: u64,
     draft_retries: u64,
     failovers: u64,
+    kv_pages_allocated: u64,
+    kv_page_share_hits: u64,
+    kv_page_cows: u64,
+    kv_page_evictions: u64,
     /// Earliest wake-up the behavior requested during this callback.  Wake
     /// requests last until the rank's next activation, then must be
     /// re-armed; the driver honors them only while a fault schedule is
@@ -142,6 +146,10 @@ impl<M> SimCtx<M> {
             draft_timeouts: 0,
             draft_retries: 0,
             failovers: 0,
+            kv_pages_allocated: 0,
+            kv_page_share_hits: 0,
+            kv_page_cows: 0,
+            kv_page_evictions: 0,
             wake: None,
             outgoing: Vec::new(),
             trace_on,
@@ -194,6 +202,12 @@ impl<M: WireMessage> NodeCtx<M> for SimCtx<M> {
     }
     fn record_failover(&mut self) {
         self.failovers += 1;
+    }
+    fn record_kv_pages(&mut self, allocated: u64, share_hits: u64, cows: u64, evictions: u64) {
+        self.kv_pages_allocated += allocated;
+        self.kv_page_share_hits += share_hits;
+        self.kv_page_cows += cows;
+        self.kv_page_evictions += evictions;
     }
     fn request_wake(&mut self, at: SimTime) {
         self.wake = Some(match self.wake {
@@ -328,6 +342,10 @@ impl SimDriver {
             stats.nodes[r].draft_timeouts += ctx.draft_timeouts;
             stats.nodes[r].draft_retries += ctx.draft_retries;
             stats.nodes[r].failovers += ctx.failovers;
+            stats.nodes[r].kv_pages_allocated += ctx.kv_pages_allocated;
+            stats.nodes[r].kv_page_share_hits += ctx.kv_page_share_hits;
+            stats.nodes[r].kv_page_cows += ctx.kv_page_cows;
+            stats.nodes[r].kv_page_evictions += ctx.kv_page_evictions;
             if faults_armed {
                 wake[r] = ctx.wake;
             }
@@ -536,6 +554,10 @@ impl SimDriver {
             stats.nodes[r].draft_timeouts += ctx.draft_timeouts;
             stats.nodes[r].draft_retries += ctx.draft_retries;
             stats.nodes[r].failovers += ctx.failovers;
+            stats.nodes[r].kv_pages_allocated += ctx.kv_pages_allocated;
+            stats.nodes[r].kv_page_share_hits += ctx.kv_page_share_hits;
+            stats.nodes[r].kv_page_cows += ctx.kv_page_cows;
+            stats.nodes[r].kv_page_evictions += ctx.kv_page_evictions;
             if faults_armed {
                 wake[r] = ctx.wake;
             }

@@ -42,6 +42,16 @@ pub struct NodeStats {
     /// duplicated/reordered messages it sent, plus pauses and kills it
     /// suffered.
     pub faults_injected: u64,
+    /// KV pages this rank's paged caches materialised on first write.
+    pub kv_pages_allocated: u64,
+    /// Committed pool pages this rank attached instead of recomputing
+    /// (prefix-cache hits, counted in pages).
+    pub kv_page_share_hits: u64,
+    /// Shared pages this rank cloned copy-on-write at divergence points.
+    pub kv_page_cows: u64,
+    /// Pages this rank released or evicted at page granularity (fully-free
+    /// private pages plus pool LRU evictions it triggered).
+    pub kv_page_evictions: u64,
 }
 
 impl NodeStats {
@@ -135,6 +145,26 @@ impl ClusterStats {
     pub fn total_faults_injected(&self) -> u64 {
         self.nodes.iter().map(|n| n.faults_injected).sum()
     }
+
+    /// Total KV pages materialised across all ranks.
+    pub fn total_kv_pages_allocated(&self) -> u64 {
+        self.nodes.iter().map(|n| n.kv_pages_allocated).sum()
+    }
+
+    /// Total pool pages attached via prefix-cache hits across all ranks.
+    pub fn total_kv_page_share_hits(&self) -> u64 {
+        self.nodes.iter().map(|n| n.kv_page_share_hits).sum()
+    }
+
+    /// Total copy-on-write page clones across all ranks.
+    pub fn total_kv_page_cows(&self) -> u64 {
+        self.nodes.iter().map(|n| n.kv_page_cows).sum()
+    }
+
+    /// Total page releases/evictions across all ranks.
+    pub fn total_kv_page_evictions(&self) -> u64 {
+        self.nodes.iter().map(|n| n.kv_page_evictions).sum()
+    }
 }
 
 #[cfg(test)]
@@ -195,6 +225,19 @@ mod tests {
         assert_eq!(c.total_draft_retries(), 3);
         assert_eq!(c.total_failovers(), 1);
         assert_eq!(c.total_faults_injected(), 5);
+    }
+
+    #[test]
+    fn kv_page_aggregates() {
+        let mut c = ClusterStats::new(2);
+        c.nodes[0].kv_pages_allocated = 8;
+        c.nodes[0].kv_page_share_hits = 3;
+        c.nodes[1].kv_page_cows = 2;
+        c.nodes[1].kv_page_evictions = 5;
+        assert_eq!(c.total_kv_pages_allocated(), 8);
+        assert_eq!(c.total_kv_page_share_hits(), 3);
+        assert_eq!(c.total_kv_page_cows(), 2);
+        assert_eq!(c.total_kv_page_evictions(), 5);
     }
 
     #[test]

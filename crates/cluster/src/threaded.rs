@@ -143,6 +143,12 @@ impl<M: WireMessage> NodeCtx<M> for ThreadedCtx<M> {
     fn record_failover(&mut self) {
         self.stats.failovers += 1;
     }
+    fn record_kv_pages(&mut self, allocated: u64, share_hits: u64, cows: u64, evictions: u64) {
+        self.stats.kv_pages_allocated += allocated;
+        self.stats.kv_page_share_hits += share_hits;
+        self.stats.kv_page_cows += cows;
+        self.stats.kv_page_evictions += evictions;
+    }
     fn trace_enabled(&self) -> bool {
         cfg!(feature = "trace") && self.buf.is_some()
     }

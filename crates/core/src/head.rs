@@ -48,6 +48,7 @@ use pi_cluster::{trace_if, EventKind, NodeBehavior, NodeCtx, Rank, Tag};
 use pi_model::{Batch, Pos, SeqId, Token, TokenTree, TreeNodeId};
 use pi_spec::deploy::RecordHandle;
 use pi_spec::message::tags;
+use pi_spec::worker::record_kv_events;
 use pi_spec::{
     ActivationPayload, CacheOp, Drafter, GenConfig, GenerationRecord, HeadEngine, PipeMsg,
     PipelineRoute, RunId, RunKind, TreeTopology,
@@ -116,6 +117,9 @@ pub struct PipeInferHead {
     /// run covering the last accepted token has returned.
     expected: Option<Token>,
     prompt_done: bool,
+    /// Leading prompt tokens already resident in every stage's KV cache (via
+    /// a shared page pool); prefill covers only the remaining suffix.
+    prompt_cached: usize,
 
     next_run_id: RunId,
     next_draft_id: u64,
@@ -202,6 +206,7 @@ impl PipeInferHead {
             hypothesis: Vec::new(),
             expected: None,
             prompt_done: false,
+            prompt_cached: 0,
             next_run_id: 0,
             next_draft_id: 0,
             inflight_draft: None,
@@ -227,6 +232,14 @@ impl PipeInferHead {
     /// head to non-speculative pipelined decoding instead.
     pub fn with_fallback(mut self, drafter: Box<dyn Drafter>) -> Self {
         self.fallback = Some(drafter);
+        self
+    }
+
+    /// Declares that the leading `n` prompt tokens are already resident in
+    /// every stage's KV cache, so prefill starts at position `n`.  Clamped to
+    /// leave at least the final prompt token for live evaluation.
+    pub fn with_prompt_cached(mut self, n: usize) -> Self {
+        self.prompt_cached = n;
         self
     }
 
@@ -876,11 +889,15 @@ impl PipeInferHead {
         // Prompt completion.
         if !self.prompt_done {
             let batch = Self::make_batch(&run_tokens, info.base_pos, info.first_seq);
-            let (greedy, cost) = self.engine.finalize(&batch, &payload, &[]);
+            // The run's batch starts at the first *uncached* prompt position;
+            // the pooled prefix (if any) is context the engine already holds.
+            let prefix = &self.gen_config.prompt[..info.base_pos as usize];
+            let (greedy, cost) = self.engine.finalize(&batch, &payload, prefix);
             ctx.elapse(cost);
             self.prompt_done = true;
             self.record.prompt_done_at = ctx.now();
-            self.accepted = run_tokens.clone();
+            self.accepted = prefix.to_vec();
+            self.accepted.extend_from_slice(&run_tokens);
             // The token sampled from prompt processing is not counted as
             // generated (paper TTFT definition) but becomes the pending
             // token.
@@ -1071,6 +1088,7 @@ impl PipeInferHead {
             return;
         }
         self.record.finished_at = ctx.now();
+        record_kv_events(self.engine.take_kv_events(), ctx);
         if let Some(next) = self.route.next_after(self.route.head()) {
             ctx.send(next, tags::SHUTDOWN, PipeMsg::Shutdown);
         }
@@ -1089,7 +1107,8 @@ impl NodeBehavior<PipeMsg> for PipeInferHead {
     fn on_start(&mut self, ctx: &mut dyn NodeCtx<PipeMsg>) {
         let prompt = self.gen_config.prompt.clone();
         assert!(!prompt.is_empty(), "prompt must not be empty");
-        self.dispatch_run(prompt, 0, ctx);
+        let cached = self.prompt_cached.min(prompt.len() - 1);
+        self.dispatch_run(prompt[cached..].to_vec(), cached as Pos, ctx);
         self.drain_local_results(ctx);
     }
 

@@ -115,7 +115,8 @@ impl Strategy for PipeInferStrategy {
             parts.gen_config,
             self.config.clone(),
             parts.record,
-        );
+        )
+        .with_prompt_cached(parts.prompt_cached);
         if let Some(drafter) = fallback {
             head = head.with_fallback(drafter);
         }

@@ -1,0 +1,138 @@
+//! Paged-pool byte-identity matrix: generation through the shared KV page
+//! pool — prefix attach, copy-on-write, prefill skip — must reproduce the
+//! flat per-request caches bit-for-bit across every PipeInfer layout
+//! (head-hosted / dedicated draft rank × chain / tree micro-batches), tree
+//! speculation, both execution modes and multiple seeds.
+//!
+//! Each case runs the flat baseline once, then two pooled runs over one
+//! shared pool: the first commits the prompt chain, the second must match
+//! the committed prefix (a genuine share hit) and still emit the identical
+//! token stream.
+
+use pi_model::{KvPagePool, KvPoolConfig, Model, ModelConfig};
+use pi_perf::{ClusterSpec, ModelPair};
+use pi_spec::deploy::{Deployment, ExecutionMode};
+use pi_spec::{GenConfig, TreeSpeculationStrategy};
+use pipeinfer_core::{DraftPlacement, PipeInferConfig, PipeInferStrategy};
+use std::sync::Arc;
+
+fn sim_mode(oracle_seed: u64, n_nodes: usize) -> ExecutionMode {
+    ExecutionMode::Sim {
+        pair: ModelPair::dolphin_tinyllama(),
+        cluster: ClusterSpec::cluster_c(n_nodes),
+        oracle_seed,
+    }
+}
+
+fn real_mode(seed: u64) -> ExecutionMode {
+    let cfg = ModelConfig::tiny_llama(64, 4);
+    let target = Arc::new(Model::random(cfg.clone(), seed));
+    let draft = Arc::new(Model::new(cfg, target.weights().perturbed(0.02, seed + 1)));
+    ExecutionMode::Real { target, draft }
+}
+
+/// Flat baseline, then two runs over one pool: both must match the baseline
+/// byte-for-byte and the second must hit the committed prefix.
+fn assert_pooled_matches_flat(
+    deployment: &Deployment,
+    mode: &ExecutionMode,
+    n_nodes: usize,
+    config: &GenConfig,
+    label: &str,
+) {
+    let baseline = deployment.prepare(mode, n_nodes).run(config);
+    assert!(baseline.completed, "{label}: baseline must complete");
+    let pool = KvPagePool::new(KvPoolConfig {
+        tokens_per_page: 4,
+        n_pages: 64,
+    });
+    let pooled = deployment
+        .prepare(mode, n_nodes)
+        .with_kv_pool(Arc::clone(&pool));
+    let first = pooled.run(config);
+    let second = pooled.run(config);
+    assert!(first.completed && second.completed, "{label}");
+    assert_eq!(
+        first.record.tokens, baseline.record.tokens,
+        "{label}: first pooled run diverged from flat caches"
+    );
+    assert_eq!(
+        second.record.tokens, baseline.record.tokens,
+        "{label}: prefix-cached run diverged from flat caches"
+    );
+    assert!(
+        pool.stats().share_hits > 0,
+        "{label}: second run must match the committed prefix ({:?})",
+        pool.stats()
+    );
+}
+
+fn pipeinfer_layouts() -> Vec<(&'static str, PipeInferConfig)> {
+    vec![
+        ("head-hosted / chain", PipeInferConfig::paper_default()),
+        ("head-hosted / tree", PipeInferConfig::tree_micro()),
+        ("dedicated / chain", PipeInferConfig::dedicated_draft_rank()),
+        (
+            "dedicated / tree",
+            PipeInferConfig::tree_micro().with_placement(DraftPlacement::DedicatedRank),
+        ),
+    ]
+}
+
+#[test]
+fn sim_pooled_generation_is_byte_identical_across_layouts_and_seeds() {
+    let config = GenConfig {
+        prompt: vec![5; 16],
+        n_generate: 24,
+        max_draft: 4,
+        confidence_cutoff: 0.4,
+        kv_capacity: 4096,
+    };
+    for oracle_seed in [42, 7] {
+        let mode = sim_mode(oracle_seed, 8);
+        for (label, layout) in pipeinfer_layouts() {
+            let deployment = Deployment::new(PipeInferStrategy::new(layout));
+            assert_pooled_matches_flat(
+                &deployment,
+                &mode,
+                8,
+                &config,
+                &format!("sim {label} seed {oracle_seed}"),
+            );
+        }
+        let tree = Deployment::new(TreeSpeculationStrategy::default());
+        assert_pooled_matches_flat(
+            &tree,
+            &mode,
+            8,
+            &config,
+            &format!("sim tree-speculation seed {oracle_seed}"),
+        );
+    }
+}
+
+#[test]
+fn real_pooled_generation_is_byte_identical_across_layouts() {
+    // Threaded driver over real tiny models: the attached prefix pages must
+    // hold bitwise-identical K/V to recomputation on every pipeline stage.
+    let config = GenConfig::small_test(vec![9, 8, 7, 6, 5, 4, 3, 2], 8);
+    for seed in [17, 31] {
+        let mode = real_mode(seed);
+        for (label, layout) in [
+            ("head-hosted / chain", PipeInferConfig::paper_default()),
+            (
+                "dedicated / tree",
+                PipeInferConfig::tree_micro().with_placement(DraftPlacement::DedicatedRank),
+            ),
+        ] {
+            let deployment = Deployment::new(PipeInferStrategy::new(layout));
+            assert_pooled_matches_flat(
+                &deployment,
+                &mode,
+                3,
+                &config,
+                &format!("real {label} seed {seed}"),
+            );
+        }
+    }
+}

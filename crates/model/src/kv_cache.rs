@@ -20,6 +20,101 @@
 
 use crate::{Pos, SeqId};
 use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// One pool page worth of K/V storage for one stage's layer range.
+///
+/// A page holds `tokens_per_page` consecutive cells for every local layer of
+/// the owning cache.  Pages are the unit of sharing between requests: a
+/// committed prompt prefix is a chain of `Arc<KvPage>`s that any number of
+/// caches attach read-only, and the unit of copy-on-write — the first
+/// [`KvCache::store`] into a shared page clones it into a private one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KvPage {
+    /// Per-layer keys: `tokens_per_page * kv_dim` contiguous f32s.
+    k: Vec<Vec<f32>>,
+    /// Per-layer values, same layout.
+    v: Vec<Vec<f32>>,
+}
+
+impl KvPage {
+    /// A zero-filled page covering `n_layers` layers of `tokens` cells.
+    pub fn zeroed(n_layers: usize, kv_dim: usize, tokens: usize) -> Self {
+        Self {
+            k: vec![vec![0.0; tokens * kv_dim]; n_layers],
+            v: vec![vec![0.0; tokens * kv_dim]; n_layers],
+        }
+    }
+}
+
+/// One page slot of a paged cache: absent until first written or attached.
+#[derive(Debug, Clone)]
+enum PageSlot {
+    /// A pool-committed page, possibly attached by several caches.  Reads go
+    /// straight through; the first write clones it (copy-on-write).
+    Shared(Arc<KvPage>),
+    /// A page owned exclusively by this cache; written in place.
+    Private(Box<KvPage>),
+}
+
+impl PageSlot {
+    fn plane(&self) -> &KvPage {
+        match self {
+            PageSlot::Shared(p) => p,
+            PageSlot::Private(p) => p,
+        }
+    }
+}
+
+/// Page-event counters accumulated by a paged cache, drained with
+/// [`KvCache::take_events`] so the owning engine can surface them as trace
+/// events and `NodeStats` counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KvCacheEvents {
+    /// Private pages materialised on first write.
+    pub page_alloc: u64,
+    /// Shared pool pages attached instead of recomputed (prefix reuse).
+    pub page_share_hit: u64,
+    /// Copy-on-write clones of shared pages at divergence points.
+    pub page_cow: u64,
+    /// Fully-free pages released back at page granularity.
+    pub page_release: u64,
+}
+
+impl KvCacheEvents {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: KvCacheEvents) {
+        self.page_alloc += other.page_alloc;
+        self.page_share_hit += other.page_share_hit;
+        self.page_cow += other.page_cow;
+        self.page_release += other.page_release;
+    }
+
+    /// Whether any counter is non-zero.
+    pub fn any(&self) -> bool {
+        *self != KvCacheEvents::default()
+    }
+}
+
+/// K/V vector storage behind the cell metadata: one contiguous plane per
+/// layer (flat, the default) or demand-allocated refcounted pages (paged).
+#[derive(Debug, Clone)]
+enum Backing {
+    Flat {
+        /// Per-layer keys: `capacity * kv_dim` contiguous f32s.
+        k: Vec<Vec<f32>>,
+        /// Per-layer values, same layout.
+        v: Vec<Vec<f32>>,
+    },
+    Paged {
+        tokens_per_page: usize,
+        pages: Vec<Option<PageSlot>>,
+        /// Returned for reads of never-written cells, mirroring the flat
+        /// backing's zero initialisation.
+        zero: Vec<f32>,
+        events: KvCacheEvents,
+    },
+}
 
 /// Metadata of one cache cell.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,10 +155,7 @@ pub struct KvCache {
     kv_dim: usize,
     capacity: usize,
     cells: Vec<KvCell>,
-    /// Per-layer keys: `capacity * kv_dim` contiguous f32s.
-    k: Vec<Vec<f32>>,
-    /// Per-layer values, same layout.
-    v: Vec<Vec<f32>>,
+    backing: Backing,
 }
 
 impl KvCache {
@@ -75,8 +167,54 @@ impl KvCache {
             kv_dim,
             capacity,
             cells: vec![KvCell::free(); capacity],
-            k: vec![vec![0.0; capacity * kv_dim]; n_layers],
-            v: vec![vec![0.0; capacity * kv_dim]; n_layers],
+            backing: Backing::Flat {
+                k: vec![vec![0.0; capacity * kv_dim]; n_layers],
+                v: vec![vec![0.0; capacity * kv_dim]; n_layers],
+            },
+        }
+    }
+
+    /// Creates an empty cache with demand-allocated paged backing:
+    /// `tokens_per_page` consecutive cells share one [`KvPage`].  The cell
+    /// metadata, allocation order and `store`/`key`/`value` semantics are
+    /// identical to the flat backing — forward passes are unchanged
+    /// numerically — but pages can be attached read-only from a
+    /// [`crate::kv_pool::KvPagePool`] (prefix sharing) and are cloned on
+    /// first write (copy-on-write).
+    pub fn new_paged(
+        n_layers: usize,
+        kv_dim: usize,
+        capacity: usize,
+        tokens_per_page: usize,
+    ) -> Self {
+        assert!(tokens_per_page > 0, "tokens_per_page must be positive");
+        let n_pages = capacity.div_ceil(tokens_per_page);
+        Self {
+            n_layers,
+            kv_dim,
+            capacity,
+            cells: vec![KvCell::free(); capacity],
+            backing: Backing::Paged {
+                tokens_per_page,
+                pages: vec![None; n_pages],
+                zero: vec![0.0; kv_dim],
+                events: KvCacheEvents::default(),
+            },
+        }
+    }
+
+    /// Whether this cache uses paged backing.
+    pub fn is_paged(&self) -> bool {
+        matches!(self.backing, Backing::Paged { .. })
+    }
+
+    /// Cells per page in paged mode, `None` for the flat backing.
+    pub fn tokens_per_page(&self) -> Option<usize> {
+        match &self.backing {
+            Backing::Paged {
+                tokens_per_page, ..
+            } => Some(*tokens_per_page),
+            Backing::Flat { .. } => None,
         }
     }
 
@@ -124,30 +262,216 @@ impl KvCache {
     }
 
     /// Stores the key/value vectors of `cell` for local layer `layer`.
+    ///
+    /// In paged mode this materialises the cell's page on first write and
+    /// clones a shared (pool-attached) page into a private one before
+    /// mutating it — the copy-on-write divergence point.
     pub fn store(&mut self, layer: usize, cell: usize, key: &[f32], value: &[f32]) {
         debug_assert_eq!(key.len(), self.kv_dim);
         debug_assert_eq!(value.len(), self.kv_dim);
-        let off = cell * self.kv_dim;
-        self.k[layer][off..off + self.kv_dim].copy_from_slice(key);
-        self.v[layer][off..off + self.kv_dim].copy_from_slice(value);
+        let kv_dim = self.kv_dim;
+        let n_layers = self.n_layers;
+        match &mut self.backing {
+            Backing::Flat { k, v } => {
+                let off = cell * kv_dim;
+                k[layer][off..off + kv_dim].copy_from_slice(key);
+                v[layer][off..off + kv_dim].copy_from_slice(value);
+            }
+            Backing::Paged {
+                tokens_per_page,
+                pages,
+                events,
+                ..
+            } => {
+                let tpp = *tokens_per_page;
+                let slot = &mut pages[cell / tpp];
+                match slot {
+                    None => {
+                        events.page_alloc += 1;
+                        *slot = Some(PageSlot::Private(Box::new(KvPage::zeroed(
+                            n_layers, kv_dim, tpp,
+                        ))));
+                    }
+                    Some(PageSlot::Shared(arc)) => {
+                        events.page_cow += 1;
+                        *slot = Some(PageSlot::Private(Box::new((**arc).clone())));
+                    }
+                    Some(PageSlot::Private(_)) => {}
+                }
+                let Some(PageSlot::Private(page)) = slot else {
+                    unreachable!("slot was just made private");
+                };
+                let off = (cell % tpp) * kv_dim;
+                page.k[layer][off..off + kv_dim].copy_from_slice(key);
+                page.v[layer][off..off + kv_dim].copy_from_slice(value);
+            }
+        }
     }
 
     /// Key vector of `cell` at local layer `layer`.
     pub fn key(&self, layer: usize, cell: usize) -> &[f32] {
-        let off = cell * self.kv_dim;
-        &self.k[layer][off..off + self.kv_dim]
+        match &self.backing {
+            Backing::Flat { k, .. } => {
+                let off = cell * self.kv_dim;
+                &k[layer][off..off + self.kv_dim]
+            }
+            Backing::Paged {
+                tokens_per_page,
+                pages,
+                zero,
+                ..
+            } => match &pages[cell / tokens_per_page] {
+                Some(slot) => {
+                    let off = (cell % tokens_per_page) * self.kv_dim;
+                    &slot.plane().k[layer][off..off + self.kv_dim]
+                }
+                None => zero,
+            },
+        }
     }
 
     /// Value vector of `cell` at local layer `layer`.
     pub fn value(&self, layer: usize, cell: usize) -> &[f32] {
-        let off = cell * self.kv_dim;
-        &self.v[layer][off..off + self.kv_dim]
+        match &self.backing {
+            Backing::Flat { v, .. } => {
+                let off = cell * self.kv_dim;
+                &v[layer][off..off + self.kv_dim]
+            }
+            Backing::Paged {
+                tokens_per_page,
+                pages,
+                zero,
+                ..
+            } => match &pages[cell / tokens_per_page] {
+                Some(slot) => {
+                    let off = (cell % tokens_per_page) * self.kv_dim;
+                    &slot.plane().v[layer][off..off + self.kv_dim]
+                }
+                None => zero,
+            },
+        }
+    }
+
+    /// Attaches a committed prefix chain from a page pool: cells `0..span`
+    /// are marked occupied at consecutive positions in sequence `seq` and
+    /// their pages installed shared (read-only until copy-on-write).  The
+    /// cache must be empty and paged.  Prefill for the attached span is
+    /// skipped entirely — attention reads the pooled K/V directly.
+    pub fn attach_prefix(&mut self, seq: SeqId, shared: &[Arc<KvPage>], span: usize) {
+        assert!(span <= self.capacity, "prefix span exceeds cache capacity");
+        assert!(
+            self.cells.iter().all(|c| c.is_free()),
+            "attach_prefix requires an empty cache"
+        );
+        for (i, cell) in self.cells.iter_mut().enumerate().take(span) {
+            cell.pos = i as Pos;
+            cell.seq_ids = std::iter::once(seq).collect();
+        }
+        let Backing::Paged {
+            tokens_per_page,
+            pages,
+            events,
+            ..
+        } = &mut self.backing
+        else {
+            panic!("attach_prefix requires paged backing");
+        };
+        let tpp = *tokens_per_page;
+        let n_pages = span.div_ceil(tpp);
+        assert!(
+            n_pages <= shared.len(),
+            "prefix chain too short for span {span}"
+        );
+        for (slot, page) in pages.iter_mut().zip(shared.iter()).take(n_pages) {
+            *slot = Some(PageSlot::Shared(page.clone()));
+            events.page_share_hit += 1;
+        }
+    }
+
+    /// Freezes the first `n_tokens / tokens_per_page` **full** pages into
+    /// shared pages and returns the chain, so the owning engine can commit a
+    /// freshly-computed prompt prefix into the pool.  Private pages are
+    /// promoted in place (subsequent writes to them copy-on-write); pages
+    /// never written (possible only for zero-layer caches) are frozen as
+    /// zero pages.
+    pub fn freeze_prefix(&mut self, n_tokens: usize) -> Vec<Arc<KvPage>> {
+        let n_layers = self.n_layers;
+        let kv_dim = self.kv_dim;
+        let Backing::Paged {
+            tokens_per_page,
+            pages,
+            ..
+        } = &mut self.backing
+        else {
+            panic!("freeze_prefix requires paged backing");
+        };
+        let tpp = *tokens_per_page;
+        let n = (n_tokens / tpp).min(pages.len());
+        (0..n)
+            .map(|p| {
+                let arc = match pages[p].take() {
+                    Some(PageSlot::Shared(a)) => a,
+                    Some(PageSlot::Private(b)) => Arc::from(b),
+                    None => Arc::new(KvPage::zeroed(n_layers, kv_dim, tpp)),
+                };
+                pages[p] = Some(PageSlot::Shared(arc.clone()));
+                arc
+            })
+            .collect()
+    }
+
+    /// Releases pages whose cells are all free (paged mode; no-op for the
+    /// flat backing).  Returns the number of pages released.  Called after
+    /// `branch_commit`/`branch_rollback`/`seq_keep` so rejected speculation
+    /// branches give their tail pages back at page granularity.
+    pub fn release_free_pages(&mut self) -> usize {
+        let capacity = self.capacity;
+        let occupied: Vec<bool> = self.cells.iter().map(|c| !c.is_free()).collect();
+        let Backing::Paged {
+            tokens_per_page,
+            pages,
+            events,
+            ..
+        } = &mut self.backing
+        else {
+            return 0;
+        };
+        let tpp = *tokens_per_page;
+        let mut released = 0;
+        for (p, slot) in pages.iter_mut().enumerate() {
+            if slot.is_none() {
+                continue;
+            }
+            let range = p * tpp..((p + 1) * tpp).min(capacity);
+            if occupied[range].iter().all(|&o| !o) {
+                *slot = None;
+                released += 1;
+            }
+        }
+        events.page_release += released as u64;
+        released
+    }
+
+    /// Drains the page-event counters accumulated since the last call
+    /// (always zero for the flat backing).
+    pub fn take_events(&mut self) -> KvCacheEvents {
+        match &mut self.backing {
+            Backing::Paged { events, .. } => std::mem::take(events),
+            Backing::Flat { .. } => KvCacheEvents::default(),
+        }
     }
 
     /// Indices of cells visible to a query token belonging to `seq_ids` at
     /// position `pos`: the cell must share at least one sequence with the
     /// query and must not be in the query's future.  This implements the
     /// causal + tree attention mask of speculative verification.
+    ///
+    /// Allocating convenience for tests and one-off queries only — every
+    /// decode-loop call site (the per-token attention loops in
+    /// `transformer.rs`) must use [`Self::visible_cells_into`] with the
+    /// scratch-arena buffer instead, so attention performs zero visibility
+    /// allocations per token.  Audited: no non-test caller of this method
+    /// remains in the workspace.
     pub fn visible_cells(&self, seq_ids: &[SeqId], pos: Pos) -> Vec<usize> {
         let mut out = Vec::new();
         self.visible_cells_into(seq_ids, pos, &mut out);
@@ -211,6 +535,7 @@ impl KvCache {
                 *cell = KvCell::free();
             }
         }
+        self.release_free_pages();
     }
 
     /// Commits one accepted branch of a speculation tree written under the
@@ -235,6 +560,7 @@ impl KvCache {
     ) {
         self.seq_cp(path_seq, dst, p0, p1);
         self.branch_rollback(first_seq, n_seqs);
+        self.debug_check("branch_commit");
     }
 
     /// Rolls a speculation tree back entirely: every sequence in
@@ -245,6 +571,18 @@ impl KvCache {
     pub fn branch_rollback(&mut self, first_seq: SeqId, n_seqs: usize) {
         for seq in first_seq..first_seq + n_seqs as SeqId {
             self.seq_rm(seq, 0, Pos::MAX);
+        }
+        self.release_free_pages();
+        self.debug_check("branch_rollback");
+    }
+
+    /// Panics (debug builds only) if [`KvCache::check_consistency`] fails —
+    /// wired into the branch commit/rollback and page promote/release paths
+    /// so refcount bugs fail loudly in CI instead of corrupting streams.
+    fn debug_check(&self, _after: &str) {
+        #[cfg(debug_assertions)]
+        if let Err(e) = self.check_consistency() {
+            panic!("KV cache inconsistent after {_after}: {e}");
         }
     }
 
@@ -266,11 +604,12 @@ impl KvCache {
             .count()
     }
 
-    /// Frees every cell.
+    /// Frees every cell (and, in paged mode, every page).
     pub fn clear(&mut self) {
         for cell in &mut self.cells {
             *cell = KvCell::free();
         }
+        self.release_free_pages();
     }
 
     /// Verifies internal invariants; used by tests and by the ablation that
@@ -294,6 +633,21 @@ impl KvCache {
                         cell.pos
                     ));
                 }
+            }
+        }
+        if let Backing::Paged {
+            tokens_per_page,
+            pages,
+            ..
+        } = &self.backing
+        {
+            if pages.len() != self.capacity.div_ceil(*tokens_per_page) {
+                return Err(format!(
+                    "paged backing holds {} page slots for capacity {} at {} tokens/page",
+                    pages.len(),
+                    self.capacity,
+                    tokens_per_page
+                ));
             }
         }
         Ok(())
@@ -478,5 +832,209 @@ mod tests {
         c.seq_rm(1, 0, 1);
         let again = c.alloc(5, &[2]).unwrap();
         assert_eq!(a, again, "first-fit must reuse the freed cell");
+    }
+
+    // --- paged backing ---
+
+    fn paged() -> KvCache {
+        KvCache::new_paged(2, 4, 16, 4)
+    }
+
+    #[test]
+    fn paged_store_and_read_back_matches_flat() {
+        let mut flat = cache();
+        let mut pgd = paged();
+        for (p, kv) in [(0i32, 1.0f32), (1, 2.0), (2, 3.0)] {
+            let cf = flat.alloc(p, &[0]).unwrap();
+            let cp = pgd.alloc(p, &[0]).unwrap();
+            assert_eq!(cf, cp, "allocation order must be identical");
+            let row = [kv; 4];
+            flat.store(0, cf, &row, &row);
+            pgd.store(0, cp, &row, &row);
+        }
+        for cell in 0..3 {
+            assert_eq!(flat.key(0, cell), pgd.key(0, cell));
+            assert_eq!(flat.value(0, cell), pgd.value(0, cell));
+        }
+        // Unwritten cells read zeros in both backings.
+        assert_eq!(pgd.key(1, 0), &[0.0; 4]);
+        assert_eq!(pgd.key(0, 9), &[0.0; 4]);
+    }
+
+    #[test]
+    fn paged_events_count_alloc_and_release() {
+        let mut c = paged();
+        for p in 0..5 {
+            let cell = c.alloc(p, &[1]).unwrap();
+            c.store(0, cell, &[1.0; 4], &[1.0; 4]);
+        }
+        let ev = c.take_events();
+        assert_eq!(ev.page_alloc, 2, "5 tokens at 4/page touch 2 pages");
+        c.seq_rm(1, 4, Pos::MAX);
+        assert_eq!(c.release_free_pages(), 1, "the tail page is now empty");
+        assert_eq!(c.take_events().page_release, 1);
+    }
+
+    #[test]
+    fn attach_freeze_and_cow_roundtrip() {
+        // Writer computes a 8-token prefix and freezes it.
+        let mut writer = paged();
+        for p in 0..8 {
+            let cell = writer.alloc(p, &[0]).unwrap();
+            writer.store(0, cell, &[p as f32; 4], &[p as f32 + 0.5; 4]);
+            writer.store(1, cell, &[-(p as f32); 4], &[0.0; 4]);
+        }
+        let chain = writer.freeze_prefix(8);
+        assert_eq!(chain.len(), 2);
+
+        // Reader attaches the chain: no store calls, identical reads.
+        let mut reader = paged();
+        reader.attach_prefix(0, &chain, 8);
+        assert_eq!(reader.used(), 8);
+        assert_eq!(reader.seq_max_pos(0), Some(7));
+        for cell in 0..8 {
+            assert_eq!(reader.key(0, cell), writer.key(0, cell));
+            assert_eq!(reader.value(0, cell), writer.value(0, cell));
+            assert_eq!(reader.key(1, cell), writer.key(1, cell));
+        }
+        let ev = reader.take_events();
+        assert_eq!(ev.page_share_hit, 2);
+        assert_eq!(ev.page_alloc, 0, "attached prefix allocates nothing");
+
+        // Divergence: the reader's first write into a shared page clones it
+        // and must not disturb the writer's (pooled) copy.
+        let cell = reader.alloc(8, &[0]).unwrap();
+        assert_eq!(cell, 8, "first free cell follows the prefix");
+        reader.seq_rm(0, 7, 8); // free cell 7 inside the shared tail page…
+        let c7 = reader.alloc(7, &[0]).unwrap(); // …and rewrite it
+        reader.store(0, c7, &[99.0; 4], &[99.0; 4]);
+        assert_eq!(reader.take_events().page_cow, 1);
+        assert_eq!(reader.key(0, 7), &[99.0; 4]);
+        assert_eq!(writer.key(0, 7), &[7.0; 4], "shared page is untouched");
+    }
+
+    #[test]
+    fn paged_branch_rollback_releases_tree_pages() {
+        let mut c = paged();
+        // Canonical prefix fills page 0 exactly.
+        for p in 0..4 {
+            let cell = c.alloc(p, &[0]).unwrap();
+            c.store(0, cell, &[1.0; 4], &[1.0; 4]);
+        }
+        c.seq_cp(0, 1, 0, Pos::MAX);
+        // The branch writes into a fresh page.
+        for p in 4..8 {
+            let cell = c.alloc(p, &[1]).unwrap();
+            c.store(0, cell, &[2.0; 4], &[2.0; 4]);
+        }
+        let _ = c.take_events();
+        c.branch_rollback(1, 1);
+        let ev = c.take_events();
+        assert_eq!(ev.page_release, 1, "the branch-only page is released");
+        assert_eq!(c.used(), 4);
+        assert!(c.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn partial_attach_span_leaves_tail_cells_free() {
+        let mut writer = paged();
+        for p in 0..8 {
+            let cell = writer.alloc(p, &[0]).unwrap();
+            writer.store(0, cell, &[p as f32; 4], &[p as f32; 4]);
+        }
+        let chain = writer.freeze_prefix(8);
+        let mut reader = paged();
+        // Attach only 6 of the 8 cached tokens (span capped below a page
+        // boundary, as the heads do to keep at least one prompt token live).
+        reader.attach_prefix(0, &chain, 6);
+        assert_eq!(reader.used(), 6);
+        let next = reader.alloc(6, &[0]).unwrap();
+        assert_eq!(next, 6, "cell 6 is free inside the attached page");
+        reader.store(0, next, &[50.0; 4], &[50.0; 4]);
+        assert_eq!(reader.take_events().page_cow, 1);
+        assert_eq!(
+            reader.key(0, 5),
+            &[5.0; 4],
+            "attached cells keep pooled data"
+        );
+        assert_eq!(reader.key(0, 6), &[50.0; 4]);
+    }
+}
+
+#[cfg(test)]
+mod paged_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The deterministic row a writer stores for layer `l`, position `p`.
+    fn row(l: usize, p: usize, salt: f32) -> [f32; 4] {
+        [p as f32 + 100.0 * l as f32 + salt; 4]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Copy-on-write isolation: a reader attached to a frozen prefix
+        /// chain sees the writer's data bit-for-bit over any attach span,
+        /// and however the reader then mutates cells inside the shared
+        /// pages, the writer's (pooled) copies never change — the refcount
+        /// on a shared page forces divergent writes onto private clones.
+        #[test]
+        fn prop_cow_isolates_shared_pages_for_any_span(
+            writer_len in 4usize..16,
+            span_pick in 0usize..64,
+            rewrites in proptest::collection::vec(0u32..12, 1..8),
+        ) {
+            let paged = || KvCache::new_paged(2, 4, 16, 4);
+            let mut writer = paged();
+            for p in 0..writer_len {
+                let cell = writer.alloc(p as Pos, &[0]).unwrap();
+                writer.store(0, cell, &row(0, p, 0.0), &row(0, p, 0.5));
+                writer.store(1, cell, &row(1, p, 0.0), &row(1, p, 0.5));
+            }
+            let chain = writer.freeze_prefix(writer_len);
+            let full_span = chain.len() * 4;
+            prop_assert_eq!(full_span, writer_len / 4 * 4);
+            prop_assert!(full_span >= 4, "writer_len >= 4 freezes at least one page");
+            let span = span_pick % full_span + 1;
+
+            let mut reader = paged();
+            reader.attach_prefix(0, &chain, span);
+            for cell in 0..span {
+                prop_assert_eq!(reader.key(0, cell), writer.key(0, cell));
+                prop_assert_eq!(reader.value(0, cell), writer.value(0, cell));
+                prop_assert_eq!(reader.key(1, cell), writer.key(1, cell));
+            }
+
+            // The reader mutates cells at and behind the attach boundary —
+            // every store into a shared page must copy it first.
+            let mut next_pos = span;
+            for r in rewrites {
+                let target = r as usize % (span + 2);
+                if target < span {
+                    // Rewrite an attached cell in place.
+                    reader.seq_rm(0, target as Pos, target as Pos + 1);
+                    let cell = reader.alloc(target as Pos, &[0]).unwrap();
+                    reader.store(0, cell, &[777.0; 4], &[777.0; 4]);
+                } else if next_pos < 16 {
+                    // Extend past the prefix (may land in the shared tail
+                    // page when the span is not page-aligned).
+                    let cell = reader.alloc(next_pos as Pos, &[0]).unwrap();
+                    reader.store(0, cell, &[888.0; 4], &[888.0; 4]);
+                    next_pos += 1;
+                }
+            }
+            prop_assert!(reader.check_consistency().is_ok());
+            prop_assert!(writer.check_consistency().is_ok());
+
+            // However the reader diverged, the writer's frozen pages are
+            // bit-identical to what it stored.
+            for p in 0..writer_len {
+                prop_assert_eq!(writer.key(0, p), &row(0, p, 0.0)[..]);
+                prop_assert_eq!(writer.value(0, p), &row(0, p, 0.5)[..]);
+                prop_assert_eq!(writer.key(1, p), &row(1, p, 0.0)[..]);
+                prop_assert_eq!(writer.value(1, p), &row(1, p, 0.5)[..]);
+            }
+        }
     }
 }

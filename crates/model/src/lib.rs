@@ -32,6 +32,7 @@
 pub mod batch;
 pub mod config;
 pub mod kv_cache;
+pub mod kv_pool;
 pub mod oracle;
 pub mod sampler;
 pub mod token_tree;
@@ -41,7 +42,10 @@ pub mod weights;
 
 pub use batch::Batch;
 pub use config::{Activation, ModelConfig};
-pub use kv_cache::KvCache;
+pub use kv_cache::{KvCache, KvCacheEvents, KvPage};
+pub use kv_pool::{
+    AdmissionRefusal, KvPagePool, KvPoolConfig, KvPoolStats, PrefixTicket, StageKey,
+};
 pub use oracle::{OracleDraft, OracleTarget};
 pub use sampler::Sampler;
 pub use token_tree::{TokenTree, TreeNodeId};

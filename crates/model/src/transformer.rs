@@ -179,6 +179,20 @@ impl Model {
         KvCache::new(layers.len(), self.cfg.kv_dim(), capacity)
     }
 
+    /// Paged-backing variant of [`Model::new_cache_for_layers`]: same cell
+    /// metadata and numerics, but K/V storage lives in demand-allocated
+    /// copy-on-write pages of `tokens_per_page` cells so committed prompt
+    /// prefixes can be shared across requests via a
+    /// [`crate::kv_pool::KvPagePool`].
+    pub fn new_paged_cache_for_layers(
+        &self,
+        layers: &Range<usize>,
+        capacity: usize,
+        tokens_per_page: usize,
+    ) -> KvCache {
+        KvCache::new_paged(layers.len(), self.cfg.kv_dim(), capacity, tokens_per_page)
+    }
+
     /// Allocates one KV-cache cell per batch entry.  Every pipeline stage
     /// performs the same allocations in the same order, so cell indices agree
     /// across stages.

@@ -72,5 +72,7 @@ pub mod workload;
 pub use report::ServeReport;
 pub use request::{Completion, Request, RequestId, RequestTiming};
 pub use scheduler::{admission_order, plan, SchedulerConfig, Slot};
-pub use server::{Server, ServerConfig};
-pub use workload::{BurstyWorkload, MixedWorkload, SteadyWorkload, WorkloadGen};
+pub use server::{pool_admission_spans, Server, ServerConfig};
+pub use workload::{
+    BurstyWorkload, MixedWorkload, SharedPrefixWorkload, SteadyWorkload, WorkloadGen,
+};

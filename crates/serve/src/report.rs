@@ -9,6 +9,7 @@
 
 use crate::request::{Completion, RequestId};
 use pi_metrics::{Figure, Histogram, Summary};
+use pi_model::KvPoolStats;
 use pi_trace::BubbleReport;
 use std::fmt::Write as _;
 
@@ -18,6 +19,9 @@ pub struct ServeReport {
     strategy: String,
     window: usize,
     completions: Vec<Completion>,
+    /// Snapshot of the deployment's KV page pool after the stream's
+    /// admission pre-pass, when the server runs over a pool.
+    kv_pool: Option<KvPoolStats>,
 }
 
 impl ServeReport {
@@ -27,7 +31,49 @@ impl ServeReport {
             strategy: strategy.to_string(),
             window,
             completions,
+            kv_pool: None,
         }
+    }
+
+    /// Attaches the KV page pool's stats snapshot for this stream.
+    pub(crate) fn with_kv_pool(mut self, stats: KvPoolStats) -> Self {
+        self.kv_pool = Some(stats);
+        self
+    }
+
+    /// The KV page pool's stats snapshot, if the stream was served over a
+    /// pool.
+    pub fn kv_pool_stats(&self) -> Option<&KvPoolStats> {
+        self.kv_pool.as_ref()
+    }
+
+    /// Peak pages simultaneously in use by the pool over its lifetime (zero
+    /// without a pool).
+    pub fn kv_pages_peak(&self) -> u64 {
+        self.kv_pool
+            .as_ref()
+            .map_or(0, |s| s.peak_pages_in_use as u64)
+    }
+
+    /// Fraction of pool admissions that attached a cached prompt prefix
+    /// (zero without a pool).
+    pub fn prefix_hit_rate(&self) -> f64 {
+        match &self.kv_pool {
+            Some(s) if s.requests > 0 => s.share_hits as f64 / s.requests as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// LRU evictions of committed prefix chains (zero without a pool).
+    pub fn kv_evictions(&self) -> u64 {
+        self.kv_pool.as_ref().map_or(0, |s| s.evictions)
+    }
+
+    /// Requests the pool refused to admit for lack of free pages (zero
+    /// without a pool).  Refused requests still complete — they fall back to
+    /// isolated flat caches — but each refusal is lost sharing.
+    pub fn kv_refusals(&self) -> u64 {
+        self.kv_pool.as_ref().map_or(0, |s| s.refusals)
     }
 
     /// Strategy name the stream was served with.
@@ -229,6 +275,10 @@ impl ServeReport {
         );
         figure.push(series, "bubble frac", self.mean_bubble_fraction());
         figure.push(series, "failovers", self.total_failovers() as f64);
+        figure.push(series, "kv pages peak", self.kv_pages_peak() as f64);
+        figure.push(series, "prefix hit", self.prefix_hit_rate());
+        figure.push(series, "kv evicts", self.kv_evictions() as f64);
+        figure.push(series, "kv refusals", self.kv_refusals() as f64);
     }
 
     /// Renders a per-request table plus the aggregate line.
@@ -284,6 +334,19 @@ impl ServeReport {
             self.mean_bubble_fraction() * 100.0,
             self.total_failovers(),
         );
+        if let Some(kv) = &self.kv_pool {
+            let _ = writeln!(
+                out,
+                "kv pool: {} pages peak | prefix hit {:.0}% ({} of {} admissions, {} tokens reused)                  | {} eviction(s) | {} refusal(s)",
+                kv.peak_pages_in_use,
+                self.prefix_hit_rate() * 100.0,
+                kv.share_hits,
+                kv.requests,
+                kv.shared_tokens,
+                kv.evictions,
+                kv.refusals,
+            );
+        }
         out
     }
 }
@@ -360,8 +423,11 @@ mod tests {
         );
         let mut fig = Figure::new("Serving", "serving metrics", "mixed");
         report.to_figure(&mut fig, "Test");
-        assert_eq!(fig.x_labels().len(), 13);
+        assert_eq!(fig.x_labels().len(), 17);
         assert_eq!(fig.value("Test", "bubble frac"), Some(0.0));
+        assert_eq!(fig.value("Test", "kv pages peak"), Some(0.0));
+        assert_eq!(fig.value("Test", "prefix hit"), Some(0.0));
+        assert_eq!(fig.value("Test", "kv refusals"), Some(0.0));
         assert_eq!(fig.value("Test", "failovers"), Some(0.0));
         assert!(fig.value("Test", "goodput tok/s").unwrap() > 0.0);
         assert!(fig.value("Test", "p99 e2e s").unwrap() >= fig.value("Test", "p50 e2e s").unwrap());
@@ -431,5 +497,37 @@ mod tests {
         assert_eq!(report.goodput(), 0.0);
         assert_eq!(report.makespan(), 0.0);
         assert_eq!(report.e2e_summary().n, 0);
+        assert!(report.kv_pool_stats().is_none());
+        assert_eq!(report.prefix_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn kv_pool_columns_surface_pool_stats() {
+        let stats = KvPoolStats {
+            pages_in_use: 3,
+            peak_pages_in_use: 7,
+            requests: 10,
+            share_hits: 6,
+            shared_tokens: 480,
+            pages_committed: 9,
+            evictions: 2,
+            refusals: 1,
+        };
+        let report =
+            ServeReport::new("Test", 2, vec![completion(0, 0.0, 0.0, 1.0, 4)]).with_kv_pool(stats);
+        assert_eq!(report.kv_pages_peak(), 7);
+        assert!((report.prefix_hit_rate() - 0.6).abs() < 1e-12);
+        assert_eq!(report.kv_evictions(), 2);
+        assert_eq!(report.kv_refusals(), 1);
+        let mut fig = Figure::new("Serving", "serving metrics", "mixed");
+        report.to_figure(&mut fig, "Test");
+        assert_eq!(fig.value("Test", "kv pages peak"), Some(7.0));
+        assert_eq!(fig.value("Test", "prefix hit"), Some(0.6));
+        assert_eq!(fig.value("Test", "kv evicts"), Some(2.0));
+        assert_eq!(fig.value("Test", "kv refusals"), Some(1.0));
+        let text = report.render();
+        assert!(text.contains("kv pool"), "{text}");
+        assert!(text.contains("7 pages peak"), "{text}");
+        assert!(text.contains("480 tokens reused"), "{text}");
     }
 }

@@ -31,6 +31,7 @@
 use crate::report::ServeReport;
 use crate::request::{Completion, Request, RequestTiming};
 use crate::scheduler::{plan, SchedulerConfig};
+use pi_model::KvPagePool;
 use pi_spec::deploy::{ExecutionMode, PreparedDeployment, RunOutput};
 use pi_trace::{Clock, MonotonicClock, TraceConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -117,10 +118,28 @@ impl Server {
         let n = requests.len();
         let window = self.config.max_in_flight;
 
+        let exec_order = crate::scheduler::admission_order(&requests);
+
+        // Phase 0 — deterministic KV-pool admission pre-pass.  When the
+        // prepared deployment owns a page pool, walk the admission stream
+        // *sequentially* in admission order performing each request's pool
+        // lifecycle (admit, match the longest committed prefix, commit the
+        // prompt chain) while keeping at most `window` requests pinned — the
+        // pool occupancy an online server with this in-flight bound would
+        // see.  Concurrent phase-1 execution then replays the pre-computed
+        // cached spans, so prefix hit rates, refusals and (in `Sim` mode)
+        // every latency figure are bit-reproducible regardless of thread
+        // timing.  Refused requests still execute — on isolated flat caches
+        // with no cached span — and surface in the report's refusal column.
+        let pool = self.prepared.kv_pool().cloned();
+        let prefix_cached = match &pool {
+            Some(pool) => pool_admission_spans(pool, &requests, &exec_order, window),
+            None => vec![0; n],
+        };
+
         // Phase 1 — execute every request over the shared prepared
         // deployment, at most `window` concurrently, pulled in the same
         // admission-stream order the scheduler plans over.
-        let exec_order = crate::scheduler::admission_order(&requests);
         let outputs: Vec<Mutex<Option<(RunOutput, f64)>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
         let cursor = AtomicUsize::new(0);
@@ -133,9 +152,15 @@ impl Server {
                     }
                     let idx = exec_order[k];
                     let wall_start = self.clock.now();
-                    let out = match self.trace {
-                        Some(cfg) => self.prepared.run_traced(&requests[idx].gen, cfg),
-                        None => self.prepared.run(&requests[idx].gen),
+                    let gen = &requests[idx].gen;
+                    let out = match (&pool, self.trace) {
+                        (Some(_), Some(cfg)) => {
+                            self.prepared
+                                .run_prefix_cached_traced(gen, prefix_cached[idx], cfg)
+                        }
+                        (Some(_), None) => self.prepared.run_prefix_cached(gen, prefix_cached[idx]),
+                        (None, Some(cfg)) => self.prepared.run_traced(gen, cfg),
+                        (None, None) => self.prepared.run(gen),
                     };
                     let wall = (self.clock.now() - wall_start).max(0.0);
                     *outputs[idx].lock().unwrap() = Some((out, wall));
@@ -201,8 +226,53 @@ impl Server {
         for completion in &completions {
             on_complete(completion);
         }
-        ServeReport::new(self.strategy_name(), window, completions)
+        let report = ServeReport::new(self.strategy_name(), window, completions);
+        match &pool {
+            Some(pool) => report.with_kv_pool(pool.stats()),
+            None => report,
+        }
     }
+}
+
+/// The deterministic KV-pool admission pre-pass over one request stream.
+///
+/// Walks `order` (indices into `requests`, admission-stream order)
+/// sequentially, performing each request's pool lifecycle — admit, match the
+/// longest committed prefix, commit the prompt chain — while keeping at most
+/// `window` tickets pinned: the pool occupancy an online server with that
+/// in-flight bound would see.  Returns the per-request cached prefix span
+/// (index-aligned with `requests`; `0` for refused requests).  Hit, eviction
+/// and refusal counts accumulate in `pool.stats()`.
+///
+/// [`Server::serve_with`] uses this to pre-compute prefill-reuse spans so
+/// concurrent execution stays bit-reproducible; the serving bench reuses it
+/// to probe the largest sustainable window of a pool geometry without paying
+/// for model execution.
+pub fn pool_admission_spans(
+    pool: &KvPagePool,
+    requests: &[Request],
+    order: &[usize],
+    window: usize,
+) -> Vec<usize> {
+    let mut spans = vec![0; requests.len()];
+    let mut live: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
+    for &idx in order {
+        if live.len() >= window.max(1) {
+            if let Some(oldest) = live.pop_front() {
+                pool.end_request(oldest);
+            }
+        }
+        let gen = &requests[idx].gen;
+        if let Ok(ticket) = pool.begin_request(&gen.prompt, gen.n_generate, &[]) {
+            spans[idx] = ticket.cached_tokens;
+            pool.commit_chain(ticket.id, &gen.prompt, None);
+            live.push_back(ticket.id);
+        }
+    }
+    for ticket in live {
+        pool.end_request(ticket);
+    }
+    spans
 }
 
 /// The service duration of one run: virtual makespan under `Sim`, measured
@@ -307,6 +377,109 @@ mod tests {
             assert_eq!(x.id, y.id);
             assert_eq!(x.timing, y.timing);
         }
+    }
+
+    #[test]
+    fn pooled_serving_shares_prefixes_and_stays_byte_identical() {
+        use crate::workload::SharedPrefixWorkload;
+        use pi_model::{KvPagePool, KvPoolConfig};
+        // 90 %-shared-system-prompt traffic over a page pool: every request's
+        // token stream must still match its solo (pool-free) run, the pool
+        // must register prefix hits, and the whole report — including the
+        // pool counters — must be bit-reproducible.
+        let workload = SharedPrefixWorkload {
+            base: base(),
+            n_requests: 10,
+            mean_interarrival: 0.1,
+            shared_fraction: 0.9,
+            prefix_len: (16, 24),
+            suffix_len: (2, 6),
+            seed: 21,
+        };
+        for deployment in deployments() {
+            let serve = |pooled: bool| {
+                let mut prepared = deployment.prepare(&sim_mode(4), 4);
+                if pooled {
+                    prepared = prepared.with_kv_pool(KvPagePool::new(KvPoolConfig {
+                        tokens_per_page: 8,
+                        n_pages: 256,
+                    }));
+                }
+                Server::new(prepared, ServerConfig { max_in_flight: 4 }).serve(workload.generate())
+            };
+            let pooled = serve(true);
+            let flat = serve(false);
+            assert!(flat.kv_pool_stats().is_none());
+            let stats = pooled.kv_pool_stats().expect("pool stats must surface");
+            assert_eq!(stats.requests, 10);
+            assert!(
+                stats.share_hits > 0,
+                "shared prompts must hit the radix index"
+            );
+            assert!(pooled.prefix_hit_rate() > 0.5);
+            assert_eq!(stats.refusals, 0);
+            for req in workload.generate() {
+                let served = pooled.completion(req.id).unwrap();
+                let solo = deployment.run(&sim_mode(4), 4, &req.gen);
+                assert_eq!(
+                    served.output.record.tokens, solo.record.tokens,
+                    "request {} diverged from its solo run under the pool",
+                    req.id
+                );
+                // Prefill reuse can only help the absolute first-token time
+                // (`accept_times[0]` counts prefill; `ttft()` does not).
+                let first =
+                    |r: &ServeReport, id| r.completion(id).unwrap().output.record.accept_times[0];
+                assert!(first(&pooled, req.id) <= first(&flat, req.id) + 1e-12);
+            }
+            // At least one shared request genuinely skipped prefill.
+            let faster = workload.generate().iter().any(|req| {
+                pooled
+                    .completion(req.id)
+                    .unwrap()
+                    .output
+                    .record
+                    .accept_times[0]
+                    < flat.completion(req.id).unwrap().output.record.accept_times[0]
+            });
+            assert!(faster, "prefix hits must shorten some first-token time");
+            // Bit-reproducible, pool counters included.
+            let again = serve(true);
+            assert_eq!(again.kv_pool_stats(), Some(stats));
+            for (x, y) in pooled.completions().iter().zip(again.completions()) {
+                assert_eq!(x.id, y.id);
+                assert_eq!(x.timing, y.timing);
+            }
+        }
+    }
+
+    #[test]
+    fn pool_exhaustion_surfaces_refusals_but_serves_every_request() {
+        use crate::workload::SharedPrefixWorkload;
+        use pi_model::{KvPagePool, KvPoolConfig};
+        let workload = SharedPrefixWorkload {
+            base: base(),
+            n_requests: 8,
+            mean_interarrival: 0.1,
+            shared_fraction: 0.9,
+            prefix_len: (16, 24),
+            suffix_len: (2, 6),
+            seed: 3,
+        };
+        // A pool far too small for the window: admissions beyond capacity are
+        // refused (never a panic), refused requests fall back to flat caches
+        // and still complete, and the refusal count lands in the report.
+        let prepared = Deployment::new(IterativeStrategy)
+            .prepare(&sim_mode(4), 4)
+            .with_kv_pool(KvPagePool::new(KvPoolConfig {
+                tokens_per_page: 8,
+                n_pages: 6,
+            }));
+        let report =
+            Server::new(prepared, ServerConfig { max_in_flight: 4 }).serve(workload.generate());
+        assert_eq!(report.len(), 8);
+        assert!(report.completions().iter().all(|c| c.output.completed));
+        assert!(report.kv_refusals() > 0, "tiny pool must refuse admissions");
     }
 
     #[test]

@@ -147,6 +147,96 @@ impl WorkloadGen for MixedWorkload {
     }
 }
 
+/// Draws `len` tokens uniformly from `alphabet` — the building block for
+/// seeded synthetic prompts that are distinct with overwhelming probability.
+fn draw_tokens(rng: &mut StdRng, alphabet: &[u32], len: usize) -> Vec<u32> {
+    assert!(!alphabet.is_empty(), "token alphabet must not be empty");
+    (0..len)
+        .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+        .collect()
+}
+
+/// Bursty arrivals where a configurable fraction of requests open with one
+/// shared "system prompt" — the workload shape that a paged KV pool with
+/// radix prefix sharing is built for.  Shared requests are the system prompt
+/// followed by a per-request random suffix; unshared requests are fully
+/// random prompts of the *same total length*, so any TTFT difference between
+/// the two populations is attributable to prefix-cache hits rather than
+/// prompt length.  Both the system prompt and every per-request draw are
+/// pure functions of `seed`.
+#[derive(Debug, Clone)]
+pub struct SharedPrefixWorkload {
+    /// Request template; its prompt supplies the token alphabet and its
+    /// `n_generate`/speculation knobs are shared by every arrival.
+    pub base: GenConfig,
+    /// Number of requests.
+    pub n_requests: usize,
+    /// Mean inter-arrival gap, seconds.
+    pub mean_interarrival: f64,
+    /// Fraction of requests that open with the shared system prompt
+    /// (e.g. `0.9` for the 90 %-shared serving benchmark).
+    pub shared_fraction: f64,
+    /// Inclusive range the system-prompt length is drawn from (once per
+    /// stream).
+    pub prefix_len: (usize, usize),
+    /// Inclusive range per-request unique suffix lengths are drawn from.
+    pub suffix_len: (usize, usize),
+    /// RNG seed; the stream is a pure function of it.
+    pub seed: u64,
+}
+
+impl SharedPrefixWorkload {
+    /// The shared system prompt every "shared" request opens with — a pure
+    /// function of the seed and the base alphabet, so benches and tests can
+    /// recover it without regenerating the stream.
+    pub fn system_prompt(&self) -> Vec<u32> {
+        assert!(self.prefix_len.0 >= 1 && self.prefix_len.0 <= self.prefix_len.1);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let len = rng.gen_range(self.prefix_len.0..=self.prefix_len.1);
+        draw_tokens(&mut rng, &self.base.prompt, len)
+    }
+}
+
+impl WorkloadGen for SharedPrefixWorkload {
+    fn name(&self) -> &'static str {
+        "shared-prefix"
+    }
+
+    fn generate(&self) -> Vec<Request> {
+        assert!(self.suffix_len.0 >= 1 && self.suffix_len.0 <= self.suffix_len.1);
+        assert!(
+            (0.0..=1.0).contains(&self.shared_fraction),
+            "shared_fraction must be a probability"
+        );
+        let prefix = self.system_prompt();
+        // Independent stream RNG so the system prompt stays stable while the
+        // arrival/suffix draws consume entropy.
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(0x5AFE_5EED));
+        let mut t = 0.0;
+        (0..self.n_requests)
+            .map(|i| {
+                if i > 0 {
+                    t += exp_gap(&mut rng, self.mean_interarrival);
+                }
+                let shared = rng.gen::<f64>() < self.shared_fraction;
+                let suffix_len = rng.gen_range(self.suffix_len.0..=self.suffix_len.1);
+                let prompt = if shared {
+                    let mut p = prefix.clone();
+                    p.extend(draw_tokens(&mut rng, &self.base.prompt, suffix_len));
+                    p
+                } else {
+                    draw_tokens(&mut rng, &self.base.prompt, prefix.len() + suffix_len)
+                };
+                let gen = GenConfig {
+                    prompt,
+                    ..self.base.clone()
+                };
+                Request::new(i as RequestId, gen, t)
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,6 +305,48 @@ mod tests {
         assert!(reqs
             .iter()
             .all(|r| r.gen.prompt.iter().all(|t| base().prompt.contains(t))));
+    }
+
+    #[test]
+    fn shared_prefix_marks_the_configured_fraction() {
+        let w = SharedPrefixWorkload {
+            base: base(),
+            n_requests: 40,
+            mean_interarrival: 0.05,
+            shared_fraction: 0.9,
+            prefix_len: (24, 48),
+            suffix_len: (2, 8),
+            seed: 11,
+        };
+        let prefix = w.system_prompt();
+        assert!((24..=48).contains(&prefix.len()));
+        let reqs = w.generate();
+        assert_eq!(reqs.len(), 40);
+        let shared = reqs
+            .iter()
+            .filter(|r| r.gen.prompt.starts_with(&prefix))
+            .count();
+        // ~90 % share the system prompt; the rest are fully random prompts
+        // of the same total length.
+        assert!(
+            (30..40).contains(&shared),
+            "expected roughly 36 shared, got {shared}"
+        );
+        assert!(reqs.iter().all(|r| {
+            let extra = r.gen.prompt.len() - prefix.len();
+            (2..=8).contains(&extra)
+        }));
+        // Deterministic per seed, distinct across seeds.
+        let again = w.generate();
+        assert!(reqs
+            .iter()
+            .zip(&again)
+            .all(|(a, b)| a.gen.prompt == b.gen.prompt && a.arrival == b.arrival));
+        let other = SharedPrefixWorkload {
+            seed: 12,
+            ..w.clone()
+        };
+        assert_ne!(other.system_prompt(), prefix);
     }
 
     #[test]

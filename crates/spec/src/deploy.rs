@@ -27,7 +27,9 @@
 //! [`Deployment::run`] is the one-shot convenience wrapper over both.
 
 use crate::drafter::{Drafter, OracleDrafter, RealDrafter};
-use crate::engine::{HeadEngine, RealHeadEngine, RealStageEngine, SimHeadEngine, SimStageEngine};
+use crate::engine::{
+    HeadEngine, PrefixPlan, RealHeadEngine, RealStageEngine, SimHeadEngine, SimStageEngine,
+};
 use crate::iterative::IterativeHead;
 use crate::message::PipeMsg;
 use crate::route::PipelineRoute;
@@ -37,6 +39,7 @@ use crate::{GenConfig, GenerationRecord};
 use pi_cluster::sim::SimDriver;
 use pi_cluster::threaded::ThreadedDriver;
 use pi_cluster::{ClusterStats, FaultPlan, NodeBehavior, Topology, Trace, TraceConfig};
+use pi_model::kv_pool::{AdmissionRefusal, KvPagePool, KvPoolConfig, StageKey};
 use pi_model::{Model, OracleDraft, OracleTarget};
 use pi_perf::{ClusterSpec, CostModel, ModelCost, ModelPair};
 use std::ops::Range;
@@ -129,6 +132,11 @@ pub struct HeadParts {
     pub gen_config: GenConfig,
     /// Handle the final [`GenerationRecord`] must be written to.
     pub record: RecordHandle,
+    /// Leading prompt tokens already resident in every stage's KV cache
+    /// (served from a shared page pool); the head must seed its context with
+    /// `prompt[..prompt_cached]` and prefill only the remaining suffix.
+    /// Always strictly less than the prompt length; 0 without a pool.
+    pub prompt_cached: usize,
 }
 
 impl HeadParts {
@@ -209,12 +217,10 @@ impl Strategy for IterativeStrategy {
     }
 
     fn build_head(&self, parts: HeadParts) -> Box<dyn NodeBehavior<PipeMsg>> {
-        Box::new(IterativeHead::new(
-            parts.route,
-            parts.engine,
-            parts.gen_config,
-            parts.record,
-        ))
+        Box::new(
+            IterativeHead::new(parts.route, parts.engine, parts.gen_config, parts.record)
+                .with_prompt_cached(parts.prompt_cached),
+        )
     }
 }
 
@@ -235,13 +241,16 @@ impl Strategy for SpeculativeStrategy {
 
     fn build_head(&self, mut parts: HeadParts) -> Box<dyn NodeBehavior<PipeMsg>> {
         let drafter = parts.take_drafter();
-        Box::new(SpeculativeHead::new(
-            parts.route,
-            parts.engine,
-            drafter,
-            parts.gen_config,
-            parts.record,
-        ))
+        Box::new(
+            SpeculativeHead::new(
+                parts.route,
+                parts.engine,
+                drafter,
+                parts.gen_config,
+                parts.record,
+            )
+            .with_prompt_cached(parts.prompt_cached),
+        )
     }
 }
 
@@ -337,14 +346,23 @@ impl Deployment {
     /// and worker behaviors — *must* be rebuilt for every generation because
     /// they own the KV caches and run-tracking state, which is exactly the
     /// per-request session isolation a serving layer needs.
+    /// When `PIPEINFER_KV_POOL_PAGES` is set, the prepared deployment owns a
+    /// [`KvPagePool`] shared across every [`PreparedDeployment::run`] call —
+    /// concurrent requests with a common prompt prefix attach the same
+    /// physical pages and skip prefill for the cached span.  Without the env
+    /// knob the pool is absent and behaviour is exactly the classic
+    /// fresh-cache-per-run path ([`PreparedDeployment::with_kv_pool`]
+    /// attaches one explicitly).
     pub fn prepare(&self, mode: &ExecutionMode, n_nodes: usize) -> PreparedDeployment {
         let (route, splits) = self.layout(mode, n_nodes);
+        let pool = KvPoolConfig::from_env().map(KvPagePool::new);
         PreparedDeployment {
             strategy: Arc::clone(&self.strategy),
             mode: mode.clone(),
             n_nodes,
             route,
             splits,
+            pool,
         }
     }
 
@@ -371,6 +389,8 @@ pub struct PreparedDeployment {
     n_nodes: usize,
     route: PipelineRoute,
     splits: Vec<Range<usize>>,
+    /// Deployment-owned KV page pool, shared across `run` calls.
+    pool: Option<Arc<KvPagePool>>,
 }
 
 impl PreparedDeployment {
@@ -399,9 +419,72 @@ impl PreparedDeployment {
         &self.splits
     }
 
+    /// Attaches a KV page pool shared across every subsequent run, replacing
+    /// whatever [`Deployment::prepare`] resolved from the environment.
+    pub fn with_kv_pool(mut self, pool: Arc<KvPagePool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The deployment-owned KV page pool, if one is attached.
+    pub fn kv_pool(&self) -> Option<&Arc<KvPagePool>> {
+        self.pool.as_ref()
+    }
+
     /// Executes one generation run over the prepared layout.
+    ///
+    /// With a KV pool attached, admission is attempted first; a pool too full
+    /// to admit the request falls back to the classic pool-less path (fresh
+    /// flat caches) instead of failing — use [`PreparedDeployment::try_run`]
+    /// to surface the refusal instead.
     pub fn run(&self, gen_config: &GenConfig) -> RunOutput {
         self.run_inner(gen_config, None, None)
+    }
+
+    /// Executes one generation run, surfacing pool-admission refusals to the
+    /// caller instead of silently falling back.  Without a pool this is
+    /// exactly [`PreparedDeployment::run`] and never errs.
+    pub fn try_run(&self, gen_config: &GenConfig) -> Result<RunOutput, AdmissionRefusal> {
+        match &self.pool {
+            None => Ok(self.run_plain(gen_config, None, None, 0, None)),
+            Some(pool) => self.run_pooled(pool, gen_config, None, None),
+        }
+    }
+
+    /// Executes one generation run pretending the leading `cached_tokens` of
+    /// the prompt are already resident in every stage's KV cache — the
+    /// serving layer's entry point after its own admission pre-pass has
+    /// consulted the pool.  Only `Sim` mode honours the span (virtual-time
+    /// prefill skip); `Real` runs ignore it because no physical pages back a
+    /// span that was computed outside this call.
+    pub fn run_prefix_cached(&self, gen_config: &GenConfig, cached_tokens: usize) -> RunOutput {
+        self.run_prefix_cached_inner(gen_config, cached_tokens, None)
+    }
+
+    /// [`PreparedDeployment::run_prefix_cached`] with a structured event
+    /// recorder attached.
+    pub fn run_prefix_cached_traced(
+        &self,
+        gen_config: &GenConfig,
+        cached_tokens: usize,
+        trace: TraceConfig,
+    ) -> RunOutput {
+        self.run_prefix_cached_inner(gen_config, cached_tokens, Some(trace))
+    }
+
+    fn run_prefix_cached_inner(
+        &self,
+        gen_config: &GenConfig,
+        cached_tokens: usize,
+        trace: Option<TraceConfig>,
+    ) -> RunOutput {
+        let span = match &self.mode {
+            ExecutionMode::Sim { .. } => {
+                cached_tokens.min(gen_config.prompt.len().saturating_sub(1))
+            }
+            ExecutionMode::Real { .. } => 0,
+        };
+        self.run_plain(gen_config, trace, None, span, None)
     }
 
     /// Executes one generation run with a structured event recorder attached
@@ -438,10 +521,68 @@ impl PreparedDeployment {
         trace: Option<TraceConfig>,
         faults: Option<FaultPlan>,
     ) -> RunOutput {
+        match &self.pool {
+            None => self.run_plain(gen_config, trace, faults, 0, None),
+            Some(pool) => match self.run_pooled(pool, gen_config, trace, faults.clone()) {
+                Ok(out) => out,
+                // The pool cannot host this request right now; degrade to an
+                // isolated flat-cache session rather than failing the run.
+                Err(_refusal) => self.run_plain(gen_config, trace, faults, 0, None),
+            },
+        }
+    }
+
+    /// One run through the shared page pool: admit, attach the longest cached
+    /// prefix, run with suffix-only prefill, then commit the prompt chain and
+    /// release the admission pin.
+    fn run_pooled(
+        &self,
+        pool: &Arc<KvPagePool>,
+        gen_config: &GenConfig,
+        trace: Option<TraceConfig>,
+        faults: Option<FaultPlan>,
+    ) -> Result<RunOutput, AdmissionRefusal> {
+        // Real engines attach physical pages, so a prefix only counts as
+        // cached once every stage's K/V planes are committed for it.  Sim
+        // engines carry no tensors — a token-level match suffices there.
+        let required: Vec<StageKey> = match &self.mode {
+            ExecutionMode::Real { .. } => self.splits.iter().map(|r| (r.start, r.end)).collect(),
+            ExecutionMode::Sim { .. } => Vec::new(),
+        };
+        let ticket = pool.begin_request(&gen_config.prompt, gen_config.n_generate, &required)?;
+        // Keep at least the final prompt token for live prefill: heads need
+        // one evaluated position to produce the first logits.
+        let span = ticket
+            .cached_tokens
+            .min(gen_config.prompt.len().saturating_sub(1));
+        let plan = PrefixPlan {
+            pool: Arc::clone(pool),
+            ticket: ticket.id,
+            prompt: gen_config.prompt.clone(),
+            cached_tokens: span,
+        };
+        let out = self.run_plain(gen_config, trace, faults, span, Some(&plan));
+        if matches!(self.mode, ExecutionMode::Sim { .. }) {
+            // Sim engines never touch physical pages; commit the prompt as a
+            // token-only chain so later requests can match against it.
+            pool.commit_chain(ticket.id, &gen_config.prompt, None);
+        }
+        pool.end_request(ticket.id);
+        Ok(out)
+    }
+
+    fn run_plain(
+        &self,
+        gen_config: &GenConfig,
+        trace: Option<TraceConfig>,
+        faults: Option<FaultPlan>,
+        prompt_cached: usize,
+        plan: Option<&PrefixPlan>,
+    ) -> RunOutput {
         let strategy = self.strategy.as_ref();
         let (mode, route, splits) = (&self.mode, &self.route, &self.splits);
         let handle: RecordHandle = Arc::new(Mutex::new(None));
-        let engine = build_head_engine(mode, splits, gen_config);
+        let engine = build_head_engine_with(mode, splits, gen_config, plan);
         let drafter = strategy
             .needs_drafter()
             .then(|| build_drafter(mode, route.head(), gen_config));
@@ -451,8 +592,9 @@ impl PreparedDeployment {
             drafter,
             gen_config: gen_config.clone(),
             record: handle.clone(),
+            prompt_cached,
         });
-        let mut others = build_workers(mode, route, splits, gen_config);
+        let mut others = build_workers_with(mode, route, splits, gen_config, plan);
         others.extend(strategy.build_auxiliary(mode, self.n_nodes, route, gen_config));
         let behaviors = assemble_for(strategy.name(), self.n_nodes, head, others);
         execute_with(mode, behaviors, &handle, trace, faults)
@@ -533,16 +675,29 @@ pub fn build_workers(
     splits: &[Range<usize>],
     config: &GenConfig,
 ) -> Vec<(usize, Box<dyn NodeBehavior<PipeMsg>>)> {
+    build_workers_with(mode, route, splits, config, None)
+}
+
+/// [`build_workers`] with an optional shared-prefix plan: real stage engines
+/// attach the plan's pooled pages instead of starting from an empty cache.
+pub fn build_workers_with(
+    mode: &ExecutionMode,
+    route: &PipelineRoute,
+    splits: &[Range<usize>],
+    config: &GenConfig,
+    plan: Option<&PrefixPlan>,
+) -> Vec<(usize, Box<dyn NodeBehavior<PipeMsg>>)> {
     let mut out: Vec<(usize, Box<dyn NodeBehavior<PipeMsg>>)> = Vec::new();
     for (stage, &rank) in route.ranks().iter().enumerate().skip(1) {
         let worker: Box<dyn NodeBehavior<PipeMsg>> = match mode {
             ExecutionMode::Real { target, .. } => Box::new(PipelineWorker::new(
                 rank,
                 route.clone(),
-                Box::new(RealStageEngine::new(
+                Box::new(RealStageEngine::new_with_plan(
                     target.clone(),
                     splits[stage].clone(),
                     config.kv_capacity,
+                    plan,
                 )),
             )),
             ExecutionMode::Sim { pair, cluster, .. } => Box::new(PipelineWorker::new(
@@ -566,11 +721,23 @@ pub fn build_head_engine(
     splits: &[Range<usize>],
     config: &GenConfig,
 ) -> Box<dyn HeadEngine> {
+    build_head_engine_with(mode, splits, config, None)
+}
+
+/// [`build_head_engine`] with an optional shared-prefix plan (see
+/// [`build_workers_with`]).
+pub fn build_head_engine_with(
+    mode: &ExecutionMode,
+    splits: &[Range<usize>],
+    config: &GenConfig,
+    plan: Option<&PrefixPlan>,
+) -> Box<dyn HeadEngine> {
     match mode {
-        ExecutionMode::Real { target, .. } => Box::new(RealHeadEngine::new(
+        ExecutionMode::Real { target, .. } => Box::new(RealHeadEngine::new_with_plan(
             target.clone(),
             splits[0].clone(),
             config.kv_capacity,
+            plan,
         )),
         ExecutionMode::Sim {
             pair,
@@ -911,6 +1078,92 @@ mod tests {
     }
 
     #[test]
+    fn pooled_sim_runs_hit_shared_prefix_and_stay_byte_identical() {
+        let config = GenConfig {
+            prompt: vec![7; 12],
+            n_generate: 16,
+            max_draft: 4,
+            confidence_cutoff: 0.4,
+            kv_capacity: 4096,
+        };
+        let deployment = Deployment::new(SpeculativeStrategy);
+        let baseline = deployment.prepare(&sim_mode(4), 4).run(&config);
+        let pool = KvPagePool::new(KvPoolConfig {
+            tokens_per_page: 4,
+            n_pages: 64,
+        });
+        let pooled = deployment
+            .prepare(&sim_mode(4), 4)
+            .with_kv_pool(Arc::clone(&pool));
+        let first = pooled.run(&config);
+        let second = pooled.run(&config);
+        assert!(first.completed && second.completed);
+        // Prefill reuse must never change the token stream.
+        assert_eq!(first.record.tokens, baseline.record.tokens);
+        assert_eq!(second.record.tokens, baseline.record.tokens);
+        let stats = pool.stats();
+        assert!(stats.share_hits > 0, "second run must match the prefix");
+        assert!(stats.shared_tokens > 0);
+        assert!(pool.hit_rate() > 0.0);
+        // The cached span skips most of prefill, so prompt processing
+        // finishes strictly earlier on the simulator's virtual clock.
+        assert!(second.record.prompt_done_at < first.record.prompt_done_at);
+    }
+
+    #[test]
+    fn pooled_real_runs_hit_shared_prefix_and_stay_byte_identical() {
+        let mode = real_mode(17);
+        let config = GenConfig::small_test(vec![3, 1, 4, 1, 5, 9, 2, 6], 8);
+        let deployment = Deployment::new(IterativeStrategy);
+        let baseline = deployment.prepare(&mode, 2).run(&config);
+        let pool = KvPagePool::new(KvPoolConfig {
+            tokens_per_page: 4,
+            n_pages: 32,
+        });
+        let pooled = deployment.prepare(&mode, 2).with_kv_pool(Arc::clone(&pool));
+        let first = pooled.run(&config);
+        let second = pooled.run(&config);
+        assert!(first.completed && second.completed);
+        // Attached pages hold bitwise-identical K/V to recomputation, so the
+        // paged second run reproduces the flat baseline exactly.
+        assert_eq!(first.record.tokens, baseline.record.tokens);
+        assert_eq!(second.record.tokens, baseline.record.tokens);
+        let stats = pool.stats();
+        assert!(
+            stats.share_hits > 0,
+            "real-mode prefix must hit once every stage committed: {stats:?}"
+        );
+        assert!(stats.pages_committed > 0);
+    }
+
+    #[test]
+    fn pool_exhaustion_refuses_then_run_falls_back() {
+        let config = GenConfig {
+            prompt: vec![7; 12],
+            n_generate: 16,
+            max_draft: 4,
+            confidence_cutoff: 0.4,
+            kv_capacity: 4096,
+        };
+        let pool = KvPagePool::new(KvPoolConfig {
+            tokens_per_page: 4,
+            n_pages: 2,
+        });
+        let prepared = Deployment::new(IterativeStrategy)
+            .prepare(&sim_mode(4), 4)
+            .with_kv_pool(Arc::clone(&pool));
+        let err = prepared
+            .try_run(&config)
+            .expect_err("12 prompt + 16 generated tokens cannot fit 2 pages");
+        assert!(err.needed_pages > err.free_pages);
+        // The infallible path degrades to an isolated flat-cache run.
+        let out = prepared.run(&config);
+        assert!(out.completed);
+        assert_eq!(out.record.tokens.len(), 16);
+        assert_eq!(pool.stats().refusals, 2);
+    }
+
+    #[test]
     fn take_drafter_panics_without_drafter_declaration() {
         let splits = vec![0..1; 1];
         let mut parts = HeadParts {
@@ -919,6 +1172,7 @@ mod tests {
             drafter: None,
             gen_config: GenConfig::small_test(vec![1], 1),
             record: Arc::new(Mutex::new(None)),
+            prompt_cached: 0,
         };
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let _ = parts.take_drafter();

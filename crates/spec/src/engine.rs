@@ -15,11 +15,37 @@
 //!   70B–180B scale.
 
 use crate::message::{ActivationPayload, CacheOp};
-use pi_model::{Batch, KvCache, Model, OracleTarget, Sampler, ScratchArena, Token};
+use pi_model::kv_pool::KvPagePool;
+use pi_model::{
+    Batch, KvCache, KvCacheEvents, Model, OracleTarget, Pos, Sampler, ScratchArena, Token,
+};
 use pi_perf::{CostModel, ModelCost};
 use std::ops::Range;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Per-request prefix-cache plan handed to real engines when the deployment
+/// owns a [`KvPagePool`]: which pool ticket the request runs under, the full
+/// prompt, and how many leading tokens are served from committed pool pages
+/// instead of prefill.
+///
+/// Engines built with a plan use **paged** KV caches, attach the pinned
+/// prefix chain for their own layer range before the first evaluation, and
+/// commit their stage's frozen prompt pages back into the pool once the
+/// prompt has been evaluated (idempotent — concurrent requests with the same
+/// prefix merge on the pool's radix tree).
+#[derive(Clone)]
+pub struct PrefixPlan {
+    /// The deployment-owned page pool.
+    pub pool: Arc<KvPagePool>,
+    /// Ticket returned by [`KvPagePool::begin_request`] for this request.
+    pub ticket: u64,
+    /// The request's full prompt.
+    pub prompt: Vec<Token>,
+    /// Leading prompt tokens attached from the pool (already clamped so at
+    /// least one prompt token is always evaluated).
+    pub cached_tokens: usize,
+}
 
 /// Evaluation engine of a (non-head) pipeline stage.
 pub trait StageEngine: Send {
@@ -36,6 +62,13 @@ pub trait StageEngine: Send {
     /// their layer *count* and report `[0, n_layers)`.
     fn layer_span(&self) -> (u32, u32) {
         (0, 0)
+    }
+
+    /// Drains the paged KV-cache event counters accumulated since the last
+    /// call, so the owning behavior can surface them as trace events and
+    /// `NodeStats` counters.  Default (sim engines, flat caches): no events.
+    fn take_kv_events(&mut self) -> KvCacheEvents {
+        KvCacheEvents::default()
     }
 }
 
@@ -82,6 +115,74 @@ pub trait HeadEngine: Send {
 
     /// Applies a KV-cache operation on the head's own cache.
     fn apply_cache_op(&mut self, op: &CacheOp) -> f64;
+
+    /// Drains the paged KV-cache event counters accumulated since the last
+    /// call (see [`StageEngine::take_kv_events`]).  Default: no events.
+    fn take_kv_events(&mut self) -> KvCacheEvents {
+        KvCacheEvents::default()
+    }
+}
+
+/// A real engine's pooled-cache bookkeeping: the request's plan, this
+/// stage's pool identity, and whether the stage has committed its prompt
+/// pages yet.
+struct PooledState {
+    plan: PrefixPlan,
+    key: (usize, usize),
+    committed: bool,
+}
+
+/// Builds a real engine's KV cache: paged + prefix-attached when the request
+/// runs under a pool plan, the classic flat cache otherwise.
+fn build_real_cache(
+    model: &Model,
+    layers: &Range<usize>,
+    kv_capacity: usize,
+    plan: Option<&PrefixPlan>,
+) -> (KvCache, Option<PooledState>) {
+    match plan {
+        None => (model.new_cache_for_layers(layers, kv_capacity), None),
+        Some(plan) => {
+            let tpp = plan.pool.config().tokens_per_page;
+            let mut cache = model.new_paged_cache_for_layers(layers, kv_capacity, tpp);
+            let key = (layers.start, layers.end);
+            if plan.cached_tokens > 0 {
+                let pages = plan.pool.pinned_pages(plan.ticket, key);
+                cache.attach_prefix(0, &pages, plan.cached_tokens);
+            }
+            (
+                cache,
+                Some(PooledState {
+                    plan: plan.clone(),
+                    key,
+                    committed: false,
+                }),
+            )
+        }
+    }
+}
+
+/// After an evaluation that covered the tail of the prompt, freezes the full
+/// prompt pages of this stage and commits them into the pool (once).
+fn maybe_commit_prompt(cache: &mut KvCache, pooled: &mut Option<PooledState>, batch: &Batch) {
+    let Some(state) = pooled else {
+        return;
+    };
+    if state.committed {
+        return;
+    }
+    let prompt_len = state.plan.prompt.len();
+    let covers_prompt = batch.max_pos().is_some_and(|p| p + 1 >= prompt_len as Pos);
+    if !covers_prompt {
+        return;
+    }
+    let pages = cache.freeze_prefix(prompt_len);
+    state.plan.pool.commit_chain(
+        state.plan.ticket,
+        &state.plan.prompt,
+        Some((state.key, &pages)),
+    );
+    state.committed = true;
 }
 
 fn apply_op(cache: &mut KvCache, op: &CacheOp) {
@@ -119,19 +220,35 @@ pub struct RealStageEngine {
     /// Long-lived forward-pass temporaries, reused across every token this
     /// stage ever evaluates (see `pi_model::ScratchArena`).
     scratch: ScratchArena,
+    /// Present when the request runs under a KV page pool.
+    pooled: Option<PooledState>,
 }
 
 impl RealStageEngine {
     /// Creates a stage engine for global layers `layers` of `model` with a
     /// KV cache of `kv_capacity` cells.
     pub fn new(model: Arc<Model>, layers: Range<usize>, kv_capacity: usize) -> Self {
-        let cache = model.new_cache_for_layers(&layers, kv_capacity);
+        Self::new_with_plan(model, layers, kv_capacity, None)
+    }
+
+    /// [`RealStageEngine::new`] under an optional prefix-cache plan: with a
+    /// plan the cache is paged, the stage's pinned prefix pages are attached
+    /// before the first evaluation, and the prompt pages are committed back
+    /// into the pool after prefill.
+    pub fn new_with_plan(
+        model: Arc<Model>,
+        layers: Range<usize>,
+        kv_capacity: usize,
+        plan: Option<&PrefixPlan>,
+    ) -> Self {
+        let (cache, pooled) = build_real_cache(&model, &layers, kv_capacity, plan);
         let scratch = ScratchArena::for_config(model.config());
         Self {
             model,
             layers,
             cache,
             scratch,
+            pooled,
         }
     }
 
@@ -160,6 +277,7 @@ impl StageEngine for RealStageEngine {
                 &mut self.scratch,
             )
             .expect("layer-range evaluation failed");
+        maybe_commit_prompt(&mut self.cache, &mut self.pooled, batch);
         (ActivationPayload::Real(out), start.elapsed().as_secs_f64())
     }
 
@@ -171,6 +289,10 @@ impl StageEngine for RealStageEngine {
 
     fn layer_span(&self) -> (u32, u32) {
         (self.layers.start as u32, self.layers.end as u32)
+    }
+
+    fn take_kv_events(&mut self) -> KvCacheEvents {
+        self.cache.take_events()
     }
 }
 
@@ -185,18 +307,32 @@ pub struct RealHeadEngine {
     /// Long-lived forward-pass temporaries, reused across every token the
     /// head ever evaluates.
     scratch: ScratchArena,
+    /// Present when the request runs under a KV page pool.
+    pooled: Option<PooledState>,
 }
 
 impl RealHeadEngine {
     /// Creates the head engine for global layers `layers` of `model`.
     pub fn new(model: Arc<Model>, layers: Range<usize>, kv_capacity: usize) -> Self {
-        let cache = model.new_cache_for_layers(&layers, kv_capacity);
+        Self::new_with_plan(model, layers, kv_capacity, None)
+    }
+
+    /// [`RealHeadEngine::new`] under an optional prefix-cache plan (see
+    /// [`RealStageEngine::new_with_plan`]).
+    pub fn new_with_plan(
+        model: Arc<Model>,
+        layers: Range<usize>,
+        kv_capacity: usize,
+        plan: Option<&PrefixPlan>,
+    ) -> Self {
+        let (cache, pooled) = build_real_cache(&model, &layers, kv_capacity, plan);
         let scratch = ScratchArena::for_config(model.config());
         Self {
             model,
             layers,
             cache,
             scratch,
+            pooled,
         }
     }
 
@@ -222,6 +358,7 @@ impl HeadEngine for RealHeadEngine {
                 &mut self.scratch,
             )
             .expect("head layer-range evaluation failed");
+        maybe_commit_prompt(&mut self.cache, &mut self.pooled, batch);
         (ActivationPayload::Real(out), start.elapsed().as_secs_f64())
     }
 
@@ -248,6 +385,10 @@ impl HeadEngine for RealHeadEngine {
         let start = Instant::now();
         apply_op(&mut self.cache, op);
         start.elapsed().as_secs_f64()
+    }
+
+    fn take_kv_events(&mut self) -> KvCacheEvents {
+        self.cache.take_events()
     }
 }
 

@@ -9,6 +9,7 @@
 use crate::engine::HeadEngine;
 use crate::message::{tags, ActivationPayload, PipeMsg, RunId, RunKind};
 use crate::route::PipelineRoute;
+use crate::worker::record_kv_events;
 use crate::{GenConfig, GenerationRecord};
 use pi_cluster::{NodeBehavior, NodeCtx, Rank, Tag};
 use pi_model::{Batch, Pos, Token};
@@ -30,6 +31,9 @@ pub struct IterativeHead {
     /// Tokens whose KV entries are (or are being) materialised, including the
     /// prompt.
     context: Vec<Token>,
+    /// Leading prompt tokens already resident in every stage's KV cache (via
+    /// a shared page pool); prefill covers only the remaining suffix.
+    prompt_cached: usize,
     /// Sampled but not yet evaluated token.
     pending: Token,
     in_flight: Option<(RunId, Batch)>,
@@ -54,6 +58,7 @@ impl IterativeHead {
             config,
             phase: Phase::Prompt,
             context: Vec::new(),
+            prompt_cached: 0,
             pending: 0,
             in_flight: None,
             next_run_id: 0,
@@ -61,6 +66,14 @@ impl IterativeHead {
             output,
             finished: false,
         }
+    }
+
+    /// Declares that the leading `n` prompt tokens are already resident in
+    /// every stage's KV cache, so prefill starts at position `n`.  Clamped to
+    /// leave at least the final prompt token for live evaluation.
+    pub fn with_prompt_cached(mut self, n: usize) -> Self {
+        self.prompt_cached = n;
+        self
     }
 
     fn launch(&mut self, batch: Batch, ctx: &mut dyn NodeCtx<PipeMsg>) {
@@ -132,6 +145,7 @@ impl IterativeHead {
     fn finish(&mut self, ctx: &mut dyn NodeCtx<PipeMsg>) {
         self.phase = Phase::Done;
         self.record.finished_at = ctx.now();
+        record_kv_events(self.engine.take_kv_events(), ctx);
         if let Some(next) = self.route.next_after(self.route.head()) {
             ctx.send(next, tags::SHUTDOWN, PipeMsg::Shutdown);
         }
@@ -149,7 +163,9 @@ impl NodeBehavior<PipeMsg> for IterativeHead {
     fn on_start(&mut self, ctx: &mut dyn NodeCtx<PipeMsg>) {
         let prompt = self.config.prompt.clone();
         assert!(!prompt.is_empty(), "prompt must not be empty");
-        let batch = Batch::prompt(&prompt, 0, 0);
+        let cached = self.prompt_cached.min(prompt.len() - 1);
+        self.context.extend_from_slice(&prompt[..cached]);
+        let batch = Batch::prompt(&prompt[cached..], cached as Pos, 0);
         self.launch(batch, ctx);
     }
 

@@ -49,7 +49,8 @@ pub use deploy::{
 };
 pub use drafter::{Drafter, OracleDrafter, RealDrafter};
 pub use engine::{
-    HeadEngine, RealHeadEngine, RealStageEngine, SimHeadEngine, SimStageEngine, StageEngine,
+    HeadEngine, PrefixPlan, RealHeadEngine, RealStageEngine, SimHeadEngine, SimStageEngine,
+    StageEngine,
 };
 pub use message::{ActivationPayload, CacheOp, PipeMsg, RunId, RunKind, TreeTopology};
 pub use route::PipelineRoute;

@@ -12,6 +12,7 @@ use crate::engine::HeadEngine;
 use crate::message::{tags, ActivationPayload, CacheOp, PipeMsg, RunId, RunKind};
 use crate::route::PipelineRoute;
 use crate::verify::verify_greedy;
+use crate::worker::record_kv_events;
 use crate::{GenConfig, GenerationRecord};
 use pi_cluster::{NodeBehavior, NodeCtx, Rank, Tag};
 use pi_model::{Batch, Pos, Token};
@@ -33,6 +34,9 @@ pub struct SpeculativeHead {
     phase: Phase,
     /// Evaluated, accepted tokens (prompt included).
     context: Vec<Token>,
+    /// Leading prompt tokens already resident in every stage's KV cache (via
+    /// a shared page pool); prefill covers only the remaining suffix.
+    prompt_cached: usize,
     /// Sampled but not yet evaluated token.
     pending: Token,
     in_flight: Option<(RunId, Batch)>,
@@ -59,6 +63,7 @@ impl SpeculativeHead {
             config,
             phase: Phase::Prompt,
             context: Vec::new(),
+            prompt_cached: 0,
             pending: 0,
             in_flight: None,
             next_run_id: 0,
@@ -66,6 +71,14 @@ impl SpeculativeHead {
             output,
             finished: false,
         }
+    }
+
+    /// Declares that the leading `n` prompt tokens are already resident in
+    /// every stage's KV cache, so prefill starts at position `n`.  Clamped to
+    /// leave at least the final prompt token for live evaluation.
+    pub fn with_prompt_cached(mut self, n: usize) -> Self {
+        self.prompt_cached = n;
+        self
     }
 
     fn send_downstream(&self, ctx: &mut dyn NodeCtx<PipeMsg>, tag: Tag, msg: PipeMsg) {
@@ -187,6 +200,7 @@ impl SpeculativeHead {
     fn finish(&mut self, ctx: &mut dyn NodeCtx<PipeMsg>) {
         self.phase = Phase::Done;
         self.record.finished_at = ctx.now();
+        record_kv_events(self.engine.take_kv_events(), ctx);
         self.send_downstream(ctx, tags::SHUTDOWN, PipeMsg::Shutdown);
         *self.output.lock().unwrap() = Some(self.record.clone());
         self.finished = true;
@@ -202,7 +216,9 @@ impl NodeBehavior<PipeMsg> for SpeculativeHead {
     fn on_start(&mut self, ctx: &mut dyn NodeCtx<PipeMsg>) {
         let prompt = self.config.prompt.clone();
         assert!(!prompt.is_empty(), "prompt must not be empty");
-        let batch = Batch::prompt(&prompt, 0, 0);
+        let cached = self.prompt_cached.min(prompt.len() - 1);
+        self.context.extend_from_slice(&prompt[..cached]);
+        let batch = Batch::prompt(&prompt[cached..], cached as Pos, 0);
         self.launch(batch, RunKind::NonSpeculative, ctx);
     }
 

@@ -33,6 +33,7 @@ use crate::engine::HeadEngine;
 use crate::message::{tags, ActivationPayload, CacheOp, PipeMsg, RunId, RunKind, TreeTopology};
 use crate::route::PipelineRoute;
 use crate::verify::verify_tree;
+use crate::worker::record_kv_events;
 use crate::{GenConfig, GenerationRecord, HeadParts, RecordHandle, Strategy};
 use pi_cluster::{NodeBehavior, NodeCtx, Rank, Tag};
 use pi_model::{Batch, Pos, SeqId, Token, TokenTree};
@@ -252,6 +253,9 @@ pub struct TreeSpecHead {
     phase: Phase,
     /// Evaluated, accepted tokens (prompt included).
     context: Vec<Token>,
+    /// Leading prompt tokens already resident in every stage's KV cache (via
+    /// a shared page pool); prefill covers only the remaining suffix.
+    prompt_cached: usize,
     /// Sampled but not yet evaluated token.
     pending: Token,
     in_flight: Option<InFlight>,
@@ -287,6 +291,7 @@ impl TreeSpecHead {
             shape,
             phase: Phase::Prompt,
             context: Vec::new(),
+            prompt_cached: 0,
             pending: 0,
             in_flight: None,
             next_run_id: 0,
@@ -301,6 +306,14 @@ impl TreeSpecHead {
 
     fn with_feedback(mut self, feedback: Arc<Mutex<ShapeFeedback>>) -> Self {
         self.feedback = Some(feedback);
+        self
+    }
+
+    /// Declares that the leading `n` prompt tokens are already resident in
+    /// every stage's KV cache, so prefill starts at position `n`.  Clamped to
+    /// leave at least the final prompt token for live evaluation.
+    pub fn with_prompt_cached(mut self, n: usize) -> Self {
+        self.prompt_cached = n;
         self
     }
 
@@ -515,6 +528,7 @@ impl TreeSpecHead {
     fn finish(&mut self, ctx: &mut dyn NodeCtx<PipeMsg>) {
         self.phase = Phase::Done;
         self.record.finished_at = ctx.now();
+        record_kv_events(self.engine.take_kv_events(), ctx);
         self.send_downstream(ctx, tags::SHUTDOWN, PipeMsg::Shutdown);
         let observations = self.total_accepted + self.total_rejections;
         if let (Some(feedback), true) = (&self.feedback, observations > 0) {
@@ -532,7 +546,9 @@ impl NodeBehavior<PipeMsg> for TreeSpecHead {
     fn on_start(&mut self, ctx: &mut dyn NodeCtx<PipeMsg>) {
         let prompt = self.config.prompt.clone();
         assert!(!prompt.is_empty(), "prompt must not be empty");
-        let batch = Batch::prompt(&prompt, 0, 0);
+        let cached = self.prompt_cached.min(prompt.len() - 1);
+        self.context.extend_from_slice(&prompt[..cached]);
+        let batch = Batch::prompt(&prompt[cached..], cached as Pos, 0);
         let run_id = self.next_run_id;
         self.next_run_id += 1;
         let in_flight = InFlight {
@@ -623,7 +639,8 @@ impl Strategy for TreeSpeculationStrategy {
                 prior,
                 parts.record,
             )
-            .with_feedback(Arc::clone(&self.feedback)),
+            .with_feedback(Arc::clone(&self.feedback))
+            .with_prompt_cached(parts.prompt_cached),
         )
     }
 }

@@ -12,7 +12,43 @@ use crate::engine::StageEngine;
 use crate::message::{tags, ActivationPayload, PipeMsg, RunId, RunKind, TreeTopology};
 use crate::route::PipelineRoute;
 use pi_cluster::{trace_if, EventKind, NodeBehavior, NodeCtx, Rank, Tag};
+use pi_model::KvCacheEvents;
 use std::collections::HashSet;
+
+/// Drains paged-KV counters accumulated by an engine's cache into the
+/// driver's per-rank statistics and the structured trace.  No-op (and no
+/// trace records) for engines on flat caches, whose counters stay zero.
+pub fn record_kv_events(ev: KvCacheEvents, ctx: &mut dyn NodeCtx<PipeMsg>) {
+    if !ev.any() {
+        return;
+    }
+    ctx.record_kv_pages(
+        ev.page_alloc,
+        ev.page_share_hit,
+        ev.page_cow,
+        ev.page_release,
+    );
+    if ev.page_alloc > 0 {
+        trace_if(ctx, || EventKind::PageAlloc {
+            n: ev.page_alloc as u32,
+        });
+    }
+    if ev.page_share_hit > 0 {
+        trace_if(ctx, || EventKind::PageShareHit {
+            n: ev.page_share_hit as u32,
+        });
+    }
+    if ev.page_cow > 0 {
+        trace_if(ctx, || EventKind::PageCow {
+            n: ev.page_cow as u32,
+        });
+    }
+    if ev.page_release > 0 {
+        trace_if(ctx, || EventKind::PageEvict {
+            n: ev.page_release as u32,
+        });
+    }
+}
 
 /// A pipeline stage rank.
 pub struct PipelineWorker {
@@ -98,6 +134,7 @@ impl NodeBehavior<PipeMsg> for PipelineWorker {
                 } else {
                     let (out, cost) = self.engine.eval(&batch, &payload);
                     ctx.elapse(cost);
+                    record_kv_events(self.engine.take_kv_events(), ctx);
                     self.evaluated_runs += 1;
                     let (layer_lo, layer_hi) = self.engine.layer_span();
                     let batch_len = batch.len() as u32;
@@ -123,6 +160,7 @@ impl NodeBehavior<PipeMsg> for PipelineWorker {
             PipeMsg::Cache(op) => {
                 let cost = self.engine.apply_cache_op(&op);
                 ctx.elapse(cost);
+                record_kv_events(self.engine.take_kv_events(), ctx);
                 if let Some(next) = self.route.next_after(self.rank) {
                     ctx.send(next, tags::CACHE, PipeMsg::Cache(op));
                 }

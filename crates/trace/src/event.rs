@@ -124,6 +124,18 @@ pub enum EventKind {
     /// Nothing survived; the partition block rolled back wholesale.
     BranchRollback { first: u32, n_seqs: u32 },
 
+    // ----- paged KV pool ----------------------------------------------------
+    /// A paged cache materialised `n` private pages on first write.
+    PageAlloc { n: u32 },
+    /// A request attached `n` committed pool pages instead of recomputing
+    /// the prefix they hold (prefix-cache hit).
+    PageShareHit { n: u32 },
+    /// `n` shared pages were cloned copy-on-write at a divergence point.
+    PageCow { n: u32 },
+    /// The pool evicted `n` refcount-0 pages (LRU) to admit a request, or a
+    /// cache released `n` fully-free pages at page granularity.
+    PageEvict { n: u32 },
+
     // ----- wire -------------------------------------------------------------
     /// A message left this rank.
     WireSend {
@@ -186,6 +198,10 @@ impl EventKind {
             EventKind::DraftDropped { .. } => "draft_dropped",
             EventKind::BranchCommit { .. } => "branch_commit",
             EventKind::BranchRollback { .. } => "branch_rollback",
+            EventKind::PageAlloc { .. } => "page_alloc",
+            EventKind::PageShareHit { .. } => "page_share_hit",
+            EventKind::PageCow { .. } => "page_cow",
+            EventKind::PageEvict { .. } => "page_evict",
             EventKind::WireSend { .. } => "wire_send",
             EventKind::WireRecv { .. } => "wire_recv",
             EventKind::RankFinished => "rank_finished",
@@ -256,6 +272,22 @@ mod tests {
         assert!(kinds.iter().all(|k| k.dur().is_none()));
         assert_eq!(FaultKind::Kill.name(), "kill");
         assert_ne!(FaultKind::Delay, FaultKind::Reorder);
+    }
+
+    #[test]
+    fn page_events_are_instants_with_stable_names() {
+        let kinds = [
+            EventKind::PageAlloc { n: 1 },
+            EventKind::PageShareHit { n: 2 },
+            EventKind::PageCow { n: 1 },
+            EventKind::PageEvict { n: 3 },
+        ];
+        let names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            vec!["page_alloc", "page_share_hit", "page_cow", "page_evict"]
+        );
+        assert!(kinds.iter().all(|k| k.dur().is_none()));
     }
 
     #[test]

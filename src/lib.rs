@@ -62,7 +62,10 @@ pub use pi_serve as serve;
 /// Convenience prelude with the types most programs need.
 pub mod prelude {
     pub use pi_cluster::{FaultPlan, HaltReason, KillTrigger, LinkFaults};
-    pub use pi_model::{Batch, ByteTokenizer, Model, ModelConfig, Token};
+    pub use pi_model::{
+        AdmissionRefusal, Batch, ByteTokenizer, KvPagePool, KvPoolConfig, KvPoolStats, Model,
+        ModelConfig, Token,
+    };
     pub use pi_perf::{ClusterSpec, InferenceStrategy, ModelPair};
     pub use pi_serve::{Request, ServeReport, Server, ServerConfig, WorkloadGen};
     pub use pi_spec::deploy::{
