@@ -30,7 +30,7 @@
 
 use crate::kv_cache::KvPage;
 use crate::Token;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
@@ -52,8 +52,10 @@ pub struct KvPoolConfig {
 
 impl KvPoolConfig {
     /// Reads the pool geometry from `PIPEINFER_KV_POOL_PAGES` and
-    /// `PIPEINFER_KV_PAGE_TOKENS` (the latter defaults to 16).  Returns
-    /// `None` when `PIPEINFER_KV_POOL_PAGES` is unset — the pool is opt-in.
+    /// `PIPEINFER_KV_PAGE_TOKENS` (the latter defaults to 16; unparsable or
+    /// zero values fall back to the default rather than panicking later in
+    /// [`KvPagePool::new`]).  Returns `None` when `PIPEINFER_KV_POOL_PAGES`
+    /// is unset — the pool is opt-in.
     pub fn from_env() -> Option<Self> {
         let n_pages: usize = std::env::var("PIPEINFER_KV_POOL_PAGES")
             .ok()?
@@ -62,6 +64,7 @@ impl KvPoolConfig {
         let tokens_per_page = std::env::var("PIPEINFER_KV_PAGE_TOKENS")
             .ok()
             .and_then(|v| v.parse().ok())
+            .filter(|&t| t >= 1)
             .unwrap_or(16);
         Some(Self {
             tokens_per_page,
@@ -157,6 +160,11 @@ struct PoolInner {
     clock: u64,
     next_ticket: u64,
     tickets: HashMap<u64, TicketState>,
+    /// Refcount-0 committed leaves keyed by `(last_use, index)`: the LRU
+    /// eviction frontier, maintained incrementally at every refcount /
+    /// child-list / stamp mutation so `make_room` pops victims in `O(log n)`
+    /// instead of rescanning every node per freed page.
+    evictable: BTreeSet<(u64, usize)>,
     stats: KvPoolStats,
 }
 
@@ -191,24 +199,40 @@ impl PoolInner {
         })
     }
 
+    /// Re-evaluates `idx`'s membership in the eviction frontier after a
+    /// mutation of its refcount, child list or LRU stamp.  `old_last_use` is
+    /// the stamp the node carried before the mutation (its previous key in
+    /// the frontier, if it was there).
+    fn refresh_evictable(&mut self, idx: usize, old_last_use: u64) {
+        self.evictable.remove(&(old_last_use, idx));
+        let n = &self.nodes[idx];
+        if !n.chunk.is_empty() && n.refs == 0 && n.children.is_empty() {
+            self.evictable.insert((n.last_use, idx));
+        }
+    }
+
+    /// Pins `idx` against eviction and stamps its LRU clock.
+    fn pin(&mut self, idx: usize, clock: u64) {
+        let old = self.nodes[idx].last_use;
+        self.nodes[idx].refs += 1;
+        self.nodes[idx].last_use = clock;
+        self.refresh_evictable(idx, old);
+    }
+
+    /// Drops one pin from `idx`; a now-unpinned leaf rejoins the frontier.
+    fn unpin(&mut self, idx: usize) {
+        let old = self.nodes[idx].last_use;
+        self.nodes[idx].refs = self.nodes[idx].refs.saturating_sub(1);
+        self.refresh_evictable(idx, old);
+    }
+
     /// Evicts the least-recently-used refcount-0 leaf.  Returns false when
     /// every remaining node is pinned or interior.
     fn evict_one(&mut self) -> bool {
-        let victim = self
-            .nodes
-            .iter()
-            .enumerate()
-            .filter(|(i, n)| {
-                !n.chunk.is_empty()
-                    && n.refs == 0
-                    && n.children.is_empty()
-                    && !self.free_nodes.contains(i)
-            })
-            .min_by_key(|(_, n)| n.last_use)
-            .map(|(i, _)| i);
-        let Some(victim) = victim else {
+        let Some(&(stamp, victim)) = self.evictable.iter().next() else {
             return false;
         };
+        self.evictable.remove(&(stamp, victim));
         let parent = self.nodes[victim].parent;
         match parent {
             Some(p) => self.nodes[p].children.retain(|&c| c != victim),
@@ -222,6 +246,11 @@ impl PoolInner {
         self.free_nodes.push(victim);
         self.committed -= 1;
         self.stats.evictions += 1;
+        // Losing its last child may expose the parent as a new LRU leaf.
+        if let Some(p) = parent {
+            let lu = self.nodes[p].last_use;
+            self.refresh_evictable(p, lu);
+        }
         true
     }
 
@@ -259,11 +288,16 @@ impl PoolInner {
             }
         };
         match parent {
-            Some(p) => self.nodes[p].children.push(idx),
+            Some(p) => {
+                // Gaining a child removes the parent from the frontier.
+                self.evictable.remove(&(self.nodes[p].last_use, p));
+                self.nodes[p].children.push(idx);
+            }
             None => self.roots.push(idx),
         }
         self.committed += 1;
         self.stats.pages_committed += 1;
+        self.evictable.insert((self.nodes[idx].last_use, idx));
         idx
     }
 }
@@ -347,17 +381,21 @@ impl KvPagePool {
         let total_pages = (prompt.len() + extra_tokens).div_ceil(tpp);
         let new_pages = total_pages.saturating_sub(matched_pages);
 
+        // Pin the matched chain *before* making room: its nodes may carry
+        // stale LRU stamps, and eviction must never pick the very pages this
+        // request is about to attach.
+        for &n in &path {
+            inner.pin(n, clock);
+        }
         if let Err(free) = inner.make_room(new_pages, self.cfg.n_pages) {
+            for &n in &path {
+                inner.unpin(n);
+            }
             inner.stats.refusals += 1;
             return Err(AdmissionRefusal {
                 needed_pages: new_pages,
                 free_pages: free,
             });
-        }
-
-        for &n in &path {
-            inner.nodes[n].refs += 1;
-            inner.nodes[n].last_use = clock;
         }
         inner.reserved += new_pages;
         let id = inner.next_ticket;
@@ -444,6 +482,7 @@ impl KvPagePool {
                     inner.insert_node(parent, chunk.to_vec())
                 }
             };
+            let old_stamp = inner.nodes[node].last_use;
             inner.nodes[node].last_use = clock;
             if let Some((key, pages)) = stage {
                 if let Some(page) = pages.get(i) {
@@ -467,6 +506,7 @@ impl KvPagePool {
             if newly_pinned {
                 inner.nodes[node].refs += 1;
             }
+            inner.refresh_evictable(node, old_stamp);
             parent = Some(node);
         }
         inner.touch_stats();
@@ -480,7 +520,7 @@ impl KvPagePool {
             return;
         };
         for &n in &t.path {
-            inner.nodes[n].refs = inner.nodes[n].refs.saturating_sub(1);
+            inner.unpin(n);
         }
         inner.reserved -= t.reserved_left;
         inner.touch_stats();
@@ -580,6 +620,36 @@ mod tests {
         let t = pool.begin_request(&big, 0, &[]).unwrap();
         assert!(pool.stats().evictions >= 2);
         pool.end_request(t.id);
+    }
+
+    #[test]
+    fn admission_never_evicts_its_own_matched_chain() {
+        let pool = pool(4);
+        // Commit a 2-page shared chain, then a younger unrelated 1-page
+        // chain, both unpinned: the shared chain is the LRU entry.
+        let shared: Vec<Token> = (0..8).collect();
+        let a = pool.begin_request(&shared, 0, &[]).unwrap();
+        pool.commit_chain(a.id, &shared, None);
+        pool.end_request(a.id);
+        let other: Vec<Token> = (100..104).collect();
+        let b = pool.begin_request(&other, 0, &[]).unwrap();
+        pool.commit_chain(b.id, &other, None);
+        pool.end_request(b.id);
+        assert_eq!(pool.stats().pages_in_use, 3);
+        // A request matching the stale-stamped shared chain and needing two
+        // more pages must evict the unrelated leaf, never its own match.
+        let grown: Vec<Token> = (0..12).collect();
+        let t = pool.begin_request(&grown, 4, &[]).unwrap();
+        assert_eq!(t.cached_tokens, 8, "the matched span survives eviction");
+        assert_eq!(pool.stats().evictions, 1);
+        pool.end_request(t.id);
+        // The shared chain is intact; the unrelated one was the victim.
+        let c = pool.begin_request(&shared, 0, &[]).unwrap();
+        assert_eq!(c.cached_tokens, 8);
+        pool.end_request(c.id);
+        let d = pool.begin_request(&other, 0, &[]).unwrap();
+        assert_eq!(d.cached_tokens, 0);
+        pool.end_request(d.id);
     }
 
     #[test]

@@ -19,8 +19,9 @@ pub struct ServeReport {
     strategy: String,
     window: usize,
     completions: Vec<Completion>,
-    /// Snapshot of the deployment's KV page pool after the stream's
-    /// admission pre-pass, when the server runs over a pool.
+    /// Snapshot of the deployment's KV page pool after the stream completed,
+    /// when the server runs over a pool: the `Sim`-mode admission pre-pass's
+    /// deterministic counters, or the physical reuse `Real` runs performed.
     kv_pool: Option<KvPoolStats>,
 }
 

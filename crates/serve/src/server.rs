@@ -120,21 +120,30 @@ impl Server {
 
         let exec_order = crate::scheduler::admission_order(&requests);
 
-        // Phase 0 — deterministic KV-pool admission pre-pass.  When the
-        // prepared deployment owns a page pool, walk the admission stream
-        // *sequentially* in admission order performing each request's pool
-        // lifecycle (admit, match the longest committed prefix, commit the
-        // prompt chain) while keeping at most `window` requests pinned — the
-        // pool occupancy an online server with this in-flight bound would
-        // see.  Concurrent phase-1 execution then replays the pre-computed
-        // cached spans, so prefix hit rates, refusals and (in `Sim` mode)
-        // every latency figure are bit-reproducible regardless of thread
-        // timing.  Refused requests still execute — on isolated flat caches
-        // with no cached span — and surface in the report's refusal column.
+        // Phase 0 — deterministic KV-pool admission pre-pass (`Sim` mode
+        // only).  When the prepared deployment owns a page pool, walk the
+        // admission stream *sequentially* in admission order performing each
+        // request's pool lifecycle (admit, match the longest committed
+        // prefix, commit the prompt chain) while keeping at most `window`
+        // requests pinned — the pool occupancy an online server with this
+        // in-flight bound would see.  Concurrent phase-1 execution then
+        // replays the pre-computed cached spans, so prefix hit rates,
+        // refusals and every latency figure are bit-reproducible regardless
+        // of thread timing.  Refused requests still execute — on isolated
+        // flat caches with no cached span — and surface in the report's
+        // refusal column.
+        //
+        // `Real` mode skips the pre-pass: its runs ignore externally computed
+        // spans (no physical pages back them), so pre-pass counters would
+        // claim prefill reuse that never happened.  Instead each `Real` run
+        // goes through the deployment's own pooled path, which admits,
+        // attaches committed stage pages, and commits physical chains — the
+        // pool stats attached below then reflect genuine reuse.
         let pool = self.prepared.kv_pool().cloned();
+        let sim_spans = pool.is_some() && matches!(self.prepared.mode(), ExecutionMode::Sim { .. });
         let prefix_cached = match &pool {
-            Some(pool) => pool_admission_spans(pool, &requests, &exec_order, window),
-            None => vec![0; n],
+            Some(pool) if sim_spans => pool_admission_spans(pool, &requests, &exec_order, window),
+            _ => vec![0; n],
         };
 
         // Phase 1 — execute every request over the shared prepared
@@ -153,14 +162,14 @@ impl Server {
                     let idx = exec_order[k];
                     let wall_start = self.clock.now();
                     let gen = &requests[idx].gen;
-                    let out = match (&pool, self.trace) {
-                        (Some(_), Some(cfg)) => {
+                    let out = match (sim_spans, self.trace) {
+                        (true, Some(cfg)) => {
                             self.prepared
                                 .run_prefix_cached_traced(gen, prefix_cached[idx], cfg)
                         }
-                        (Some(_), None) => self.prepared.run_prefix_cached(gen, prefix_cached[idx]),
-                        (None, Some(cfg)) => self.prepared.run_traced(gen, cfg),
-                        (None, None) => self.prepared.run(gen),
+                        (true, None) => self.prepared.run_prefix_cached(gen, prefix_cached[idx]),
+                        (false, Some(cfg)) => self.prepared.run_traced(gen, cfg),
+                        (false, None) => self.prepared.run(gen),
                     };
                     let wall = (self.clock.now() - wall_start).max(0.0);
                     *outputs[idx].lock().unwrap() = Some((out, wall));
@@ -244,10 +253,11 @@ impl Server {
 /// (index-aligned with `requests`; `0` for refused requests).  Hit, eviction
 /// and refusal counts accumulate in `pool.stats()`.
 ///
-/// [`Server::serve_with`] uses this to pre-compute prefill-reuse spans so
-/// concurrent execution stays bit-reproducible; the serving bench reuses it
-/// to probe the largest sustainable window of a pool geometry without paying
-/// for model execution.
+/// [`Server::serve_with`] uses this (in `Sim` mode only — `Real` runs
+/// attach physical pages through the deployment's own pooled path instead)
+/// to pre-compute prefill-reuse spans so concurrent execution stays
+/// bit-reproducible; the serving bench reuses it to probe the largest
+/// sustainable window of a pool geometry without paying for model execution.
 pub fn pool_admission_spans(
     pool: &KvPagePool,
     requests: &[Request],
