@@ -47,12 +47,16 @@ const SWEEP_THREADS: [usize; 4] = [1, 2, 4, 8];
 fn bench_dense_matmul(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
     // m=1 is the decode path (the paper's per-token latency driver); m=4/8
-    // are speculative-verify micro-batches; 512 is the default bench width,
+    // are speculative-verify micro-batches; m=16/32 are cross-request forest
+    // batches (8 fused requests × chain/tree micro-batch rows — the
+    // iteration-level batching row counts); 512 is the default bench width,
     // 2048 a larger-model sanity point for the single-row case.
     for (m, k, n) in [
         (1usize, 512usize, 512usize),
         (4, 512, 512),
         (8, 512, 512),
+        (16, 512, 512),
+        (32, 512, 512),
         (1, 2048, 2048),
     ] {
         let x = Tensor::rand_uniform(&mut rng, &[m, k], 1.0);
@@ -72,7 +76,15 @@ fn bench_dense_matmul(c: &mut Criterion) {
 
 fn bench_quant_matmul(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
-    for (m, k, n) in [(1usize, 512usize, 512usize), (4, 512, 512)] {
+    // Same m ladder as the dense section: decode row, verify micro-batches,
+    // and the m=8/16/32 cross-request forest batches of the step loop.
+    for (m, k, n) in [
+        (1usize, 512usize, 512usize),
+        (4, 512, 512),
+        (8, 512, 512),
+        (16, 512, 512),
+        (32, 512, 512),
+    ] {
         let x = Tensor::rand_uniform(&mut rng, &[m, k], 1.0);
         let w = Tensor::rand_uniform(&mut rng, &[n, k], 1.0);
         let q = QuantizedMatrix::quantize(&w, QuantKind::Q4K).unwrap();

@@ -11,13 +11,16 @@
 //! beats linear speculation in accepted-tokens-per-verify, (b) the
 //! dedicated-draft-rank layout clears at least head-hosted
 //! accepted-tokens-per-second, both on the seeded 52 %-acceptance stream,
-//! and (c) asynchronous speculation beats synchronous verification at the
-//! high-latency end of the link-latency/jitter sweep (the CI regression
-//! gates).
+//! (c) asynchronous speculation beats synchronous verification at the
+//! high-latency end of the link-latency/jitter sweep, (d) prefix sharing
+//! cuts TTFT and sustains a larger refusal-free window, and (e)
+//! iteration-level cohort batching beats request-granularity decode on
+//! goodput while forming real cohorts (the CI regression gates).
 
 use pi_bench::{
-    draft_rank_gate_of, fig_draft_rank, fig_latency_sweep, fig_serving, fig_shared_prefix,
-    latency_tolerance_gate_of, tree_vs_linear_gate, BenchScale, ServingScale, SharedPrefixGate,
+    cohort_batching_gate_of, draft_rank_gate_of, fig_cohort_batching, fig_draft_rank,
+    fig_latency_sweep, fig_serving, fig_shared_prefix, latency_tolerance_gate_of,
+    tree_vs_linear_gate, BenchScale, CohortBatchingGate, ServingScale, SharedPrefixGate,
     LATENCY_MULTIPLIERS,
 };
 use pi_metrics::Figure;
@@ -29,7 +32,7 @@ const JSON_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_servin
 
 /// Flattens every figure's data points plus the shared-prefix gate numbers
 /// into `BENCH_serving.json`.
-fn write_json(figures: &[&Figure], gate: &SharedPrefixGate) {
+fn write_json(figures: &[&Figure], gate: &SharedPrefixGate, cohort: &CohortBatchingGate) {
     let mut rows: Vec<String> = Vec::new();
     for fig in figures {
         for point in fig.points() {
@@ -49,6 +52,15 @@ fn write_json(figures: &[&Figure], gate: &SharedPrefixGate) {
     ] {
         rows.push(format!(
             "  {{\"figure\": \"shared-prefix gate\", \"series\": \"paged kv pool\",              \"metric\": \"{metric}\", \"value\": {value:.6}}}"
+        ));
+    }
+    for (metric, value) in [
+        ("goodput fused tok/s", cohort.fused_goodput),
+        ("goodput unfused tok/s", cohort.unfused_goodput),
+        ("mean cohort width", cohort.mean_cohort_width),
+    ] {
+        rows.push(format!(
+            "  {{\"figure\": \"cohort-batching gate\", \"series\": \"step loop\", \"metric\": \"{metric}\", \"value\": {value:.6}}}"
         ));
     }
     let out = format!("[\n{}\n]\n", rows.join(",\n"));
@@ -146,10 +158,34 @@ fn main() {
         );
         println!("PIPEINFER_BENCH_ASSERT: shared-prefix TTFT + window — OK");
     }
+    let (cohort_fig, _) = fig_cohort_batching(scale);
+    println!("{}", cohort_fig.render());
+    let cohort_gate = cohort_batching_gate_of(&cohort_fig);
+    println!(
+        "cohort-batching gate (steady 8-request stream, identical traffic): \
+         fused {:.3} vs request-granularity {:.3} tok/s goodput | mean cohort width {:.2}",
+        cohort_gate.fused_goodput, cohort_gate.unfused_goodput, cohort_gate.mean_cohort_width,
+    );
+    if assert_gates {
+        assert!(
+            cohort_gate.fused_goodput > cohort_gate.unfused_goodput,
+            "iteration-level batching ({:.3} tok/s) must beat request-granularity \
+             decode ({:.3} tok/s) on the steady stream",
+            cohort_gate.fused_goodput,
+            cohort_gate.unfused_goodput,
+        );
+        assert!(
+            cohort_gate.mean_cohort_width > 2.0,
+            "the steady stream must form real cohorts (mean width {:.2} <= 2)",
+            cohort_gate.mean_cohort_width,
+        );
+        println!("PIPEINFER_BENCH_ASSERT: fused > request-granularity, width > 2 — OK");
+    }
     let mut json_figs: Vec<&Figure> = serving_figs.iter().collect();
     json_figs.push(&layout_fig);
     json_figs.push(&sweep_fig);
     json_figs.push(&prefix_fig);
-    write_json(&json_figs, &prefix_gate);
+    json_figs.push(&cohort_fig);
+    write_json(&json_figs, &prefix_gate, &cohort_gate);
     eprintln!("[{:6.1?}] serving figures done", start.elapsed());
 }

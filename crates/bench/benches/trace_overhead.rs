@@ -97,6 +97,7 @@ fn drive(ctx: &mut dyn NodeCtx<Msg>) {
             layer_lo: i,
             layer_hi: i + 20,
             batch: 4,
+            cohort: 1,
             dur: 0.001,
         });
         trace_if(ctx, || EventKind::WireSend {

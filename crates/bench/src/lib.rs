@@ -679,6 +679,96 @@ pub fn fig_shared_prefix(scale: BenchScale) -> (Figure, SharedPrefixGate) {
     (fig, gate)
 }
 
+/// Measurements behind the cohort-batching serving gate (see
+/// [`fig_cohort_batching`]).
+#[derive(Debug, Clone, Copy)]
+pub struct CohortBatchingGate {
+    /// Goodput serving the steady stream with iteration-level batching:
+    /// every decode step fuses all in-flight micro-batches into one forest
+    /// GEMM per stage.
+    pub fused_goodput: f64,
+    /// Goodput of the request-granularity baseline: the identical step loop
+    /// and admission schedule, but each request's micro-batch evaluated
+    /// alone (a full per-stage weight stream per request per iteration).
+    pub unfused_goodput: f64,
+    /// Mean requests fused per decode iteration on the fused path.
+    pub mean_cohort_width: f64,
+}
+
+/// The iteration-level batching experiment: one steady 8-request stream
+/// served twice over the same prepared PipeInfer deployment — once through
+/// [`Server::serve_stepped`] (cross-request forest GEMMs) and once through
+/// [`Server::serve_stepped_unfused`] (request-granularity decode, one weight
+/// stream per request per step).  Identical traffic, seed and admission
+/// schedule; per-request token streams are byte-identical by construction,
+/// so the entire goodput difference is the amortised weight stream.
+///
+/// The CI gate (the `serving` bench with `PIPEINFER_BENCH_ASSERT=1`) rides
+/// on the returned measurements: fused decode must beat the
+/// request-granularity baseline on goodput, and the stream must form real
+/// cohorts (mean width > 2).
+///
+/// [`Server::serve_stepped`]: pi_serve::Server::serve_stepped
+/// [`Server::serve_stepped_unfused`]: pi_serve::Server::serve_stepped_unfused
+pub fn fig_cohort_batching(scale: BenchScale) -> (Figure, CohortBatchingGate) {
+    use pi_serve::{Server, ServerConfig, SteadyWorkload, WorkloadGen};
+
+    let serving = ServingScale::from(scale);
+    let pair = ModelPair::dolphin_tinyllama();
+    // A dense steady stream: arrivals far tighter than service times, so the
+    // full window is in flight almost immediately and stays saturated.
+    let workload = SteadyWorkload {
+        base: GenConfig {
+            prompt: make_prompt(scale, 6),
+            n_generate: serving.n_generate,
+            max_draft: 4,
+            confidence_cutoff: 0.4,
+            kv_capacity: 8192,
+        },
+        n_requests: 8,
+        interarrival: 0.05,
+    };
+    let deployment = Deployment::new(PipeInferStrategy::new(PipeInferConfig::paper_default()));
+    let mode = sim_mode(&pair, ClusterSpec::cluster_c(serving.n_nodes));
+    let server = Server::new(
+        deployment.prepare(&mode, serving.n_nodes),
+        ServerConfig { max_in_flight: 8 },
+    );
+    let fused = server.serve_stepped(workload.generate());
+    let unfused = server.serve_stepped_unfused(workload.generate());
+
+    let mut fig = Figure::new(
+        "Serving (cohort batching)",
+        &format!(
+            "steady 8-request stream over {} nodes, fused forest vs request-granularity decode",
+            serving.n_nodes
+        ),
+        "tok/s | s",
+    );
+    fused.to_figure(&mut fig, "fused forest");
+    unfused.to_figure(&mut fig, "request-granularity");
+    let gate = CohortBatchingGate {
+        fused_goodput: fused.goodput(),
+        unfused_goodput: unfused.goodput(),
+        mean_cohort_width: fused.mean_cohort_width(),
+    };
+    (fig, gate)
+}
+
+/// The cohort-batching regression gate, read off an already-computed
+/// [`fig_cohort_batching`] figure.
+pub fn cohort_batching_gate_of(fig: &Figure) -> CohortBatchingGate {
+    let col = |series: &str, x: &str| {
+        fig.value(series, x)
+            .unwrap_or_else(|| panic!("figure is missing {series}/{x}"))
+    };
+    CohortBatchingGate {
+        fused_goodput: col("fused forest", "goodput tok/s"),
+        unfused_goodput: col("request-granularity", "goodput tok/s"),
+        mean_cohort_width: col("fused forest", "cohort width"),
+    }
+}
+
 /// The seeded 52 %-acceptance gate stream: mixed prompt/output lengths over
 /// the Goliath + XWin-7B pair, shared by [`tree_vs_linear_gate`],
 /// [`fig_draft_rank`] and [`draft_rank_gate`] so the figure and the CI gates
@@ -1083,12 +1173,13 @@ mod tests {
         let figs = fig_serving(tiny_scale());
         assert_eq!(figs.len(), 4, "one figure per strategy incl. tree");
         for fig in &figs {
-            // Three workload series, seventeen metric columns each (incl.
+            // Three workload series, eighteen metric columns each (incl.
             // the trace-derived bubble fraction, 0.0 for untraced serving,
-            // the failover count, 0 on fault-free streams, and the four
-            // KV-pool columns, 0 for pool-less serving).
+            // the failover count, 0 on fault-free streams, the four KV-pool
+            // columns, 0 for pool-less serving, and the cohort width, 0
+            // under request-granularity thread-pool serving).
             assert_eq!(fig.series_labels(), vec!["steady", "bursty", "mixed"]);
-            assert_eq!(fig.x_labels().len(), 17);
+            assert_eq!(fig.x_labels().len(), 18);
             for series in fig.series_labels() {
                 let goodput = fig.value(&series, "goodput tok/s").unwrap();
                 let p50 = fig.value(&series, "p50 e2e s").unwrap();
@@ -1195,6 +1286,30 @@ mod tests {
             dedicated >= head_hosted,
             "dedicated layout {dedicated} tok/s < head-hosted {head_hosted} tok/s"
         );
+    }
+
+    #[test]
+    fn cohort_batching_gate_fuses_and_wins() {
+        let (fig, gate) = fig_cohort_batching(tiny_scale());
+        // The gate can be read back off the figure's columns.
+        let from_fig = cohort_batching_gate_of(&fig);
+        assert_eq!(gate.fused_goodput, from_fig.fused_goodput);
+        assert_eq!(gate.unfused_goodput, from_fig.unfused_goodput);
+        assert_eq!(gate.mean_cohort_width, from_fig.mean_cohort_width);
+        assert!(
+            gate.fused_goodput > gate.unfused_goodput,
+            "fused {} tok/s <= request-granularity {} tok/s",
+            gate.fused_goodput,
+            gate.unfused_goodput
+        );
+        assert!(
+            gate.mean_cohort_width > 2.0,
+            "stream failed to form cohorts: width {}",
+            gate.mean_cohort_width
+        );
+        // Fusion never changes any stream: identical total tokens.
+        let tokens = |series: &str| fig.value(series, "goodput tok/s").unwrap() > 0.0;
+        assert!(tokens("fused forest") && tokens("request-granularity"));
     }
 
     #[test]

@@ -133,6 +133,12 @@ pub trait NodeCtx<M: WireMessage> {
     /// clones and page releases/evictions.  Accumulated into the
     /// `NodeStats::kv_*` counters; default no-op.
     fn record_kv_pages(&mut self, _allocated: u64, _share_hits: u64, _cows: u64, _evictions: u64) {}
+    /// Records that this rank evaluated one decode micro-batch fusing
+    /// `width` requests (batch lanes) and `rows` total batch rows through
+    /// its layer slice.  Accumulated into [`NodeStats::cohort_steps`],
+    /// [`NodeStats::cohort_width_sum`] and [`NodeStats::batched_rows`];
+    /// default no-op.
+    fn record_cohort_step(&mut self, _width: u64, _rows: u64) {}
     /// Asks the driver to re-invoke [`NodeBehavior::on_idle`] at time `at`
     /// even if no message has arrived by then — how a behavior arms a
     /// deadline (e.g. a draft-request timeout).  The simulator honors wake

@@ -122,6 +122,9 @@ struct SimCtx<M> {
     kv_page_share_hits: u64,
     kv_page_cows: u64,
     kv_page_evictions: u64,
+    cohort_steps: u64,
+    cohort_width_sum: u64,
+    batched_rows: u64,
     /// Earliest wake-up the behavior requested during this callback.  Wake
     /// requests last until the rank's next activation, then must be
     /// re-armed; the driver honors them only while a fault schedule is
@@ -150,6 +153,9 @@ impl<M> SimCtx<M> {
             kv_page_share_hits: 0,
             kv_page_cows: 0,
             kv_page_evictions: 0,
+            cohort_steps: 0,
+            cohort_width_sum: 0,
+            batched_rows: 0,
             wake: None,
             outgoing: Vec::new(),
             trace_on,
@@ -208,6 +214,11 @@ impl<M: WireMessage> NodeCtx<M> for SimCtx<M> {
         self.kv_page_share_hits += share_hits;
         self.kv_page_cows += cows;
         self.kv_page_evictions += evictions;
+    }
+    fn record_cohort_step(&mut self, width: u64, rows: u64) {
+        self.cohort_steps += 1;
+        self.cohort_width_sum += width;
+        self.batched_rows += rows;
     }
     fn request_wake(&mut self, at: SimTime) {
         self.wake = Some(match self.wake {
@@ -346,6 +357,9 @@ impl SimDriver {
             stats.nodes[r].kv_page_share_hits += ctx.kv_page_share_hits;
             stats.nodes[r].kv_page_cows += ctx.kv_page_cows;
             stats.nodes[r].kv_page_evictions += ctx.kv_page_evictions;
+            stats.nodes[r].cohort_steps += ctx.cohort_steps;
+            stats.nodes[r].cohort_width_sum += ctx.cohort_width_sum;
+            stats.nodes[r].batched_rows += ctx.batched_rows;
             if faults_armed {
                 wake[r] = ctx.wake;
             }
@@ -558,6 +572,9 @@ impl SimDriver {
             stats.nodes[r].kv_page_share_hits += ctx.kv_page_share_hits;
             stats.nodes[r].kv_page_cows += ctx.kv_page_cows;
             stats.nodes[r].kv_page_evictions += ctx.kv_page_evictions;
+            stats.nodes[r].cohort_steps += ctx.cohort_steps;
+            stats.nodes[r].cohort_width_sum += ctx.cohort_width_sum;
+            stats.nodes[r].batched_rows += ctx.batched_rows;
             if faults_armed {
                 wake[r] = ctx.wake;
             }

@@ -52,6 +52,17 @@ pub struct NodeStats {
     /// Pages this rank released or evicted at page granularity (fully-free
     /// private pages plus pool LRU evictions it triggered).
     pub kv_page_evictions: u64,
+    /// Decode micro-batches this rank evaluated through its layer slice —
+    /// one per `stage_forward`, whatever the cohort width.
+    pub cohort_steps: u64,
+    /// Sum over those steps of the number of requests (batch lanes) fused
+    /// into the step's forest batch; `cohort_width_sum / cohort_steps` is
+    /// the mean cohort width.  Thread-per-request serving counts width 1
+    /// everywhere; iteration-level batching counts the in-flight cohort.
+    pub cohort_width_sum: u64,
+    /// Total batch rows those steps pushed through the fused projections
+    /// and FFNs (each row shares the step's single weight stream).
+    pub batched_rows: u64,
 }
 
 impl NodeStats {
@@ -165,6 +176,29 @@ impl ClusterStats {
     pub fn total_kv_page_evictions(&self) -> u64 {
         self.nodes.iter().map(|n| n.kv_page_evictions).sum()
     }
+
+    /// Total decode micro-batches evaluated across all ranks.
+    pub fn total_cohort_steps(&self) -> u64 {
+        self.nodes.iter().map(|n| n.cohort_steps).sum()
+    }
+
+    /// Total batch rows pushed through fused stage forwards across all
+    /// ranks.
+    pub fn total_batched_rows(&self) -> u64 {
+        self.nodes.iter().map(|n| n.batched_rows).sum()
+    }
+
+    /// Mean number of requests fused per decode step across all ranks
+    /// (1.0 for thread-per-request serving, > 1 when iteration-level
+    /// batching actually fuses concurrent requests; 0 when no stage ever
+    /// ran).
+    pub fn mean_cohort_width(&self) -> f64 {
+        let steps = self.total_cohort_steps();
+        if steps == 0 {
+            return 0.0;
+        }
+        self.nodes.iter().map(|n| n.cohort_width_sum).sum::<u64>() as f64 / steps as f64
+    }
 }
 
 #[cfg(test)]
@@ -238,6 +272,21 @@ mod tests {
         assert_eq!(c.total_kv_page_share_hits(), 3);
         assert_eq!(c.total_kv_page_cows(), 2);
         assert_eq!(c.total_kv_page_evictions(), 5);
+    }
+
+    #[test]
+    fn cohort_aggregates() {
+        let mut c = ClusterStats::new(2);
+        assert_eq!(c.mean_cohort_width(), 0.0, "no steps yet");
+        c.nodes[0].cohort_steps = 3;
+        c.nodes[0].cohort_width_sum = 9;
+        c.nodes[0].batched_rows = 12;
+        c.nodes[1].cohort_steps = 1;
+        c.nodes[1].cohort_width_sum = 1;
+        c.nodes[1].batched_rows = 2;
+        assert_eq!(c.total_cohort_steps(), 4);
+        assert_eq!(c.total_batched_rows(), 14);
+        assert!((c.mean_cohort_width() - 2.5).abs() < 1e-12);
     }
 
     #[test]

@@ -149,6 +149,11 @@ impl<M: WireMessage> NodeCtx<M> for ThreadedCtx<M> {
         self.stats.kv_page_cows += cows;
         self.stats.kv_page_evictions += evictions;
     }
+    fn record_cohort_step(&mut self, width: u64, rows: u64) {
+        self.stats.cohort_steps += 1;
+        self.stats.cohort_width_sum += width;
+        self.stats.batched_rows += rows;
+    }
     fn trace_enabled(&self) -> bool {
         cfg!(feature = "trace") && self.buf.is_some()
     }

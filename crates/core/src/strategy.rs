@@ -19,8 +19,8 @@ use crate::head::{DraftSource, PipeInferHead};
 use crate::{DraftPlacement, PipeInferConfig};
 use pi_cluster::NodeBehavior;
 use pi_model::Model;
-use pi_spec::deploy::{build_drafter, ExecutionMode, HeadParts, Strategy};
-use pi_spec::{GenConfig, PipeMsg, PipelineRoute};
+use pi_spec::deploy::{build_drafter, ExecutionMode, HeadParts, StepProfile, Strategy};
+use pi_spec::{GenConfig, PipeMsg, PipelineRoute, TreeConfig};
 use std::ops::Range;
 
 /// The rank hosting the draft model in the paper's Fig. 3 layout.
@@ -80,6 +80,22 @@ impl Strategy for PipeInferStrategy {
         // fallback proposes exactly what the remote rank would have —
         // failover never changes the token stream.
         true
+    }
+
+    fn step_profile(&self) -> StepProfile {
+        // PipeInfer's continuous asynchronous speculation collapses to its
+        // synchronous per-step equivalent under a step session: greedy
+        // verification is lossless, so the stream is unchanged.  The micro
+        // shape carries over — tree micro-batches step as trees.
+        if self.config.micro_width > 1 {
+            StepProfile::Tree(TreeConfig {
+                max_width: self.config.micro_width,
+                window: self.config.shape_window,
+                ..TreeConfig::default()
+            })
+        } else {
+            StepProfile::Chain
+        }
     }
 
     fn route(&self, n_nodes: usize) -> PipelineRoute {

@@ -20,6 +20,14 @@ pub struct BatchEntry {
     pub seq_ids: Vec<SeqId>,
     /// Whether the model must return logits for this token.
     pub logits: bool,
+    /// KV-cache lane this entry is stored into and attends over.  Single
+    /// requests use lane 0 (the default everywhere); a *forest* batch built
+    /// by [`Batch::append_lane`] gives each fused request its own lane, so
+    /// positions and sequence ids are interpreted per lane and identical
+    /// (pos, seq) pairs in different lanes never alias.  Lanes are
+    /// process-local scheduling metadata: they are not serialized by
+    /// [`Batch::wire_bytes`] because forest batches never cross the wire.
+    pub lane: usize,
 }
 
 /// A batch of tokens submitted to the model as one evaluation.
@@ -54,14 +62,35 @@ impl Batch {
         b
     }
 
-    /// Appends a token to the batch.
+    /// Appends a token to the batch in lane 0.
     pub fn push(&mut self, token: Token, pos: Pos, seq_ids: Vec<SeqId>, logits: bool) {
         self.entries.push(BatchEntry {
             token,
             pos,
             seq_ids,
             logits,
+            lane: 0,
         });
+    }
+
+    /// Appends every entry of `sub` re-homed into `lane`, preserving order.
+    ///
+    /// This is how a cohort scheduler fuses per-request sub-batches into one
+    /// forest batch: each request keeps its own positions and sequence ids
+    /// (both are lane-local), and [`Batch::level_groups`] keeps same-lane
+    /// ordering constraints while treating cross-lane entries as
+    /// independent.
+    pub fn append_lane(&mut self, sub: &Batch, lane: usize) {
+        self.entries
+            .extend(sub.entries.iter().map(|e| BatchEntry { lane, ..e.clone() }));
+    }
+
+    /// One past the largest lane index in the batch (0 for an empty batch):
+    /// the minimum length of the per-lane cache slice a fused forward needs.
+    /// Cohort schedulers assign dense lanes, so this doubles as the cohort
+    /// width of a forest batch.
+    pub fn lane_count(&self) -> usize {
+        self.entries.iter().map(|e| e.lane + 1).max().unwrap_or(0)
     }
 
     /// Number of tokens in the batch.
@@ -126,14 +155,22 @@ impl Batch {
     /// the forward pass becomes one `m = len` GEMM that streams the weights
     /// once for the whole batch.  Pathological orderings fall back to more,
     /// smaller runs and stay correct.
+    ///
+    /// Entries in different **lanes** never conflict: each lane stores into
+    /// and attends over its own KV cache, so positions and sequence ids are
+    /// lane-local and a *forest* of per-request trees collapses into one run
+    /// exactly the way a single tree does — the cross-request fused GEMM of
+    /// iteration-level batching.
     pub fn level_groups(&self) -> Vec<std::ops::Range<usize>> {
         let mut groups = Vec::new();
         let mut start = 0;
         for j in 1..self.entries.len() {
             let e = &self.entries[j];
-            let conflict = self.entries[start..j]
-                .iter()
-                .any(|p| e.pos <= p.pos && e.seq_ids.iter().any(|s| p.seq_ids.contains(s)));
+            let conflict = self.entries[start..j].iter().any(|p| {
+                e.lane == p.lane
+                    && e.pos <= p.pos
+                    && e.seq_ids.iter().any(|s| p.seq_ids.contains(s))
+            });
             if conflict {
                 groups.push(start..j);
                 start = j;
@@ -256,5 +293,49 @@ mod tests {
         d.push(1, 9, vec![0], true);
         d.push(2, 3, vec![1], true);
         assert_eq!(d.level_groups(), vec![0..2]);
+    }
+
+    #[test]
+    fn forest_batch_collapses_across_lanes() {
+        // Two requests decoding the same (pos, seq) pair: fused into one
+        // forest batch they sit in different lanes, so the identical
+        // coordinates do not alias and the whole batch is one GEMM.
+        let mut f = Batch::new();
+        f.append_lane(&Batch::single(1, 5, 0), 0);
+        f.append_lane(&Batch::single(2, 5, 0), 1);
+        f.append_lane(&Batch::single(3, 5, 0), 2);
+        assert_eq!(f.level_groups(), vec![0..3]);
+        assert_eq!(f.lane_count(), 3);
+
+        // Same coordinates in the *same* lane still conflict.
+        let mut g = Batch::new();
+        g.append_lane(&Batch::single(1, 5, 0), 0);
+        g.append_lane(&Batch::single(2, 5, 0), 0);
+        assert_eq!(g.level_groups(), vec![0..1, 1..2]);
+    }
+
+    #[test]
+    fn append_lane_preserves_order_and_metadata() {
+        let mut tree = Batch::new();
+        tree.push(1, 10, vec![1, 2], false);
+        tree.push(2, 11, vec![1], true);
+        tree.push(3, 11, vec![2], true);
+        let mut forest = Batch::new();
+        forest.append_lane(&Batch::prompt(&[7, 8], 0, 0), 0);
+        forest.append_lane(&tree, 1);
+        assert_eq!(forest.len(), 5);
+        assert_eq!(forest.tokens(), vec![7, 8, 1, 2, 3]);
+        assert_eq!(forest.entries()[2].lane, 1);
+        assert_eq!(forest.entries()[2].seq_ids, vec![1, 2]);
+        // Prompt + whole tree fuse into a single run.
+        assert_eq!(forest.level_groups(), vec![0..5]);
+        // Lanes are process-local: wire size is unchanged by lane indices.
+        let mut flat = Batch::prompt(&[7, 8], 0, 0);
+        flat.push(1, 10, vec![1, 2], false);
+        flat.push(2, 11, vec![1], true);
+        flat.push(3, 11, vec![2], true);
+        assert_eq!(forest.wire_bytes(), flat.wire_bytes());
+        assert_eq!(flat.lane_count(), 1);
+        assert_eq!(Batch::new().lane_count(), 0);
     }
 }

@@ -197,9 +197,27 @@ impl Model {
     /// performs the same allocations in the same order, so cell indices agree
     /// across stages.
     pub fn alloc_cells(batch: &Batch, cache: &mut KvCache) -> Result<Vec<usize>, ModelError> {
+        Self::alloc_cells_multi(batch, &mut [cache])
+    }
+
+    /// [`Model::alloc_cells`] for a forest batch: entry `i` allocates its
+    /// cell from `caches[entry.lane]`, so each fused request's tokens land
+    /// in that request's own cache.  Allocation order is batch order, which
+    /// keeps cell indices deterministic per lane.
+    pub fn alloc_cells_multi(
+        batch: &Batch,
+        caches: &mut [&mut KvCache],
+    ) -> Result<Vec<usize>, ModelError> {
+        if batch.lane_count() > caches.len() {
+            return Err(ModelError::BadHidden(format!(
+                "batch uses {} lanes but only {} caches were provided",
+                batch.lane_count(),
+                caches.len()
+            )));
+        }
         let mut cells = Vec::with_capacity(batch.len());
         for e in batch.iter() {
-            let cell = cache
+            let cell = caches[e.lane]
                 .alloc(e.pos, &e.seq_ids)
                 .ok_or(ModelError::CacheFull)?;
             cells.push(cell);
@@ -257,6 +275,34 @@ impl Model {
         cells: &[usize],
         scratch: &mut ScratchArena,
     ) -> Result<Tensor, ModelError> {
+        self.forward_layer_range_multi(batch, hidden, layers, &mut [cache], cells, scratch)
+    }
+
+    /// [`Self::forward_layer_range_with`] over a *forest* batch: entry `i`
+    /// stores into and attends over `caches[entry.lane]`, so a cohort of
+    /// fused requests shares every projection/FFN GEMM (`m = Σ cohort
+    /// widths`, weights streamed once per step) while attention stays
+    /// per-sequence against each request's own — possibly pooled/paged —
+    /// cache.  With one cache and a lane-0 batch this is exactly
+    /// [`Self::forward_layer_range_with`]; each output row depends only on
+    /// its own input row and its own lane's cache, so fused rows are
+    /// bitwise identical to solo evaluation.
+    pub fn forward_layer_range_multi(
+        &self,
+        batch: &Batch,
+        hidden: &Tensor,
+        layers: Range<usize>,
+        caches: &mut [&mut KvCache],
+        cells: &[usize],
+        scratch: &mut ScratchArena,
+    ) -> Result<Tensor, ModelError> {
+        if batch.lane_count() > caches.len() {
+            return Err(ModelError::BadHidden(format!(
+                "batch uses {} lanes but only {} caches were provided",
+                batch.lane_count(),
+                caches.len()
+            )));
+        }
         if !scratch.fits(&self.cfg) {
             return Err(ModelError::BadHidden(format!(
                 "scratch arena sized for another model (d_model {} expected)",
@@ -296,7 +342,9 @@ impl Model {
         }
         let mut x = hidden.clone();
         for (local, global) in layers.clone().enumerate() {
-            self.forward_one_layer(batch, &groups, &mut x, global, local, cache, cells, scratch);
+            self.forward_one_layer(
+                batch, &groups, &mut x, global, local, caches, cells, scratch,
+            );
         }
         Ok(x)
     }
@@ -309,7 +357,7 @@ impl Model {
         x: &mut Tensor,
         global_layer: usize,
         local_layer: usize,
-        cache: &mut KvCache,
+        caches: &mut [&mut KvCache],
         cells: &[usize],
         scratch: &mut ScratchArena,
     ) {
@@ -355,6 +403,7 @@ impl Model {
                 // Single-token group: the GEMV path, no batching overhead.
                 let i = group.start;
                 let entry = &entries[i];
+                let cache = &mut *caches[entry.lane];
                 // --- Attention block ---
                 ops::rmsnorm_into(x.row(i).unwrap(), lw.attn_norm.data(), cfg.norm_eps, h);
                 ops::matvec_t_into(h, &lw.wq, q).unwrap();
@@ -433,10 +482,16 @@ impl Model {
                 );
                 let krow = &mut bk[r * kvd..(r + 1) * kvd];
                 ops::rope_inplace(krow, n_kv, hd, pos, cfg.rope_theta);
-                cache.store(local_layer, cells[i], krow, &bv[r * kvd..(r + 1) * kvd]);
+                caches[entries[i].lane].store(
+                    local_layer,
+                    cells[i],
+                    krow,
+                    &bv[r * kvd..(r + 1) * kvd],
+                );
             }
             for (r, i) in group.clone().enumerate() {
                 let entry = &entries[i];
+                let cache = &*caches[entry.lane];
                 cache.visible_cells_into(&entry.seq_ids, entry.pos, visible);
                 let arow = &mut battn[r * d..(r + 1) * d];
                 arow.fill(0.0);
@@ -807,6 +862,65 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn forest_batch_matches_solo_evaluation() {
+        // Two requests fused into one forest batch — each in its own lane
+        // with its own cache — must produce the same hidden states and
+        // logits as evaluating each request alone: every fused row depends
+        // only on its own input row and its own lane's cache.
+        let m = tiny_model(14);
+        let pa = [1u32, 2, 3];
+        let pb = [9u32, 8, 7, 6];
+
+        let solo = |prompt: &[u32]| {
+            let mut cache = m.new_cache_for_layers(&(0..4), 64);
+            let batch = Batch::prompt(prompt, 0, 0);
+            let cells = Model::alloc_cells(&batch, &mut cache).unwrap();
+            let hidden = m.embed(&batch);
+            let out = m
+                .forward_layer_range(&batch, &hidden, 0..4, &mut cache, &cells)
+                .unwrap();
+            m.logits(&out)
+        };
+        let la = solo(&pa);
+        let lb = solo(&pb);
+
+        let mut fa = m.new_cache_for_layers(&(0..4), 64);
+        let mut fb = m.new_cache_for_layers(&(0..4), 64);
+        let mut forest = Batch::new();
+        forest.append_lane(&Batch::prompt(&pa, 0, 0), 0);
+        forest.append_lane(&Batch::prompt(&pb, 0, 0), 1);
+        assert_eq!(forest.level_groups(), vec![0..7], "forest must fuse");
+        let mut caches: [&mut KvCache; 2] = [&mut fa, &mut fb];
+        let cells = Model::alloc_cells_multi(&forest, &mut caches).unwrap();
+        let hidden = m.embed(&forest);
+        let mut scratch = ScratchArena::for_config(m.config());
+        let out = m
+            .forward_layer_range_multi(&forest, &hidden, 0..4, &mut caches, &cells, &mut scratch)
+            .unwrap();
+        let fused = m.logits(&out);
+
+        for (row, expect) in (0..3).map(|r| (r, la.row(r).unwrap())) {
+            assert_eq!(fused.row(row).unwrap(), expect, "lane 0 row {row}");
+        }
+        for (row, expect) in (0..4).map(|r| (3 + r, lb.row(r).unwrap())) {
+            assert_eq!(fused.row(row).unwrap(), expect, "lane 1 row {row}");
+        }
+        // Each lane's cells landed in its own cache only.
+        assert_eq!(fa.used(), 3);
+        assert_eq!(fb.used(), 4);
+    }
+
+    #[test]
+    fn forest_batch_with_missing_cache_is_rejected() {
+        let m = tiny_model(15);
+        let mut forest = Batch::new();
+        forest.append_lane(&Batch::single(1, 0, 0), 0);
+        forest.append_lane(&Batch::single(2, 0, 0), 1);
+        let mut only = m.new_cache_for_layers(&(0..4), 8);
+        assert!(Model::alloc_cells_multi(&forest, &mut [&mut only]).is_err());
     }
 
     #[test]

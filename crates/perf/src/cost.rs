@@ -119,6 +119,42 @@ impl CostModel {
         (weight_stream + kv_stream).max(compute)
     }
 
+    /// Seconds to evaluate `n_layers` decoder layers over a *fused cohort*
+    /// batch: `groups` holds one `(batch_tokens, context_len)` pair per
+    /// fused request.  The weight stream is paid **once** for the whole
+    /// cohort — the entire point of iteration-level cross-request batching
+    /// on a bandwidth-bound node — while the KV stream and the FLOPs are
+    /// the sums of the per-request terms (each request's rows attend only
+    /// over that request's own context).  With a single group this is
+    /// exactly [`CostModel::layers_time`].
+    pub fn layers_time_grouped(
+        &self,
+        model: &ModelCost,
+        n_layers: usize,
+        groups: &[(usize, usize)],
+    ) -> f64 {
+        let rows: usize = groups.iter().map(|(b, _)| b).sum();
+        if n_layers == 0 || rows == 0 {
+            return 0.0;
+        }
+        let bw = self.node.mem_bandwidth_bps;
+        let flops = self.node.compute_flops;
+        let weight_stream = (n_layers as f64 * model.layer_weight_bytes as f64) / bw;
+        let kv_stream: f64 = groups
+            .iter()
+            .map(|&(batch_tokens, context_len)| {
+                (n_layers as f64
+                    * batch_tokens as f64
+                    * context_len as f64
+                    * model.kv_bytes_per_token_per_layer as f64)
+                    / bw
+            })
+            .sum();
+        let compute =
+            (n_layers as f64 * rows as f64 * model.cfg.layer_flops_per_token() as f64) / flops;
+        (weight_stream + kv_stream).max(compute)
+    }
+
     /// Seconds to run the embedding lookup and the output head for
     /// `batch_tokens` tokens (head-node work).
     pub fn io_time(&self, model: &ModelCost, batch_tokens: usize) -> f64 {
@@ -249,6 +285,35 @@ mod tests {
         assert_eq!(c.layers_time(&m, 0, 1, 128), 0.0);
         assert_eq!(c.layers_time(&m, 5, 0, 128), 0.0);
         assert_eq!(c.io_time(&m, 0), 0.0);
+    }
+
+    #[test]
+    fn grouped_time_amortizes_the_weight_stream() {
+        let m = dolphin();
+        let c = xeon_gold();
+        // One group degenerates to the plain per-request roofline.
+        assert_eq!(
+            c.layers_time_grouped(&m, 8, &[(2, 128)]),
+            c.layers_time(&m, 8, 2, 128)
+        );
+        assert_eq!(c.layers_time_grouped(&m, 8, &[]), 0.0);
+        assert_eq!(c.layers_time_grouped(&m, 0, &[(1, 0)]), 0.0);
+        // A fused cohort of 8 single-token requests streams the weights
+        // once; 8 solo evaluations stream them 8 times.  In the
+        // bandwidth-bound regime the fused step must cost far less than
+        // the sum of the solo steps, and no less than one of them.
+        let groups: Vec<(usize, usize)> = (0..8).map(|i| (1usize, 100 + i)).collect();
+        let fused = c.layers_time_grouped(&m, 8, &groups);
+        let solo_sum: f64 = groups
+            .iter()
+            .map(|&(b, ctx)| c.layers_time(&m, 8, b, ctx))
+            .sum();
+        let solo_max = groups
+            .iter()
+            .map(|&(b, ctx)| c.layers_time(&m, 8, b, ctx))
+            .fold(0.0, f64::max);
+        assert!(fused < 0.5 * solo_sum, "fused {fused} vs sum {solo_sum}");
+        assert!(fused >= solo_max, "fused {fused} vs max {solo_max}");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use crate::request::{Completion, RequestId};
 use pi_metrics::{Figure, Histogram, Summary};
 use pi_model::KvPoolStats;
+use pi_spec::SessionStats;
 use pi_trace::BubbleReport;
 use std::fmt::Write as _;
 
@@ -23,6 +24,10 @@ pub struct ServeReport {
     /// when the server runs over a pool: the `Sim`-mode admission pre-pass's
     /// deterministic counters, or the physical reuse `Real` runs performed.
     kv_pool: Option<KvPoolStats>,
+    /// Cohort accounting of the step loop, when the stream was served by
+    /// iteration-level batching ([`crate::Server::serve_stepped`]); `None`
+    /// under request-granularity thread-pool serving.
+    cohort: Option<SessionStats>,
 }
 
 impl ServeReport {
@@ -33,6 +38,7 @@ impl ServeReport {
             window,
             completions,
             kv_pool: None,
+            cohort: None,
         }
     }
 
@@ -40,6 +46,24 @@ impl ServeReport {
     pub(crate) fn with_kv_pool(mut self, stats: KvPoolStats) -> Self {
         self.kv_pool = Some(stats);
         self
+    }
+
+    /// Attaches the step loop's cohort accounting for this stream.
+    pub(crate) fn with_cohort(mut self, stats: SessionStats) -> Self {
+        self.cohort = Some(stats);
+        self
+    }
+
+    /// The step loop's cohort accounting, if the stream was served by
+    /// iteration-level batching.
+    pub fn cohort_stats(&self) -> Option<&SessionStats> {
+        self.cohort.as_ref()
+    }
+
+    /// Mean requests fused per decode iteration (zero under
+    /// request-granularity serving, where no forest batches exist).
+    pub fn mean_cohort_width(&self) -> f64 {
+        self.cohort.map_or(0.0, |s| s.mean_cohort_width())
     }
 
     /// The KV page pool's stats snapshot, if the stream was served over a
@@ -280,6 +304,7 @@ impl ServeReport {
         figure.push(series, "prefix hit", self.prefix_hit_rate());
         figure.push(series, "kv evicts", self.kv_evictions() as f64);
         figure.push(series, "kv refusals", self.kv_refusals() as f64);
+        figure.push(series, "cohort width", self.mean_cohort_width());
     }
 
     /// Renders a per-request table plus the aggregate line.
@@ -317,24 +342,77 @@ impl ServeReport {
             );
         }
         let e2e = self.e2e_summary();
-        let _ = writeln!(
+        let _ = write!(
             out,
-            "goodput {:.3} tok/s | e2e p50 {:.4} s p95 {:.4} s p99 {:.4} s | ttft p50 {:.4} s \
-             | accept {:.0}% | {:.2} tok/verify | tree util {:.0}% | draft {:.1} kB \
-             | {} evals saved by cancellation | bubble {:.0}% | {} failover(s)",
+            "goodput {:.3} tok/s | e2e p50 {:.4} s p95 {:.4} s p99 {:.4} s | ttft p50 {:.4} s",
             self.goodput(),
             e2e.p50,
             e2e.p95,
             e2e.p99,
             self.ttft_summary().p50,
-            self.mean_acceptance_rate() * 100.0,
-            self.mean_tokens_per_run(),
-            self.mean_tree_utilization() * 100.0,
-            self.total_draft_bytes() as f64 / 1e3,
-            self.total_cancellations_saved(),
-            self.mean_bubble_fraction() * 100.0,
-            self.total_failovers(),
         );
+        // Aggregate columns a stream never exercised render as `-` instead of
+        // a misleading zero: `accept` without a drafter, `tree util` for
+        // linear strategies, `draft kB` under head-hosted drafting, `bubble`
+        // without a recorder, `cohort width` under request-granularity
+        // serving, and so on.
+        let sums = |f: fn(&Completion) -> u64| self.completions.iter().map(f).sum::<u64>();
+        if sums(|c| c.output.record.drafted as u64) > 0 {
+            let _ = write!(out, " | accept {:.0}%", self.mean_acceptance_rate() * 100.0);
+        } else {
+            let _ = write!(out, " | accept -");
+        }
+        let _ = write!(out, " | {:.2} tok/verify", self.mean_tokens_per_run());
+        if sums(|c| (c.output.record.tree_rounds + c.output.record.tree_nodes) as u64) > 0 {
+            let _ = write!(
+                out,
+                " | tree util {:.0}%",
+                self.mean_tree_utilization() * 100.0
+            );
+        } else {
+            let _ = write!(out, " | tree util -");
+        }
+        if self.total_draft_bytes() > 0 {
+            let _ = write!(
+                out,
+                " | draft {:.1} kB",
+                self.total_draft_bytes() as f64 / 1e3
+            );
+        } else {
+            let _ = write!(out, " | draft -");
+        }
+        if self.total_cancellations_saved() > 0 {
+            let _ = write!(
+                out,
+                " | {} evals saved by cancellation",
+                self.total_cancellations_saved()
+            );
+        } else {
+            let _ = write!(out, " | cancel saved -");
+        }
+        if self.completions.iter().any(|c| c.output.trace.is_some()) {
+            let _ = write!(out, " | bubble {:.0}%", self.mean_bubble_fraction() * 100.0);
+        } else {
+            let _ = write!(out, " | bubble -");
+        }
+        if self.total_failovers() > 0 {
+            let _ = write!(out, " | {} failover(s)", self.total_failovers());
+        } else {
+            let _ = write!(out, " | failovers -");
+        }
+        match &self.cohort {
+            Some(s) => {
+                let _ = writeln!(
+                    out,
+                    " | cohort width {:.2} over {} step(s)",
+                    s.mean_cohort_width(),
+                    s.cohort_steps,
+                );
+            }
+            None => {
+                let _ = writeln!(out, " | cohort width -");
+            }
+        }
         if let Some(kv) = &self.kv_pool {
             let _ = writeln!(
                 out,
@@ -424,7 +502,8 @@ mod tests {
         );
         let mut fig = Figure::new("Serving", "serving metrics", "mixed");
         report.to_figure(&mut fig, "Test");
-        assert_eq!(fig.x_labels().len(), 17);
+        assert_eq!(fig.x_labels().len(), 18);
+        assert_eq!(fig.value("Test", "cohort width"), Some(0.0));
         assert_eq!(fig.value("Test", "bubble frac"), Some(0.0));
         assert_eq!(fig.value("Test", "kv pages peak"), Some(0.0));
         assert_eq!(fig.value("Test", "prefix hit"), Some(0.0));
@@ -440,8 +519,34 @@ mod tests {
         assert!(text.contains("window 1"));
         assert!(text.contains("tok/verify"));
         assert!(text.contains("shape"));
+        // Metrics the stream never exercised render as `-`, not zeros.
+        assert!(text.contains("accept -"), "{text}");
+        assert!(text.contains("tree util -"), "{text}");
+        assert!(text.contains("draft -"), "{text}");
+        assert!(text.contains("cancel saved -"), "{text}");
+        assert!(text.contains("bubble -"), "{text}");
+        assert!(text.contains("failovers -"), "{text}");
+        assert!(text.contains("cohort width -"), "{text}");
         let hist = report.e2e_histogram(8);
         assert_eq!(hist.count(), 2);
+    }
+
+    #[test]
+    fn cohort_column_surfaces_step_loop_stats() {
+        let stats = SessionStats {
+            cohort_steps: 10,
+            cohort_width_sum: 25,
+            batched_rows: 120,
+        };
+        let report =
+            ServeReport::new("Test", 4, vec![completion(0, 0.0, 0.0, 1.0, 4)]).with_cohort(stats);
+        assert!((report.mean_cohort_width() - 2.5).abs() < 1e-12);
+        assert_eq!(report.cohort_stats(), Some(&stats));
+        let mut fig = Figure::new("Serving", "serving metrics", "mixed");
+        report.to_figure(&mut fig, "Test");
+        assert_eq!(fig.value("Test", "cohort width"), Some(2.5));
+        let text = report.render();
+        assert!(text.contains("cohort width 2.50 over 10 step(s)"), "{text}");
     }
 
     #[test]

@@ -108,6 +108,124 @@ impl Server {
         self.serve_with(requests, |_| {})
     }
 
+    /// Serves a request stream with **iteration-level batching**: one
+    /// [`StepSession`](pi_spec::StepSession) step loop drives every request,
+    /// fusing all in-flight micro-batches into a single forest batch per
+    /// decode iteration (projections and FFNs run as one `m = Σ cohort
+    /// widths` GEMM, attention stays per-sequence).
+    ///
+    /// Cohort formation is deterministic: requests are admitted in admission
+    /// order (arrival, then priority among the waiting, then id) the moment
+    /// the session clock reaches their arrival and a slot inside
+    /// `max_in_flight` frees up; the cohort re-forms at every step boundary.
+    /// Each request's token stream is byte-identical to its solo run and to
+    /// thread-pool serving ([`Server::serve`]) — fusion changes the
+    /// roofline, never the tokens.
+    pub fn serve_stepped(&self, requests: Vec<Request>) -> ServeReport {
+        self.serve_stepped_inner(requests, true)
+    }
+
+    /// [`Server::serve_stepped`] with fusion disabled: the identical step
+    /// loop and admission schedule, but every request's micro-batch is
+    /// evaluated alone (a full per-stage weight stream per request per
+    /// iteration).  This is the request-granularity baseline the
+    /// `fig_cohort_batching` bench gate measures fusion against; tokens are
+    /// identical to the fused path.
+    pub fn serve_stepped_unfused(&self, requests: Vec<Request>) -> ServeReport {
+        self.serve_stepped_inner(requests, false)
+    }
+
+    fn serve_stepped_inner(&self, requests: Vec<Request>, fused: bool) -> ServeReport {
+        let window = self.config.max_in_flight;
+        let order = crate::scheduler::admission_order(&requests);
+        let mut session = self.prepared.begin_session().with_fused(fused);
+
+        // Session-request id -> (request index, admission time).
+        let mut live: Vec<(u64, usize, f64)> = Vec::new();
+        let mut waiting: std::collections::VecDeque<usize> = order.iter().copied().collect();
+        let mut completions: Vec<Completion> = Vec::with_capacity(requests.len());
+
+        loop {
+            // Admit every arrived request that fits the window, picking the
+            // highest-priority arrival first (FIFO on ties) — the same
+            // policy the scheduler plans with.
+            loop {
+                if live.len() >= window || waiting.is_empty() {
+                    break;
+                }
+                let now = session.now();
+                let best = waiting
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &idx)| requests[idx].arrival <= now)
+                    .max_by(|(_, &a), (_, &b)| {
+                        let (ra, rb) = (&requests[a], &requests[b]);
+                        ra.priority.cmp(&rb.priority).then(
+                            rb.arrival
+                                .partial_cmp(&ra.arrival)
+                                .expect("arrivals comparable")
+                                .then(rb.id.cmp(&ra.id)),
+                        )
+                    })
+                    .map(|(pos, _)| pos);
+                let Some(pos) = best else { break };
+                let idx = waiting.remove(pos).expect("position in deque");
+                let sid = session.admit(&requests[idx].gen);
+                live.push((sid, idx, now));
+            }
+
+            if session.active() == 0 {
+                // Idle: jump to the next arrival, or finish the stream.
+                match waiting.front() {
+                    Some(&idx) => session.advance_to(requests[idx].arrival),
+                    None => break,
+                }
+                continue;
+            }
+
+            for sid in session.step_cohort().finished {
+                let pos = live
+                    .iter()
+                    .position(|&(s, _, _)| s == sid)
+                    .expect("finished request was live");
+                let (_, idx, started) = live.remove(pos);
+                let output = session.take_output(sid).expect("finished output");
+                let req = &requests[idx];
+                let first_token = output
+                    .record
+                    .accept_times
+                    .first()
+                    .copied()
+                    .unwrap_or(output.record.finished_at);
+                completions.push(Completion {
+                    id: req.id,
+                    priority: req.priority,
+                    timing: RequestTiming {
+                        arrival: req.arrival,
+                        started,
+                        first_token,
+                        finished: output.record.finished_at,
+                    },
+                    output,
+                });
+            }
+        }
+
+        completions.sort_by(|a, b| {
+            a.timing
+                .finished
+                .partial_cmp(&b.timing.finished)
+                .expect("finish times must be comparable")
+                .then(a.id.cmp(&b.id))
+        });
+        let report = ServeReport::new(self.strategy_name(), window, completions)
+            .with_cohort(session.stats());
+        match self.prepared.kv_pool() {
+            Some(pool) => report.with_kv_pool(pool.stats()),
+            None => report,
+        }
+    }
+
     /// Serves a request stream, invoking `on_complete` once per request in
     /// service-clock completion order (deterministic in `Sim` mode).
     pub fn serve_with(
@@ -654,6 +772,121 @@ mod tests {
         assert!(traced.mean_bubble_fraction() > 0.0);
         assert_eq!(plain.mean_bubble_fraction(), 0.0);
         assert!(traced.render().contains("bubble"));
+    }
+
+    #[test]
+    fn stepped_serving_matches_thread_pool_serving_byte_for_byte() {
+        let workload = MixedWorkload {
+            base: base(),
+            n_requests: 8,
+            mean_interarrival: 0.05,
+            prompt_len: (4, 16),
+            n_generate: (8, 20),
+            seed: 11,
+        };
+        for deployment in [
+            Deployment::new(IterativeStrategy),
+            Deployment::new(SpeculativeStrategy),
+        ] {
+            let server = Server::new(
+                deployment.prepare(&sim_mode(4), 4),
+                ServerConfig { max_in_flight: 8 },
+            );
+            let pooled = server.serve(workload.generate());
+            let stepped = server.serve_stepped(workload.generate());
+            assert_eq!(stepped.len(), 8);
+            assert!(stepped.cohort_stats().is_some());
+            assert!(pooled.cohort_stats().is_none());
+            for req in workload.generate() {
+                assert_eq!(
+                    stepped.completion(req.id).unwrap().output.record.tokens,
+                    pooled.completion(req.id).unwrap().output.record.tokens,
+                    "{}: request {} diverged under the step loop",
+                    server.strategy_name(),
+                    req.id
+                );
+            }
+            // A dense 8-request stream fuses real cohorts.
+            assert!(
+                stepped.mean_cohort_width() > 2.0,
+                "{}: width {}",
+                server.strategy_name(),
+                stepped.mean_cohort_width()
+            );
+        }
+    }
+
+    #[test]
+    fn stepped_serving_is_deterministic_and_beats_unfused() {
+        let workload = BurstyWorkload {
+            base: base(),
+            n_requests: 8,
+            mean_interarrival: 0.02,
+            seed: 5,
+        };
+        let server = Server::new(
+            Deployment::new(SpeculativeStrategy).prepare(&sim_mode(4), 4),
+            ServerConfig { max_in_flight: 8 },
+        );
+        let a = server.serve_stepped(workload.generate());
+        let b = server.serve_stepped(workload.generate());
+        assert_eq!(a.goodput(), b.goodput());
+        assert_eq!(a.cohort_stats(), b.cohort_stats());
+        for (x, y) in a.completions().iter().zip(b.completions()) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.timing, y.timing);
+        }
+        // The request-granularity baseline emits the same tokens slower.
+        let unfused = server.serve_stepped_unfused(workload.generate());
+        for c in a.completions() {
+            assert_eq!(
+                c.output.record.tokens,
+                unfused.completion(c.id).unwrap().output.record.tokens
+            );
+        }
+        assert!(
+            a.goodput() > unfused.goodput(),
+            "fused {} tok/s must beat unfused {} tok/s",
+            a.goodput(),
+            unfused.goodput()
+        );
+        assert!((unfused.mean_cohort_width() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stepped_serving_composes_with_the_kv_pool() {
+        use crate::workload::SharedPrefixWorkload;
+        use pi_model::{KvPagePool, KvPoolConfig};
+        let workload = SharedPrefixWorkload {
+            base: base(),
+            n_requests: 10,
+            mean_interarrival: 0.1,
+            shared_fraction: 0.9,
+            prefix_len: (16, 24),
+            suffix_len: (2, 6),
+            seed: 21,
+        };
+        let deployment = Deployment::new(SpeculativeStrategy);
+        let prepared = deployment
+            .prepare(&sim_mode(4), 4)
+            .with_kv_pool(KvPagePool::new(KvPoolConfig {
+                tokens_per_page: 8,
+                n_pages: 256,
+            }));
+        let report = Server::new(prepared, ServerConfig { max_in_flight: 4 })
+            .serve_stepped(workload.generate());
+        let stats = report.kv_pool_stats().expect("pool stats must surface");
+        assert_eq!(stats.requests, 10);
+        assert!(stats.share_hits > 0, "shared prompts must hit the index");
+        for req in workload.generate() {
+            let served = report.completion(req.id).unwrap();
+            let solo = deployment.run(&sim_mode(4), 4, &req.gen);
+            assert_eq!(
+                served.output.record.tokens, solo.record.tokens,
+                "request {} diverged under pooled stepped serving",
+                req.id
+            );
+        }
     }
 
     #[test]

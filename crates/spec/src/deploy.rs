@@ -149,6 +149,25 @@ impl HeadParts {
     }
 }
 
+/// The per-iteration decode shape a strategy contributes to the
+/// [`StepSession`](crate::session::StepSession) step loop: what one request
+/// submits per step when many requests are fused into a single forest batch.
+///
+/// Strategies whose solo execution is asynchronous (PipeInfer's continuous
+/// speculation) collapse to their synchronous per-step equivalent here —
+/// greedy speculative verification is lossless, so the emitted token stream
+/// is identical either way; only the overlap structure (and therefore solo
+/// latency) differs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StepProfile {
+    /// One pending token per step (the iterative baseline).
+    NonSpeculative,
+    /// `[pending] ++ draft chain` per step, verified greedily.
+    Chain,
+    /// `[pending] ++ token tree` per step with adaptive width/depth.
+    Tree(crate::tree::TreeConfig),
+}
+
 /// What makes an inference strategy different from the others: rank layout,
 /// layer split and the head rank's behavior.
 ///
@@ -185,6 +204,19 @@ pub trait Strategy: Send + Sync {
     /// `route.n_stages()` ranges that jointly cover `0..n_layers`.
     fn split_layers(&self, n_layers: usize, route: &PipelineRoute) -> Vec<Range<usize>> {
         Model::split_layers(n_layers, route.n_stages())
+    }
+
+    /// The decode shape one request contributes per iteration when served
+    /// through a [`StepSession`](crate::session::StepSession) instead of a
+    /// dedicated per-request pipeline.  Defaults to a draft chain for
+    /// drafting strategies and single-token decoding otherwise; tree
+    /// strategies override with their tree configuration.
+    fn step_profile(&self) -> StepProfile {
+        if self.needs_drafter() {
+            StepProfile::Chain
+        } else {
+            StepProfile::NonSpeculative
+        }
     }
 
     /// Head behavior factory.
@@ -429,6 +461,14 @@ impl PreparedDeployment {
     /// The deployment-owned KV page pool, if one is attached.
     pub fn kv_pool(&self) -> Option<&Arc<KvPagePool>> {
         self.pool.as_ref()
+    }
+
+    /// Opens an iteration-level continuous-batching session over this
+    /// deployment: requests join and leave at step boundaries, and every
+    /// step fuses all in-flight requests' micro-batches into one forest
+    /// batch (see [`StepSession`](crate::session::StepSession)).
+    pub fn begin_session(&self) -> crate::session::StepSession<'_> {
+        crate::session::StepSession::new(self)
     }
 
     /// Executes one generation run over the prepared layout.

@@ -126,7 +126,7 @@ pub trait HeadEngine: Send {
 /// A real engine's pooled-cache bookkeeping: the request's plan, this
 /// stage's pool identity, and whether the stage has committed its prompt
 /// pages yet.
-struct PooledState {
+pub(crate) struct PooledState {
     plan: PrefixPlan,
     key: (usize, usize),
     committed: bool,
@@ -134,7 +134,7 @@ struct PooledState {
 
 /// Builds a real engine's KV cache: paged + prefix-attached when the request
 /// runs under a pool plan, the classic flat cache otherwise.
-fn build_real_cache(
+pub(crate) fn build_real_cache(
     model: &Model,
     layers: &Range<usize>,
     kv_capacity: usize,
@@ -164,7 +164,11 @@ fn build_real_cache(
 
 /// After an evaluation that covered the tail of the prompt, freezes the full
 /// prompt pages of this stage and commits them into the pool (once).
-fn maybe_commit_prompt(cache: &mut KvCache, pooled: &mut Option<PooledState>, batch: &Batch) {
+pub(crate) fn maybe_commit_prompt(
+    cache: &mut KvCache,
+    pooled: &mut Option<PooledState>,
+    batch: &Batch,
+) {
     let Some(state) = pooled else {
         return;
     };
@@ -185,7 +189,7 @@ fn maybe_commit_prompt(cache: &mut KvCache, pooled: &mut Option<PooledState>, ba
     state.committed = true;
 }
 
-fn apply_op(cache: &mut KvCache, op: &CacheOp) {
+pub(crate) fn apply_op(cache: &mut KvCache, op: &CacheOp) {
     match *op {
         CacheOp::SeqCp { src, dst, p0, p1 } => cache.seq_cp(src, dst, p0, p1),
         CacheOp::SeqRm { seq, p0, p1 } => cache.seq_rm(seq, p0, p1),

@@ -38,6 +38,7 @@ pub mod iterative;
 pub mod message;
 pub mod route;
 pub mod runner;
+pub mod session;
 pub mod speculative;
 pub mod tree;
 pub mod verify;
@@ -45,7 +46,7 @@ pub mod worker;
 
 pub use deploy::{
     Deployment, ExecutionMode, HeadParts, IterativeStrategy, PreparedDeployment, RecordHandle,
-    RunOutput, SpeculativeStrategy, Strategy,
+    RunOutput, SpeculativeStrategy, StepProfile, Strategy,
 };
 pub use drafter::{Drafter, OracleDrafter, RealDrafter};
 pub use engine::{
@@ -54,6 +55,7 @@ pub use engine::{
 };
 pub use message::{ActivationPayload, CacheOp, PipeMsg, RunId, RunKind, TreeTopology};
 pub use route::PipelineRoute;
+pub use session::{SessionStats, StepReport, StepSession};
 pub use tree::{AdaptiveShape, TreeConfig, TreeSpecHead, TreeSpeculationStrategy};
 pub use verify::{verify_greedy, verify_tree, TreeVerifyOutcome};
 pub use worker::PipelineWorker;

@@ -1,0 +1,1036 @@
+//! Iteration-level continuous batching: the [`StepSession`] step loop.
+//!
+//! The thread-per-request serving path (`pi_serve::Server::serve`) gives
+//! every request its own pipeline: per-request engines, per-request weight
+//! streaming, per-request decode steps.  At serving concurrency that wastes
+//! the dominant cost — each decode step re-streams every stage's weights for
+//! a handful of batch rows.  A `StepSession` instead drives **one** decode
+//! loop for all in-flight requests: each iteration collects every request's
+//! micro-batch (its pending token plus draft chain or tree), fuses them into
+//! a single *forest* batch with one lane per request, and evaluates the
+//! forest through the pipeline once.  Projections and FFNs then run as one
+//! `m = Σ cohort widths` GEMM per stage (amortising the weight stream over
+//! the whole cohort) while attention stays per-sequence against each
+//! request's own KV cache — the fused rows are bitwise identical to solo
+//! evaluation (`pi_model::Model::forward_layer_range_multi`).
+//!
+//! Requests join and leave at step boundaries (true continuous batching): a
+//! newly admitted request's first step is its prefill, a finishing request
+//! simply stops contributing, and the cohort re-forms every iteration.
+//!
+//! ## Determinism and byte-identity
+//!
+//! Per request, the session replicates the exact state machine of the solo
+//! heads (`IterativeHead`, `SpeculativeHead`, `TreeSpecHead`): the same
+//! draft calls against the same context, the same greedy verification, the
+//! same KV-cache operations.  Fusing only changes *where* the rows are
+//! evaluated, never their values — in `Real` mode because fused forward rows
+//! are row-independent bitwise, in `Sim` mode because the oracle walk is a
+//! pure function of each request's own context.  Every request's token
+//! stream is therefore byte-identical to its solo run, whatever the cohort
+//! interleaving.
+//!
+//! ## Cost model
+//!
+//! Under `Sim` mode the session keeps a virtual clock.  A fused step charges
+//! each stage [`CostModel::layers_time_grouped`] — the weight stream once
+//! for the whole cohort plus per-request KV streams, against the summed
+//! compute — while the unfused knob ([`StepSession::with_fused`]) charges
+//! the request-granularity sum of [`CostModel::layers_time`], i.e. a full
+//! weight stream per request per step.  The two knobs run the identical
+//! schedule and emit identical tokens; only the roofline differs, which is
+//! precisely the quantity the `fig_cohort_batching` bench gates on.  Under
+//! `Real` mode the clock accumulates measured wall time.
+
+use crate::deploy::{build_drafter, ExecutionMode, PreparedDeployment, RunOutput, StepProfile};
+use crate::drafter::Drafter;
+use crate::engine::{apply_op, build_real_cache, maybe_commit_prompt, PooledState, PrefixPlan};
+use crate::message::CacheOp;
+use crate::tree::{spine_prefix_len, AdaptiveShape, DEFAULT_PRIOR, FIRST_TREE_SEQ};
+use crate::verify::{verify_greedy, verify_tree};
+use crate::{GenConfig, GenerationRecord};
+use pi_cluster::ClusterStats;
+use pi_model::kv_pool::StageKey;
+use pi_model::{
+    Batch, KvCache, Model, OracleTarget, Pos, Sampler, ScratchArena, SeqId, Token, TokenTree,
+};
+use pi_perf::{CostModel, ModelCost};
+use std::ops::Range;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Cost charged for a metadata-only KV-cache operation under simulation
+/// (mirrors the sim engines' `apply_cache_op`).
+const SIM_CACHE_OP_COST: f64 = 1e-7;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Prompt,
+    Decoding,
+    Done,
+}
+
+/// One tree round's bookkeeping, kept between batch construction and
+/// verification within a single step.
+struct TreeRound {
+    tree: TokenTree,
+    node_seqs: Vec<Vec<SeqId>>,
+    n_leaves: usize,
+}
+
+/// The micro-batch one request contributes to the current step.
+struct PreparedStep {
+    /// The request's sub-batch (lane 0; re-laned when fused into the forest).
+    sub: Batch,
+    /// Batch-index parent links for tree rounds (oracle finalization).
+    parents: Vec<Option<usize>>,
+    /// Tree bookkeeping when this round speculated a tree.
+    tree: Option<TreeRound>,
+}
+
+/// Per-stage KV state of one request under `Real` execution.
+struct StageCaches {
+    cache: KvCache,
+    pooled: Option<PooledState>,
+}
+
+/// One in-flight (or finished-but-uncollected) request.
+struct RequestState {
+    id: u64,
+    config: GenConfig,
+    profile: StepProfile,
+    drafter: Option<Box<dyn Drafter>>,
+    phase: Phase,
+    /// Evaluated, accepted tokens (prompt included).
+    context: Vec<Token>,
+    /// Leading prompt tokens served from the shared page pool.
+    prompt_cached: usize,
+    /// Sampled but not yet evaluated token.
+    pending: Token,
+    record: GenerationRecord,
+    /// Adaptive tree controller (tree profile only).
+    shape: Option<AdaptiveShape>,
+    total_accepted: usize,
+    total_rejections: usize,
+    /// Per-pipeline-stage KV caches (`Real` mode only), stage order.
+    stages: Vec<StageCaches>,
+    /// Pool ticket to settle at finish, with the prompt to commit in `Sim`
+    /// mode (`Real` stages commit physical pages during prefill).
+    pool_ticket: Option<u64>,
+    /// The step currently prepared for this iteration.
+    step: Option<PreparedStep>,
+    /// Steps this request participated in, and the summed cohort widths and
+    /// own rows of those steps (surfaced through its `RunOutput` stats).
+    steps_participated: u64,
+    width_sum: u64,
+    own_rows: u64,
+}
+
+impl RequestState {
+    fn active(&self) -> bool {
+        self.phase != Phase::Done
+    }
+
+    /// Applies a pipelined cache op to every stage of this request (`Real`)
+    /// or returns the op's simulated cost (`Sim`), mirroring the solo path
+    /// where the head applies locally and workers apply on receipt.
+    fn apply_cache_op(&mut self, op: &CacheOp, real: bool) -> f64 {
+        if real {
+            for stage in &mut self.stages {
+                apply_op(&mut stage.cache, op);
+            }
+            0.0
+        } else {
+            SIM_CACHE_OP_COST
+        }
+    }
+}
+
+/// Aggregate cohort accounting of one session (or one served stream).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Fused decode iterations evaluated.
+    pub cohort_steps: u64,
+    /// Σ cohort width over those steps (requests fused per iteration).
+    pub cohort_width_sum: u64,
+    /// Σ forest-batch rows over those steps.
+    pub batched_rows: u64,
+}
+
+impl SessionStats {
+    /// Mean requests fused per step (0 when no steps ran).
+    pub fn mean_cohort_width(&self) -> f64 {
+        if self.cohort_steps == 0 {
+            0.0
+        } else {
+            self.cohort_width_sum as f64 / self.cohort_steps as f64
+        }
+    }
+}
+
+/// What one [`StepSession::step_cohort`] call did.
+#[derive(Debug, Clone, Default)]
+pub struct StepReport {
+    /// Requests fused into this step's forest batch (0 = nothing to do).
+    pub width: usize,
+    /// Total forest-batch rows evaluated.
+    pub rows: usize,
+    /// Requests that completed generation at this step boundary, in
+    /// admission order.  Collect them with [`StepSession::take_output`].
+    pub finished: Vec<u64>,
+}
+
+/// An iteration-level continuous-batching session over a
+/// [`PreparedDeployment`] — see the module docs.
+///
+/// # Invariants
+///
+/// * Requests join ([`StepSession::admit`]) and leave only at step
+///   boundaries; a request is never mutated mid-step by another's progress.
+/// * Within one forest batch, lane `i` is the i-th participating request in
+///   admission order; every batch entry keeps its request's own sequence ids
+///   under its lane's namespace, so no row is ever attributed across
+///   requests ([`Batch::level_groups`] only orders entries *within* a lane).
+/// * Each request's KV caches (and pool ticket) are exclusively its own; the
+///   cohort shares nothing but the weight stream.
+pub struct StepSession<'d> {
+    prepared: &'d PreparedDeployment,
+    profile: StepProfile,
+    fused: bool,
+    clock: f64,
+    slots: Vec<RequestState>,
+    next_id: u64,
+    /// Long-lived forward-pass temporaries (`Real` mode).
+    scratch: Option<ScratchArena>,
+    /// Ground-truth oracle (`Sim` mode).
+    oracle: Option<OracleTarget>,
+    /// Per-stage cost models (`Sim` mode), stage order.
+    stage_costs: Vec<CostModel>,
+    model_cost: Option<ModelCost>,
+    stats: SessionStats,
+}
+
+impl<'d> StepSession<'d> {
+    /// Opens a session; prefer [`PreparedDeployment::begin_session`].
+    pub fn new(prepared: &'d PreparedDeployment) -> Self {
+        let (oracle, stage_costs, model_cost, scratch) = match prepared.mode() {
+            ExecutionMode::Sim {
+                pair,
+                cluster,
+                oracle_seed,
+            } => {
+                let costs = prepared
+                    .route()
+                    .ranks()
+                    .iter()
+                    .map(|&rank| CostModel::new(cluster.node(rank).clone()))
+                    .collect();
+                (
+                    Some(OracleTarget::new(
+                        *oracle_seed,
+                        pair.target.cfg.vocab_size as u32,
+                    )),
+                    costs,
+                    Some(ModelCost::new(pair.target.cfg.clone(), pair.target.quant)),
+                    None,
+                )
+            }
+            ExecutionMode::Real { target, .. } => (
+                None,
+                Vec::new(),
+                None,
+                Some(ScratchArena::for_config(target.config())),
+            ),
+        };
+        Self {
+            prepared,
+            profile: prepared.strategy().step_profile(),
+            fused: true,
+            clock: 0.0,
+            slots: Vec::new(),
+            next_id: 0,
+            scratch,
+            oracle,
+            stage_costs,
+            model_cost,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Sets whether decode steps fuse the cohort into one forest batch
+    /// (default) or evaluate request-granularity micro-batches — the
+    /// baseline the `fig_cohort_batching` gate measures against.  Tokens are
+    /// identical either way.
+    pub fn with_fused(mut self, fused: bool) -> Self {
+        self.fused = fused;
+        self
+    }
+
+    /// Whether decode steps fuse the cohort.
+    pub fn fused(&self) -> bool {
+        self.fused
+    }
+
+    /// The session clock in seconds: virtual under `Sim`, accumulated
+    /// measured wall time under `Real`.
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// Fast-forwards the session clock (used by the serving layer to align
+    /// admission with request arrival times).  Never moves backwards.
+    pub fn advance_to(&mut self, t: f64) {
+        if t > self.clock {
+            self.clock = t;
+        }
+    }
+
+    /// Number of requests currently decoding (admitted, not finished).
+    pub fn active(&self) -> usize {
+        self.slots.iter().filter(|r| r.active()).count()
+    }
+
+    /// Cohort accounting so far.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Admits one request at the current step boundary.  Its first step is
+    /// its prefill; it contributes to every subsequent cohort until its
+    /// `n_generate` tokens are out.  Returns the session-local request id.
+    pub fn admit(&mut self, config: &GenConfig) -> u64 {
+        assert!(!config.prompt.is_empty(), "prompt must not be empty");
+        let id = self.next_id;
+        self.next_id += 1;
+
+        // Compose with the deployment's KV page pool exactly like the solo
+        // pooled path: admit, attach the longest cached prefix, and fall
+        // back to isolated flat caches on refusal.
+        let mut prompt_cached = 0;
+        let mut pool_ticket = None;
+        let mut plan = None;
+        if let Some(pool) = self.prepared.kv_pool() {
+            let required: Vec<StageKey> = match self.prepared.mode() {
+                ExecutionMode::Real { .. } => self
+                    .prepared
+                    .splits()
+                    .iter()
+                    .map(|r| (r.start, r.end))
+                    .collect(),
+                ExecutionMode::Sim { .. } => Vec::new(),
+            };
+            if let Ok(ticket) = pool.begin_request(&config.prompt, config.n_generate, &required) {
+                let span = ticket
+                    .cached_tokens
+                    .min(config.prompt.len().saturating_sub(1));
+                prompt_cached = span;
+                pool_ticket = Some(ticket.id);
+                plan = Some(PrefixPlan {
+                    pool: Arc::clone(pool),
+                    ticket: ticket.id,
+                    prompt: config.prompt.clone(),
+                    cached_tokens: span,
+                });
+            }
+        }
+
+        let stages = match self.prepared.mode() {
+            ExecutionMode::Real { target, .. } => self
+                .prepared
+                .splits()
+                .iter()
+                .map(|layers| {
+                    let (cache, pooled) =
+                        build_real_cache(target, layers, config.kv_capacity, plan.as_ref());
+                    StageCaches { cache, pooled }
+                })
+                .collect(),
+            ExecutionMode::Sim { .. } => Vec::new(),
+        };
+
+        let needs_drafter = !matches!(self.profile, StepProfile::NonSpeculative);
+        let drafter = needs_drafter
+            .then(|| build_drafter(self.prepared.mode(), self.prepared.route().head(), config));
+        let shape = match self.profile {
+            StepProfile::Tree(tree_config) => Some(AdaptiveShape::new(
+                tree_config,
+                config.max_draft,
+                DEFAULT_PRIOR,
+            )),
+            _ => None,
+        };
+
+        let cached = prompt_cached.min(config.prompt.len() - 1);
+        let mut context = Vec::with_capacity(config.prompt.len() + config.n_generate);
+        context.extend_from_slice(&config.prompt[..cached]);
+
+        self.slots.push(RequestState {
+            id,
+            config: config.clone(),
+            profile: self.profile,
+            drafter,
+            phase: Phase::Prompt,
+            context,
+            prompt_cached: cached,
+            pending: 0,
+            record: GenerationRecord::default(),
+            shape,
+            total_accepted: 0,
+            total_rejections: 0,
+            stages,
+            pool_ticket,
+            step: None,
+            steps_participated: 0,
+            width_sum: 0,
+            own_rows: 0,
+        });
+        id
+    }
+
+    /// Removes a finished request and returns its output.  `None` while the
+    /// request is still decoding or the id is unknown.
+    pub fn take_output(&mut self, id: u64) -> Option<RunOutput> {
+        let idx = self
+            .slots
+            .iter()
+            .position(|r| r.id == id && r.phase == Phase::Done)?;
+        let r = self.slots.remove(idx);
+        let mut stats = ClusterStats::new(self.prepared.n_nodes());
+        stats.nodes[0].cohort_steps = r.steps_participated;
+        stats.nodes[0].cohort_width_sum = r.width_sum;
+        stats.nodes[0].batched_rows = r.own_rows;
+        Some(RunOutput {
+            record: r.record,
+            stats,
+            completed: true,
+            trace: None,
+        })
+    }
+
+    /// Runs one iteration of the step loop: every active request prepares
+    /// its micro-batch (prefill, draft chain, or tree round), the cohort is
+    /// fused into one forest batch and evaluated, and each request verifies
+    /// its own rows and advances its state machine.  Requests that reach
+    /// their token budget finish at this boundary.
+    pub fn step_cohort(&mut self) -> StepReport {
+        let real = matches!(self.prepared.mode(), ExecutionMode::Real { .. });
+        let wall = real.then(Instant::now);
+        let mut step_cost = 0.0;
+
+        // Phase 1 — each active request prepares its micro-batch.  Drafting
+        // and pre-eval cache ops (tree branch seeding) happen here, against
+        // each request's own state only.
+        for r in self.slots.iter_mut().filter(|r| r.active()) {
+            step_cost += prepare_step(r, real);
+        }
+
+        let cohort: Vec<usize> = (0..self.slots.len())
+            .filter(|&i| self.slots[i].active() && self.slots[i].step.is_some())
+            .collect();
+        if cohort.is_empty() {
+            return StepReport::default();
+        }
+
+        // Phase 2 — fuse and evaluate.  Lane i of the forest is cohort[i].
+        let subs: Vec<Batch> = cohort
+            .iter()
+            .map(|&i| self.slots[i].step.as_ref().expect("prepared").sub.clone())
+            .collect();
+        let rows: usize = subs.iter().map(Batch::len).sum();
+        let greedy_per_request: Vec<Vec<Token>> = if real {
+            self.eval_real(&cohort, &subs)
+        } else {
+            let (greedy, cost) = self.eval_sim(&cohort, &subs);
+            step_cost += cost;
+            greedy
+        };
+
+        // Per-step accounting: one fused step of the cohort's width, or one
+        // width-1 step per request under the request-granularity knob.
+        let width = cohort.len();
+        if self.fused {
+            self.stats.cohort_steps += 1;
+            self.stats.cohort_width_sum += width as u64;
+        } else {
+            self.stats.cohort_steps += width as u64;
+            self.stats.cohort_width_sum += width as u64;
+        }
+        self.stats.batched_rows += rows as u64;
+        for (&i, sub) in cohort.iter().zip(&subs) {
+            let r = &mut self.slots[i];
+            r.steps_participated += 1;
+            r.width_sum += if self.fused { width as u64 } else { 1 };
+            r.own_rows += sub.len() as u64;
+        }
+
+        // Phase 3 — per-request verification and state advance (exactly the
+        // solo heads' post-result logic).
+        if real {
+            self.clock += wall.expect("real wall clock").elapsed().as_secs_f64();
+        } else {
+            self.clock += step_cost;
+        }
+        let mut post_cost = 0.0;
+        let mut finished = Vec::new();
+        let now = self.clock;
+        for (&i, greedy) in cohort.iter().zip(&greedy_per_request) {
+            let r = &mut self.slots[i];
+            post_cost += postprocess(r, greedy, now, real);
+            if r.phase == Phase::Done {
+                if let Some(ticket) = r.pool_ticket.take() {
+                    if let Some(pool) = self.prepared.kv_pool() {
+                        if !real {
+                            pool.commit_chain(ticket, &r.config.prompt, None);
+                        }
+                        pool.end_request(ticket);
+                    }
+                }
+                finished.push(r.id);
+            }
+        }
+        self.clock += post_cost;
+
+        StepReport {
+            width,
+            rows,
+            finished,
+        }
+    }
+
+    /// Simulated evaluation of the cohort: oracle tokens per request plus
+    /// the roofline cost of the whole step (fused or request-granularity).
+    fn eval_sim(&mut self, cohort: &[usize], subs: &[Batch]) -> (Vec<Vec<Token>>, f64) {
+        let oracle = self.oracle.as_ref().expect("sim oracle");
+        let model_cost = self.model_cost.as_ref().expect("sim model cost");
+        let splits = self.prepared.splits();
+
+        // Stage costs: the weight stream amortises across the cohort when
+        // fused; request-granularity charges it once per request.
+        let groups: Vec<(usize, usize)> = subs
+            .iter()
+            .map(|sub| (sub.len(), sub.min_pos().unwrap_or(0).max(0) as usize))
+            .collect();
+        let mut cost = 0.0;
+        for (stage, layers) in splits.iter().enumerate() {
+            let cm = &self.stage_costs[stage];
+            if self.fused {
+                cost += cm.layers_time_grouped(model_cost, layers.len(), &groups);
+            } else {
+                for &(rows, ctx) in &groups {
+                    cost += cm.layers_time(model_cost, layers.len(), rows, ctx);
+                }
+            }
+        }
+
+        // Head finalization (output head + sampling) is per-request either
+        // way: the logits rows are per request and the oracle walk needs
+        // each request's own context.
+        let head_cm = &self.stage_costs[0];
+        let mut out = Vec::with_capacity(cohort.len());
+        for (&i, sub) in cohort.iter().zip(subs) {
+            let r = &self.slots[i];
+            let step = r.step.as_ref().expect("prepared");
+            let greedy = if step.tree.is_some() {
+                // Tree round: condition each entry on its root-to-node path.
+                let mut paths: Vec<Vec<Token>> = Vec::with_capacity(sub.len());
+                let mut g = Vec::with_capacity(sub.len());
+                for (j, entry) in sub.iter().enumerate() {
+                    let mut path = match step.parents[j] {
+                        Some(p) => paths[p].clone(),
+                        None => r.context.clone(),
+                    };
+                    path.push(entry.token);
+                    g.push(oracle.next_token(&path));
+                    paths.push(path);
+                }
+                g
+            } else {
+                // Chain/prefill: batch entries are the consumed continuation.
+                let mut ctx = r.context.clone();
+                let mut g = Vec::with_capacity(sub.len());
+                for entry in sub.iter() {
+                    ctx.push(entry.token);
+                    g.push(oracle.next_token(&ctx));
+                }
+                g
+            };
+            cost += head_cm.io_time(model_cost, sub.len())
+                + head_cm.sampling_time(model_cost, sub.len());
+            out.push(greedy);
+        }
+        (out, cost)
+    }
+
+    /// Real evaluation of the cohort: one fused forward through every stage
+    /// (or request-granularity forwards when unfused), then greedy sampling
+    /// of each request's logits rows.
+    fn eval_real(&mut self, cohort: &[usize], subs: &[Batch]) -> Vec<Vec<Token>> {
+        let ExecutionMode::Real { target, .. } = self.prepared.mode() else {
+            unreachable!("eval_real in sim mode");
+        };
+        let model = Arc::clone(target);
+        let splits: Vec<Range<usize>> = self.prepared.splits().to_vec();
+        let scratch = self.scratch.as_mut().expect("real scratch");
+
+        if self.fused {
+            // One forest batch: lane i = cohort[i].
+            let mut forest = Batch::new();
+            for (lane, sub) in subs.iter().enumerate() {
+                forest.append_lane(sub, lane);
+            }
+            let mut hidden = model.embed(&forest);
+            for (stage, layers) in splits.iter().enumerate() {
+                let mut members: Vec<&mut RequestState> = Vec::with_capacity(cohort.len());
+                let mut want = cohort.iter().peekable();
+                for (idx, slot) in self.slots.iter_mut().enumerate() {
+                    if want.peek() == Some(&&idx) {
+                        members.push(slot);
+                        want.next();
+                    }
+                }
+                let mut caches: Vec<&mut KvCache> = members
+                    .iter_mut()
+                    .map(|r| &mut r.stages[stage].cache)
+                    .collect();
+                let cells =
+                    Model::alloc_cells_multi(&forest, &mut caches).expect("stage KV exhausted");
+                hidden = model
+                    .forward_layer_range_multi(
+                        &forest,
+                        &hidden,
+                        layers.clone(),
+                        &mut caches,
+                        &cells,
+                        scratch,
+                    )
+                    .expect("fused layer-range evaluation failed");
+                drop(caches);
+                for (r, sub) in members.iter_mut().zip(subs) {
+                    let stage_state = &mut r.stages[stage];
+                    maybe_commit_prompt(&mut stage_state.cache, &mut stage_state.pooled, sub);
+                }
+            }
+            let logits = model.logits(&hidden);
+            let sampler = Sampler::Greedy;
+            let mut out = Vec::with_capacity(cohort.len());
+            let mut row = 0;
+            for sub in subs {
+                let g = (0..sub.len())
+                    .map(|j| sampler.sample(logits.row(row + j).expect("logits row")))
+                    .collect();
+                row += sub.len();
+                out.push(g);
+            }
+            out
+        } else {
+            // Request-granularity baseline: the same math, one request at a
+            // time (each forward streams every stage's weights again).
+            let mut out = Vec::with_capacity(cohort.len());
+            for (&i, sub) in cohort.iter().zip(subs) {
+                let r = &mut self.slots[i];
+                let mut hidden = model.embed(sub);
+                for (stage, layers) in splits.iter().enumerate() {
+                    let stage_state = &mut r.stages[stage];
+                    let mut caches = [&mut stage_state.cache];
+                    let cells =
+                        Model::alloc_cells_multi(sub, &mut caches).expect("stage KV exhausted");
+                    hidden = model
+                        .forward_layer_range_multi(
+                            sub,
+                            &hidden,
+                            layers.clone(),
+                            &mut caches,
+                            &cells,
+                            scratch,
+                        )
+                        .expect("layer-range evaluation failed");
+                    maybe_commit_prompt(&mut stage_state.cache, &mut stage_state.pooled, sub);
+                }
+                let logits = model.logits(&hidden);
+                let sampler = Sampler::Greedy;
+                out.push(
+                    (0..sub.len())
+                        .map(|j| sampler.sample(logits.row(j).expect("logits row")))
+                        .collect(),
+                );
+            }
+            out
+        }
+    }
+}
+
+/// Builds one request's micro-batch for this step, mutating its drafting and
+/// cache state exactly like the solo heads do before a launch.  Returns the
+/// simulated cost charged (drafting + pre-eval cache ops); `Real` drafting
+/// cost is part of the step's measured wall time.
+fn prepare_step(r: &mut RequestState, real: bool) -> f64 {
+    let mut cost = 0.0;
+    let step = match r.phase {
+        Phase::Done => return 0.0,
+        Phase::Prompt => {
+            let prompt = r.config.prompt.clone();
+            let cached = r.prompt_cached;
+            let sub = Batch::prompt(&prompt[cached..], cached as Pos, 0);
+            r.record.runs_launched += 1;
+            PreparedStep {
+                sub,
+                parents: Vec::new(),
+                tree: None,
+            }
+        }
+        Phase::Decoding => match r.profile {
+            StepProfile::NonSpeculative => {
+                let sub = Batch::single(r.pending, r.context.len() as Pos, 0);
+                r.record.runs_launched += 1;
+                PreparedStep {
+                    sub,
+                    parents: Vec::new(),
+                    tree: None,
+                }
+            }
+            StepProfile::Chain => {
+                let drafter = r.drafter.as_mut().expect("chain profile has a drafter");
+                let (chain, draft_cost) = drafter.draft(
+                    &r.context,
+                    &[r.pending],
+                    r.config.max_draft,
+                    r.config.confidence_cutoff,
+                );
+                if !real {
+                    cost += draft_cost;
+                }
+                r.record.drafted += chain.len();
+                let base = r.context.len() as Pos;
+                let mut sub = Batch::new();
+                sub.push(r.pending, base, vec![0], true);
+                for (i, (tok, _conf)) in chain.iter().enumerate() {
+                    sub.push(*tok, base + 1 + i as Pos, vec![0], true);
+                }
+                r.record.runs_launched += 1;
+                PreparedStep {
+                    sub,
+                    parents: Vec::new(),
+                    tree: None,
+                }
+            }
+            StepProfile::Tree(_) => {
+                let shape = r.shape.as_mut().expect("tree profile has a controller");
+                let (width, depth) = shape.shape();
+                r.record.tree_shapes.push((width, depth));
+                let drafter = r.drafter.as_mut().expect("tree profile has a drafter");
+                let (tree, draft_cost) = drafter.draft_tree(
+                    &r.context,
+                    &[r.pending],
+                    width,
+                    depth,
+                    r.config.confidence_cutoff,
+                );
+                if !real {
+                    cost += draft_cost;
+                }
+                r.record.tree_rounds += 1;
+                r.record.drafted += tree.len();
+                r.record.tree_nodes += tree.len();
+
+                let base = r.context.len() as Pos;
+                let node_seqs = tree.assign_sequences(FIRST_TREE_SEQ);
+                let n_leaves = tree.n_sequences();
+
+                // Seed every branch sequence with the canonical prefix
+                // before any tree cell is allocated.
+                for leaf in 0..n_leaves as SeqId {
+                    let op = CacheOp::SeqCp {
+                        src: 0,
+                        dst: FIRST_TREE_SEQ + leaf,
+                        p0: 0,
+                        p1: Pos::MAX,
+                    };
+                    cost += r.apply_cache_op(&op, real);
+                }
+
+                let mut sub = Batch::new();
+                let mut pending_seqs = vec![0];
+                pending_seqs.extend((0..n_leaves as SeqId).map(|l| FIRST_TREE_SEQ + l));
+                sub.push(r.pending, base, pending_seqs, true);
+                let mut parents: Vec<Option<usize>> = vec![None];
+                for (id, node) in tree.nodes().iter().enumerate() {
+                    sub.push(
+                        node.token,
+                        base + 1 + node.depth as Pos,
+                        node_seqs[id].clone(),
+                        true,
+                    );
+                    parents.push(Some(node.parent.map(|p| p + 1).unwrap_or(0)));
+                }
+                r.record.runs_launched += 1;
+                PreparedStep {
+                    sub,
+                    parents,
+                    tree: Some(TreeRound {
+                        tree,
+                        node_seqs,
+                        n_leaves,
+                    }),
+                }
+            }
+        },
+    };
+    r.step = Some(step);
+    cost
+}
+
+/// Advances one request's state machine given its greedy tokens — the solo
+/// heads' post-result logic, verbatim.  Returns the simulated cost of any
+/// post-verification cache ops.
+fn postprocess(r: &mut RequestState, greedy: &[Token], now: f64, real: bool) -> f64 {
+    let step = r.step.take().expect("step was prepared");
+    let mut cost = 0.0;
+    match r.phase {
+        Phase::Done => {}
+        Phase::Prompt => {
+            r.record.prompt_done_at = now;
+            r.pending = *greedy.last().expect("prompt batch is non-empty");
+            r.context.extend(step.sub.tokens());
+            r.phase = Phase::Decoding;
+        }
+        Phase::Decoding => match step.tree {
+            None => {
+                // Chain (and non-speculative, where the draft is empty).
+                let tokens = step.sub.tokens();
+                let draft = &tokens[1..];
+                let outcome = verify_greedy(draft, greedy);
+                let n_accepted = outcome.n_accepted();
+                r.record.accepted_drafts += n_accepted;
+
+                let base = r.context.len() as Pos;
+                r.context.push(tokens[0]);
+                for tok in &outcome.accepted {
+                    r.context.push(*tok);
+                    r.record.tokens.push(*tok);
+                    r.record.accept_times.push(now);
+                }
+                r.record.tokens.push(outcome.pending);
+                r.record.accept_times.push(now);
+
+                if n_accepted < draft.len() {
+                    let op = CacheOp::SeqRm {
+                        seq: 0,
+                        p0: base + 1 + n_accepted as Pos,
+                        p1: Pos::MAX,
+                    };
+                    cost += r.apply_cache_op(&op, real);
+                }
+                r.pending = outcome.pending;
+            }
+            Some(round) => {
+                let outcome = verify_tree(&round.tree, greedy);
+                let n_accepted = outcome.n_accepted();
+                r.record.accepted_drafts += n_accepted;
+                r.record.tree_accepted_path += n_accepted;
+                let spine_accepted = spine_prefix_len(&round.tree, &outcome.accepted_path);
+                r.total_accepted += spine_accepted;
+                if spine_accepted < round.tree.span() {
+                    r.total_rejections += 1;
+                }
+                if let Some(shape) = r.shape.as_mut() {
+                    shape.observe(spine_accepted, round.tree.span());
+                }
+
+                let base = r.context.len() as Pos;
+                r.context.push(r.pending);
+                for tok in &outcome.accepted {
+                    r.context.push(*tok);
+                    r.record.tokens.push(*tok);
+                    r.record.accept_times.push(now);
+                }
+                r.record.tokens.push(outcome.pending);
+                r.record.accept_times.push(now);
+
+                if round.n_leaves > 0 {
+                    let op = if n_accepted > 0 {
+                        let deepest = *outcome.accepted_path.last().unwrap();
+                        CacheOp::BranchCommit {
+                            dst: 0,
+                            path: round.node_seqs[deepest][0],
+                            first: FIRST_TREE_SEQ,
+                            n_seqs: round.n_leaves as u32,
+                            p0: base + 1,
+                            p1: base + 1 + n_accepted as Pos,
+                        }
+                    } else {
+                        CacheOp::BranchRollback {
+                            first: FIRST_TREE_SEQ,
+                            n_seqs: round.n_leaves as u32,
+                        }
+                    };
+                    cost += r.apply_cache_op(&op, real);
+                }
+                r.pending = outcome.pending;
+            }
+        },
+    }
+    if r.phase == Phase::Decoding && r.record.tokens.len() >= r.config.n_generate {
+        r.record.finished_at = now;
+        r.phase = Phase::Done;
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deploy::{Deployment, IterativeStrategy, SpeculativeStrategy};
+    use crate::tree::TreeSpeculationStrategy;
+    use pi_model::ModelConfig;
+    use pi_perf::{ClusterSpec, ModelPair};
+
+    fn sim_mode(n_nodes: usize) -> ExecutionMode {
+        ExecutionMode::Sim {
+            pair: ModelPair::dolphin_tinyllama(),
+            cluster: ClusterSpec::cluster_c(n_nodes),
+            oracle_seed: 42,
+        }
+    }
+
+    fn real_mode(seed: u64) -> ExecutionMode {
+        let cfg = ModelConfig::tiny_llama(64, 4);
+        let target = Arc::new(Model::random(cfg.clone(), seed));
+        let draft = Arc::new(Model::new(cfg, target.weights().perturbed(0.02, seed + 1)));
+        ExecutionMode::Real { target, draft }
+    }
+
+    fn gen(prompt_fill: Token, prompt_len: usize, n_generate: usize) -> GenConfig {
+        GenConfig {
+            prompt: vec![prompt_fill; prompt_len],
+            n_generate,
+            max_draft: 4,
+            confidence_cutoff: 0.4,
+            kv_capacity: 4096,
+        }
+    }
+
+    fn run_session(
+        prepared: &PreparedDeployment,
+        configs: &[GenConfig],
+        fused: bool,
+    ) -> (Vec<Vec<Token>>, f64, SessionStats) {
+        let mut session = prepared.begin_session().with_fused(fused);
+        let ids: Vec<u64> = configs.iter().map(|c| session.admit(c)).collect();
+        let mut safety = 0;
+        while session.active() > 0 {
+            safety += 1;
+            assert!(safety < 10_000, "session did not converge");
+            session.step_cohort();
+        }
+        let outs: Vec<Vec<Token>> = ids
+            .iter()
+            .map(|&id| session.take_output(id).expect("finished").record.tokens)
+            .collect();
+        (outs, session.now(), session.stats())
+    }
+
+    #[test]
+    fn chain_session_matches_solo_runs_in_sim() {
+        let prepared = Deployment::new(SpeculativeStrategy).prepare(&sim_mode(4), 4);
+        let configs = [gen(5, 12, 16), gen(9, 8, 12), gen(3, 10, 20)];
+        let (outs, _, stats) = run_session(&prepared, &configs, true);
+        for (config, tokens) in configs.iter().zip(&outs) {
+            let solo = prepared.run(config);
+            assert_eq!(tokens, &solo.record.tokens, "fused stream must be solo");
+        }
+        assert!(stats.mean_cohort_width() > 1.5, "{stats:?}");
+    }
+
+    #[test]
+    fn tree_session_matches_solo_runs_in_sim() {
+        let prepared = Deployment::new(TreeSpeculationStrategy::default()).prepare(&sim_mode(4), 4);
+        let configs = [gen(5, 12, 16), gen(7, 9, 12)];
+        let (outs, _, _) = run_session(&prepared, &configs, true);
+        for (config, tokens) in configs.iter().zip(&outs) {
+            let solo = prepared.run(config);
+            assert_eq!(tokens, &solo.record.tokens);
+        }
+    }
+
+    #[test]
+    fn iterative_session_matches_solo_runs_in_sim() {
+        let prepared = Deployment::new(IterativeStrategy).prepare(&sim_mode(4), 4);
+        let configs = [gen(5, 12, 8), gen(2, 6, 6)];
+        let (outs, _, _) = run_session(&prepared, &configs, true);
+        for (config, tokens) in configs.iter().zip(&outs) {
+            let solo = prepared.run(config);
+            assert_eq!(tokens, &solo.record.tokens);
+        }
+    }
+
+    #[test]
+    fn real_chain_session_matches_solo_runs() {
+        let prepared = Deployment::new(SpeculativeStrategy).prepare(&real_mode(11), 2);
+        let configs = [gen(5, 6, 8), gen(9, 4, 6)];
+        let (outs, _, _) = run_session(&prepared, &configs, true);
+        for (config, tokens) in configs.iter().zip(&outs) {
+            let solo = prepared.run(config);
+            assert_eq!(tokens, &solo.record.tokens, "real fused rows must be solo");
+        }
+    }
+
+    #[test]
+    fn fused_and_unfused_agree_on_tokens_but_not_cost() {
+        let prepared = Deployment::new(SpeculativeStrategy).prepare(&sim_mode(4), 4);
+        let configs = [gen(5, 12, 16), gen(9, 8, 16), gen(3, 10, 16), gen(6, 7, 16)];
+        let (fused, fused_t, fused_stats) = run_session(&prepared, &configs, true);
+        let (unfused, unfused_t, unfused_stats) = run_session(&prepared, &configs, false);
+        assert_eq!(fused, unfused, "fusion must never change any stream");
+        assert!(
+            fused_t < unfused_t,
+            "fused {fused_t} s must beat request-granularity {unfused_t} s"
+        );
+        assert!(fused_stats.mean_cohort_width() > 2.0, "{fused_stats:?}");
+        assert!((unfused_stats.mean_cohort_width() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn requests_join_and_leave_at_step_boundaries() {
+        let prepared = Deployment::new(SpeculativeStrategy).prepare(&sim_mode(4), 4);
+        let mut session = prepared.begin_session();
+        let a = session.admit(&gen(5, 12, 20));
+        // Let the first request run alone for a few steps, then join.
+        for _ in 0..3 {
+            session.step_cohort();
+        }
+        let b = session.admit(&gen(9, 8, 10));
+        let mut finished = Vec::new();
+        let mut safety = 0;
+        while session.active() > 0 {
+            safety += 1;
+            assert!(safety < 1000);
+            finished.extend(session.step_cohort().finished);
+        }
+        assert!(finished.contains(&a) && finished.contains(&b));
+        for (id, config) in [(a, gen(5, 12, 20)), (b, gen(9, 8, 10))] {
+            let tokens = session.take_output(id).unwrap().record.tokens;
+            let solo = prepared.run(&config);
+            assert_eq!(
+                tokens, solo.record.tokens,
+                "mid-stream join must not perturb"
+            );
+        }
+    }
+
+    #[test]
+    fn session_outputs_carry_cohort_participation() {
+        let prepared = Deployment::new(SpeculativeStrategy).prepare(&sim_mode(4), 4);
+        let mut session = prepared.begin_session();
+        let a = session.admit(&gen(5, 12, 8));
+        let b = session.admit(&gen(9, 8, 8));
+        while session.active() > 0 {
+            session.step_cohort();
+        }
+        for id in [a, b] {
+            let out = session.take_output(id).unwrap();
+            assert!(out.stats.nodes[0].cohort_steps > 0);
+            assert!(out.stats.nodes[0].cohort_width_sum >= out.stats.nodes[0].cohort_steps);
+            assert!(out.stats.nodes[0].batched_rows > 0);
+        }
+    }
+}

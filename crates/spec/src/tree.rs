@@ -41,13 +41,13 @@ use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
 /// First KV sequence id used for tree branches (sequence 0 stays canonical).
-const FIRST_TREE_SEQ: SeqId = 1;
+pub(crate) const FIRST_TREE_SEQ: SeqId = 1;
 
 /// Starting acceptance estimate when no feedback exists yet: optimistic, so
 /// a fresh request begins with a pure chain (`width == 1`) and only widens
 /// on evidence — which also makes `max_width == 1` reproduce the linear
 /// speculative baseline exactly.
-const DEFAULT_PRIOR: f64 = 0.8;
+pub(crate) const DEFAULT_PRIOR: f64 = 0.8;
 
 /// Tree-speculation tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -202,7 +202,7 @@ impl ShapeFeedback {
 /// Length of the accepted path's prefix that lies on the tree's primary
 /// spine (the first root and its first-child chain — the branch the greedy
 /// draft proposed).
-fn spine_prefix_len(tree: &TokenTree, accepted_path: &[usize]) -> usize {
+pub(crate) fn spine_prefix_len(tree: &TokenTree, accepted_path: &[usize]) -> usize {
     let mut expected = tree.roots().first().copied();
     let mut n = 0;
     for &id in accepted_path {
@@ -624,6 +624,10 @@ impl Strategy for TreeSpeculationStrategy {
 
     fn needs_drafter(&self) -> bool {
         true
+    }
+
+    fn step_profile(&self) -> crate::deploy::StepProfile {
+        crate::deploy::StepProfile::Tree(self.config)
     }
 
     fn build_head(&self, mut parts: HeadParts) -> Box<dyn NodeBehavior<PipeMsg>> {

@@ -138,11 +138,14 @@ impl NodeBehavior<PipeMsg> for PipelineWorker {
                     self.evaluated_runs += 1;
                     let (layer_lo, layer_hi) = self.engine.layer_span();
                     let batch_len = batch.len() as u32;
+                    let cohort = batch.lane_count().max(1) as u32;
+                    ctx.record_cohort_step(cohort as u64, batch_len as u64);
                     trace_if(ctx, || EventKind::StageForward {
                         run: run_id,
                         layer_lo,
                         layer_hi,
                         batch: batch_len,
+                        cohort,
                         dur: cost,
                     });
                     self.forward_result(ctx, run_id, kind, batch, out, tree);

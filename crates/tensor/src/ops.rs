@@ -367,8 +367,11 @@ pub fn dot_scalar(a: &[f32], b: &[f32]) -> f32 {
 ///
 /// Each lane accumulates in exactly the same order as [`dot_scalar`], so a
 /// value computed through the scalar tiled path is bitwise identical to the
-/// scalar per-row path.  (The SIMD `dot4` keeps its own internally fixed
-/// order but differs from both at the last few ulps.)
+/// scalar per-row path.  (The SIMD `dot4` upholds the same contract against
+/// the SIMD `dot`; the two builds still differ from each other at the last
+/// few ulps.)  Iteration-level batching relies on this tile-independence:
+/// fusing requests into one forest batch regroups rows into different
+/// 4-row tiles, and the fused forward must stay bitwise equal to solo.
 #[inline]
 fn dot4_scalar(w: &[f32], x0: &[f32], x1: &[f32], x2: &[f32], x3: &[f32]) -> [f32; 4] {
     let k = w.len();

@@ -364,25 +364,47 @@ mod avx2 {
         sum
     }
 
+    /// Each row accumulates in exactly [`dot_avx2`]'s order — four fmadd
+    /// chains over 32-element chunks, an 8-wide cleanup into chain 0, the
+    /// `(a0+a1)+(a2+a3)` reduction, then the scalar tail — so a value
+    /// computed through the tiled path is bitwise identical to the per-row
+    /// GEMV path.  Iteration-level batching depends on this: fusing
+    /// requests into a forest batch regroups rows into different tiles, and
+    /// the row results must not change with tile membership.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn dot4_avx2(w: &[f32], x0: &[f32], x1: &[f32], x2: &[f32], x3: &[f32]) -> [f32; 4] {
         let k = w.len();
         let pw = w.as_ptr();
-        let (p0, p1, p2, p3) = (x0.as_ptr(), x1.as_ptr(), x2.as_ptr(), x3.as_ptr());
-        let mut a0 = _mm256_setzero_ps();
-        let mut a1 = _mm256_setzero_ps();
-        let mut a2 = _mm256_setzero_ps();
-        let mut a3 = _mm256_setzero_ps();
+        let ps = [x0.as_ptr(), x1.as_ptr(), x2.as_ptr(), x3.as_ptr()];
+        let mut acc = [[_mm256_setzero_ps(); 4]; 4];
         let mut i = 0;
+        while i + 32 <= k {
+            let w0 = _mm256_loadu_ps(pw.add(i));
+            let w1 = _mm256_loadu_ps(pw.add(i + 8));
+            let w2 = _mm256_loadu_ps(pw.add(i + 16));
+            let w3 = _mm256_loadu_ps(pw.add(i + 24));
+            for (a, p) in acc.iter_mut().zip(ps) {
+                a[0] = _mm256_fmadd_ps(_mm256_loadu_ps(p.add(i)), w0, a[0]);
+                a[1] = _mm256_fmadd_ps(_mm256_loadu_ps(p.add(i + 8)), w1, a[1]);
+                a[2] = _mm256_fmadd_ps(_mm256_loadu_ps(p.add(i + 16)), w2, a[2]);
+                a[3] = _mm256_fmadd_ps(_mm256_loadu_ps(p.add(i + 24)), w3, a[3]);
+            }
+            i += 32;
+        }
         while i + 8 <= k {
             let wv = _mm256_loadu_ps(pw.add(i));
-            a0 = _mm256_fmadd_ps(_mm256_loadu_ps(p0.add(i)), wv, a0);
-            a1 = _mm256_fmadd_ps(_mm256_loadu_ps(p1.add(i)), wv, a1);
-            a2 = _mm256_fmadd_ps(_mm256_loadu_ps(p2.add(i)), wv, a2);
-            a3 = _mm256_fmadd_ps(_mm256_loadu_ps(p3.add(i)), wv, a3);
+            for (a, p) in acc.iter_mut().zip(ps) {
+                a[0] = _mm256_fmadd_ps(_mm256_loadu_ps(p.add(i)), wv, a[0]);
+            }
             i += 8;
         }
-        let mut out = [hsum256(a0), hsum256(a1), hsum256(a2), hsum256(a3)];
+        let mut out = [0.0f32; 4];
+        for (o, a) in out.iter_mut().zip(acc) {
+            *o = hsum256(_mm256_add_ps(
+                _mm256_add_ps(a[0], a[1]),
+                _mm256_add_ps(a[2], a[3]),
+            ));
+        }
         while i < k {
             out[0] += x0[i] * w[i];
             out[1] += x1[i] * w[i];
@@ -609,7 +631,7 @@ mod tests {
 
     #[test]
     fn dot4_matches_four_dots() {
-        for k in [1usize, 5, 8, 17, 64, 130] {
+        for k in [1usize, 5, 8, 17, 31, 32, 33, 64, 130, 512] {
             let w = seq(k, |i| (i as f32 * 0.3).sin());
             let xs: Vec<Vec<f32>> = (0..4)
                 .map(|r| seq(k, |i| ((i + r) as f32 * 0.7).cos()))
@@ -621,6 +643,14 @@ mod tests {
                     (got[r] - want).abs() <= 1e-4 * want.abs().max(1.0),
                     "k={k} r={r}: {} vs {want}",
                     got[r]
+                );
+                // Tile-independence: the tiled kernel's row must be BITWISE
+                // equal to the per-row kernel — forest batching regroups
+                // rows into different tiles and must not change any bits.
+                assert_eq!(
+                    got[r].to_bits(),
+                    dot(&xs[r], &w).to_bits(),
+                    "k={k} r={r}: dot4 must equal dot exactly"
                 );
             }
         }

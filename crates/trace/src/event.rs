@@ -68,12 +68,16 @@ pub enum EventKind {
     /// poll loop; sim: the virtual wait for the next deliverable message).
     Blocked { dur: f64 },
     /// A pipeline worker evaluated one decode micro-batch through its layer
-    /// slice `[layer_lo, layer_hi)`.
+    /// slice `[layer_lo, layer_hi)`.  `batch` is the number of rows in the
+    /// micro-batch; `cohort` is the number of requests (batch lanes) fused
+    /// into it — 1 for thread-per-request serving, the in-flight cohort
+    /// width under iteration-level batching.
     StageForward {
         run: u64,
         layer_lo: u32,
         layer_hi: u32,
         batch: u32,
+        cohort: u32,
         dur: f64,
     },
     /// The dedicated draft rank served one draft request.
@@ -299,6 +303,7 @@ mod tests {
                 layer_lo: 0,
                 layer_hi: 4,
                 batch: 1,
+                cohort: 1,
                 dur: 0.1
             }
             .name(),

@@ -122,9 +122,11 @@ impl PerfettoTrace {
                 layer_lo,
                 layer_hi,
                 batch,
+                cohort,
                 ..
             } => format!(
-                "{{\"run\":{run},\"layers\":\"[{layer_lo},{layer_hi})\",\"batch\":{batch}}}"
+                "{{\"run\":{run},\"layers\":\"[{layer_lo},{layer_hi})\",\"batch\":{batch},\
+                 \"cohort\":{cohort}}}"
             ),
             EventKind::DraftServe {
                 request, n_nodes, ..
@@ -581,6 +583,7 @@ mod tests {
                 layer_lo: 0,
                 layer_hi: 40,
                 batch: 4,
+                cohort: 1,
                 dur: 0.5,
             },
         );

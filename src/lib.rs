@@ -73,7 +73,10 @@ pub mod prelude {
         SpeculativeStrategy, Strategy,
     };
     pub use pi_spec::runner::{run_iterative, run_speculative};
-    pub use pi_spec::{GenConfig, GenerationRecord, TreeConfig, TreeSpeculationStrategy};
+    pub use pi_spec::{
+        GenConfig, GenerationRecord, SessionStats, StepReport, StepSession, TreeConfig,
+        TreeSpeculationStrategy,
+    };
     pub use pi_trace::{BubbleReport, PerfettoTrace, Trace, TraceConfig};
     pub use pipeinfer_core::{run_pipeinfer, DraftPlacement, PipeInferConfig, PipeInferStrategy};
 }

@@ -7,7 +7,7 @@
 
 use std::process::Command;
 
-const EXAMPLES: [&str; 9] = [
+const EXAMPLES: [&str; 10] = [
     "quickstart",
     "chat_generation",
     "cluster_sweep",
@@ -17,6 +17,7 @@ const EXAMPLES: [&str; 9] = [
     "draft_rank",
     "trace_viz",
     "chaos",
+    "cohort_serving",
 ];
 
 fn run_example(name: &str) {
@@ -84,4 +85,9 @@ fn trace_viz_example_runs() {
 #[test]
 fn chaos_example_runs() {
     run_example(EXAMPLES[8]);
+}
+
+#[test]
+fn cohort_serving_example_runs() {
+    run_example(EXAMPLES[9]);
 }
